@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure through
+:mod:`repro.experiments` and asserts the paper's *shape* (who wins, rough
+factors, where knees fall) on the returned data.  Absolute times are
+reported by pytest-benchmark for the host machine; the virtual Blue Gene
+times live inside the experiment results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Scale
+
+
+@pytest.fixture(scope="session")
+def smoke() -> Scale:
+    return Scale.SMOKE
+
+
+def run_once(benchmark, fn, *args):
+    """Run ``fn`` exactly once under the benchmark timer and return it."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

@@ -1,0 +1,27 @@
+"""Ablation: event-driven fast-forward vs the faithful per-generation loop.
+
+Both walk the identical Markov chain (pinned by the test suite); the
+event-driven driver skips the ~85% of generations with no PC/mutation event
+and batches the RNG, which is what makes the paper's 10^7-generation
+validation run feasible.
+"""
+
+from repro.core import EvolutionConfig, run_event_driven, run_serial
+
+CFG = EvolutionConfig(n_ssets=64, generations=20_000, rounds=200, seed=9)
+
+
+def test_faithful_loop(benchmark):
+    result = benchmark.pedantic(lambda: run_serial(CFG), rounds=1, iterations=1)
+    assert result.generations_run == CFG.generations
+
+
+def test_event_driven_fastforward(benchmark):
+    result = benchmark(lambda: run_event_driven(CFG))
+    assert result.generations_run == CFG.generations
+
+
+def test_payoff_cache_effectiveness():
+    result = run_event_driven(CFG)
+    # Nearly all pair evaluations are cache hits after warm-up.
+    assert result.cache_hits > 20 * result.cache_misses

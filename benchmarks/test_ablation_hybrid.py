@@ -1,0 +1,50 @@
+"""Ablation: the hybrid MPI+threads model (paper Section VI.C).
+
+The paper found 32 ranks/node x 2 threads on BG/Q reduced runtime ~2 %
+(threads land on SMT siblings), while threads on dedicated cores scale the
+per-SSet game loop nearly linearly.
+"""
+
+import pytest
+
+from repro.core import EvolutionConfig
+from repro.framework import ParallelConfig, run_parallel_simulation
+from repro.machine import BLUEGENE_Q
+
+EVO = EvolutionConfig(n_ssets=32, generations=60, rounds=100, seed=12)
+
+
+def _run(threads: int, ranks_per_node: int):
+    return run_parallel_simulation(
+        EVO,
+        ParallelConfig(
+            machine=BLUEGENE_Q,
+            n_ranks=5,
+            threads_per_rank=threads,
+            ranks_per_node=ranks_per_node,
+            executable=False,
+        ),
+    )
+
+
+def test_flat_mpi(benchmark):
+    result = benchmark(lambda: _run(threads=1, ranks_per_node=32))
+    assert result.makespan > 0
+
+
+def test_hybrid_smt_threads(benchmark):
+    result = benchmark(lambda: _run(threads=2, ranks_per_node=32))
+    assert result.makespan > 0
+
+
+def test_paper_smt_gain_is_small():
+    flat = _run(threads=1, ranks_per_node=32).makespan
+    smt = _run(threads=2, ranks_per_node=32).makespan
+    gain = (flat - smt) / flat
+    assert gain == pytest.approx(0.02, abs=0.01)  # "reducing the time 2%"
+
+
+def test_dedicated_cores_scale():
+    flat = _run(threads=1, ranks_per_node=4).makespan
+    quad = _run(threads=4, ranks_per_node=4).makespan
+    assert flat / quad > 3.0

@@ -1,0 +1,40 @@
+"""Ablation: real multiprocessing speedup of the fitness kernel.
+
+Measures the host-machine payoff-matrix kernel serially and across a
+process pool (the runnable analogue of the paper's thread level).  The
+result must be bit-identical either way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import random_pure
+from repro.rng import make_rng
+from repro.runtime import ParallelKernel
+
+RNG = make_rng(2024)
+STRATEGIES = [random_pure(RNG, 3) for _ in range(48)]
+ROUNDS = 200
+
+
+@pytest.fixture(scope="module")
+def serial_matrix():
+    with ParallelKernel(n_workers=1, rounds=ROUNDS) as kernel:
+        return kernel.payoff_matrix(STRATEGIES)
+
+
+def test_kernel_serial(benchmark, serial_matrix):
+    with ParallelKernel(n_workers=1, rounds=ROUNDS) as kernel:
+        result = benchmark.pedantic(
+            kernel.payoff_matrix, args=(STRATEGIES,), rounds=1, iterations=1
+        )
+    np.testing.assert_array_equal(result, serial_matrix)
+
+
+def test_kernel_two_processes(benchmark, serial_matrix):
+    with ParallelKernel(n_workers=2, rounds=ROUNDS) as kernel:
+        kernel.payoff_matrix(STRATEGIES)  # warm the pool before timing
+        result = benchmark.pedantic(
+            kernel.payoff_matrix, args=(STRATEGIES,), rounds=1, iterations=1
+        )
+    np.testing.assert_array_equal(result, serial_matrix)

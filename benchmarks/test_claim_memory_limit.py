@@ -1,0 +1,10 @@
+"""Bench: the paper's memory-capacity claim — memory-six is the limit."""
+
+from repro.experiments import Scale, get
+
+
+def test_claim_memory_limit(benchmark):
+    result = benchmark(lambda: get("claim-mem6").run(Scale.SMOKE))
+    assert result.data["limits"]["BG/P"] == 6
+    assert result.data["limits"]["BG/Q"] == 6
+    print("\n" + result.rendered)

@@ -1,0 +1,28 @@
+"""Bench: paper Figure 4 — strong scaling vs population size.
+
+Shape assertions: every curve is ~100 % while processors hold >= 2 SSets;
+the 1024-SSet curve collapses to ~50 % at 2048 processors (R = 0.5) while
+larger populations stay saturated — the paper's crossover structure.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import Scale, get
+
+
+def test_fig4_strong_scaling(benchmark):
+    result = run_once(benchmark, lambda: get("fig4").run(Scale.SMOKE))
+    curves = result.data["curves"]
+    processors = result.data["processors"]
+    last = processors.index(2048)
+    # Small population collapses at 2048 procs...
+    assert curves[1024][last] == pytest.approx(50.0, abs=5)
+    # ... the knee point (R = 1) lands near the paper's 55% ...
+    assert curves[2048][last] == pytest.approx(55.0, abs=3)
+    # ... big populations stay near-perfect.
+    assert curves[8192][last] > 97.0
+    # All curves are ~100% at 16 processors.
+    for series in curves.values():
+        assert series[0] == pytest.approx(100.0, abs=1)
+    print("\n" + result.rendered)

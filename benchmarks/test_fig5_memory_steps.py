@@ -1,0 +1,25 @@
+"""Bench: paper Figure 5 — runtime breakdown vs memory steps.
+
+Shape assertions: computation rises steeply (memory-six ~20x memory-one,
+paper shows ~10 s -> ~220 s) while communication stays small and flat.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import Scale, get
+
+
+def test_fig5_memory_steps(benchmark):
+    result = run_once(benchmark, lambda: get("fig5").run(Scale.SMOKE))
+    comp = result.data["compute"]
+    comm = result.data["comm"]
+    # Monotone growth of computation with memory steps.
+    assert all(comp[n] < comp[n + 1] for n in range(1, 6))
+    # Paper's absolute scale: memory-one ~10 s, memory-six ~220 s.
+    assert comp[1] == pytest.approx(11.0, rel=0.3)
+    assert comp[6] == pytest.approx(220.0, rel=0.3)
+    # Communication nearly flat across memory steps and small vs mem-6 compute.
+    assert comm[6] < 1.5 * comm[1]
+    assert comm[6] < 0.1 * comp[6]
+    print("\n" + result.rendered)

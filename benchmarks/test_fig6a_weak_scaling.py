@@ -1,0 +1,20 @@
+"""Bench: paper Figure 6a — weak scaling to 294,912 processors.
+
+Shape assertions: weak-scaling efficiency stays near-perfect (paper: 99 %)
+on BG/P to 294,912 processors and on BG/Q to 16,384.
+"""
+
+from conftest import run_once
+
+from repro.experiments import Scale, get
+
+
+def test_fig6a_weak_scaling(benchmark):
+    result = run_once(benchmark, lambda: get("fig6a").run(Scale.SMOKE))
+    curves = result.data["curves"]
+    bgp = dict(curves["BG/P"])
+    bgq = dict(curves["BG/Q"])
+    assert bgp[294912] > 98.0  # paper: "99% weak scaling up to 294,912"
+    assert all(eff > 98.0 for eff in bgp.values())
+    assert bgq[16384] > 98.0
+    print("\n" + result.rendered)

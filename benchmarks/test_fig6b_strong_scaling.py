@@ -1,0 +1,22 @@
+"""Bench: paper Figure 6b — strong scaling to 262,144 processors.
+
+Shape assertions: ~99 % linear scaling through 16,384 processors, 82 %
+efficiency at 262,144 where split SSets leave half an SSet per processor.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import Scale, get
+
+
+def test_fig6b_strong_scaling(benchmark):
+    result = run_once(benchmark, lambda: get("fig6b").run(Scale.SMOKE))
+    procs = result.data["processors"]
+    effs = dict(zip(procs, result.data["efficiencies"]))
+    assert effs[16384] > 97.0  # paper: "99% linear scaling"
+    assert effs[262144] == pytest.approx(82.0, abs=4)  # paper: 82%
+    # Speedup is monotone.
+    speedups = result.data["speedups"]
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+    print("\n" + result.rendered)

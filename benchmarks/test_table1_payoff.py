@@ -1,0 +1,13 @@
+"""Bench: regenerate paper Table I (PD payoff matrix)."""
+
+from repro.experiments import Scale, get
+
+
+def test_table1(benchmark):
+    result = benchmark(lambda: get("table1").run(Scale.SMOKE))
+    assert result.data["R"] == 3
+    assert result.data["S"] == 0
+    assert result.data["T"] == 4
+    assert result.data["P"] == 1
+    assert result.data["dilemma_ordering"] is True
+    print("\n" + result.rendered)

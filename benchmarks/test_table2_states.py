@@ -1,0 +1,9 @@
+"""Bench: regenerate paper Table II (memory-one game states)."""
+
+from repro.experiments import Scale, get
+
+
+def test_table2(benchmark):
+    result = benchmark(lambda: get("table2").run(Scale.SMOKE))
+    assert result.data["states"] == ["CC", "CD", "DC", "DD"]
+    print("\n" + result.rendered)

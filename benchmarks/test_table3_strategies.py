@@ -1,0 +1,10 @@
+"""Bench: regenerate paper Table III (all 16 memory-one strategies)."""
+
+from repro.experiments import Scale, get
+
+
+def test_table3(benchmark):
+    result = benchmark(lambda: get("table3").run(Scale.SMOKE))
+    assert result.data["count"] == 16
+    assert result.data["distinct"] == 16
+    print("\n" + result.rendered)

@@ -1,0 +1,12 @@
+"""Bench: regenerate paper Table IV (strategy-space size per memory step)."""
+
+from repro.experiments import Scale, get
+
+
+def test_table4(benchmark):
+    result = benchmark(lambda: get("table4").run(Scale.SMOKE))
+    exps = result.data["exponents"]
+    # numStates = 4^n, strategies = 2^numStates.
+    assert exps == {1: 4, 2: 16, 3: 64, 4: 256, 5: 1024, 6: 4096}
+    assert result.data["memory_six_matches_paper"] is True
+    print("\n" + result.rendered)

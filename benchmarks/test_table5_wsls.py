@@ -1,0 +1,12 @@
+"""Bench: regenerate paper Table V (WSLS state table)."""
+
+from repro.experiments import Scale, get
+
+
+def test_table5(benchmark):
+    result = benchmark(lambda: get("table5").run(Scale.SMOKE))
+    # The paper's Gray-code row order makes WSLS read 0101.
+    assert result.data["moves_in_paper_order"] == [0, 1, 0, 1]
+    assert result.data["wsls_bits_paper_order"] == "0101"
+    assert result.data["wsls_bits_natural"] == "0110"
+    print("\n" + result.rendered)

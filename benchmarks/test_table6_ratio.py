@@ -1,0 +1,23 @@
+"""Bench: paper Table VI — efficiency vs SSets-per-processor ratio.
+
+Shape assertions against the paper's row:
+R    = 0.5  1.0  2.0  3.0  4.0  5.0  6.0  7.0  8.0
+P.E. =  50   55  99.7 99.7 99.9 99.9 99.9 100  100
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import Scale, get
+
+
+def test_table6_ratio(benchmark):
+    result = run_once(benchmark, lambda: get("table6").run(Scale.SMOKE))
+    eff = result.data["efficiency_by_ratio"]
+    assert eff[0.5] == pytest.approx(50.0, abs=3)
+    assert eff[1.0] == pytest.approx(55.0, abs=3)
+    for ratio in (2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0):
+        assert eff[ratio] > 99.0
+    # The knee is sharp: R=2 gains almost 45 points over R=1.
+    assert eff[2.0] - eff[1.0] > 40.0
+    print("\n" + result.rendered)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Why memory matters: error robustness of WSLS vs TFT (paper Section III.F).
+
+The paper motivates longer memories with robustness to execution errors:
+"An error ... would be fatal for the TFT strategy, as any accidental play
+of defection would shift the pair into a continuously repeated play of
+defection" while "Win-Stay Lose-Shift (WSLS) has been shown to outperform
+TFT in the presence of errors".
+
+This example quantifies that with the exact Markov engine: long-run
+cooperation rates of self-play pairs across error rates, plus a noisy
+round-robin tournament of the classic strategies.
+
+Run:  python examples/error_robustness.py
+"""
+
+from repro.analysis import format_table
+from repro.core import (
+    all_c,
+    all_d,
+    expected_payoffs,
+    grim,
+    gtft,
+    stationary_cooperation_rate,
+    tf2t,
+    tft,
+    wsls,
+)
+
+
+def main() -> None:
+    # Long-run self-play cooperation under increasing error rates.
+    noises = [0.0, 0.005, 0.01, 0.05, 0.1]
+    pairs = {
+        "TFT": tft(1),
+        "WSLS": wsls(1),
+        "GRIM": grim(1),
+        "TF2T (memory-2)": tf2t(2),
+        "GTFT (mixed)": gtft(1 / 3, 1),
+    }
+    rows = []
+    for name, strategy in pairs.items():
+        rows.append(
+            [name]
+            + [
+                round(stationary_cooperation_rate(strategy, strategy, eps), 3)
+                for eps in noises
+            ]
+        )
+    print(
+        format_table(
+            ["self-play pair"] + [f"eps={e}" for e in noises],
+            rows,
+            title="Long-run cooperation rate vs execution error rate",
+        )
+    )
+    print(
+        "\nTFT collapses toward 50% under any error rate; WSLS and TF2T "
+        "(a memory-two strategy) repair errors and keep cooperating — the "
+        "paper's motivation for modelling longer memories.\n"
+    )
+
+    # Noisy tournament: expected total payoffs over 200 rounds at eps=0.01.
+    field = {
+        "ALLC": all_c(1),
+        "ALLD": all_d(1),
+        "TFT": tft(1),
+        "WSLS": wsls(1),
+        "GRIM": grim(1),
+        "GTFT": gtft(1 / 3, 1),
+    }
+    eps = 0.01
+    names = list(field)
+    rows = []
+    for name_a in names:
+        total = 0.0
+        for name_b in names:
+            pay, _, _ = expected_payoffs(field[name_a], field[name_b], 200, noise=eps)
+            total += pay
+        rows.append([name_a, round(total, 1)])
+    rows.sort(key=lambda r: -r[1])
+    print(
+        format_table(
+            ["strategy", "total expected payoff"],
+            rows,
+            title=f"Round-robin vs the classic field (200 rounds, eps={eps})",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

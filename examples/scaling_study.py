@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's scaling results (Figures 4, 6a, 6b; Table VI).
+
+Prints the strong-scaling efficiency table across population sizes, the
+SSets-per-processor knee, and the large-scale weak/strong scaling series —
+all from the calibrated analytic model (validated against the discrete-
+event simulator in the test suite).
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.experiments import Scale, get
+
+
+def main() -> None:
+    for experiment_id in ("fig4", "table6", "fig6a", "fig6b"):
+        result = get(experiment_id).run(Scale.SMOKE)
+        print(f"== {experiment_id}: {result.title} ==")
+        print(result.rendered)
+        if result.paper_expectation:
+            print(f"[paper: {result.paper_expectation}]")
+        print()
+
+
+if __name__ == "__main__":
+    main()

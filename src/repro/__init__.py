@@ -1,0 +1,80 @@
+"""repro — reproduction of Randles et al., IPDPS 2013.
+
+"Massively Parallel Model of Extended Memory Use in Evolutionary Game
+Dynamics": memory-n iterated Prisoner's Dilemma populations evolved through
+pairwise-comparison learning and mutation, with a multi-level parallel
+decomposition (Strategy Sets over MPI ranks, agents over threads)
+reproduced on a simulated Blue Gene substrate.
+
+Quickstart
+----------
+>>> from repro import EvolutionConfig, run_event_driven
+>>> result = run_event_driven(EvolutionConfig(n_ssets=64, generations=50_000))
+>>> strategy, share = result.dominant()
+
+Package map
+-----------
+``repro.core``        the evolutionary model (strategies, games, dynamics)
+``repro.mpisim``      discrete-event MPI simulator
+``repro.machine``     Blue Gene/P, Blue Gene/Q and generic machine models
+``repro.framework``   the paper's parallel algorithm on the simulated machine
+``repro.perfmodel``   calibrated analytic scaling model (paper-scale runs)
+``repro.runtime``     real multiprocessing execution of the science runs
+``repro.analysis``    k-means, strategy classification, metrics, heatmaps
+``repro.experiments`` regenerates every table and figure of the paper
+``repro.io``          generation recorder and checkpoints
+"""
+
+from .core import (
+    PAPER_BETA,
+    PAPER_MUTATION_RATE,
+    PAPER_PAYOFF,
+    PAPER_PC_RATE,
+    PAPER_ROUNDS,
+    EvolutionConfig,
+    EvolutionResult,
+    GameResult,
+    PayoffMatrix,
+    Population,
+    Strategy,
+    all_c,
+    all_d,
+    grim,
+    gtft,
+    play_game,
+    run_baseline,
+    run_event_driven,
+    run_serial,
+    strategy_space_size,
+    tf2t,
+    tft,
+    wsls,
+)
+from .version import __version__
+
+__all__ = [
+    "__version__",
+    "EvolutionConfig",
+    "EvolutionResult",
+    "GameResult",
+    "PayoffMatrix",
+    "Population",
+    "Strategy",
+    "PAPER_BETA",
+    "PAPER_MUTATION_RATE",
+    "PAPER_PAYOFF",
+    "PAPER_PC_RATE",
+    "PAPER_ROUNDS",
+    "all_c",
+    "all_d",
+    "grim",
+    "gtft",
+    "play_game",
+    "run_baseline",
+    "run_event_driven",
+    "run_serial",
+    "strategy_space_size",
+    "tf2t",
+    "tft",
+    "wsls",
+]

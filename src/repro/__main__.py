@@ -1,0 +1,104 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``                      list the registered experiments
+``run <id> [--full]``         regenerate one paper table/figure
+``run-all [--full]``          regenerate everything
+``evolve [options]``          run an evolution and print the outcome
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import classify, nearest_classic, render_raster
+from .core import EvolutionConfig, run_event_driven
+from .experiments import Scale, all_experiments, get
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for exp in all_experiments():
+        print(f"{exp.experiment_id:<10} {exp.paper_ref:<22} {exp.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scale = Scale.FULL if args.full else Scale.SMOKE
+    result = get(args.experiment).run(scale)
+    print(result)
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    scale = Scale.FULL if args.full else Scale.SMOKE
+    for exp in all_experiments():
+        print(exp.run(scale))
+        print()
+    return 0
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    config = EvolutionConfig(
+        memory_steps=args.memory,
+        n_ssets=args.ssets,
+        generations=args.generations,
+        rounds=args.rounds,
+        noise=args.noise,
+        expected_fitness=args.noise > 0,
+        seed=args.seed,
+    )
+    result = run_event_driven(config)
+    dominant, share = result.dominant()
+    name = classify(dominant)
+    if name is None and dominant.is_pure:
+        near, dist = nearest_classic(dominant)
+        name = f"~{near}+{dist}"
+    print(render_raster(result.population.strategy_matrix(), max_rows=20,
+                        title="final population"))
+    bits = dominant.bits() if dominant.is_pure else "<mixed>"
+    print(f"\ndominant: {bits} ({name}) at {share:.1%} "
+          f"after {result.generations_run:,} generations "
+          f"({result.n_pc_events} PC events, {result.n_mutations} mutations)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Evolutionary game dynamics reproduction (IPDPS 2013)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="regenerate one table/figure")
+    run.add_argument("experiment", help="experiment id, e.g. table6 or fig4")
+    run.add_argument("--full", action="store_true", help="paper-scale run")
+    run.set_defaults(func=_cmd_run)
+
+    run_all = sub.add_parser("run-all", help="regenerate everything")
+    run_all.add_argument("--full", action="store_true")
+    run_all.set_defaults(func=_cmd_run_all)
+
+    evolve = sub.add_parser("evolve", help="run an evolution")
+    evolve.add_argument("--memory", type=int, default=1)
+    evolve.add_argument("--ssets", type=int, default=128)
+    evolve.add_argument("--generations", type=int, default=100_000)
+    evolve.add_argument("--rounds", type=int, default=200)
+    evolve.add_argument("--noise", type=float, default=0.0)
+    evolve.add_argument("--seed", type=int, default=2013)
+    evolve.set_defaults(func=_cmd_evolve)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Analysis tools: clustering (Fig. 2), classification, metrics, rendering."""
+
+from .classify import (
+    classic_catalog,
+    classify,
+    cooperation_propensity,
+    hamming_distance,
+    nearest_classic,
+)
+from .heatmap import COOPERATE_CHAR, DEFECT_CHAR, render_raster
+from .invasion import InvasionResult, can_invade, invasion_fitness, uninvadable_by
+from .kmeans import KMeansResult, cluster_order, lloyd_kmeans
+from .metrics import (
+    dominance_timeline,
+    population_cooperation_rate,
+    strategy_entropy,
+    strategy_richness,
+)
+from .tables import format_table
+
+__all__ = [
+    "classic_catalog",
+    "classify",
+    "cooperation_propensity",
+    "hamming_distance",
+    "nearest_classic",
+    "COOPERATE_CHAR",
+    "DEFECT_CHAR",
+    "render_raster",
+    "InvasionResult",
+    "can_invade",
+    "invasion_fitness",
+    "uninvadable_by",
+    "KMeansResult",
+    "cluster_order",
+    "lloyd_kmeans",
+    "dominance_timeline",
+    "population_cooperation_rate",
+    "strategy_entropy",
+    "strategy_richness",
+    "format_table",
+]

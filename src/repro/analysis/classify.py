@@ -1,0 +1,81 @@
+"""Strategy classification against the classic named strategies.
+
+Used by the validation experiment to report *which* strategy dominates the
+evolved population (paper Fig. 2: 85 % WSLS) and by the examples to label
+interesting mutants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.states import num_states
+from ..core.strategy import Strategy, all_c, all_d, grim, tft, wsls
+from ..errors import StrategyError
+
+__all__ = [
+    "hamming_distance",
+    "classify",
+    "nearest_classic",
+    "cooperation_propensity",
+    "classic_catalog",
+]
+
+
+def classic_catalog(memory_steps: int) -> dict[str, Strategy]:
+    """The named classics lifted to ``memory_steps``."""
+    catalog = {
+        "ALLC": all_c(memory_steps),
+        "ALLD": all_d(memory_steps),
+        "TFT": tft(memory_steps),
+        "WSLS": wsls(memory_steps),
+        "GRIM": grim(memory_steps),
+    }
+    if memory_steps >= 2:
+        from ..core.strategy import tf2t
+
+        catalog["TF2T"] = tf2t(memory_steps)
+    return catalog
+
+
+def hamming_distance(a: Strategy, b: Strategy) -> int:
+    """Number of states where two pure strategies prescribe different moves."""
+    if a.memory_steps != b.memory_steps:
+        raise StrategyError("strategies must share memory_steps")
+    if not (a.is_pure and b.is_pure):
+        raise StrategyError("hamming distance is defined for pure strategies")
+    return int(np.count_nonzero(a.table != b.table))
+
+
+def classify(strategy: Strategy) -> str | None:
+    """Exact classic name of ``strategy``, or None.
+
+    A lifted classic (e.g. WSLS embedded in memory-three) classifies as its
+    base name: behaviourally they are the same strategy.
+    """
+    if not strategy.is_pure:
+        return None
+    for name, classic in classic_catalog(strategy.memory_steps).items():
+        if strategy == classic:
+            return name
+    return None
+
+
+def nearest_classic(strategy: Strategy) -> tuple[str, int]:
+    """Closest classic by Hamming distance (ties: catalog order)."""
+    best_name, best_dist = "", num_states(strategy.memory_steps) + 1
+    for name, classic in classic_catalog(strategy.memory_steps).items():
+        d = hamming_distance(strategy, classic)
+        if d < best_dist:
+            best_name, best_dist = name, d
+    return best_name, best_dist
+
+
+def cooperation_propensity(strategy: Strategy) -> float:
+    """Fraction of states in which the strategy cooperates.
+
+    For mixed strategies this is the mean cooperation probability over
+    states (a crude static indicator; use the Markov engine for behaviour
+    against a specific opponent).
+    """
+    return float(1.0 - strategy.defect_probabilities().mean())

@@ -1,0 +1,75 @@
+"""ASCII rendering of the population strategy raster (paper Figure 2).
+
+Each row is one SSet's strategy, each column one game state; the paper
+colours cooperation yellow and defection blue — we use ``.`` for C and
+``#`` for D.  Rows can be permuted by a clustering order so dominant blocks
+read as contiguous bands, exactly the presentation of Figure 2(b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.states import MEMORY_ONE_GRAY_ORDER
+from ..errors import ConfigurationError
+
+__all__ = ["render_raster", "COOPERATE_CHAR", "DEFECT_CHAR"]
+
+COOPERATE_CHAR = "."
+DEFECT_CHAR = "#"
+
+
+def render_raster(
+    strategy_matrix: np.ndarray,
+    row_order: np.ndarray | None = None,
+    column_order: tuple[int, ...] | None = None,
+    max_rows: int = 40,
+    title: str | None = None,
+) -> str:
+    """Render a strategy raster as text.
+
+    Parameters
+    ----------
+    strategy_matrix:
+        (n_ssets, n_states) move matrix (0 = C, 1 = D).
+    row_order:
+        Optional permutation (e.g. from
+        :func:`repro.analysis.kmeans.cluster_order`).
+    column_order:
+        Optional state display order; pass
+        :data:`~repro.core.states.MEMORY_ONE_GRAY_ORDER` for the paper's
+        memory-one column convention.
+    max_rows:
+        Rows are subsampled evenly beyond this limit (terminal-friendly).
+    """
+    matrix = np.asarray(strategy_matrix)
+    if matrix.ndim != 2:
+        raise ConfigurationError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    if row_order is not None:
+        matrix = matrix[np.asarray(row_order)]
+    if column_order is not None:
+        if sorted(column_order) != list(range(matrix.shape[1])):
+            raise ConfigurationError(
+                f"column_order must permute range({matrix.shape[1]})"
+            )
+        matrix = matrix[:, np.asarray(column_order)]
+    n_rows = matrix.shape[0]
+    if n_rows > max_rows:
+        picks = np.linspace(0, n_rows - 1, max_rows).round().astype(int)
+        matrix = matrix[picks]
+        subtitle = f"({n_rows} SSets, showing every ~{n_rows // max_rows}th)"
+    else:
+        subtitle = f"({n_rows} SSets)"
+    lines = []
+    if title:
+        lines.append(f"{title} {subtitle}")
+    for row in matrix:
+        lines.append(
+            "".join(DEFECT_CHAR if bool(round(float(v))) else COOPERATE_CHAR for v in row)
+        )
+    return "\n".join(lines)
+
+
+def paper_memory_one_order() -> tuple[int, ...]:
+    """The paper's memory-one column order (Table V Gray code)."""
+    return MEMORY_ONE_GRAY_ORDER

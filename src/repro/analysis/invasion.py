@@ -1,0 +1,104 @@
+"""Invasion analysis: which strategies resist which (ESS structure).
+
+Formalises the paper's population-dynamics question — "whether or not a
+homogenous population of a given strategy will resist invasion by mutant
+strategies" (Section III.C) — under the SSet fitness model: in a resident
+population of N SSets with one invading SSet,
+
+    f_resident = (N - 2) * pay(r, r) + pay(r, i)
+    f_invader  = (N - 1) * pay(i, r)
+
+(the self-game is excluded, matching the drivers' default).  The invader
+can spread through pairwise-comparison learning only if its fitness
+exceeds the residents' — the teacher-strictly-fitter gate.
+
+This module is what documents the Fig. 2 deviation quantitatively: under
+the paper's payoffs with errors, GRIM and WSLS are *both* uninvadable by
+every pure memory-one strategy, so the evolved winner is decided by basin
+entry rather than stability (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.payoff import PAPER_PAYOFF, PayoffMatrix
+from ..core.payoff_cache import PayoffCache
+from ..core.strategy import Strategy
+from ..errors import ConfigurationError
+
+__all__ = ["InvasionResult", "invasion_fitness", "can_invade", "uninvadable_by"]
+
+
+@dataclass(frozen=True)
+class InvasionResult:
+    """Fitness comparison of one invader SSet against a resident population."""
+
+    resident_fitness: float
+    invader_fitness: float
+
+    @property
+    def invades(self) -> bool:
+        """True when the invader is strictly fitter (can teach residents)."""
+        return self.invader_fitness > self.resident_fitness
+
+
+def invasion_fitness(
+    resident: Strategy,
+    invader: Strategy,
+    n_ssets: int = 100,
+    rounds: int = 200,
+    payoff: PayoffMatrix = PAPER_PAYOFF,
+    noise: float = 0.0,
+) -> InvasionResult:
+    """Fitness of a single invading SSet in a resident population.
+
+    Uses exact expected payoffs, so the result is deterministic for any
+    noise level.
+    """
+    if n_ssets < 3:
+        raise ConfigurationError(
+            f"invasion analysis needs at least 3 SSets, got {n_ssets}"
+        )
+    cache = PayoffCache(rounds=rounds, payoff=payoff, noise=noise, expected=True)
+    pay_rr = cache.payoff_to(resident, resident)
+    pay_ri = cache.payoff_to(resident, invader)
+    pay_ir = cache.payoff_to(invader, resident)
+    return InvasionResult(
+        resident_fitness=(n_ssets - 2) * pay_rr + pay_ri,
+        invader_fitness=(n_ssets - 1) * pay_ir,
+    )
+
+
+def can_invade(
+    resident: Strategy,
+    invader: Strategy,
+    n_ssets: int = 100,
+    rounds: int = 200,
+    payoff: PayoffMatrix = PAPER_PAYOFF,
+    noise: float = 0.0,
+) -> bool:
+    """Whether ``invader`` is strictly fitter than the residents."""
+    return invasion_fitness(
+        resident, invader, n_ssets, rounds, payoff, noise
+    ).invades
+
+
+def uninvadable_by(
+    resident: Strategy,
+    challengers: list[Strategy],
+    n_ssets: int = 100,
+    rounds: int = 200,
+    payoff: PayoffMatrix = PAPER_PAYOFF,
+    noise: float = 0.0,
+) -> list[Strategy]:
+    """The challengers that *fail* to invade ``resident``.
+
+    ``resident`` is uninvadable within the challenger set (an empirical
+    ESS) when the returned list contains every challenger.
+    """
+    return [
+        c
+        for c in challengers
+        if not can_invade(resident, c, n_ssets, rounds, payoff, noise)
+    ]

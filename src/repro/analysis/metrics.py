@@ -1,0 +1,74 @@
+"""Population-level metrics (cooperation, diversity, dominance)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.cycle import exact_payoffs
+from ..core.payoff import PAPER_PAYOFF, PayoffMatrix
+from ..core.population import Population
+from ..errors import ConfigurationError
+
+__all__ = [
+    "population_cooperation_rate",
+    "strategy_richness",
+    "strategy_entropy",
+    "dominance_timeline",
+]
+
+
+def population_cooperation_rate(
+    population: Population,
+    rounds: int = 200,
+    payoff: PayoffMatrix = PAPER_PAYOFF,
+) -> float:
+    """Expected cooperation rate of a random pairwise game in the population.
+
+    Weighted over the strategy histogram (count_i * count_j pairings of
+    distinct SSet slots), using the exact cycle engine — only defined for
+    pure populations.
+    """
+    hist = population.histogram
+    items = [(hist.exemplars[k], c) for k, c in hist.counts.items()]
+    total_weight = 0.0
+    total_coop = 0.0
+    for i, (strat_a, count_a) in enumerate(items):
+        for strat_b, count_b in items[i:]:
+            if not (strat_a.is_pure and strat_b.is_pure):
+                raise ConfigurationError(
+                    "population cooperation rate requires pure strategies"
+                )
+            weight = count_a * count_b
+            _, _, coop = exact_payoffs(strat_a, strat_b, rounds, payoff)
+            total_weight += weight
+            total_coop += weight * coop
+    return total_coop / total_weight
+
+
+def strategy_richness(population: Population) -> int:
+    """Number of distinct strategies present."""
+    return population.histogram.distinct
+
+
+def strategy_entropy(population: Population) -> float:
+    """Shannon entropy (nats) of the strategy distribution over SSets."""
+    counts = np.array(list(population.histogram.counts.values()), dtype=np.float64)
+    probs = counts / counts.sum()
+    return float(-(probs * np.log(probs)).sum())
+
+
+def dominance_timeline(snapshots) -> list[tuple[int, float]]:
+    """(generation, dominant share) per snapshot — Fig. 2's convergence arc."""
+    out = []
+    for snap in snapshots:
+        out.append((snap.generation, snap.dominant_share))
+    return out
+
+
+def perfect_entropy(n_ssets: int) -> float:
+    """Entropy of a maximally diverse population (one strategy per SSet)."""
+    if n_ssets < 1:
+        raise ConfigurationError(f"n_ssets must be >= 1, got {n_ssets}")
+    return math.log(n_ssets)

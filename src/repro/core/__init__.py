@@ -1,0 +1,90 @@
+"""Core evolutionary-game-dynamics library (the paper's model, Sections III–IV).
+
+Public surface:
+
+* payoffs and the PD (:class:`PayoffMatrix`, :data:`PAPER_PAYOFF`);
+* memory-*n* states (:func:`num_states`, :func:`advance_view`, ...);
+* strategies (:class:`Strategy`, classics, random generation, Table IV);
+* game engines (scalar, vectorised, cycle-exact, Markov-exact);
+* population dynamics (SSets, Nature Agent, Fermi rule, histogram fitness);
+* drivers (:func:`run_serial`, :func:`run_event_driven`, :func:`run_baseline`).
+"""
+
+from .baseline import run_baseline
+from .config import PAPER_MUTATION_RATE, PAPER_PC_RATE, EvolutionConfig
+from .cycle import CycleStructure, exact_payoffs, find_cycle
+from .evolution import (
+    EventRecord,
+    EvolutionResult,
+    Snapshot,
+    run_event_driven,
+    run_serial,
+)
+from .fermi import PAPER_BETA, fermi_probability
+from .game import PAPER_ROUNDS, GameResult, play_game, round_robin
+from .markov import expected_payoffs, stationary_cooperation_rate, transition_model
+from .nature import GenerationEvents, MutationDecision, NatureAgent, PCDecision
+from .payoff import COOPERATE, DEFECT, PAPER_PAYOFF, PayoffMatrix
+from .payoff_cache import PayoffCache, StrategyHistogram
+from .population import Population
+from .sset import SSet
+from .states import (
+    MAX_MEMORY_STEPS,
+    MEMORY_ONE_GRAY_ORDER,
+    StateRow,
+    advance_view,
+    encode_round,
+    history_to_view,
+    num_states,
+    state_table,
+    swap_perspective,
+    swap_perspective_array,
+    view_mask,
+    view_to_history,
+)
+from .strategy import (
+    CLASSIC_FACTORIES,
+    Strategy,
+    all_c,
+    all_d,
+    all_memory_one_strategies,
+    enumerate_pure_strategies,
+    grim,
+    gtft,
+    paper_table_v_rows,
+    random_mixed,
+    random_pure,
+    strategy_space_size,
+    tf2t,
+    tft,
+    wsls,
+)
+from .vectorgame import payoff_matrix, play_pairs, stack_tables
+
+__all__ = [
+    # payoff
+    "PayoffMatrix", "PAPER_PAYOFF", "COOPERATE", "DEFECT",
+    # states
+    "MAX_MEMORY_STEPS", "MEMORY_ONE_GRAY_ORDER", "StateRow", "advance_view",
+    "encode_round", "history_to_view", "num_states", "state_table",
+    "swap_perspective", "swap_perspective_array", "view_mask",
+    "view_to_history",
+    # strategy
+    "Strategy", "CLASSIC_FACTORIES", "all_c", "all_d",
+    "all_memory_one_strategies", "enumerate_pure_strategies", "grim", "gtft",
+    "paper_table_v_rows", "random_mixed", "random_pure",
+    "strategy_space_size", "tf2t", "tft", "wsls",
+    # games
+    "GameResult", "PAPER_ROUNDS", "play_game", "round_robin",
+    "payoff_matrix", "play_pairs", "stack_tables",
+    "CycleStructure", "exact_payoffs", "find_cycle",
+    "expected_payoffs", "stationary_cooperation_rate", "transition_model",
+    # population dynamics
+    "PayoffCache", "StrategyHistogram", "SSet", "Population",
+    "NatureAgent", "GenerationEvents", "PCDecision", "MutationDecision",
+    "fermi_probability", "PAPER_BETA",
+    # drivers
+    "EvolutionConfig", "PAPER_PC_RATE", "PAPER_MUTATION_RATE",
+    "EvolutionResult", "EventRecord", "Snapshot",
+    "run_serial", "run_event_driven", "run_baseline",
+]

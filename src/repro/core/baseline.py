@@ -1,0 +1,116 @@
+"""Traditional baseline: one agent per strategy, serial game loop.
+
+The paper (Section IV.A) describes the pre-SSet state of the art:
+
+    "Traditionally, the strategies being represented in a population would
+    be assigned to an individual agent.  This agent would simulate the
+    interaction with all other strategies in the population in a serial
+    manner and then handle the mutation and selections steps at the end of
+    each round."
+
+This module implements that algorithm as the comparison baseline: no
+strategy-set grouping, no payoff cache, no cycle detection — every game is
+replayed round by round with the scalar engine, every generation.  It is
+deliberately naive; the ablation benchmark
+(``benchmarks/test_ablation_sset_vs_baseline.py``) measures how much the
+paper's SSet abstraction + our caching buy.
+
+For identical seeds and configurations the baseline follows the same
+trajectory as :func:`repro.core.evolution.run_serial` (same Nature Agent
+decision streams, same fitness values for deterministic games) — the test
+suite pins this, which is what makes the speed comparison apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..rng import SeedSequenceTree
+from .config import EvolutionConfig
+from .evolution import EventRecord, EvolutionResult, _maybe_snapshot
+from .game import play_game
+from .nature import NatureAgent
+from .population import Population
+
+__all__ = ["run_baseline"]
+
+
+def _agent_fitness(
+    population: Population, agent_id: int, config: EvolutionConfig
+) -> float:
+    """Serial all-opponents fitness of one agent, replaying every game."""
+    me = population[agent_id].strategy
+    total = 0.0
+    for other in population.ssets:
+        if other.sset_id == agent_id and not config.include_self_play:
+            continue
+        result = play_game(me, other.strategy, config.rounds, config.payoff)
+        total += result.payoff_a
+    return total
+
+
+def run_baseline(
+    config: EvolutionConfig, population: Population | None = None
+) -> EvolutionResult:
+    """Run the traditional one-agent-per-strategy serial algorithm.
+
+    Restricted to deterministic configurations (pure strategies, no noise);
+    the point of the baseline is cost structure, not stochastic modelling.
+    """
+    if config.is_stochastic:
+        raise NotImplementedError(
+            "the traditional baseline is implemented for deterministic "
+            "configurations only"
+        )
+    started = time.perf_counter()
+    tree = SeedSequenceTree(config.seed)
+    nature = NatureAgent(config, tree)
+    if population is None:
+        population = Population.random(config, tree.generator("init"))
+    result = EvolutionResult(config=config, population=population)
+    _maybe_snapshot(result, population, 0, force=True)
+
+    for generation in range(config.generations):
+        events = nature.generation_events()
+        if events.pc:
+            decision = nature.pc_selection(len(population))
+            fit_t = _agent_fitness(population, decision.teacher, config)
+            fit_l = _agent_fitness(population, decision.learner, config)
+            adopted = nature.decide_learning(decision, fit_t, fit_l)
+            if adopted:
+                population.adopt(
+                    decision.learner, population[decision.teacher].strategy
+                )
+            result.n_pc_events += 1
+            result.n_adoptions += int(adopted)
+            result.events.append(
+                EventRecord(
+                    generation=generation,
+                    kind="pc",
+                    source=decision.teacher,
+                    target=decision.learner,
+                    applied=adopted,
+                    teacher_fitness=fit_t,
+                    learner_fitness=fit_l,
+                )
+            )
+        if events.mutation:
+            decision = nature.mutation_selection(len(population))
+            population.mutate(decision.target, decision.strategy)
+            result.n_mutations += 1
+            result.events.append(
+                EventRecord(
+                    generation=generation,
+                    kind="mutation",
+                    source=decision.target,
+                    target=decision.target,
+                    applied=True,
+                )
+            )
+        if config.record_every > 0 and generation > 0:
+            _maybe_snapshot(result, population, generation, force=False)
+
+    result.generations_run = config.generations
+    _maybe_snapshot(result, population, config.generations, force=True)
+    result.wallclock_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,145 @@
+"""Configuration of the evolutionary simulation (paper Section V.C).
+
+Defaults follow the paper's production parameters: payoff [3,0,4,1],
+200 rounds per generation, pairwise-comparison rate 0.1, mutation rate
+mu = 0.05, pure strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..errors import ConfigurationError
+from .fermi import PAPER_BETA
+from .payoff import PAPER_PAYOFF, PayoffMatrix
+
+__all__ = ["EvolutionConfig", "PAPER_PC_RATE", "PAPER_MUTATION_RATE"]
+
+#: Paper Section V.C: "Strategy evolution across the population was
+#: controlled by a pairwise comparison rate of 10%".
+PAPER_PC_RATE: float = 0.10
+#: Paper Section V.C: "Random mutation ... was set to mu = 0.05".
+PAPER_MUTATION_RATE: float = 0.05
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Parameters of one evolutionary-game-dynamics run.
+
+    Parameters
+    ----------
+    memory_steps:
+        ``n`` of the memory-*n* strategy model (paper: 1..6).
+    n_ssets:
+        Number of Strategy Sets in the population.
+    generations:
+        Number of generations to simulate.
+    agents_per_sset:
+        Agents per SSet.  Fitness is independent of this (each SSet's agents
+        collectively play one game per opponent strategy); it matters for
+        decomposition granularity in the parallel framework.
+    rounds:
+        IPD rounds per generation (paper: 200).
+    pc_rate:
+        Per-generation probability of a pairwise-comparison learning event.
+    mutation_rate:
+        Per-generation probability that a random SSet receives a brand-new
+        random strategy.
+    beta:
+        Fermi selection intensity (Eq. 1).
+    payoff:
+        The 2x2 game payoffs.
+    noise:
+        Trembling-hand execution error probability per move.
+    mixed_strategies:
+        When true, initial and mutant strategies are mixed (per-state
+        defection probabilities) rather than pure.
+    include_self_play:
+        Include the game against the SSet's own strategy slot in fitness.
+    allow_downhill_learning:
+        When true, the Fermi rule alone decides adoption (standard in the
+        cited literature).  The paper's listing additionally requires the
+        teacher to be strictly fitter; ``False`` (default) keeps that gate.
+    expected_fitness:
+        Evaluate fitness as the exact *expected* game payoff (Markov
+        engine) instead of one sampled game.  This is the many-agents-per-
+        SSet limit (an SSet's fitness sums its agents' games) and makes
+        long noisy runs (the Fig. 2 validation) tractable; it also keeps
+        noisy dynamics deterministic given the seed.
+    seed:
+        Master seed for all random streams.
+    record_every:
+        Record a population snapshot every this many generations
+        (0 = record only the initial and final states).
+    """
+
+    memory_steps: int = 1
+    n_ssets: int = 64
+    generations: int = 10_000
+    agents_per_sset: int = 4
+    rounds: int = 200
+    pc_rate: float = PAPER_PC_RATE
+    mutation_rate: float = PAPER_MUTATION_RATE
+    beta: float = PAPER_BETA
+    payoff: PayoffMatrix = field(default_factory=lambda: PAPER_PAYOFF)
+    noise: float = 0.0
+    mixed_strategies: bool = False
+    include_self_play: bool = False
+    allow_downhill_learning: bool = False
+    expected_fitness: bool = False
+    seed: int = 2013
+    record_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.memory_steps < 1:
+            raise ConfigurationError(
+                f"memory_steps must be >= 1, got {self.memory_steps}"
+            )
+        if self.n_ssets < 2:
+            raise ConfigurationError(
+                f"need at least 2 SSets for pairwise comparison, got {self.n_ssets}"
+            )
+        if self.generations < 0:
+            raise ConfigurationError(
+                f"generations must be >= 0, got {self.generations}"
+            )
+        if self.agents_per_sset < 1:
+            raise ConfigurationError(
+                f"agents_per_sset must be >= 1, got {self.agents_per_sset}"
+            )
+        if self.rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {self.rounds}")
+        for name, value in (
+            ("pc_rate", self.pc_rate),
+            ("mutation_rate", self.mutation_rate),
+            ("noise", self.noise),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1], got {value}")
+        if self.beta < 0:
+            raise ConfigurationError(f"beta must be >= 0, got {self.beta}")
+        if self.record_every < 0:
+            raise ConfigurationError(
+                f"record_every must be >= 0, got {self.record_every}"
+            )
+
+    @property
+    def population_size(self) -> int:
+        """Total number of agents."""
+        return self.n_ssets * self.agents_per_sset
+
+    @property
+    def is_stochastic(self) -> bool:
+        """True when fitness evaluation consumes random draws.
+
+        Noisy/mixed games sample unless ``expected_fitness`` replaces the
+        samples with exact Markov expectations.
+        """
+        if self.expected_fitness:
+            return False
+        return self.noise > 0.0 or self.mixed_strategies
+
+    def with_updates(self, **changes: Any) -> "EvolutionConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

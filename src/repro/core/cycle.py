@@ -1,0 +1,127 @@
+"""Exact evaluation of deterministic games via cycle detection.
+
+A game between two *pure* strategies with no noise is fully determined by
+the joint history, and the joint history is captured by a single player's
+view (the opponent's view is its bit-swapped mirror).  The view trajectory
+therefore lives in a space of ``4**n`` states and must enter a cycle within
+at most ``4**n`` rounds.  This lets us evaluate a 200-round — or a
+200-million-round — game in O(transient + cycle) time, exactly.
+
+This is the engine behind :class:`repro.core.payoff_cache.PayoffCache`,
+which in turn is what makes the 10^7-generation validation run (paper
+Figure 2) tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, StrategyError
+from .payoff import PAPER_PAYOFF, PayoffMatrix
+from .states import advance_view
+from .strategy import Strategy
+
+__all__ = ["CycleStructure", "find_cycle", "exact_payoffs"]
+
+
+@dataclass(frozen=True)
+class CycleStructure:
+    """Transient + cycle decomposition of a deterministic game.
+
+    ``per_round`` arrays hold, for every simulated round until the cycle
+    closes, the payoffs to each player and the number of cooperative moves.
+    """
+
+    transient_length: int
+    cycle_length: int
+    per_round_pay_a: np.ndarray
+    per_round_pay_b: np.ndarray
+    per_round_cooperations: np.ndarray
+
+    @property
+    def rounds_simulated(self) -> int:
+        """Rounds actually simulated (= transient + one full cycle)."""
+        return self.transient_length + self.cycle_length
+
+
+def _check_pure(strategy_a: Strategy, strategy_b: Strategy) -> int:
+    if not (strategy_a.is_pure and strategy_b.is_pure):
+        raise StrategyError("cycle detection requires pure strategies")
+    if strategy_a.memory_steps != strategy_b.memory_steps:
+        raise StrategyError(
+            "strategies must share memory_steps, got "
+            f"{strategy_a.memory_steps} vs {strategy_b.memory_steps}"
+        )
+    return strategy_a.memory_steps
+
+
+def find_cycle(
+    strategy_a: Strategy,
+    strategy_b: Strategy,
+    payoff: PayoffMatrix = PAPER_PAYOFF,
+) -> CycleStructure:
+    """Simulate until the joint state repeats; return the cycle structure."""
+    n = _check_pure(strategy_a, strategy_b)
+    table_a = strategy_a.table
+    table_b = strategy_b.table
+    vec = payoff.vector
+
+    seen: dict[tuple[int, int], int] = {}
+    pay_a: list[float] = []
+    pay_b: list[float] = []
+    coops: list[int] = []
+    view_a = 0
+    view_b = 0
+    round_idx = 0
+    while (view_a, view_b) not in seen:
+        seen[(view_a, view_b)] = round_idx
+        move_a = int(table_a[view_a])
+        move_b = int(table_b[view_b])
+        pay_a.append(float(vec[2 * move_a + move_b]))
+        pay_b.append(float(vec[2 * move_b + move_a]))
+        coops.append((move_a == 0) + (move_b == 0))
+        view_a = advance_view(view_a, move_a, move_b, n)
+        view_b = advance_view(view_b, move_b, move_a, n)
+        round_idx += 1
+
+    start = seen[(view_a, view_b)]
+    return CycleStructure(
+        transient_length=start,
+        cycle_length=round_idx - start,
+        per_round_pay_a=np.asarray(pay_a),
+        per_round_pay_b=np.asarray(pay_b),
+        per_round_cooperations=np.asarray(coops, dtype=np.int64),
+    )
+
+
+def exact_payoffs(
+    strategy_a: Strategy,
+    strategy_b: Strategy,
+    rounds: int,
+    payoff: PayoffMatrix = PAPER_PAYOFF,
+) -> tuple[float, float, float]:
+    """Exact ``(payoff_a, payoff_b, cooperation_rate)`` over ``rounds`` rounds.
+
+    Equivalent to :func:`repro.core.game.play_game` for pure noiseless
+    strategies, but with cost independent of ``rounds`` once the cycle is
+    known (O(4**n) worst case instead of O(rounds)).
+    """
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    cyc = find_cycle(strategy_a, strategy_b, payoff)
+    t, c = cyc.transient_length, cyc.cycle_length
+
+    def total(series: np.ndarray) -> float:
+        if rounds <= cyc.rounds_simulated:
+            return float(series[:rounds].sum())
+        head = float(series[:t].sum())
+        cycle = series[t : t + c]
+        full_cycles, rem = divmod(rounds - t, c)
+        return head + full_cycles * float(cycle.sum()) + float(cycle[:rem].sum())
+
+    pay_a = total(cyc.per_round_pay_a)
+    pay_b = total(cyc.per_round_pay_b)
+    coop = total(cyc.per_round_cooperations.astype(np.float64))
+    return pay_a, pay_b, coop / (2 * rounds)

@@ -1,0 +1,280 @@
+"""Serial evolution drivers (the paper's population dynamics, Section IV).
+
+Two equivalent drivers are provided:
+
+* :func:`run_serial` — the faithful per-generation loop: every generation
+  draws its event flags, and PC learning / mutation are applied in the
+  paper's order (PC first, then mutation).
+
+* :func:`run_event_driven` — the fast-forward driver: population state only
+  changes at PC/mutation events, so generations are scanned in vectorised
+  batches and only event generations execute Python logic.  Because the
+  event flags come from a dedicated RNG stream (consumed in the same order)
+  and the pc/mutation/games streams are touched only at events, this driver
+  follows the **identical trajectory** to :func:`run_serial` for any seed —
+  a property pinned by the test suite.  It is what makes the paper's
+  10^7-generation validation run (Fig. 2) feasible.
+
+Fitness is evaluated lazily: only the PC-selected teacher/learner fitness is
+computed (via the strategy histogram + payoff cache), exactly the values the
+dynamics consume.  Set ``full_fitness_every`` to also produce the paper's
+per-generation full fitness evaluation for recording.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..rng import SeedSequenceTree
+from .config import EvolutionConfig
+from .nature import NatureAgent
+from .payoff_cache import PayoffCache
+from .population import Population
+from .strategy import Strategy
+
+__all__ = [
+    "EventRecord",
+    "Snapshot",
+    "EvolutionResult",
+    "run_serial",
+    "run_event_driven",
+]
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One applied (or rejected) population-dynamics event."""
+
+    generation: int
+    kind: str  # "pc" or "mutation"
+    #: For PC: (teacher, learner); for mutation: (target, target).
+    source: int
+    target: int
+    #: For PC: whether the learner adopted.  Mutations always apply.
+    applied: bool
+    teacher_fitness: float = 0.0
+    learner_fitness: float = 0.0
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Population strategy raster at one generation (Fig. 2 material)."""
+
+    generation: int
+    strategy_matrix: np.ndarray
+    dominant_share: float
+
+
+@dataclass
+class EvolutionResult:
+    """Everything a run produces."""
+
+    config: EvolutionConfig
+    population: Population
+    events: list[EventRecord] = field(default_factory=list)
+    snapshots: list[Snapshot] = field(default_factory=list)
+    n_pc_events: int = 0
+    n_adoptions: int = 0
+    n_mutations: int = 0
+    generations_run: int = 0
+    wallclock_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def dominant(self) -> tuple[Strategy, float]:
+        """Most common final strategy and its population share."""
+        return self.population.dominant_share()
+
+    def summary(self) -> str:
+        strategy, share = self.dominant()
+        return (
+            f"{self.generations_run} generations, "
+            f"{self.n_pc_events} PC events ({self.n_adoptions} adoptions), "
+            f"{self.n_mutations} mutations; dominant strategy "
+            f"{strategy.bits() if strategy.is_pure else '<mixed>'} "
+            f"at {share:.1%}"
+        )
+
+
+def _make_cache(config: EvolutionConfig, nature: NatureAgent) -> PayoffCache:
+    return PayoffCache(
+        rounds=config.rounds,
+        payoff=config.payoff,
+        noise=config.noise,
+        rng=nature.games_rng if config.is_stochastic else None,
+        expected=config.expected_fitness,
+    )
+
+
+def _maybe_snapshot(
+    result: EvolutionResult, population: Population, generation: int, force: bool
+) -> None:
+    every = result.config.record_every
+    if force or (every > 0 and generation % every == 0):
+        _, share = population.dominant_share()
+        result.snapshots.append(
+            Snapshot(
+                generation=generation,
+                strategy_matrix=population.strategy_matrix(),
+                dominant_share=share,
+            )
+        )
+
+
+def _apply_generation_events(
+    generation: int,
+    pc: bool,
+    mutation: bool,
+    nature: NatureAgent,
+    population: Population,
+    cache: PayoffCache,
+    result: EvolutionResult,
+) -> None:
+    """Apply one generation's events in the paper's order (PC, then mutation)."""
+    config = result.config
+    if pc:
+        decision = nature.pc_selection(len(population))
+        fit_t = population.fitness_of(
+            decision.teacher, cache, config.include_self_play
+        )
+        fit_l = population.fitness_of(
+            decision.learner, cache, config.include_self_play
+        )
+        adopted = nature.decide_learning(decision, fit_t, fit_l)
+        if adopted:
+            population.adopt(
+                decision.learner, population[decision.teacher].strategy
+            )
+        result.n_pc_events += 1
+        result.n_adoptions += int(adopted)
+        result.events.append(
+            EventRecord(
+                generation=generation,
+                kind="pc",
+                source=decision.teacher,
+                target=decision.learner,
+                applied=adopted,
+                teacher_fitness=fit_t,
+                learner_fitness=fit_l,
+            )
+        )
+    if mutation:
+        decision = nature.mutation_selection(len(population))
+        population.mutate(decision.target, decision.strategy)
+        result.n_mutations += 1
+        result.events.append(
+            EventRecord(
+                generation=generation,
+                kind="mutation",
+                source=decision.target,
+                target=decision.target,
+                applied=True,
+            )
+        )
+
+
+def _finalise(
+    result: EvolutionResult,
+    population: Population,
+    cache: PayoffCache,
+    started: float,
+) -> EvolutionResult:
+    result.generations_run = result.config.generations
+    _maybe_snapshot(result, population, result.config.generations, force=True)
+    result.cache_hits = cache.hits
+    result.cache_misses = cache.misses
+    result.wallclock_seconds = time.perf_counter() - started
+    return result
+
+
+def run_serial(
+    config: EvolutionConfig, population: Population | None = None
+) -> EvolutionResult:
+    """Faithful generation-by-generation evolution (reference driver)."""
+    started = time.perf_counter()
+    tree = SeedSequenceTree(config.seed)
+    nature = NatureAgent(config, tree)
+    if population is None:
+        population = Population.random(config, tree.generator("init"))
+    cache = _make_cache(config, nature)
+    result = EvolutionResult(config=config, population=population)
+    _maybe_snapshot(result, population, 0, force=True)
+
+    for generation in range(config.generations):
+        events = nature.generation_events()
+        if events.pc or events.mutation:
+            _apply_generation_events(
+                generation,
+                events.pc,
+                events.mutation,
+                nature,
+                population,
+                cache,
+                result,
+            )
+        if config.record_every > 0 and generation > 0:
+            _maybe_snapshot(result, population, generation, force=False)
+    return _finalise(result, population, cache, started)
+
+
+def run_event_driven(
+    config: EvolutionConfig,
+    population: Population | None = None,
+    batch_size: int = 1 << 16,
+) -> EvolutionResult:
+    """Fast-forward evolution: identical trajectory, ~1000x faster.
+
+    Scans event flags in vectorised batches and executes Python logic only
+    at event generations.  Snapshot recording (``record_every``) is aligned
+    to the same generations as :func:`run_serial`.
+    """
+    started = time.perf_counter()
+    tree = SeedSequenceTree(config.seed)
+    nature = NatureAgent(config, tree)
+    if population is None:
+        population = Population.random(config, tree.generator("init"))
+    cache = _make_cache(config, nature)
+    result = EvolutionResult(config=config, population=population)
+    _maybe_snapshot(result, population, 0, force=True)
+
+    every = config.record_every
+    next_snapshot = every if every > 0 else None
+
+    generation = 0
+    remaining = config.generations
+    while remaining > 0:
+        batch = min(batch_size, remaining)
+        pc_flags, mu_flags = nature.batch_event_flags(batch)
+        event_offsets = np.nonzero(pc_flags | mu_flags)[0]
+        for offset in event_offsets:
+            gen = generation + int(offset)
+            # The serial driver snapshots *after* applying a generation's
+            # events; emit pending snapshots strictly before this event's
+            # generation, then the event, then a same-generation snapshot.
+            while next_snapshot is not None and next_snapshot < gen:
+                if next_snapshot < config.generations:
+                    _maybe_snapshot(result, population, next_snapshot, force=True)
+                next_snapshot += every
+            _apply_generation_events(
+                gen,
+                bool(pc_flags[offset]),
+                bool(mu_flags[offset]),
+                nature,
+                population,
+                cache,
+                result,
+            )
+            if next_snapshot is not None and next_snapshot == gen:
+                if gen < config.generations:
+                    _maybe_snapshot(result, population, gen, force=True)
+                next_snapshot += every
+        generation += batch
+        remaining -= batch
+    # Snapshots scheduled after the last event.
+    while next_snapshot is not None and next_snapshot < config.generations:
+        _maybe_snapshot(result, population, next_snapshot, force=True)
+        next_snapshot += every
+    return _finalise(result, population, cache, started)

@@ -1,0 +1,165 @@
+"""Iterated Prisoner's Dilemma game engine (paper Section IV.C, ``IPD()``).
+
+This is the faithful, readable reference implementation of the paper's agent
+kernel: both players maintain a *current view* of the last ``n`` rounds,
+look up their move in their strategy table, play, receive payoffs, and shift
+the round into their views.  Optional trembling-hand **errors** (Section
+III.F) flip an executed move with probability ``noise`` — the flipped move is
+what both players observe and what earns the payoff, which is exactly the
+error model under which WSLS beats TFT.
+
+Faster equivalents:
+
+* :mod:`repro.core.vectorgame` — many games at once with NumPy;
+* :mod:`repro.core.cycle` — exact O(cycle) evaluation of deterministic games;
+* :mod:`repro.core.markov` — exact *expected* payoffs for mixed/noisy games.
+
+All of them are tested to agree with this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, StrategyError
+from .payoff import PAPER_PAYOFF, PayoffMatrix
+from .states import advance_view
+from .strategy import Strategy
+
+__all__ = ["GameResult", "play_game", "round_robin"]
+
+#: Paper Section V.C: "The maximum number of rounds for a generation of
+#: Iterated Prisoner's Dilemma was set to 200".
+PAPER_ROUNDS: int = 200
+
+
+@dataclass(frozen=True)
+class GameResult:
+    """Outcome of one iterated game between two strategies."""
+
+    payoff_a: float
+    payoff_b: float
+    rounds: int
+    #: Fraction of all moves (both players) that were cooperation.
+    cooperation_rate: float
+    #: Optional per-round moves, shape (rounds, 2), only kept when requested.
+    moves: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def mean_payoff_a(self) -> float:
+        """Per-round average payoff to player A."""
+        return self.payoff_a / self.rounds
+
+    @property
+    def mean_payoff_b(self) -> float:
+        """Per-round average payoff to player B."""
+        return self.payoff_b / self.rounds
+
+
+def play_game(
+    strategy_a: Strategy,
+    strategy_b: Strategy,
+    rounds: int = PAPER_ROUNDS,
+    payoff: PayoffMatrix = PAPER_PAYOFF,
+    noise: float = 0.0,
+    rng: np.random.Generator | None = None,
+    record_moves: bool = False,
+) -> GameResult:
+    """Play one iterated game, mirroring the paper's ``IPD()`` pseudocode.
+
+    Parameters
+    ----------
+    strategy_a, strategy_b:
+        The two strategy tables; must share ``memory_steps``.
+    rounds:
+        Number of rounds ("maxRounds"); the paper uses 200.
+    payoff:
+        Payoff matrix; the paper uses [R,S,T,P] = [3,0,4,1].
+    noise:
+        Probability that an executed move flips (0 disables errors).
+    rng:
+        Required when either strategy is mixed or ``noise > 0``.
+    record_moves:
+        Keep the full move history in the result (memory-hungry for long
+        games; intended for analysis and tests).
+    """
+    if strategy_a.memory_steps != strategy_b.memory_steps:
+        raise StrategyError(
+            "strategies must share memory_steps, got "
+            f"{strategy_a.memory_steps} vs {strategy_b.memory_steps}"
+        )
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    if not 0.0 <= noise <= 1.0:
+        raise ConfigurationError(f"noise must lie in [0, 1], got {noise}")
+    stochastic = noise > 0.0 or not strategy_a.is_pure or not strategy_b.is_pure
+    if stochastic and rng is None:
+        raise ConfigurationError(
+            "mixed strategies or noise require an rng for sampling"
+        )
+
+    n = strategy_a.memory_steps
+    view_a = 0  # implicit all-cooperate history; first move is table[0]
+    view_b = 0
+    pay_a = 0.0
+    pay_b = 0.0
+    cooperations = 0
+    moves = np.empty((rounds, 2), dtype=np.uint8) if record_moves else None
+
+    for r in range(rounds):
+        move_a = strategy_a.move(view_a, rng)
+        move_b = strategy_b.move(view_b, rng)
+        if noise > 0.0:
+            assert rng is not None
+            if rng.random() < noise:
+                move_a ^= 1
+            if rng.random() < noise:
+                move_b ^= 1
+        pay_a += payoff.vector[2 * move_a + move_b]
+        pay_b += payoff.vector[2 * move_b + move_a]
+        cooperations += (move_a == 0) + (move_b == 0)
+        if moves is not None:
+            moves[r, 0] = move_a
+            moves[r, 1] = move_b
+        view_a = advance_view(view_a, move_a, move_b, n)
+        view_b = advance_view(view_b, move_b, move_a, n)
+
+    if moves is not None:
+        moves.setflags(write=False)
+    return GameResult(
+        payoff_a=pay_a,
+        payoff_b=pay_b,
+        rounds=rounds,
+        cooperation_rate=cooperations / (2 * rounds),
+        moves=moves,
+    )
+
+
+def round_robin(
+    strategies: list[Strategy],
+    rounds: int = PAPER_ROUNDS,
+    payoff: PayoffMatrix = PAPER_PAYOFF,
+    noise: float = 0.0,
+    rng: np.random.Generator | None = None,
+    include_self: bool = True,
+) -> np.ndarray:
+    """Axelrod-style tournament: total payoff matrix over all ordered pairs.
+
+    ``result[i, j]`` is the payoff strategy ``i`` earns when *it* plays a
+    game against strategy ``j``.  For deterministic games the matrix is
+    consistent (``result[i, j]`` and ``result[j, i]`` come from the same
+    play sequence); for stochastic games each ordered pair is an independent
+    game instance, matching the paper's model where SSet i's agents and
+    SSet j's agents play separate games.
+    """
+    k = len(strategies)
+    out = np.zeros((k, k), dtype=np.float64)
+    for i in range(k):
+        for j in range(k):
+            if i == j and not include_self:
+                continue
+            res = play_game(strategies[i], strategies[j], rounds, payoff, noise, rng)
+            out[i, j] = res.payoff_a
+    return out

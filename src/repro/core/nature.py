@@ -1,0 +1,137 @@
+"""The Nature Agent — master of population dynamics (paper Section IV.E).
+
+The Nature Agent is the *only* source of randomness for population dynamics:
+it decides in which generations pairwise-comparison (PC) learning and
+mutation occur, which SSets are involved, and what the mutant strategies
+are.  Centralising the randomness is what makes the parallel implementation
+deterministic — every rank sees the same broadcast decisions — and we
+exploit the same property to guarantee that the serial driver, the
+event-driven fast-forward driver, and the DES parallel programs all follow
+the *same trajectory* for the same seed.
+
+Stream layout (from :class:`repro.rng.SeedSequenceTree`):
+
+* ``events``   — two uniforms per generation (PC? mutation?), batchable;
+* ``pc``       — teacher/learner selection + the Fermi adoption uniform;
+* ``mutation`` — target selection + mutant strategy bits;
+* ``games``    — game sampling for stochastic configurations.
+
+Because streams are separate, a driver that *batches* the events stream
+(event-driven mode) consumes exactly the same pc/mutation draws as one that
+loops generation by generation, so the two are bit-identical.
+
+Paper-listing deviations (see DESIGN.md section 3): we read the prose as
+authoritative — adoption happens *with* probability p (the listing's
+``rand > p`` would invert it) and mutation *with* probability mu.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rng import SeedSequenceTree
+from .config import EvolutionConfig
+from .fermi import fermi_probability
+from .strategy import Strategy, random_mixed, random_pure
+
+__all__ = ["GenerationEvents", "PCDecision", "MutationDecision", "NatureAgent"]
+
+
+@dataclass(frozen=True)
+class GenerationEvents:
+    """Which evolutionary processes fire this generation."""
+
+    pc: bool
+    mutation: bool
+
+
+@dataclass(frozen=True)
+class PCDecision:
+    """A pairwise-comparison event: who teaches whom, and the adoption draw."""
+
+    teacher: int
+    learner: int
+    adoption_uniform: float
+
+
+@dataclass(frozen=True)
+class MutationDecision:
+    """A mutation event: which SSet receives which new strategy."""
+
+    target: int
+    strategy: Strategy
+
+
+class NatureAgent:
+    """Decision engine shared by all drivers (serial, event-driven, DES)."""
+
+    def __init__(self, config: EvolutionConfig, tree: SeedSequenceTree):
+        self.config = config
+        self._events_rng = tree.generator("nature", "events")
+        self._pc_rng = tree.generator("nature", "pc")
+        self._mutation_rng = tree.generator("nature", "mutation")
+        self.games_rng = tree.generator("nature", "games")
+
+    # -- event scheduling ---------------------------------------------------
+
+    def generation_events(self) -> GenerationEvents:
+        """Draw this generation's event flags (two uniforms, fixed order)."""
+        u_pc = self._events_rng.random()
+        u_mu = self._events_rng.random()
+        return GenerationEvents(
+            pc=u_pc < self.config.pc_rate, mutation=u_mu < self.config.mutation_rate
+        )
+
+    def batch_event_flags(self, n_generations: int) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`generation_events` for ``n_generations``.
+
+        Consumes the events stream in exactly the same order as n successive
+        scalar calls, so a batching driver stays on the serial trajectory.
+        """
+        draws = self._events_rng.random(2 * n_generations)
+        return (
+            draws[0::2] < self.config.pc_rate,
+            draws[1::2] < self.config.mutation_rate,
+        )
+
+    # -- pairwise comparison --------------------------------------------------
+
+    def pc_selection(self, n_ssets: int) -> PCDecision:
+        """Select teacher and learner SSets (distinct) and the adoption draw."""
+        teacher = int(self._pc_rng.integers(n_ssets))
+        learner = int(self._pc_rng.integers(n_ssets))
+        while learner == teacher:
+            learner = int(self._pc_rng.integers(n_ssets))
+        return PCDecision(
+            teacher=teacher,
+            learner=learner,
+            adoption_uniform=float(self._pc_rng.random()),
+        )
+
+    def decide_learning(
+        self, decision: PCDecision, teacher_fitness: float, learner_fitness: float
+    ) -> bool:
+        """Apply the Fermi rule (Eq. 1) to the pre-drawn adoption uniform.
+
+        The paper gates learning on the teacher being strictly fitter;
+        ``allow_downhill_learning`` removes the gate (the plain Fermi process
+        of the cited literature).
+        """
+        if (
+            not self.config.allow_downhill_learning
+            and not teacher_fitness > learner_fitness
+        ):
+            return False
+        p = fermi_probability(teacher_fitness, learner_fitness, self.config.beta)
+        return decision.adoption_uniform < p
+
+    # -- mutation -----------------------------------------------------------------
+
+    def mutation_selection(self, n_ssets: int) -> MutationDecision:
+        """Select the mutated SSet and generate its brand-new strategy."""
+        target = int(self._mutation_rng.integers(n_ssets))
+        make = random_mixed if self.config.mixed_strategies else random_pure
+        strategy = make(self._mutation_rng, self.config.memory_steps)
+        return MutationDecision(target=target, strategy=strategy)

@@ -1,0 +1,165 @@
+"""Population container: SSets plus a synchronized strategy histogram.
+
+The histogram is the performance-critical view (fitness is a function of the
+strategy multiset only); the SSet list is the identity-preserving view used
+by the recorder, the heatmaps, and the parallel decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .config import EvolutionConfig
+from .payoff_cache import PayoffCache, StrategyHistogram
+from .sset import SSet
+from .strategy import Strategy, random_mixed, random_pure
+
+__all__ = ["Population"]
+
+
+class Population:
+    """All SSets of a simulation plus the derived strategy histogram."""
+
+    def __init__(self, ssets: list[SSet]):
+        if len(ssets) < 1:
+            raise ConfigurationError("population needs at least one SSet")
+        ids = [s.sset_id for s in ssets]
+        if ids != list(range(len(ssets))):
+            raise ConfigurationError("SSet ids must be 0..n-1 in order")
+        memories = {s.strategy.memory_steps for s in ssets}
+        if len(memories) != 1:
+            raise ConfigurationError(
+                f"all SSets must share memory_steps, got {sorted(memories)}"
+            )
+        self._ssets = ssets
+        self.histogram = StrategyHistogram.from_strategies(
+            [s.strategy for s in ssets]
+        )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls, config: EvolutionConfig, rng: np.random.Generator
+    ) -> "Population":
+        """Random initial population (paper Fig. 2a: "strategies are randomly
+        assigned to all SSets at the start")."""
+        make = random_mixed if config.mixed_strategies else random_pure
+        ssets = [
+            SSet(
+                sset_id=i,
+                strategy=make(rng, config.memory_steps),
+                n_agents=config.agents_per_sset,
+            )
+            for i in range(config.n_ssets)
+        ]
+        return cls(ssets)
+
+    @classmethod
+    def uniform(
+        cls, strategy: Strategy, n_ssets: int, agents_per_sset: int = 1
+    ) -> "Population":
+        """Homogeneous population (for invasion / resistance studies)."""
+        ssets = [
+            SSet(sset_id=i, strategy=strategy, n_agents=agents_per_sset)
+            for i in range(n_ssets)
+        ]
+        return cls(ssets)
+
+    @classmethod
+    def from_strategies(
+        cls, strategies: list[Strategy], agents_per_sset: int = 1
+    ) -> "Population":
+        """Population with one SSet per given strategy, in order."""
+        ssets = [
+            SSet(sset_id=i, strategy=s, n_agents=agents_per_sset)
+            for i, s in enumerate(strategies)
+        ]
+        return cls(ssets)
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ssets)
+
+    def __getitem__(self, sset_id: int) -> SSet:
+        return self._ssets[sset_id]
+
+    @property
+    def ssets(self) -> list[SSet]:
+        """The SSet records (mutate via :meth:`adopt` / :meth:`mutate`)."""
+        return self._ssets
+
+    @property
+    def memory_steps(self) -> int:
+        return self._ssets[0].strategy.memory_steps
+
+    @property
+    def n_agents(self) -> int:
+        """Total agent count across SSets."""
+        return sum(s.n_agents for s in self._ssets)
+
+    def strategies(self) -> list[Strategy]:
+        """Current strategy of every SSet, by SSet id."""
+        return [s.strategy for s in self._ssets]
+
+    def strategy_matrix(self) -> np.ndarray:
+        """(n_ssets, 4**n) move/probability matrix — the Fig. 2 raster."""
+        return np.stack([s.strategy.table for s in self._ssets])
+
+    # -- mutation-preserving updates ------------------------------------------
+
+    def adopt(self, learner_id: int, strategy: Strategy) -> None:
+        """Learner SSet adopts a teacher's strategy (histogram kept in sync)."""
+        sset = self._ssets[learner_id]
+        old = sset.strategy
+        sset.adopt(strategy)
+        self.histogram.replace(old, strategy)
+
+    def mutate(self, target_id: int, strategy: Strategy) -> None:
+        """Target SSet receives a fresh strategy (histogram kept in sync)."""
+        sset = self._ssets[target_id]
+        old = sset.strategy
+        sset.mutate(strategy)
+        self.histogram.replace(old, strategy)
+
+    # -- fitness ---------------------------------------------------------------
+
+    def fitness_of(
+        self, sset_id: int, cache: PayoffCache, include_self_play: bool = False
+    ) -> float:
+        """Fitness of one SSet against the whole population."""
+        return self.histogram.fitness_of(
+            self._ssets[sset_id].strategy, cache, include_self_play
+        )
+
+    def all_fitness(
+        self, cache: PayoffCache, include_self_play: bool = False
+    ) -> np.ndarray:
+        """Fitness vector over all SSets (the paper's full per-generation
+        evaluation; only needed for recording, since learning uses just the
+        two selected SSets)."""
+        # Distinct strategies share fitness: evaluate once per distinct key.
+        by_key: dict[bytes, float] = {}
+        out = np.empty(len(self._ssets), dtype=np.float64)
+        for i, sset in enumerate(self._ssets):
+            key = sset.strategy.key()
+            if key not in by_key:
+                by_key[key] = self.histogram.fitness_of(
+                    sset.strategy, cache, include_self_play
+                )
+            out[i] = by_key[key]
+            sset.fitness = out[i]
+        return out
+
+    # -- summaries ---------------------------------------------------------------
+
+    def dominant_share(self) -> tuple[Strategy, float]:
+        """Most common strategy and its fraction of SSets (Fig. 2's 85%)."""
+        (strategy, count), = self.histogram.most_common(1)
+        return strategy, count / len(self._ssets)
+
+    def share_of(self, strategy: Strategy) -> float:
+        """Fraction of SSets currently holding exactly ``strategy``."""
+        return self.histogram.counts.get(strategy.key(), 0) / len(self._ssets)

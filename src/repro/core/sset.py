@@ -1,0 +1,62 @@
+"""Strategy Sets — the paper's central abstraction (Section IV.D).
+
+An SSet is a group of agents that all play the same strategy; its fitness is
+the sum of its agents' fitness.  The SSet is simultaneously
+
+* the unit of population dynamics (learning and mutation replace an SSet's
+  strategy wholesale), and
+* the unit of distribution (SSets map to MPI ranks; the agents inside an
+  SSet map to threads).
+
+In the serial core the SSet is a thin record; the heavy machinery lives in
+the histogram fitness of :mod:`repro.core.payoff_cache` and in the parallel
+framework's decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .strategy import Strategy
+
+__all__ = ["SSet"]
+
+
+@dataclass
+class SSet:
+    """One Strategy Set: identity, current strategy, and bookkeeping."""
+
+    sset_id: int
+    strategy: Strategy
+    n_agents: int = 1
+    #: Fitness from the most recent evaluation (sum over the SSet's games).
+    fitness: float = 0.0
+    #: Number of times this SSet adopted a teacher's strategy.
+    adoptions: int = field(default=0, repr=False)
+    #: Number of times this SSet received a mutant strategy.
+    mutations: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sset_id < 0:
+            raise ConfigurationError(f"sset_id must be >= 0, got {self.sset_id}")
+        if self.n_agents < 1:
+            raise ConfigurationError(f"n_agents must be >= 1, got {self.n_agents}")
+
+    def adopt(self, strategy: Strategy) -> None:
+        """Adopt a teacher's strategy (pairwise-comparison learning)."""
+        self.strategy = strategy
+        self.adoptions += 1
+
+    def mutate(self, strategy: Strategy) -> None:
+        """Receive a brand-new strategy from the Nature Agent."""
+        self.strategy = strategy
+        self.mutations += 1
+
+    def games_per_agent(self, n_opponents: int) -> int:
+        """Opponent games each agent handles, ``ceil(s_a)`` (Section IV.A).
+
+        With ``a`` agents and ``s`` opponent strategies, each agent is
+        assigned about ``s / a`` opposing SSets.
+        """
+        return -(-n_opponents // self.n_agents)

@@ -1,0 +1,172 @@
+"""Memory-*n* game-state encoding (paper Section III.E, Tables II and V).
+
+A *state* records the binary decisions of both players over the previous
+``n`` rounds, giving ``4**n`` distinct states.  We pack a state into an
+integer **view**:
+
+* each round contributes two bits, ``(my_move << 1) | opp_move``;
+* the most recent round occupies the **low** two bits;
+* the initial view is ``0`` — an implicit history of mutual cooperation,
+  matching the paper's ``current_view`` zero-initialisation ("The first play
+  of each agent is arbitrarily set to 0").
+
+The paper's kernel locates the current state by *searching* a global state
+list (``find_state``); with this encoding the same lookup is a constant-time
+shift-register update (:func:`advance_view`).  The performance model in
+:mod:`repro.framework.costs` still charges the paper's search cost so that
+Figure 5 is reproduced faithfully.
+
+Display-order note: Table V lists the four memory-one states in Gray-code
+order (00, 01, 11, 10).  That ordering is why WSLS prints as ``0101`` in the
+paper (and in its Figure 2) while its natural binary-order table is ``0110``.
+:data:`MEMORY_ONE_GRAY_ORDER` reproduces the paper's ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "MAX_MEMORY_STEPS",
+    "MEMORY_ONE_GRAY_ORDER",
+    "num_states",
+    "view_mask",
+    "encode_round",
+    "advance_view",
+    "swap_perspective",
+    "swap_perspective_array",
+    "view_to_history",
+    "history_to_view",
+    "StateRow",
+    "state_table",
+]
+
+#: The paper demonstrates memory-one through memory-six; the encoding itself
+#: supports any n with 4**n states, but 6 is the validated/production limit.
+MAX_MEMORY_STEPS: int = 6
+
+#: Paper Table V row order for memory-one states: 00, 01, 11, 10.
+MEMORY_ONE_GRAY_ORDER: tuple[int, ...] = (0, 1, 3, 2)
+
+
+def _check_memory(memory_steps: int) -> None:
+    if not isinstance(memory_steps, (int, np.integer)) or memory_steps < 1:
+        raise ConfigurationError(
+            f"memory_steps must be a positive integer, got {memory_steps!r}"
+        )
+
+
+def num_states(memory_steps: int) -> int:
+    """Number of distinct game states, ``4**n`` (paper: ``2^(2n)``)."""
+    _check_memory(memory_steps)
+    return 4**memory_steps
+
+
+def view_mask(memory_steps: int) -> int:
+    """Bit mask retaining exactly ``n`` rounds of history."""
+    return num_states(memory_steps) - 1
+
+
+def encode_round(my_move: int, opp_move: int) -> int:
+    """Two-bit code of one round from the focal player's perspective."""
+    return (my_move << 1) | opp_move
+
+
+def advance_view(view: int, my_move: int, opp_move: int, memory_steps: int) -> int:
+    """Shift one completed round into the view, dropping the oldest round."""
+    return ((view << 2) | encode_round(my_move, opp_move)) & view_mask(memory_steps)
+
+
+def swap_perspective(view: int, memory_steps: int) -> int:
+    """Return the same history as seen by the opponent.
+
+    Each player's view of a round swaps "my move" and "opponent's move", so
+    the opponent's view exchanges the two bits inside every round pair
+    ("each agent's current view will be the opposite of its opponent").
+    """
+    _check_memory(memory_steps)
+    swapped = 0
+    for k in range(memory_steps):
+        pair = (view >> (2 * k)) & 0b11
+        swapped |= (((pair & 0b01) << 1) | (pair >> 1)) << (2 * k)
+    return swapped
+
+
+def swap_perspective_array(views: np.ndarray, memory_steps: int) -> np.ndarray:
+    """Vectorised :func:`swap_perspective` over an integer array."""
+    _check_memory(memory_steps)
+    views = np.asarray(views)
+    swapped = np.zeros_like(views)
+    for k in range(memory_steps):
+        pair = (views >> (2 * k)) & 0b11
+        swapped |= (((pair & 0b01) << 1) | (pair >> 1)) << (2 * k)
+    return swapped
+
+
+def view_to_history(view: int, memory_steps: int) -> list[tuple[int, int]]:
+    """Decode a view into ``[(my, opp), ...]`` with the most recent round first."""
+    _check_memory(memory_steps)
+    if not 0 <= view < num_states(memory_steps):
+        raise ConfigurationError(
+            f"view {view} out of range for memory-{memory_steps}"
+        )
+    out = []
+    for k in range(memory_steps):
+        pair = (view >> (2 * k)) & 0b11
+        out.append((pair >> 1, pair & 0b01))
+    return out
+
+
+def history_to_view(history: list[tuple[int, int]], memory_steps: int) -> int:
+    """Inverse of :func:`view_to_history` (most recent round first)."""
+    _check_memory(memory_steps)
+    if len(history) != memory_steps:
+        raise ConfigurationError(
+            f"history must have exactly {memory_steps} rounds, got {len(history)}"
+        )
+    view = 0
+    for k, (my, opp) in enumerate(history):
+        if my not in (0, 1) or opp not in (0, 1):
+            raise ConfigurationError(f"moves must be 0 or 1, got {(my, opp)}")
+        view |= encode_round(my, opp) << (2 * k)
+    return view
+
+
+@dataclass(frozen=True)
+class StateRow:
+    """One row of a state table (paper Tables II and V)."""
+
+    state_id: int
+    #: Move history, most recent round first, as ``(my, opp)`` pairs.
+    history: tuple[tuple[int, int], ...]
+
+    def bits(self) -> str:
+        """Paper Table V style bit string (most recent round, ``my opp``)."""
+        return "".join(f"{my}{opp}" for my, opp in self.history)
+
+    def letters(self) -> str:
+        """Paper Table II style letters for the most recent round (``C``/``D``)."""
+        my, opp = self.history[0]
+        return "CD"[my] + "CD"[opp]
+
+
+def state_table(memory_steps: int, order: tuple[int, ...] | None = None) -> list[StateRow]:
+    """Enumerate all states, optionally in a custom display order.
+
+    ``order=MEMORY_ONE_GRAY_ORDER`` with ``memory_steps=1`` reproduces the
+    paper's Table V row ordering.
+    """
+    n = num_states(memory_steps)
+    ids = range(n) if order is None else order
+    if order is not None and sorted(order) != list(range(n)):
+        raise ConfigurationError(
+            f"order must be a permutation of range({n}), got {order!r}"
+        )
+    return [
+        StateRow(state_id=s, history=tuple(view_to_history(s, memory_steps)))
+        for s in ids
+    ]

@@ -1,0 +1,342 @@
+"""Strategies for memory-*n* iterated games (paper Sections III.D–III.E).
+
+A **pure** strategy is a lookup table with one move (0 = C, 1 = D) per game
+state; a **mixed** strategy stores, per state, the probability of playing D.
+States are indexed by the integer view encoding of :mod:`repro.core.states`
+(natural binary order, most recent round in the low bits).
+
+The classic strategies from the paper are provided as factories:
+
+* :func:`all_c`, :func:`all_d` — unconditional play;
+* :func:`tft` — Tit-For-Tat (Section I / III.B);
+* :func:`wsls` — Win-Stay Lose-Shift (Table V; ``0110`` in natural state
+  order, which is the paper's ``0101`` in its Gray-code display order);
+* :func:`grim` — Grim trigger;
+* :func:`tf2t` — Tit-For-Two-Tats (needs memory >= 2);
+* :func:`gtft` — Generous Tit-For-Tat (mixed; paper ref. [14]).
+
+:func:`strategy_space_size` reproduces paper Table IV from the paper's own
+formula (``numStates = 4**n``; ``2**numStates`` pure strategies).  Note the
+paper's printed table deviates from its own formula for n = 4 and n = 5; see
+DESIGN.md section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import StrategyError
+from .states import MEMORY_ONE_GRAY_ORDER, num_states, view_to_history
+
+__all__ = [
+    "Strategy",
+    "strategy_space_size",
+    "enumerate_pure_strategies",
+    "all_memory_one_strategies",
+    "all_c",
+    "all_d",
+    "tft",
+    "wsls",
+    "grim",
+    "tf2t",
+    "gtft",
+    "random_pure",
+    "random_mixed",
+    "CLASSIC_FACTORIES",
+]
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """A memory-*n* strategy table.
+
+    Parameters
+    ----------
+    table:
+        Length ``4**n`` array.  For a pure strategy, entries are moves in
+        ``{0, 1}`` (uint8).  For a mixed strategy, entries are defection
+        probabilities in ``[0, 1]`` (float64).
+    memory_steps:
+        The ``n`` of the memory-*n* model.
+    name:
+        Optional human-readable label (e.g. ``"WSLS"``).
+    """
+
+    table: np.ndarray
+    memory_steps: int
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        n_states = num_states(self.memory_steps)
+        table = np.asarray(self.table)
+        if table.shape != (n_states,):
+            raise StrategyError(
+                f"memory-{self.memory_steps} strategy needs a table of length "
+                f"{n_states}, got shape {table.shape}"
+            )
+        if np.issubdtype(table.dtype, np.integer) or table.dtype == np.bool_:
+            if not np.isin(table, (0, 1)).all():
+                raise StrategyError("pure strategy moves must be 0 (C) or 1 (D)")
+            table = table.astype(np.uint8)
+        elif np.issubdtype(table.dtype, np.floating):
+            if not np.isfinite(table).all():
+                raise StrategyError("mixed strategy probabilities must be finite")
+            if (table < 0).any() or (table > 1).any():
+                raise StrategyError(
+                    "mixed strategy defection probabilities must lie in [0, 1]"
+                )
+            table = table.astype(np.float64)
+        else:
+            raise StrategyError(f"unsupported table dtype {table.dtype}")
+        table = table.copy()
+        table.setflags(write=False)
+        object.__setattr__(self, "table", table)
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def is_pure(self) -> bool:
+        """True when the table holds deterministic moves."""
+        return self.table.dtype == np.uint8
+
+    def key(self) -> bytes:
+        """Stable bytes identity (used by payoff caches and histograms)."""
+        return self.table.tobytes()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Strategy):
+            return NotImplemented
+        return (
+            self.memory_steps == other.memory_steps
+            and self.table.dtype == other.table.dtype
+            and np.array_equal(self.table, other.table)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.memory_steps, self.table.dtype.char, self.key()))
+
+    # -- conversions ------------------------------------------------------
+
+    def move(self, view: int, rng: np.random.Generator | None = None) -> int:
+        """The move prescribed for ``view`` (sampling if mixed)."""
+        if self.is_pure:
+            return int(self.table[view])
+        if rng is None:
+            raise StrategyError("sampling a mixed strategy requires an rng")
+        return int(rng.random() < self.table[view])
+
+    def defect_probabilities(self) -> np.ndarray:
+        """The table as defection probabilities (pure tables are cast)."""
+        return self.table.astype(np.float64)
+
+    def to_mixed(self) -> "Strategy":
+        """Return the equivalent mixed-representation strategy."""
+        return Strategy(self.defect_probabilities(), self.memory_steps, self.name)
+
+    def lift(self, memory_steps: int) -> "Strategy":
+        """Embed into a longer-memory model.
+
+        The lifted strategy conditions only on its original ``n`` most recent
+        rounds: ``lifted[v] = table[v & (4**n - 1)]``.  It plays identically
+        to the original against any opponent.
+        """
+        if memory_steps < self.memory_steps:
+            raise StrategyError(
+                f"cannot lift memory-{self.memory_steps} down to "
+                f"memory-{memory_steps}"
+            )
+        if memory_steps == self.memory_steps:
+            return self
+        mask = num_states(self.memory_steps) - 1
+        views = np.arange(num_states(memory_steps))
+        return Strategy(self.table[views & mask], memory_steps, self.name)
+
+    # -- display ----------------------------------------------------------
+
+    def bits(self, order: tuple[int, ...] | None = None) -> str:
+        """Move string over states, e.g. WSLS -> ``"0110"`` naturally.
+
+        Pass ``order=MEMORY_ONE_GRAY_ORDER`` (memory-one only) to reproduce
+        the paper's Table V / Figure 2 ordering where WSLS reads ``"0101"``.
+        """
+        if not self.is_pure:
+            raise StrategyError("bits() is only defined for pure strategies")
+        table = self.table if order is None else self.table[np.asarray(order)]
+        return "".join(str(int(m)) for m in table)
+
+    def letters(self, order: tuple[int, ...] | None = None) -> str:
+        """Like :meth:`bits` but with C/D letters (paper Table III style)."""
+        return self.bits(order).replace("0", "C").replace("1", "D")
+
+    def describe(self) -> str:
+        """Multi-line per-state description for debugging."""
+        lines = [f"Strategy(memory={self.memory_steps}, name={self.name!r})"]
+        for v in range(num_states(self.memory_steps)):
+            hist = view_to_history(v, self.memory_steps)
+            play = (
+                "CD"[int(self.table[v])]
+                if self.is_pure
+                else f"P(D)={float(self.table[v]):.3f}"
+            )
+            lines.append(f"  state {v:>4} {hist} -> {play}")
+        return "\n".join(lines)
+
+    def responds_to_own_history(self) -> bool:
+        """True if any pair of states differing only in *own* past moves maps
+        to different actions (i.e. the strategy uses its own history, like
+        WSLS, not only the opponent's, like TFT)."""
+        n = self.memory_steps
+        table = self.table
+        for v in range(num_states(n)):
+            for k in range(n):
+                flipped = v ^ (1 << (2 * k + 1))  # flip own move in round k
+                if table[v] != table[flipped]:
+                    return True
+        return False
+
+
+# -- strategy space (Table IV) ---------------------------------------------
+
+
+def strategy_space_size(memory_steps: int) -> int:
+    """Number of pure memory-*n* strategies, ``2**(4**n)`` (paper Table IV).
+
+    n = 1 -> 2**4, n = 2 -> 2**16, n = 3 -> 2**64, n = 6 -> 2**4096.  The
+    paper's printed rows for n = 4 (2**1024) and n = 5 (2**2048) disagree
+    with its own formula (2**256 and 2**1024); we follow the formula.
+    """
+    return 2 ** num_states(memory_steps)
+
+
+def enumerate_pure_strategies(memory_steps: int) -> Iterator[Strategy]:
+    """Yield every pure memory-*n* strategy (feasible for n <= 2).
+
+    The table for strategy ``i`` is the base-2 digits of ``i`` with state 0
+    in the least-significant position.  Memory-one yields the 16 strategies
+    of paper Table III; memory-two yields 65,536; anything larger is refused
+    (memory-three already has 2**64 strategies).
+    """
+    n_states = num_states(memory_steps)
+    if n_states > 16:
+        raise StrategyError(
+            f"enumerating 2**{n_states} strategies is infeasible; "
+            "only memory-one/two can be enumerated"
+        )
+    for i in range(2**n_states):
+        table = np.array([(i >> s) & 1 for s in range(n_states)], dtype=np.uint8)
+        yield Strategy(table, memory_steps)
+
+
+def all_memory_one_strategies() -> list[Strategy]:
+    """The 16 pure memory-one strategies (paper Table III)."""
+    return list(enumerate_pure_strategies(1))
+
+
+# -- classic strategies ------------------------------------------------------
+
+
+def all_c(memory_steps: int = 1) -> Strategy:
+    """Unconditional cooperation (ALLC)."""
+    return Strategy(
+        np.zeros(num_states(memory_steps), dtype=np.uint8), memory_steps, "ALLC"
+    )
+
+
+def all_d(memory_steps: int = 1) -> Strategy:
+    """Unconditional defection (ALLD)."""
+    return Strategy(
+        np.ones(num_states(memory_steps), dtype=np.uint8), memory_steps, "ALLD"
+    )
+
+
+def tft(memory_steps: int = 1) -> Strategy:
+    """Tit-For-Tat: copy the opponent's previous move (paper Section I)."""
+    views = np.arange(num_states(memory_steps))
+    return Strategy((views & 1).astype(np.uint8), memory_steps, "TFT")
+
+
+def wsls(memory_steps: int = 1) -> Strategy:
+    """Win-Stay Lose-Shift (paper Table V).
+
+    Cooperate after mutual outcomes (CC -> was rewarded, DD -> shift back to
+    C), defect after mixed outcomes.  In natural state order the memory-one
+    table is ``[C, D, D, C]``; in the paper's Gray-code display order that is
+    the ``0101`` of Figure 2.
+    """
+    base = Strategy(np.array([0, 1, 1, 0], dtype=np.uint8), 1, "WSLS")
+    return base.lift(memory_steps)
+
+
+def grim(memory_steps: int = 1) -> Strategy:
+    """Grim trigger: cooperate only while the last round was mutual C.
+
+    (With memory limited to n rounds, "grim" can only condition on the most
+    recent round, so this is the memory-truncated grim trigger.)
+    """
+    base = Strategy(np.array([0, 1, 1, 1], dtype=np.uint8), 1, "GRIM")
+    return base.lift(memory_steps)
+
+
+def tf2t(memory_steps: int = 2) -> Strategy:
+    """Tit-For-Two-Tats: defect only after two consecutive opponent defections."""
+    if memory_steps < 2:
+        raise StrategyError("TF2T needs at least two memory steps")
+    views = np.arange(num_states(memory_steps))
+    opp_last = views & 1
+    opp_prev = (views >> 2) & 1
+    return Strategy((opp_last & opp_prev).astype(np.uint8), memory_steps, "TF2T")
+
+
+def gtft(generosity: float = 1.0 / 3.0, memory_steps: int = 1) -> Strategy:
+    """Generous Tit-For-Tat (mixed): forgive a defection with ``generosity``.
+
+    After an opponent cooperation, cooperate; after an opponent defection,
+    defect with probability ``1 - generosity``.
+    """
+    if not 0.0 <= generosity <= 1.0:
+        raise StrategyError(f"generosity must lie in [0, 1], got {generosity}")
+    views = np.arange(num_states(memory_steps))
+    probs = np.where(views & 1, 1.0 - generosity, 0.0)
+    return Strategy(probs.astype(np.float64), memory_steps, "GTFT")
+
+
+def random_pure(
+    rng: np.random.Generator, memory_steps: int, name: str | None = None
+) -> Strategy:
+    """A uniformly random pure strategy (the Nature Agent's ``gen_new_strat``)."""
+    table = rng.integers(0, 2, size=num_states(memory_steps), dtype=np.uint8)
+    return Strategy(table, memory_steps, name)
+
+
+def random_mixed(
+    rng: np.random.Generator, memory_steps: int, name: str | None = None
+) -> Strategy:
+    """A random mixed strategy with iid uniform defection probabilities."""
+    return Strategy(rng.random(num_states(memory_steps)), memory_steps, name)
+
+
+#: Named factories used by classification and the examples.
+CLASSIC_FACTORIES = {
+    "ALLC": all_c,
+    "ALLD": all_d,
+    "TFT": tft,
+    "WSLS": wsls,
+    "GRIM": grim,
+}
+
+
+def paper_table_v_rows() -> list[tuple[int, str, int]]:
+    """Reproduce paper Table V: (state id, state bits, WSLS move).
+
+    Rows follow the paper's Gray-code ordering, which is why the strategy
+    column reads 0, 1, 0, 1.
+    """
+    w = wsls(1)
+    rows = []
+    for display_idx, state in enumerate(MEMORY_ONE_GRAY_ORDER):
+        hist = view_to_history(state, 1)[0]
+        rows.append((display_idx, f"{hist[0]}{hist[1]}", int(w.table[state])))
+    return rows

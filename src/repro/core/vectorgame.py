@@ -1,0 +1,175 @@
+"""Vectorised iterated-game kernels (the "thread-level" inner loop).
+
+The paper parallelises the per-SSet game loop across OpenMP threads; in
+NumPy the analogous optimisation is to advance *all* pairings one round at a
+time with fancy indexing, so the per-round work is a handful of vector ops
+instead of a Python-level loop per game.
+
+Two entry points:
+
+* :func:`play_pairs` — arbitrary (a, b) pairings given as index arrays;
+* :func:`payoff_matrix` — all ordered pairs among K strategies at once,
+  which is exactly the per-generation fitness kernel of the population model
+  (every SSet plays every strategy).
+
+Both are bit-for-bit equal to :func:`repro.core.game.play_game` for pure
+strategies without noise, and distributionally equal otherwise (they are
+validated against the scalar engine in the test suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, StrategyError
+from .payoff import PAPER_PAYOFF, PayoffMatrix
+from .strategy import Strategy
+
+__all__ = ["stack_tables", "play_pairs", "payoff_matrix"]
+
+
+def stack_tables(strategies: list[Strategy]) -> tuple[np.ndarray, int, bool]:
+    """Stack strategy tables into one (K, 4**n) array.
+
+    Returns ``(tables, memory_steps, any_mixed)``.  Pure tables are stacked
+    as uint8; if any strategy is mixed, everything is cast to defection
+    probabilities (float64).
+    """
+    if not strategies:
+        raise StrategyError("need at least one strategy")
+    n = strategies[0].memory_steps
+    if any(s.memory_steps != n for s in strategies):
+        raise StrategyError("all strategies must share memory_steps")
+    any_mixed = any(not s.is_pure for s in strategies)
+    if any_mixed:
+        tables = np.stack([s.defect_probabilities() for s in strategies])
+    else:
+        tables = np.stack([s.table for s in strategies])
+    return tables, n, any_mixed
+
+
+def _moves_from_tables(
+    tables: np.ndarray,
+    idx: np.ndarray,
+    views: np.ndarray,
+    rng: np.random.Generator | None,
+) -> np.ndarray:
+    """Moves for each game given the (possibly mixed) stacked tables."""
+    entry = tables[idx, views]
+    if tables.dtype == np.uint8:
+        return entry
+    if rng is None:
+        raise ConfigurationError("mixed strategies require an rng")
+    return (rng.random(entry.shape) < entry).astype(np.uint8)
+
+
+def _apply_noise(
+    moves: np.ndarray, noise: float, rng: np.random.Generator | None
+) -> np.ndarray:
+    if noise <= 0.0:
+        return moves
+    if rng is None:
+        raise ConfigurationError("noise > 0 requires an rng")
+    flips = (rng.random(moves.shape) < noise).astype(np.uint8)
+    return moves ^ flips
+
+
+def play_pairs(
+    strategies: list[Strategy],
+    a_idx: np.ndarray,
+    b_idx: np.ndarray,
+    rounds: int,
+    payoff: PayoffMatrix = PAPER_PAYOFF,
+    noise: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Play ``len(a_idx)`` independent games simultaneously.
+
+    Returns ``(payoffs_a, payoffs_b)`` — total payoffs per game to the
+    a-side and b-side players.
+    """
+    a_idx = np.asarray(a_idx, dtype=np.intp)
+    b_idx = np.asarray(b_idx, dtype=np.intp)
+    if a_idx.shape != b_idx.shape or a_idx.ndim != 1:
+        raise ConfigurationError("a_idx and b_idx must be equal-length 1-D arrays")
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    tables, n, _ = stack_tables(strategies)
+    mask = (4**n) - 1
+    n_games = a_idx.shape[0]
+
+    views_a = np.zeros(n_games, dtype=np.int64)
+    views_b = np.zeros(n_games, dtype=np.int64)
+    pay_a = np.zeros(n_games, dtype=np.float64)
+    pay_b = np.zeros(n_games, dtype=np.float64)
+    vec = payoff.vector
+
+    for _ in range(rounds):
+        moves_a = _apply_noise(
+            _moves_from_tables(tables, a_idx, views_a, rng), noise, rng
+        )
+        moves_b = _apply_noise(
+            _moves_from_tables(tables, b_idx, views_b, rng), noise, rng
+        )
+        code_a = 2 * moves_a.astype(np.int64) + moves_b
+        code_b = 2 * moves_b.astype(np.int64) + moves_a
+        pay_a += vec[code_a]
+        pay_b += vec[code_b]
+        views_a = ((views_a << 2) | code_a) & mask
+        views_b = ((views_b << 2) | code_b) & mask
+    return pay_a, pay_b
+
+
+def payoff_matrix(
+    strategies: list[Strategy],
+    rounds: int,
+    payoff: PayoffMatrix = PAPER_PAYOFF,
+    noise: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """All-ordered-pairs payoff matrix among K strategies.
+
+    ``out[i, j]`` is the total payoff strategy ``i`` earns as the focal
+    player of a game against strategy ``j``.  For pure noiseless strategies
+    this equals the scalar engine's result exactly and the (i, j)/(j, i)
+    entries describe the same deterministic play; for stochastic games every
+    ordered pair is an independent game instance (the paper's semantics —
+    SSet i's agents and SSet j's agents run separate games).
+
+    Cost is O(K^2 * rounds) vector work; prefer
+    :class:`repro.core.payoff_cache.PayoffCache` when strategies repeat
+    across generations.
+    """
+    tables, n, _ = stack_tables(strategies)
+    k = tables.shape[0]
+    mask = (4**n) - 1
+    row = np.arange(k, dtype=np.intp)[:, None]
+    col = np.arange(k, dtype=np.intp)[None, :]
+    row_b = np.broadcast_to(row, (k, k))
+    col_b = np.broadcast_to(col, (k, k))
+
+    views = np.zeros((k, k), dtype=np.int64)  # row player's view vs column
+    views_opp = np.zeros((k, k), dtype=np.int64)  # column player's view vs row
+    pay = np.zeros((k, k), dtype=np.float64)
+    vec = payoff.vector
+
+    deterministic = tables.dtype == np.uint8 and noise <= 0.0
+    for _ in range(rounds):
+        moves = _apply_noise(
+            _moves_from_tables(tables, row_b, views, rng), noise, rng
+        )
+        if deterministic:
+            # Same game seen from the other side: the transpose.
+            opp_moves = moves.T
+        else:
+            opp_moves = _apply_noise(
+                _moves_from_tables(tables, col_b, views_opp, rng), noise, rng
+            )
+        code = 2 * moves.astype(np.int64) + opp_moves
+        pay += vec[code]
+        views = ((views << 2) | code) & mask
+        if not deterministic:
+            # Track the opponent's view of each independent game instance.
+            code_opp = 2 * opp_moves.astype(np.int64) + moves
+            views_opp = ((views_opp << 2) | code_opp) & mask
+    return pay

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "StrategyError",
+    "DecompositionError",
+    "SimulationError",
+    "CommunicationError",
+    "DeadlockError",
+    "MemoryCapacityError",
+    "CalibrationError",
+    "CheckpointError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid simulation or machine configuration."""
+
+
+class StrategyError(ReproError, ValueError):
+    """Malformed strategy table (wrong length, values out of range, ...)."""
+
+
+class DecompositionError(ReproError, ValueError):
+    """SSet-to-rank / agent-to-thread decomposition is infeasible."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A simulation (serial, parallel, or DES) entered an invalid state."""
+
+
+class CommunicationError(SimulationError):
+    """Mis-matched message passing inside the MPI simulator."""
+
+
+class DeadlockError(CommunicationError):
+    """The MPI simulator detected that no rank can make progress."""
+
+
+class MemoryCapacityError(ReproError, RuntimeError):
+    """The requested configuration does not fit in the modelled machine memory."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """Performance-model calibration failed or produced non-physical constants."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """Checkpoint file is missing fields or is incompatible with this version."""

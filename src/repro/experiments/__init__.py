@@ -1,0 +1,32 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Usage::
+
+    from repro.experiments import get, all_experiments, Scale
+    print(get("table6").run(Scale.SMOKE))
+
+Registered experiments: table1..table5 (model-definition tables), fig2
+(validation), fig3 (optimisation levels), fig4 + table6 (strong scaling /
+R sweep), fig5 (memory steps), fig6a/fig6b (large-scale weak/strong
+scaling), claim-mem6 (memory-capacity limit).  The benchmarks in
+``benchmarks/`` execute these runners and assert the paper's shapes.
+"""
+
+from .registry import Experiment, ExperimentResult, Scale, all_experiments, get
+
+# Importing the modules registers the experiments.
+from . import large_scale  # noqa: E402,F401
+from . import memory_limit  # noqa: E402,F401
+from . import memory_steps  # noqa: E402,F401
+from . import optimization  # noqa: E402,F401
+from . import strong_scaling  # noqa: E402,F401
+from . import tables_static  # noqa: E402,F401
+from . import validation  # noqa: E402,F401
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "Scale",
+    "all_experiments",
+    "get",
+]

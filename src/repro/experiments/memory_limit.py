@@ -1,0 +1,59 @@
+"""The memory-capacity claim — "memory-six is the highest-level strategy
+that can be modeled on current supercomputing platforms due to memory
+restrictions" (paper abstract / Section V).
+
+Regenerated from the machine memory model: with the paper's 32,768-strategy
+working set, a Blue Gene/P virtual-node-mode rank (512 MB) fits memory-six
+strategy tables (128 MB) but not memory-seven (512 MB + overheads); BG/Q at
+32 ranks/node has the same 512 MB/rank budget.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import format_table
+from ..machine.bluegene import BLUEGENE_P, BLUEGENE_Q
+from ..machine.memory import estimate_footprint, max_memory_steps
+from .registry import ExperimentResult, Scale, register
+
+__all__ = ["claim_memory_limit"]
+
+PAPER_STRATEGY_WORKING_SET = 32_768
+
+
+@register(
+    "claim-mem6",
+    "Memory-six is the largest model that fits",
+    "Abstract / Section V",
+)
+def claim_memory_limit(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Evaluate the per-rank footprint per memory step on both machines."""
+    rows = []
+    for n in range(1, 8):
+        fp = estimate_footprint(
+            n, PAPER_STRATEGY_WORKING_SET, ssets_per_rank=4096
+        )
+        rows.append(
+            [
+                n,
+                f"{fp.strategy_store / 1024**2:,.0f} MB",
+                f"{fp.total / 1024**2:,.0f} MB",
+                "yes" if fp.total <= BLUEGENE_P.memory_per_rank_bytes() else "NO",
+            ]
+        )
+    rendered = format_table(
+        ["memory steps", "strategy store", "total/rank", "fits 512 MB rank"],
+        rows,
+        title=f"{PAPER_STRATEGY_WORKING_SET:,} strategies, BG/P VN mode",
+    )
+    limits = {
+        "BG/P": max_memory_steps(BLUEGENE_P, PAPER_STRATEGY_WORKING_SET),
+        "BG/Q": max_memory_steps(BLUEGENE_Q, PAPER_STRATEGY_WORKING_SET),
+    }
+    rendered += f"\nmax memory steps: BG/P = {limits['BG/P']}, BG/Q = {limits['BG/Q']}"
+    return ExperimentResult(
+        experiment_id="claim-mem6",
+        title="Memory-capacity limit",
+        rendered=rendered,
+        data={"limits": limits},
+        paper_expectation="memory-six is the limit on both platforms",
+    )

@@ -1,0 +1,99 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Each experiment is a callable taking a :class:`Scale` and returning an
+:class:`ExperimentResult` whose ``rendered`` text reproduces the paper's
+rows/series and whose ``data`` holds the raw numbers for programmatic
+checks (the benchmarks assert on ``data``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import ConfigurationError
+
+__all__ = ["Scale", "ExperimentResult", "Experiment", "register", "get", "all_experiments"]
+
+
+class Scale(enum.Enum):
+    """How much compute an experiment run may spend.
+
+    SMOKE — seconds (benchmarks, CI); FULL — minutes (closer to paper
+    parameters, for EXPERIMENTS.md regeneration).
+    """
+
+    SMOKE = "smoke"
+    FULL = "full"
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    #: Text reproduction of the paper's table/figure series.
+    rendered: str
+    #: Raw numbers for assertions.
+    data: dict[str, Any] = field(default_factory=dict)
+    #: What the paper reports, for side-by-side comparison.
+    paper_expectation: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        parts = [f"== {self.experiment_id}: {self.title} ==", self.rendered]
+        if self.paper_expectation:
+            parts.append(f"[paper: {self.paper_expectation}]")
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered table/figure reproduction."""
+
+    experiment_id: str
+    title: str
+    paper_ref: str
+    runner: Callable[[Scale], ExperimentResult]
+
+    def run(self, scale: Scale = Scale.SMOKE) -> ExperimentResult:
+        return self.runner(scale)
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(
+    experiment_id: str, title: str, paper_ref: str
+) -> Callable[[Callable[[Scale], ExperimentResult]], Callable[[Scale], ExperimentResult]]:
+    """Decorator registering an experiment runner under ``experiment_id``."""
+
+    def wrap(runner: Callable[[Scale], ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ConfigurationError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = Experiment(
+            experiment_id=experiment_id,
+            title=title,
+            paper_ref=paper_ref,
+            runner=runner,
+        )
+        return runner
+
+    return wrap
+
+
+def get(experiment_id: str) -> Experiment:
+    """Look up a registered experiment."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def all_experiments() -> list[Experiment]:
+    """All registered experiments, by id."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]

@@ -1,0 +1,91 @@
+"""Figure 4 and Table VI — small-scale strong scaling on Blue Gene/Q.
+
+Figure 4 sweeps 16..2048 processors for populations of 1024..32768 SSets:
+curves stay near 100 % while each processor holds at least ~2 SSets and
+collapse once R = SSets/processor drops below ~1 (whole-SSet assignment
+leaves ranks idle).  Table VI condenses the same data into efficiency as a
+function of R: 50 % at R = 0.5, 55 % at R = 1, >= 99.7 % from R = 2.
+
+Both come from the calibrated analytic model (validated against the DES in
+``tests/perfmodel``); rank counts are P workers + 1 Nature Agent.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import format_table
+from ..core.config import EvolutionConfig
+from ..framework.config import ParallelConfig
+from ..machine.bluegene import BLUEGENE_Q
+from ..perfmodel.scaling import ratio_sweep, strong_scaling
+from .registry import ExperimentResult, Scale, register
+
+__all__ = ["fig4", "table6"]
+
+#: Paper Fig. 4 population sizes.
+FIG4_SSET_COUNTS = [1024, 2048, 4096, 8192, 16384, 32768]
+#: Paper Fig. 4 processor axis (powers of two, 16..2048).
+FIG4_PROCESSORS = [16, 32, 64, 128, 256, 512, 1024, 2048]
+
+
+def _base_config(n_ssets: int) -> EvolutionConfig:
+    return EvolutionConfig(
+        memory_steps=1, n_ssets=n_ssets, generations=20, rounds=200, seed=4
+    )
+
+
+@register("fig4", "Strong scaling vs population size", "Figure 4")
+def fig4(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Efficiency curves per SSet count over the Fig. 4 processor axis."""
+    sset_counts = (
+        FIG4_SSET_COUNTS if scale is Scale.FULL else FIG4_SSET_COUNTS[:4]
+    )
+    processors = FIG4_PROCESSORS
+    parallel = ParallelConfig(machine=BLUEGENE_Q, executable=False)
+    curves = {}
+    for n_ssets in sset_counts:
+        curve = strong_scaling(
+            _base_config(n_ssets),
+            parallel,
+            [p + 1 for p in processors],  # + Nature Agent
+            label=f"{n_ssets} SSets",
+        )
+        curves[n_ssets] = curve.efficiencies_percent()
+    rows = []
+    for i, p in enumerate(processors):
+        rows.append([p] + [round(curves[s][i], 1) for s in sset_counts])
+    rendered = format_table(
+        ["procs"] + [f"{s} SSets" for s in sset_counts],
+        rows,
+        title="Parallel efficiency (%) vs processors",
+    )
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Strong scaling as the number of SSets is increased",
+        rendered=rendered,
+        data={"processors": processors, "curves": curves},
+        paper_expectation=(
+            "small populations collapse at high processor counts "
+            "(R < 1 -> ~50%), 32768 SSets stays ~100% through 2048 procs"
+        ),
+    )
+
+
+@register("table6", "Efficiency vs SSets per processor", "Table VI")
+def table6(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Efficiency as a function of R = SSets/processor."""
+    ratios = [0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+    n_workers = 1024 if scale is Scale.FULL else 256
+    parallel = ParallelConfig(machine=BLUEGENE_Q, executable=False)
+    rows = ratio_sweep(_base_config(2048), parallel, ratios, n_workers=n_workers)
+    rendered = format_table(
+        ["R"] + [str(r) for r, _ in rows],
+        [["P.E. (%)"] + [round(e, 1) for _, e in rows]],
+        title="SSets per processor vs parallel efficiency",
+    )
+    return ExperimentResult(
+        experiment_id="table6",
+        title="SSet-per-processor ratio vs efficiency",
+        rendered=rendered,
+        data={"efficiency_by_ratio": {r: e for r, e in rows}},
+        paper_expectation="50, 55, 99.7, 99.7, 99.9, 99.9, 99.9, 100, 100",
+    )

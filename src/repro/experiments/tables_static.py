@@ -1,0 +1,135 @@
+"""Tables I–V: the paper's model-definition tables, regenerated from code.
+
+These are "static" in the sense that they follow from the model definition
+rather than from simulation — regenerating them validates that our
+encodings match the paper's.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import format_table
+from ..core.payoff import PAPER_PAYOFF
+from ..core.states import MEMORY_ONE_GRAY_ORDER, state_table
+from ..core.strategy import (
+    all_memory_one_strategies,
+    paper_table_v_rows,
+    strategy_space_size,
+    wsls,
+)
+from .registry import ExperimentResult, Scale, register
+
+__all__ = ["table1", "table2", "table3", "table4", "table5"]
+
+
+@register("table1", "The Prisoner's Dilemma payoff matrix", "Table I")
+def table1(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Regenerate Table I from the payoff model."""
+    t = PAPER_PAYOFF.as_table()
+    rows = [
+        ["C", f"{t[0][0][0]:.0f},{t[0][0][1]:.0f}", f"{t[0][1][0]:.0f},{t[0][1][1]:.0f}"],
+        ["D", f"{t[1][0][0]:.0f},{t[1][0][1]:.0f}", f"{t[1][1][0]:.0f},{t[1][1][1]:.0f}"],
+    ]
+    return ExperimentResult(
+        experiment_id="table1",
+        title="PD payoff matrix, f[R,S,T,P] = [3,0,4,1]",
+        rendered=format_table(["Agent", "Opp C", "Opp D"], rows),
+        data={
+            "R": PAPER_PAYOFF.reward,
+            "S": PAPER_PAYOFF.sucker,
+            "T": PAPER_PAYOFF.temptation,
+            "P": PAPER_PAYOFF.punishment,
+            "dilemma_ordering": PAPER_PAYOFF.temptation
+            > PAPER_PAYOFF.reward
+            > PAPER_PAYOFF.punishment
+            > PAPER_PAYOFF.sucker,
+        },
+        paper_expectation="R=3 S=0 T=4 P=1 with T > R > P > S",
+    )
+
+
+@register("table2", "Potential game states for memory-one", "Table II")
+def table2(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Regenerate Table II: the four memory-one states."""
+    rows = [
+        [row.state_id + 1, row.letters()[0], row.letters()[1]]
+        for row in state_table(1)
+    ]
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Memory-one game states",
+        rendered=format_table(["State", "Agent", "Opponent"], rows),
+        data={"states": [row.letters() for row in state_table(1)]},
+        paper_expectation="four states: CC, CD, DC, DD",
+    )
+
+
+@register("table3", "All potential memory-one strategies", "Table III")
+def table3(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Regenerate Table III: the 16 memory-one strategies."""
+    strategies = all_memory_one_strategies()
+    rows = [
+        [i + 1] + list(s.letters())
+        for i, s in enumerate(strategies)
+    ]
+    return ExperimentResult(
+        experiment_id="table3",
+        title="All 16 pure memory-one strategies",
+        rendered=format_table(
+            ["Strategy", "State1", "State2", "State3", "State4"], rows
+        ),
+        data={
+            "count": len(strategies),
+            "distinct": len({s.key() for s in strategies}),
+        },
+        paper_expectation="16 distinct strategies over 4 states",
+    )
+
+
+@register("table4", "Number of pure strategies vs memory steps", "Table IV")
+def table4(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Regenerate Table IV from the paper's own formula.
+
+    Note: the paper's printed rows for memory-4 (2^1024) and memory-5
+    (2^2048) contradict its formula (numStates = 4^n, strategies =
+    2^numStates gives 2^256 and 2^1024); we print the formula's values and
+    flag the difference.
+    """
+    rows = []
+    for n in range(1, 7):
+        size = strategy_space_size(n)
+        rows.append([n, f"2^{size.bit_length() - 1}"])
+    rendered = format_table(["Memory Steps", "Number of Strategies"], rows)
+    rendered += (
+        "\nnote: paper prints 2^1024 / 2^2048 for n=4/5, inconsistent with "
+        "its own numStates = 4^n formula (see DESIGN.md section 3)."
+    )
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Strategy-space size per memory step",
+        rendered=rendered,
+        data={
+            "exponents": {n: strategy_space_size(n).bit_length() - 1 for n in range(1, 7)},
+            "memory_six_matches_paper": strategy_space_size(6) == 2**4096,
+        },
+        paper_expectation="2^4, 2^16, 2^64, (2^1024), (2^2048), 2^4096",
+    )
+
+
+@register("table5", "WSLS state table", "Table V")
+def table5(scale: Scale = Scale.SMOKE) -> ExperimentResult:
+    """Regenerate Table V (the paper's Gray-code row order)."""
+    rows = [
+        [state_id, bits, move] for state_id, bits, move in paper_table_v_rows()
+    ]
+    rendered = format_table(["State", "Current State", "Strategy"], rows)
+    return ExperimentResult(
+        experiment_id="table5",
+        title="WSLS states for memory-one",
+        rendered=rendered,
+        data={
+            "moves_in_paper_order": [m for _, _, m in paper_table_v_rows()],
+            "wsls_bits_paper_order": wsls(1).bits(MEMORY_ONE_GRAY_ORDER),
+            "wsls_bits_natural": wsls(1).bits(),
+        },
+        paper_expectation="strategy column 0,1,0,1 over states 00,01,11,10",
+    )

@@ -1,0 +1,32 @@
+"""The paper's parallel framework on the simulated Blue Gene substrate.
+
+Maps an :class:`~repro.core.EvolutionConfig` onto a machine model: SSets to
+MPI ranks (whole blocks or split groups), agents to threads, Nature Agent on
+rank 0; runs the real algorithm through the DES (executable mode) or the
+pure message/cost schedule (cost-only mode).
+"""
+
+from .config import ParallelConfig
+from .costs import DECISION_BYTES, FITNESS_BYTES, CostModel
+from .decomposition import Decomposition, SSetBlock
+from .driver import MAX_DES_RANKS, ParallelResult, run_parallel_simulation
+from .optimizations import OptimizationEffects, OptimizationLevel, effects_for
+from .programs import GenDecision, nature_program, worker_program
+
+__all__ = [
+    "ParallelConfig",
+    "CostModel",
+    "DECISION_BYTES",
+    "FITNESS_BYTES",
+    "Decomposition",
+    "SSetBlock",
+    "MAX_DES_RANKS",
+    "ParallelResult",
+    "run_parallel_simulation",
+    "OptimizationEffects",
+    "OptimizationLevel",
+    "effects_for",
+    "GenDecision",
+    "nature_program",
+    "worker_program",
+]

@@ -1,0 +1,90 @@
+"""Configuration of a parallel (simulated Blue Gene) run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..core.config import EvolutionConfig
+from ..errors import ConfigurationError
+from ..machine.bluegene import BLUEGENE_Q, MachineSpec
+from .optimizations import OptimizationLevel
+
+__all__ = ["ParallelConfig"]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How an :class:`~repro.core.EvolutionConfig` maps onto a machine.
+
+    Parameters
+    ----------
+    machine:
+        Machine model (constants for network + kernel costs).
+    n_ranks:
+        Total MPI ranks, *including* the Nature Agent on rank 0
+        (paper: "one processor is assigned as the Nature Agent and all
+        other processors are assigned to SSets").
+    ranks_per_node:
+        Process placement (defaults to the machine's paper setup).
+    threads_per_rank:
+        OpenMP threads per rank (the hybrid model; paper: 2 on BG/Q).
+    split_ssets:
+        When SSets are fewer than worker ranks: ``False`` leaves ranks idle
+        (whole-SSet assignment, the Fig. 4 / Table VI regime); ``True``
+        splits an SSet's opponent games across a rank group with a partial-
+        fitness reduction (the Fig. 6b regime).
+    optimization:
+        Code optimisation level (Figure 3).
+    opponents_per_sset:
+        Number of opponent strategies each SSet plays per generation;
+        ``None`` means all SSets (the paper's default reading).  Weak
+        scaling holds this fixed (DESIGN.md section 6).
+    executable:
+        ``True`` runs the real science through the DES (small scale);
+        ``False`` runs cost-only programs (timing studies).
+    """
+
+    machine: MachineSpec = field(default_factory=lambda: BLUEGENE_Q)
+    n_ranks: int = 8
+    ranks_per_node: int | None = None
+    threads_per_rank: int = 1
+    split_ssets: bool = False
+    optimization: OptimizationLevel = OptimizationLevel.INTRINSICS
+    opponents_per_sset: int | None = None
+    executable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 2:
+            raise ConfigurationError(
+                "need at least 2 ranks (Nature Agent + 1 worker), got "
+                f"{self.n_ranks}"
+            )
+        if self.threads_per_rank < 1:
+            raise ConfigurationError(
+                f"threads_per_rank must be >= 1, got {self.threads_per_rank}"
+            )
+        if self.ranks_per_node is not None and self.ranks_per_node < 1:
+            raise ConfigurationError(
+                f"ranks_per_node must be >= 1, got {self.ranks_per_node}"
+            )
+        if self.opponents_per_sset is not None and self.opponents_per_sset < 1:
+            raise ConfigurationError(
+                "opponents_per_sset must be >= 1 or None, got "
+                f"{self.opponents_per_sset}"
+            )
+
+    @property
+    def n_workers(self) -> int:
+        """Worker ranks (everything but the Nature Agent)."""
+        return self.n_ranks - 1
+
+    def effective_opponents(self, evolution: EvolutionConfig) -> int:
+        """Opponent games per SSet per generation."""
+        if self.opponents_per_sset is None:
+            return evolution.n_ssets
+        return min(self.opponents_per_sset, evolution.n_ssets)
+
+    def with_updates(self, **changes: Any) -> "ParallelConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,167 @@
+"""SSet-to-rank decomposition (the paper's multi-level parallel scheme).
+
+Rank 0 is the Nature Agent; worker ranks 1..P-1 hold SSets.  Two regimes:
+
+* **Whole-SSet assignment** (``split_ssets=False``): SSets are distributed
+  in contiguous blocks, ``ceil`` sized; when there are fewer SSets than
+  workers the excess workers idle.  This is the regime of the paper's
+  Figure 4 / Table VI study, where parallel efficiency collapses to
+  ``R/ceil(R)`` below one SSet per processor.
+
+* **Split-SSet assignment** (``split_ssets=True``): when ``S < workers``
+  each SSet's *opponent games* are divided across a contiguous rank group;
+  group members compute partial fitness and the group leader reduces the
+  partials before answering the Nature Agent.  This is the Fig. 6b regime
+  ("SSets are being split at suboptimal levels"), costing a calibrated
+  duplicated-work overhead per extra group member.
+
+The mapping is computable from ``(rank, sizes)`` alone — the paper notes
+each node derives its assignments locally from rank data, avoiding any
+assignment broadcast; we keep that property (pure functions, no state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DecompositionError
+
+__all__ = ["SSetBlock", "Decomposition"]
+
+
+@dataclass(frozen=True)
+class SSetBlock:
+    """What one worker rank works on."""
+
+    #: SSet ids this rank computes games for.
+    sset_ids: tuple[int, ...]
+    #: For split mode: this rank's share index within the SSet's group.
+    split_index: int = 0
+    #: For split mode: number of ranks sharing each of this rank's SSets.
+    split_group_size: int = 1
+
+    @property
+    def is_split(self) -> bool:
+        return self.split_group_size > 1
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """SSets onto worker ranks (Nature Agent = rank 0 holds none)."""
+
+    n_ssets: int
+    n_workers: int
+    split_ssets: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_ssets < 1:
+            raise DecompositionError(f"n_ssets must be >= 1, got {self.n_ssets}")
+        if self.n_workers < 1:
+            raise DecompositionError(
+                f"n_workers must be >= 1, got {self.n_workers}"
+            )
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def ratio(self) -> float:
+        """R — SSets per worker (the paper's Table VI knob)."""
+        return self.n_ssets / self.n_workers
+
+    @property
+    def split_active(self) -> bool:
+        """Whether split mode actually engages (S < workers and enabled)."""
+        return self.split_ssets and self.n_ssets < self.n_workers
+
+    @property
+    def group_size(self) -> int:
+        """Ranks per SSet when splitting (1 otherwise)."""
+        if not self.split_active:
+            return 1
+        return self.n_workers // self.n_ssets
+
+    # -- whole-SSet block mapping -----------------------------------------------
+
+    def _block_bounds(self, worker: int) -> tuple[int, int]:
+        """Contiguous [lo, hi) SSet range of a worker (balanced blocks)."""
+        s, w = self.n_ssets, self.n_workers
+        base, extra = divmod(s, w)
+        if worker < extra:
+            lo = worker * (base + 1)
+            return lo, lo + base + 1
+        lo = extra * (base + 1) + (worker - extra) * base
+        return lo, lo + base
+
+    # -- public mapping -------------------------------------------------------------
+
+    def block_for_worker(self, worker: int) -> SSetBlock:
+        """The assignment of worker ``worker`` (0-based worker index)."""
+        if not 0 <= worker < self.n_workers:
+            raise DecompositionError(
+                f"worker {worker} out of range 0..{self.n_workers - 1}"
+            )
+        if self.split_active:
+            g = self.group_size
+            sset = worker // g
+            if sset >= self.n_ssets:
+                # Workers beyond S*g idle (remainder when W % S != 0).
+                return SSetBlock(sset_ids=())
+            return SSetBlock(
+                sset_ids=(sset,),
+                split_index=worker % g,
+                split_group_size=g,
+            )
+        lo, hi = self._block_bounds(worker)
+        return SSetBlock(sset_ids=tuple(range(lo, hi)))
+
+    def owner_of(self, sset_id: int) -> int:
+        """Worker index owning (or leading the group of) ``sset_id``."""
+        if not 0 <= sset_id < self.n_ssets:
+            raise DecompositionError(f"sset {sset_id} out of range")
+        if self.split_active:
+            return sset_id * self.group_size
+        s, w = self.n_ssets, self.n_workers
+        base, extra = divmod(s, w)
+        boundary = extra * (base + 1)
+        if sset_id < boundary:
+            return sset_id // (base + 1)
+        if base == 0:
+            raise DecompositionError(
+                f"sset {sset_id} unassigned: more workers than SSets without "
+                "split mode leaves no owner past the boundary"
+            )
+        return extra + (sset_id - boundary) // base
+
+    def group_members(self, sset_id: int) -> tuple[int, ...]:
+        """Worker indices collaborating on ``sset_id`` (leader first)."""
+        if not self.split_active:
+            return (self.owner_of(sset_id),)
+        g = self.group_size
+        lead = sset_id * g
+        return tuple(range(lead, lead + g))
+
+    def opponents_share(self, n_opponents: int, split_index: int) -> int:
+        """Opponent games handled by one member of a split group."""
+        g = self.group_size
+        base, extra = divmod(n_opponents, g)
+        return base + (1 if split_index < extra else 0)
+
+    def max_ssets_per_worker(self) -> int:
+        """The load of the most loaded worker (whole mode: ceil(S/W))."""
+        if self.split_active:
+            return 1
+        return -(-self.n_ssets // self.n_workers)
+
+    def validate_cover(self) -> None:
+        """Check every SSet is assigned exactly once (debug/test helper)."""
+        seen: dict[int, int] = {}
+        for w in range(self.n_workers):
+            block = self.block_for_worker(w)
+            for s in block.sset_ids:
+                if block.split_index == 0:
+                    seen[s] = seen.get(s, 0) + 1
+        missing = [s for s in range(self.n_ssets) if seen.get(s, 0) != 1]
+        if missing:
+            raise DecompositionError(
+                f"SSets not covered exactly once: {missing[:10]} ..."
+            )

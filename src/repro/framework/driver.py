@@ -1,0 +1,144 @@
+"""Run the paper's parallel algorithm on the simulated machine.
+
+:func:`run_parallel_simulation` builds the decomposition, network model,
+Nature/worker programs, and executes them in the DES, returning both the
+science (executable mode) and the timing report that the scaling
+experiments consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import EvolutionConfig
+from ..core.evolution import EventRecord
+from ..core.nature import NatureAgent
+from ..core.payoff_cache import PayoffCache
+from ..core.population import Population
+from ..core.strategy import Strategy
+from ..errors import ConfigurationError
+from ..machine.bluegene import network_for
+from ..mpisim.simulator import SimulationReport, Simulator
+from ..rng import SeedSequenceTree
+from .config import ParallelConfig
+from .costs import CostModel
+from .decomposition import Decomposition
+from .programs import nature_program, worker_program
+
+__all__ = ["ParallelResult", "run_parallel_simulation", "MAX_DES_RANKS"]
+
+#: Guard rail: DES runs beyond this rank count take minutes; the analytic
+#: model (:mod:`repro.perfmodel`) is the intended tool at larger scales.
+MAX_DES_RANKS: int = 4097
+
+
+@dataclass
+class ParallelResult:
+    """Science + timing output of one simulated parallel run."""
+
+    evolution: EvolutionConfig
+    parallel: ParallelConfig
+    decomposition: Decomposition
+    report: SimulationReport
+    #: Population-dynamics events, in order (executable mode: real science).
+    events: list[EventRecord] = field(default_factory=list)
+    #: Final strategy assignment (executable mode; from the Nature Agent).
+    final_strategies: list[Strategy] = field(default_factory=list)
+    #: Final per-worker strategy views (executable mode; for convergence checks).
+    worker_views: dict[int, list[Strategy]] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Virtual wallclock of the run."""
+        return self.report.makespan
+
+    @property
+    def compute_seconds(self) -> float:
+        """Aggregate game/bookkeeping computation (excludes exposed sync)."""
+        by_label = self.report.compute_by_label()
+        return sum(v for k, v in by_label.items() if k != "exposed-sync")
+
+    @property
+    def comm_seconds(self) -> float:
+        """Aggregate communication: network waits plus exposed sync."""
+        return self.report.total_comm + self.report.compute_by_label().get(
+            "exposed-sync", 0.0
+        )
+
+    def final_population(self) -> Population:
+        """Final population built from the Nature Agent's record."""
+        if not self.final_strategies:
+            raise ConfigurationError(
+                "no final strategies: this was a cost-only run"
+            )
+        return Population.from_strategies(
+            self.final_strategies, self.evolution.agents_per_sset
+        )
+
+
+def run_parallel_simulation(
+    evolution: EvolutionConfig, parallel: ParallelConfig
+) -> ParallelResult:
+    """Execute the paper's algorithm on the simulated machine.
+
+    Executable mode (default) carries real strategies and fitness, so the
+    result's events match :func:`repro.core.evolution.run_serial` for the
+    same seed (deterministic configurations).  Cost-only mode replays the
+    identical message schedule with dummy fitness for timing studies.
+    """
+    if parallel.n_ranks > MAX_DES_RANKS:
+        raise ConfigurationError(
+            f"DES runs are limited to {MAX_DES_RANKS} ranks "
+            f"(got {parallel.n_ranks}); use repro.perfmodel for larger scales"
+        )
+    if parallel.executable and evolution.is_stochastic:
+        raise ConfigurationError(
+            "executable DES runs support deterministic configurations only "
+            "(pure strategies, no noise); use cost-only mode or the serial "
+            "drivers for stochastic science"
+        )
+
+    decomposition = Decomposition(
+        n_ssets=evolution.n_ssets,
+        n_workers=parallel.n_workers,
+        split_ssets=parallel.split_ssets,
+    )
+    costs = CostModel(spec=parallel.machine, evolution=evolution, parallel=parallel)
+    tree = SeedSequenceTree(evolution.seed)
+    nature = NatureAgent(evolution, tree)
+    initial = Population.random(evolution, tree.generator("init")).strategies()
+
+    events: list[EventRecord] = []
+    worker_views: dict[int, list[Strategy]] = {}
+    cache = (
+        PayoffCache(rounds=evolution.rounds, payoff=evolution.payoff)
+        if parallel.executable
+        else None
+    )
+
+    # The Nature Agent keeps its own copy of the assignment so we can read
+    # the final record after the run.
+    nature_strategies = list(initial)
+    programs = [
+        nature_program(nature, nature_strategies, costs, decomposition, events)
+    ]
+    for worker in range(parallel.n_workers):
+        programs.append(
+            worker_program(worker, costs, decomposition, cache, worker_views)
+        )
+
+    network = network_for(
+        parallel.machine, parallel.n_ranks, parallel.ranks_per_node
+    )
+    simulator = Simulator(parallel.n_ranks, network, trace_events=False)
+    report = simulator.run(programs)
+
+    return ParallelResult(
+        evolution=evolution,
+        parallel=parallel,
+        decomposition=decomposition,
+        report=report,
+        events=events,
+        final_strategies=nature_strategies if parallel.executable else [],
+        worker_views=worker_views,
+    )

@@ -1,0 +1,69 @@
+"""Optimisation levels of the paper's code (Figure 3).
+
+The paper tunes its implementation in three steps on top of the original
+code (Section VI.B.1):
+
+1. **ORIGINAL** — blocking fitness returns, unoptimised compiler output.
+2. **NONBLOCKING** ("Comm") — non-blocking point-to-point fitness returns
+   that can overlap with the remaining SSets' game play ("This change only
+   reduces the average communication time by a small factor as the bulk of
+   the communication is spent in global broadcasts").
+3. **COMPILER** — compiler optimisation of the game kernel (the big win).
+4. **INTRINSICS** ("Instruction") — hand-coded fused multiply-add in the
+   fitness calculation ("the fitness calculation was hand-coded to use the
+   built-in fpadd instruction").
+
+The machine specs' calibrated kernel constants describe the fully tuned
+kernel (INTRINSICS); earlier levels multiply the kernel time *up* and the
+ORIGINAL level additionally loses the communication/computation overlap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["OptimizationLevel", "OptimizationEffects", "effects_for"]
+
+
+class OptimizationLevel(enum.Enum):
+    """The four bars of the paper's Figure 3, in order."""
+
+    ORIGINAL = "original"
+    NONBLOCKING = "nonblocking"
+    COMPILER = "compiler"
+    INTRINSICS = "intrinsics"
+
+    @property
+    def order(self) -> int:
+        """Position in the optimisation sequence (0 = original)."""
+        return list(OptimizationLevel).index(self)
+
+
+@dataclass(frozen=True)
+class OptimizationEffects:
+    """How a level changes the cost model."""
+
+    #: Multiplier on the per-round game kernel time, relative to the fully
+    #: tuned kernel (the INTRINSICS level, whose constants are calibrated
+    #: in :mod:`repro.machine.bluegene`).
+    compute_factor: float
+    #: Whether fitness returns are non-blocking (overlap-capable).
+    nonblocking: bool
+
+
+_EFFECTS = {
+    # ~2.1x: unoptimised compiler + no fmad (Fig. 3's ~4600 s bar).
+    OptimizationLevel.ORIGINAL: OptimizationEffects(2.1, nonblocking=False),
+    # Same kernel, overlapped fitness returns (the small Fig. 3 step).
+    OptimizationLevel.NONBLOCKING: OptimizationEffects(2.1, nonblocking=True),
+    # Compiler-optimised kernel (the big Fig. 3 step).
+    OptimizationLevel.COMPILER: OptimizationEffects(1.15, nonblocking=True),
+    # Hand-coded fpadd fitness accumulation (the final ~15 %).
+    OptimizationLevel.INTRINSICS: OptimizationEffects(1.0, nonblocking=True),
+}
+
+
+def effects_for(level: OptimizationLevel) -> OptimizationEffects:
+    """Cost-model effects of an optimisation level."""
+    return _EFFECTS[level]

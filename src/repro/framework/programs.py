@@ -1,0 +1,255 @@
+"""Rank programs: the paper's algorithm expressed as DES coroutines.
+
+These generators mirror the pseudocode of paper Sections IV.D/IV.E and the
+hybrid implementation of Section V:
+
+* :func:`nature_program` (rank 0) — draws each generation's events from the
+  shared :class:`~repro.core.nature.NatureAgent` streams, broadcasts the
+  decisions over the collective network, receives the selected SSets'
+  fitness via point-to-point messages, applies the Fermi rule, and
+  broadcasts strategy updates.
+* :func:`worker_program` (ranks 1..P-1) — plays the local SSets' games
+  (charged through the shared :class:`~repro.framework.costs.CostModel`),
+  returns fitness when its SSet is selected (non-blocking at the
+  NONBLOCKING+ optimisation levels), and applies broadcast updates to its
+  local strategy view ("All nodes need to maintain an up to date view of
+  the strategies assigned to all other SSets").
+
+In **executable** mode the payloads are real strategies and fitness values,
+so a simulated parallel run follows the exact trajectory of the serial
+driver (pinned by tests).  In **cost-only** mode the same message schedule
+runs with dummy fitness (timing studies at rank counts where carrying
+science data would be wasteful).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..core.config import EvolutionConfig
+from ..core.evolution import EventRecord
+from ..core.nature import NatureAgent
+from ..core.payoff_cache import PayoffCache
+from ..core.strategy import Strategy
+from ..mpisim.ops import Bcast, Compute, Isend, Op, Recv
+from .costs import DECISION_BYTES, FITNESS_BYTES, CostModel
+from .decomposition import Decomposition
+
+__all__ = [
+    "TAG_TEACHER",
+    "TAG_LEARNER",
+    "TAG_PARTIAL",
+    "GenDecision",
+    "nature_program",
+    "worker_program",
+]
+
+TAG_TEACHER = 11
+TAG_LEARNER = 12
+TAG_PARTIAL = 13
+
+
+@dataclass(frozen=True)
+class GenDecision:
+    """Per-generation decisions broadcast by the Nature Agent."""
+
+    #: (teacher_sset, learner_sset) or None when no PC event fires.
+    pc: tuple[int, int] | None
+    mutation: bool
+
+
+def _fitness_of(
+    sset_id: int,
+    strategies: list[Strategy],
+    cache: PayoffCache,
+    include_self_play: bool,
+) -> float:
+    """Fitness of one SSet against the full strategy view (paper IV.D)."""
+    me = strategies[sset_id]
+    total = 0.0
+    for j, other in enumerate(strategies):
+        if j == sset_id and not include_self_play:
+            continue
+        total += cache.payoff_to(me, other)
+    return total
+
+
+def nature_program(
+    nature: NatureAgent,
+    initial_strategies: list[Strategy],
+    costs: CostModel,
+    decomposition: Decomposition,
+    events_out: list[EventRecord],
+) -> Iterator[Op]:
+    """The Nature Agent (rank 0): master of population dynamics."""
+    evolution = costs.evolution
+    # Mutated in place: the caller keeps the reference to read the final
+    # record after the run (the Nature Agent is the records keeper).
+    strategies = initial_strategies
+    strat_bytes = costs.strategy_bytes()
+
+    # Initial setup phase: broadcast the master seed + globals; every rank
+    # derives its initial strategies locally from rank data (Section V), so
+    # the wire size is constant.  In-process we carry the derived strategy
+    # list as the payload for the executable mode's convenience.
+    yield Bcast(root=0, nbytes=64, payload=tuple(strategies))
+
+    for generation in range(evolution.generations):
+        events = nature.generation_events()
+        pc_decision = (
+            nature.pc_selection(len(strategies)) if events.pc else None
+        )
+        decision = GenDecision(
+            pc=(pc_decision.teacher, pc_decision.learner) if pc_decision else None,
+            mutation=events.mutation,
+        )
+        yield Bcast(root=0, nbytes=DECISION_BYTES, payload=decision)
+
+        if pc_decision is not None:
+            teacher_worker = decomposition.owner_of(pc_decision.teacher)
+            learner_worker = decomposition.owner_of(pc_decision.learner)
+            fit_t = yield Recv(source=1 + teacher_worker, tag=TAG_TEACHER)
+            fit_l = yield Recv(source=1 + learner_worker, tag=TAG_LEARNER)
+            yield Compute(costs.nature_event_time(), label="nature")
+            adopted = nature.decide_learning(pc_decision, fit_t, fit_l)
+            update: tuple[int, Strategy] | None = None
+            if adopted:
+                update = (pc_decision.learner, strategies[pc_decision.teacher])
+            yield Bcast(root=0, nbytes=strat_bytes + 8, payload=update)
+            if update is not None:
+                strategies[update[0]] = update[1]
+            events_out.append(
+                EventRecord(
+                    generation=generation,
+                    kind="pc",
+                    source=pc_decision.teacher,
+                    target=pc_decision.learner,
+                    applied=adopted,
+                    teacher_fitness=fit_t,
+                    learner_fitness=fit_l,
+                )
+            )
+
+        if events.mutation:
+            mutation = nature.mutation_selection(len(strategies))
+            yield Bcast(
+                root=0,
+                nbytes=strat_bytes + 8,
+                payload=(mutation.target, mutation.strategy),
+            )
+            strategies[mutation.target] = mutation.strategy
+            events_out.append(
+                EventRecord(
+                    generation=generation,
+                    kind="mutation",
+                    source=mutation.target,
+                    target=mutation.target,
+                    applied=True,
+                )
+            )
+
+
+def worker_program(
+    worker: int,
+    costs: CostModel,
+    decomposition: Decomposition,
+    cache: PayoffCache | None,
+    final_views: dict[int, list[Strategy]] | None = None,
+) -> Iterator[Op]:
+    """A worker rank: local game play + population-update participation.
+
+    Parameters
+    ----------
+    worker:
+        Worker index (rank = worker + 1).
+    cache:
+        Shared payoff cache in executable mode; ``None`` selects cost-only
+        mode (dummy fitness, same message schedule).
+    final_views:
+        When given, the worker deposits its final strategy view here
+        (used by tests to check every rank converged to the same view).
+    """
+    evolution = costs.evolution
+    parallel = costs.parallel
+    block = decomposition.block_for_worker(worker)
+    strat_bytes = costs.strategy_bytes()
+    executable = cache is not None
+
+    # Per-generation game time for this rank's share of the population.
+    if block.is_split:
+        game_time = costs.split_rank_game_time(decomposition) if block.sset_ids else 0.0
+        exposure = 0.0  # split mode charges duplication overhead instead
+    else:
+        game_time = costs.rank_game_time(len(block.sset_ids))
+        exposure = (
+            costs.exposed_sync(len(block.sset_ids))
+            if decomposition.ratio >= 1.0 and block.sset_ids
+            else 0.0
+        )
+
+    # Initial strategy assignment from the Nature Agent (the size is taken
+    # from the root's matching Bcast).
+    strategies: list[Strategy] = []
+    initial = yield Bcast(root=0, nbytes=0)
+    if executable:
+        strategies = list(initial)
+
+    for _generation in range(evolution.generations):
+        decision: GenDecision = yield Bcast(root=0, nbytes=DECISION_BYTES)
+
+        if game_time > 0.0:
+            yield Compute(game_time, label="games")
+
+        if decision.pc is not None:
+            teacher, learner = decision.pc
+            for sset_id, tag in ((teacher, TAG_TEACHER), (learner, TAG_LEARNER)):
+                members = decomposition.group_members(sset_id)
+                my_positions = [
+                    i for i, m in enumerate(members) if m == worker
+                ]
+                if not my_positions:
+                    continue
+                if executable:
+                    fitness = _fitness_of(
+                        sset_id, strategies, cache, evolution.include_self_play
+                    )
+                    if block.is_split:
+                        # Each member computed a share; model the value as
+                        # the leader's reduction of exact partials.
+                        fitness_share = fitness / len(members)
+                    else:
+                        fitness_share = fitness
+                else:
+                    fitness = 0.0
+                    fitness_share = 0.0
+                if len(members) == 1:
+                    yield Isend(dest=0, tag=tag, nbytes=FITNESS_BYTES, payload=fitness)
+                elif worker == members[0]:
+                    # Group leader: gather partials, reduce, answer Nature.
+                    total = fitness_share
+                    for _ in members[1:]:
+                        part = yield Recv(source=-1, tag=TAG_PARTIAL)
+                        total += part
+                    yield Isend(dest=0, tag=tag, nbytes=FITNESS_BYTES, payload=total)
+                else:
+                    yield Isend(
+                        dest=1 + members[0],
+                        tag=TAG_PARTIAL,
+                        nbytes=FITNESS_BYTES,
+                        payload=fitness_share,
+                    )
+            update = yield Bcast(root=0, nbytes=strat_bytes + 8)
+            if executable and update is not None:
+                strategies[update[0]] = update[1]
+
+        if decision.mutation:
+            mutated = yield Bcast(root=0, nbytes=strat_bytes + 8)
+            if executable and mutated is not None:
+                strategies[mutated[0]] = mutated[1]
+
+        if exposure > 0.0:
+            yield Compute(exposure, label="exposed-sync")
+
+    if final_views is not None and executable:
+        final_views[worker] = strategies

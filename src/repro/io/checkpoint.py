@@ -1,0 +1,63 @@
+"""Population checkpointing (save / restore evolved populations)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.population import Population
+from ..core.strategy import Strategy
+from ..errors import CheckpointError
+
+__all__ = ["save_population", "load_population"]
+
+_FORMAT_VERSION = 1
+
+
+def save_population(population: Population, path: str | Path) -> None:
+    """Save a population's strategies and SSet metadata to ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    matrix = population.strategy_matrix()
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        memory_steps=np.int64(population.memory_steps),
+        strategy_matrix=matrix,
+        n_agents=np.array([s.n_agents for s in population.ssets], dtype=np.int64),
+        is_pure=np.bool_(matrix.dtype == np.uint8),
+    )
+
+
+def load_population(path: str | Path) -> Population:
+    """Restore a population saved by :func:`save_population`."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    try:
+        data = np.load(path)
+    except Exception as err:  # zipfile/format errors
+        raise CheckpointError(f"unreadable checkpoint {path}: {err}") from err
+    required = {"version", "memory_steps", "strategy_matrix", "n_agents"}
+    missing = required - set(data.files)
+    if missing:
+        raise CheckpointError(f"checkpoint {path} missing fields: {sorted(missing)}")
+    version = int(data["version"])
+    if version != _FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {version}, expected {_FORMAT_VERSION}"
+        )
+    memory_steps = int(data["memory_steps"])
+    matrix = data["strategy_matrix"]
+    n_agents = data["n_agents"]
+    if matrix.shape[0] != n_agents.shape[0]:
+        raise CheckpointError(
+            f"checkpoint {path} inconsistent: {matrix.shape[0]} strategies vs "
+            f"{n_agents.shape[0]} SSet records"
+        )
+    strategies = [Strategy(row, memory_steps) for row in matrix]
+    population = Population.from_strategies(strategies)
+    for sset, agents in zip(population.ssets, n_agents):
+        sset.n_agents = int(agents)
+    return population

@@ -1,0 +1,103 @@
+"""Generation recording — the Nature Agent's file I/O.
+
+The paper's Nature Agent "handles all file I/O to record the global
+variables across generations".  :class:`GenerationRecorder` writes one JSON
+line per population-dynamics event plus periodic summary records, so long
+runs can be monitored and post-processed without keeping everything in
+memory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+from ..core.evolution import EventRecord, EvolutionResult
+from ..errors import CheckpointError
+
+__all__ = ["GenerationRecorder", "read_records"]
+
+
+class GenerationRecorder:
+    """Append-only JSONL writer for evolution events and summaries."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+
+    def __enter__(self) -> "GenerationRecorder":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def _write(self, record: dict) -> None:
+        if self._fh is None:
+            raise CheckpointError(
+                "recorder is not open; use it as a context manager"
+            )
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def record_event(self, event: EventRecord) -> None:
+        """Write one learning/mutation event."""
+        self._write(
+            {
+                "type": "event",
+                "generation": event.generation,
+                "kind": event.kind,
+                "source": event.source,
+                "target": event.target,
+                "applied": event.applied,
+                "teacher_fitness": event.teacher_fitness,
+                "learner_fitness": event.learner_fitness,
+            }
+        )
+
+    def record_summary(
+        self, generation: int, dominant_bits: str, dominant_share: float
+    ) -> None:
+        """Write a periodic population summary."""
+        self._write(
+            {
+                "type": "summary",
+                "generation": generation,
+                "dominant": dominant_bits,
+                "share": dominant_share,
+            }
+        )
+
+    def record_result(self, result: EvolutionResult) -> None:
+        """Write a full run: all events plus the final summary."""
+        for event in result.events:
+            self.record_event(event)
+        strategy, share = result.dominant()
+        self.record_summary(
+            result.generations_run,
+            strategy.bits() if strategy.is_pure else "<mixed>",
+            share,
+        )
+
+
+def read_records(path: str | Path) -> list[dict]:
+    """Read back a recorder file."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no record file at {path}")
+    out = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                raise CheckpointError(
+                    f"corrupt record at {path}:{line_no}: {err}"
+                ) from err
+    return out

@@ -1,0 +1,33 @@
+"""Machine models: Blue Gene/P, Blue Gene/Q, generic clusters.
+
+Provides torus topologies, network-model construction for the MPI
+simulator, calibrated kernel constants, and the memory-capacity model that
+reproduces the paper's "memory-six is the limit" claim.
+"""
+
+from .bluegene import (
+    BLUEGENE_P,
+    BLUEGENE_Q,
+    GENERIC_CLUSTER,
+    MachineSpec,
+    network_for,
+)
+from .memory import (
+    MemoryFootprint,
+    estimate_footprint,
+    max_memory_steps,
+)
+from .topology import TorusTopology, balanced_dims
+
+__all__ = [
+    "BLUEGENE_P",
+    "BLUEGENE_Q",
+    "GENERIC_CLUSTER",
+    "MachineSpec",
+    "network_for",
+    "MemoryFootprint",
+    "estimate_footprint",
+    "max_memory_steps",
+    "TorusTopology",
+    "balanced_dims",
+]

@@ -1,0 +1,204 @@
+"""Machine specifications: Blue Gene/P, Blue Gene/Q, and generic clusters.
+
+These models carry the constants the cost model and the network model need:
+node/core organisation, memory capacity, torus dimensionality and link
+parameters, collective-network parameters, and the **calibrated kernel
+constants** for the paper's game-play inner loop.
+
+Kernel-constant calibration (see DESIGN.md sections 2–3 and EXPERIMENTS.md):
+the paper's agent kernel identifies the current game state by searching the
+state list, so the per-round cost grows with memory steps.  We model
+
+    t_round(n) = t_round_fixed + t_state_coeff * n**2
+
+(binary search over ``4**n`` states comparing 2n-bit keys ~ n^2).  The two
+constants per machine are fitted to the paper's absolute runtimes:
+
+* Figure 5 (BG/P, 2048 SSets / 2048 procs / 20 gens): memory-six total
+  ~220 s -> t_round(6) ~ 27 us; memory-one ~10 s -> t_round(1) ~ 1.3 us.
+* Figure 3 (BG/Q, 4096 SSets / 256 procs / 100 gens, memory-one): tuned
+  runtime ~2300 s -> t_round(1) ~ 1.76 us.
+
+``sync_fraction`` is the empirical non-overlapped communication penalty per
+generation, expressed as a fraction of one SSet's game time; it reproduces
+the paper's Table VI knee (~55 % efficiency at one SSet per processor,
+>99 % at two).  ``split_overhead`` is the duplicated-work fraction per extra
+rank sharing one SSet (split decomposition), calibrated to Fig. 6b's 82 %
+at half an SSet per processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..mpisim.network import NetworkModel
+from .topology import TorusTopology
+
+__all__ = ["MachineSpec", "BLUEGENE_P", "BLUEGENE_Q", "GENERIC_CLUSTER", "network_for"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Constants describing one machine model."""
+
+    name: str
+    cores_per_node: int
+    threads_per_core: int
+    clock_ghz: float
+    memory_per_node_bytes: int
+    torus_dims: int
+    #: Default MPI ranks per node used by the paper on this machine.
+    default_ranks_per_node: int
+    # network constants
+    alpha_p2p: float
+    beta_p2p: float
+    hop_latency: float
+    alpha_coll: float
+    beta_coll: float
+    overhead: float
+    # calibrated game-kernel constants (seconds)
+    t_round_fixed: float
+    t_state_coeff: float
+    #: Per-SSet loop overhead per generation (seconds).
+    t_sset_overhead: float
+    #: Nature Agent bookkeeping per event (seconds).
+    t_nature_event: float
+    #: Fraction of one SSet's game time exposed as un-overlapped sync when a
+    #: rank holds a single SSet (Table VI calibration).
+    sync_fraction: float
+    #: Duplicated-work fraction per extra rank sharing a split SSet
+    #: (Fig. 6b calibration).
+    split_overhead: float
+    #: Thread-parallel region fork/join overhead (seconds).
+    thread_fork_overhead: float
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node < 1 or self.default_ranks_per_node < 1:
+            raise ConfigurationError(f"invalid core counts in {self.name}")
+        if self.memory_per_node_bytes <= 0:
+            raise ConfigurationError(f"invalid memory size in {self.name}")
+
+    @property
+    def max_threads_per_node(self) -> int:
+        return self.cores_per_node * self.threads_per_core
+
+    def memory_per_rank_bytes(self, ranks_per_node: int | None = None) -> int:
+        """Memory available to one MPI rank."""
+        rpn = ranks_per_node or self.default_ranks_per_node
+        if rpn < 1:
+            raise ConfigurationError(f"ranks_per_node must be >= 1, got {rpn}")
+        return self.memory_per_node_bytes // rpn
+
+    def nodes_for_ranks(self, n_ranks: int, ranks_per_node: int | None = None) -> int:
+        """Nodes needed for ``n_ranks`` MPI ranks."""
+        rpn = ranks_per_node or self.default_ranks_per_node
+        return -(-n_ranks // rpn)
+
+    def t_round(self, memory_steps: int) -> float:
+        """Calibrated per-round game cost on one core (paper kernel)."""
+        return self.t_round_fixed + self.t_state_coeff * memory_steps**2
+
+
+#: Blue Gene/P: 4 x PPC450 850 MHz per node, 2 GB/node, 3-D torus
+#: (425 MB/s/link), tree collective network.  The paper ran flat MPI in
+#: virtual-node mode: 4 ranks/node, 512 MB per rank.
+BLUEGENE_P = MachineSpec(
+    name="BlueGene/P",
+    cores_per_node=4,
+    threads_per_core=1,
+    clock_ghz=0.85,
+    memory_per_node_bytes=2 * 1024**3,
+    torus_dims=3,
+    default_ranks_per_node=4,
+    alpha_p2p=2.7e-6,
+    beta_p2p=1.0 / 375e6,
+    hop_latency=100e-9,
+    alpha_coll=2.5e-6,
+    beta_coll=1.0 / 700e6,
+    overhead=6e-7,
+    t_round_fixed=0.60e-6,
+    t_state_coeff=0.73e-6,
+    t_sset_overhead=2.0e-6,
+    t_nature_event=5.0e-6,
+    sync_fraction=0.80,
+    split_overhead=0.22,
+    thread_fork_overhead=0.0,  # paper used flat MPI (virtual-node mode) on BG/P
+)
+
+#: Blue Gene/Q: 16 x A2 1.6 GHz per node (4 hw threads/core), 16 GB/node,
+#: 5-D torus (2 GB/s/link).  The paper's best setup: 32 ranks/node with
+#: 2 threads per rank.
+BLUEGENE_Q = MachineSpec(
+    name="BlueGene/Q",
+    cores_per_node=16,
+    threads_per_core=4,
+    clock_ghz=1.6,
+    memory_per_node_bytes=16 * 1024**3,
+    torus_dims=5,
+    default_ranks_per_node=32,
+    alpha_p2p=2.2e-6,
+    beta_p2p=1.0 / 1.8e9,
+    hop_latency=40e-9,
+    alpha_coll=1.8e-6,
+    beta_coll=1.0 / 1.5e9,
+    overhead=4e-7,
+    t_round_fixed=0.80e-6,
+    t_state_coeff=0.96e-6,
+    t_sset_overhead=1.5e-6,
+    t_nature_event=4.0e-6,
+    sync_fraction=0.80,
+    split_overhead=0.22,
+    thread_fork_overhead=3.0e-6,
+)
+
+#: A generic commodity cluster for exploratory runs.
+GENERIC_CLUSTER = MachineSpec(
+    name="generic-cluster",
+    cores_per_node=32,
+    threads_per_core=2,
+    clock_ghz=2.5,
+    memory_per_node_bytes=128 * 1024**3,
+    torus_dims=3,
+    default_ranks_per_node=32,
+    alpha_p2p=1.5e-6,
+    beta_p2p=1.0 / 10e9,
+    hop_latency=200e-9,
+    alpha_coll=3.0e-6,
+    beta_coll=1.0 / 5e9,
+    overhead=3e-7,
+    t_round_fixed=0.30e-6,
+    t_state_coeff=0.35e-6,
+    t_sset_overhead=1.0e-6,
+    t_nature_event=2.0e-6,
+    sync_fraction=0.80,
+    split_overhead=0.22,
+    thread_fork_overhead=2.0e-6,
+)
+
+
+def network_for(
+    spec: MachineSpec, n_ranks: int, ranks_per_node: int | None = None
+) -> NetworkModel:
+    """Build the simulator network model for ``n_ranks`` on ``spec``.
+
+    Ranks are packed onto nodes in blocks; hop distances come from the
+    machine's torus over the node count.
+    """
+    rpn = ranks_per_node or spec.default_ranks_per_node
+    n_nodes = spec.nodes_for_ranks(n_ranks, rpn)
+    torus = TorusTopology.for_nodes(n_nodes, spec.torus_dims)
+
+    def hops(src: int, dst: int) -> int:
+        return torus.hop_distance(src // rpn, dst // rpn)
+
+    return NetworkModel(
+        n_ranks=n_ranks,
+        alpha_p2p=spec.alpha_p2p,
+        beta_p2p=spec.beta_p2p,
+        hop_latency=spec.hop_latency,
+        hops=hops,
+        alpha_coll=spec.alpha_coll,
+        beta_coll=spec.beta_coll,
+        overhead=spec.overhead,
+    )

@@ -1,0 +1,104 @@
+"""Memory-footprint model (the paper's "memory-six is the limit" claim).
+
+Per the paper's Section V, each rank stores a local view of the strategy
+space: one table per strategy *currently present* (the Nature Agent is the
+record keeper; agents keep "only strategies currently held by other SSets").
+A memory-*n* pure strategy table is ``4**n`` bytes (one move per state), so
+a rank's dominant footprint is
+
+    n_strategies * 4**n  +  per-SSet bookkeeping  +  communication buffers.
+
+On Blue Gene/P in virtual-node mode each rank has 512 MB.  With the paper's
+32,768-strategy working set: memory-six needs 32768 * 4096 B = 128 MB
+(fits), while memory-seven would need 512 MB for the tables alone plus
+runtime overheads (does not fit) — "memory-six is the highest-level strategy
+that can be modeled on current supercomputing platforms due to memory
+restrictions".  ``benchmarks/test_claim_memory_limit.py`` regenerates the
+claim from this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.states import num_states
+from ..errors import MemoryCapacityError
+from .bluegene import MachineSpec
+
+__all__ = ["MemoryFootprint", "estimate_footprint", "max_memory_steps"]
+
+#: Fixed per-rank runtime overhead (code, stacks, MPI buffers), bytes.
+RUNTIME_OVERHEAD_BYTES: int = 64 * 1024**2
+#: Per-SSet bookkeeping (fitness accumulators, ids, current views), bytes.
+PER_SSET_BYTES: int = 64
+#: Communication buffer per strategy-size message (send + recv staging).
+COMM_BUFFER_FACTOR: int = 4
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Estimated bytes used by one rank."""
+
+    strategy_store: int
+    sset_bookkeeping: int
+    comm_buffers: int
+    runtime_overhead: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.strategy_store
+            + self.sset_bookkeeping
+            + self.comm_buffers
+            + self.runtime_overhead
+        )
+
+
+def estimate_footprint(
+    memory_steps: int,
+    n_strategies: int,
+    ssets_per_rank: int,
+    mixed_strategies: bool = False,
+) -> MemoryFootprint:
+    """Estimate one rank's memory footprint.
+
+    ``n_strategies`` is the strategy working-set size (distinct strategies
+    kept in the local view); mixed strategies store 8-byte probabilities
+    instead of 1-byte moves.
+    """
+    bytes_per_state = 8 if mixed_strategies else 1
+    table_bytes = num_states(memory_steps) * bytes_per_state
+    return MemoryFootprint(
+        strategy_store=n_strategies * table_bytes,
+        sset_bookkeeping=max(0, ssets_per_rank) * PER_SSET_BYTES,
+        comm_buffers=COMM_BUFFER_FACTOR * table_bytes,
+        runtime_overhead=RUNTIME_OVERHEAD_BYTES,
+    )
+
+
+def max_memory_steps(
+    spec: MachineSpec,
+    n_strategies: int,
+    ssets_per_rank: int = 4096,
+    ranks_per_node: int | None = None,
+    mixed_strategies: bool = False,
+    hard_limit: int = 12,
+) -> int:
+    """Largest memory-*n* that fits in one rank's memory on ``spec``.
+
+    Raises :class:`MemoryCapacityError` when even memory-one does not fit.
+    """
+    budget = spec.memory_per_rank_bytes(ranks_per_node)
+    best = 0
+    for n in range(1, hard_limit + 1):
+        fp = estimate_footprint(n, n_strategies, ssets_per_rank, mixed_strategies)
+        if fp.total <= budget:
+            best = n
+        else:
+            break
+    if best == 0:
+        raise MemoryCapacityError(
+            f"memory-one already exceeds {spec.name}'s per-rank budget "
+            f"({budget} bytes) with {n_strategies} strategies"
+        )
+    return best

@@ -1,0 +1,99 @@
+"""Torus topologies (Blue Gene/P: 3-D torus; Blue Gene/Q: 5-D torus).
+
+Point-to-point messages on Blue Gene travel over a k-ary n-dimensional torus
+with wrap-around links; the hop count between two nodes is the sum of the
+per-dimension wrap distances.  The paper routes fitness returns over the
+torus and collectives over the dedicated tree network (Section V.B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["TorusTopology", "balanced_dims"]
+
+
+def balanced_dims(n_nodes: int, n_dims: int) -> tuple[int, ...]:
+    """Factor ``n_nodes`` into ``n_dims`` near-equal torus dimensions.
+
+    Greedy: repeatedly assign the largest remaining prime-ish factor to the
+    currently smallest dimension.  Produces exact factorizations for the
+    powers of two used by Blue Gene partitions.
+    """
+    if n_nodes < 1:
+        raise ConfigurationError(f"n_nodes must be >= 1, got {n_nodes}")
+    if n_dims < 1:
+        raise ConfigurationError(f"n_dims must be >= 1, got {n_dims}")
+    dims = [1] * n_dims
+    remaining = n_nodes
+    factor = 2
+    factors: list[int] = []
+    while remaining > 1:
+        while remaining % factor == 0:
+            factors.append(factor)
+            remaining //= factor
+        factor += 1
+        if factor * factor > remaining and remaining > 1:
+            factors.append(remaining)
+            break
+    for f in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= f
+    return tuple(sorted(dims, reverse=True))
+
+
+@dataclass(frozen=True)
+class TorusTopology:
+    """A k-ary n-D torus over ``prod(dims)`` nodes, ranks in row-major order."""
+
+    dims: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims or any(d < 1 for d in self.dims):
+            raise ConfigurationError(f"invalid torus dims {self.dims}")
+
+    @classmethod
+    def for_nodes(cls, n_nodes: int, n_dims: int) -> "TorusTopology":
+        """Build a balanced torus for ``n_nodes``."""
+        return cls(balanced_dims(n_nodes, n_dims))
+
+    @property
+    def n_nodes(self) -> int:
+        return math.prod(self.dims)
+
+    def coordinates(self, node: int) -> tuple[int, ...]:
+        """Row-major coordinates of a node."""
+        if not 0 <= node < self.n_nodes:
+            raise ConfigurationError(
+                f"node {node} out of range for torus of {self.n_nodes}"
+            )
+        coords = []
+        for dim in reversed(self.dims):
+            coords.append(node % dim)
+            node //= dim
+        return tuple(reversed(coords))
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Minimal hops between two nodes (per-dimension wrap distance)."""
+        ca, cb = self.coordinates(a), self.coordinates(b)
+        total = 0
+        for x, y, dim in zip(ca, cb, self.dims):
+            d = abs(x - y)
+            total += min(d, dim - d)
+        return total
+
+    @property
+    def max_hops(self) -> int:
+        """Network diameter."""
+        return sum(d // 2 for d in self.dims)
+
+    @property
+    def average_hops(self) -> float:
+        """Mean hop distance between two uniformly random nodes.
+
+        Per dimension of size k the mean wrap distance is
+        ``(k**2 // 4) / k`` (exact for both parities); dimensions add.
+        """
+        return sum((d * d // 4) / d for d in self.dims)

@@ -1,0 +1,50 @@
+"""Discrete-event MPI simulator.
+
+Rank programs are Python generators yielding :mod:`~repro.mpisim.ops`
+operations; the :class:`~repro.mpisim.simulator.Simulator` executes them in
+virtual time against a :class:`~repro.mpisim.network.NetworkModel`.  This is
+the substitute substrate for the paper's Blue Gene MPI runs (see DESIGN.md
+section 2): small-scale runs execute the *real* algorithm with real data,
+while virtual time comes from the machine model.
+"""
+
+from .network import NetworkModel, P2PCost, UniformNetwork
+from .ops import (
+    ANY_SOURCE,
+    Allreduce,
+    Barrier,
+    Bcast,
+    Compute,
+    Gather,
+    Irecv,
+    Isend,
+    Op,
+    Recv,
+    Reduce,
+    Send,
+    Wait,
+)
+from .simulator import RankTrace, Request, SimulationReport, Simulator
+
+__all__ = [
+    "ANY_SOURCE",
+    "Allreduce",
+    "Barrier",
+    "Bcast",
+    "Compute",
+    "Gather",
+    "Irecv",
+    "Isend",
+    "Op",
+    "Recv",
+    "Reduce",
+    "Send",
+    "Wait",
+    "NetworkModel",
+    "P2PCost",
+    "UniformNetwork",
+    "RankTrace",
+    "Request",
+    "SimulationReport",
+    "Simulator",
+]

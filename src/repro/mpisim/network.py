@@ -1,0 +1,141 @@
+"""Network cost models for the MPI simulator.
+
+The simulator asks a :class:`NetworkModel` how long each communication
+operation takes in virtual time.  Point-to-point messages follow a
+LogGP-style model over the machine's torus (latency + per-hop delay +
+bandwidth term); collectives follow a tree model over the machine's
+collective network (Blue Gene has a dedicated hardware tree for
+broadcast/reduce, paper Section V.B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ConfigurationError
+
+__all__ = ["P2PCost", "NetworkModel", "UniformNetwork"]
+
+
+@dataclass(frozen=True)
+class P2PCost:
+    """Cost decomposition of one point-to-point message."""
+
+    #: CPU time the sender spends injecting the message.
+    send_overhead: float
+    #: Delay until the message is available at the receiver (network time).
+    transit: float
+    #: CPU time the receiver spends extracting the message.
+    recv_overhead: float
+
+
+class NetworkModel:
+    """Parameterised network cost model.
+
+    Parameters
+    ----------
+    n_ranks:
+        Communicator size.
+    alpha_p2p:
+        Base point-to-point latency (seconds).
+    beta_p2p:
+        Point-to-point inverse bandwidth (seconds per byte).
+    hop_latency:
+        Additional latency per torus hop.
+    hops:
+        ``hops(src, dst)`` -> hop count; ``None`` means a flat network.
+    alpha_coll:
+        Per-tree-level latency of the collective network.
+    beta_coll:
+        Collective inverse bandwidth (seconds per byte).
+    overhead:
+        CPU injection/extraction overhead per message endpoint.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        alpha_p2p: float = 2e-6,
+        beta_p2p: float = 1.0 / 375e6,
+        hop_latency: float = 50e-9,
+        hops: Callable[[int, int], int] | None = None,
+        alpha_coll: float = 2e-6,
+        beta_coll: float = 1.0 / 700e6,
+        overhead: float = 5e-7,
+    ):
+        if n_ranks < 1:
+            raise ConfigurationError(f"n_ranks must be >= 1, got {n_ranks}")
+        for name, v in (
+            ("alpha_p2p", alpha_p2p),
+            ("beta_p2p", beta_p2p),
+            ("hop_latency", hop_latency),
+            ("alpha_coll", alpha_coll),
+            ("beta_coll", beta_coll),
+            ("overhead", overhead),
+        ):
+            if v < 0:
+                raise ConfigurationError(f"{name} must be >= 0, got {v}")
+        self.n_ranks = n_ranks
+        self.alpha_p2p = alpha_p2p
+        self.beta_p2p = beta_p2p
+        self.hop_latency = hop_latency
+        self.hops = hops
+        self.alpha_coll = alpha_coll
+        self.beta_coll = beta_coll
+        self.overhead = overhead
+
+    # -- point-to-point -----------------------------------------------------
+
+    def p2p(self, src: int, dst: int, nbytes: int) -> P2PCost:
+        """Cost of one point-to-point message."""
+        if src == dst:
+            return P2PCost(self.overhead, 0.0, self.overhead)
+        hops = self.hops(src, dst) if self.hops is not None else 1
+        transit = self.alpha_p2p + hops * self.hop_latency + nbytes * self.beta_p2p
+        return P2PCost(self.overhead, transit, self.overhead)
+
+    # -- collectives ------------------------------------------------------------
+
+    def _tree_depth(self) -> int:
+        return max(1, math.ceil(math.log2(max(2, self.n_ranks))))
+
+    def bcast(self, nbytes: int) -> float:
+        """One broadcast over the collective network (tree pipeline)."""
+        return self.alpha_coll * self._tree_depth() + nbytes * self.beta_coll
+
+    def reduce(self, nbytes: int) -> float:
+        """Tree reduction has the broadcast's cost structure."""
+        return self.bcast(nbytes)
+
+    def allreduce(self, nbytes: int) -> float:
+        """Reduce followed by broadcast on the tree network."""
+        return 2.0 * self.bcast(nbytes)
+
+    def gather(self, nbytes: int) -> float:
+        """Gather serialises payloads through the root's link."""
+        return (
+            self.alpha_coll * self._tree_depth()
+            + nbytes * max(1, self.n_ranks - 1) * self.beta_coll
+        )
+
+    def barrier(self) -> float:
+        """Barrier = zero-byte allreduce."""
+        return self.allreduce(0)
+
+
+class UniformNetwork(NetworkModel):
+    """Flat network with a single latency/bandwidth (useful in tests)."""
+
+    def __init__(self, n_ranks: int, latency: float = 1e-6, bandwidth: float = 1e9):
+        super().__init__(
+            n_ranks,
+            alpha_p2p=latency,
+            beta_p2p=1.0 / bandwidth,
+            hop_latency=0.0,
+            hops=None,
+            alpha_coll=latency,
+            beta_coll=1.0 / bandwidth,
+            overhead=0.0,
+        )

@@ -1,0 +1,143 @@
+"""Operations a rank program can yield to the discrete-event simulator.
+
+A rank program is a Python generator.  It *yields* one of these operation
+objects and is resumed with the operation's result:
+
+* :class:`Compute` — advance the rank's local clock (result ``None``);
+* :class:`Send` / :class:`Isend` — eager message transmission;
+* :class:`Recv` / :class:`Irecv` — matched by ``(source, tag)``;
+* :class:`Wait` — complete a non-blocking request;
+* :class:`Bcast`, :class:`Gather`, :class:`Reduce`, :class:`Barrier`,
+  :class:`Allreduce` — collectives: every rank in the communicator must
+  yield the matching collective in the same order (MPI semantics).
+
+Message *sizes* are explicit (bytes) because the virtual time cost comes
+from the machine's network model; *payloads* are real Python objects so
+executable-mode programs carry real science data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "ANY_SOURCE",
+    "Op",
+    "Compute",
+    "Send",
+    "Isend",
+    "Recv",
+    "Irecv",
+    "Wait",
+    "Bcast",
+    "Gather",
+    "Reduce",
+    "Allreduce",
+    "Barrier",
+]
+
+#: Wildcard source for Recv/Irecv (like MPI_ANY_SOURCE).
+ANY_SOURCE: int = -1
+
+
+class Op:
+    """Base class for simulator operations."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Compute(Op):
+    """Spend ``seconds`` of local computation time.
+
+    ``label`` feeds the tracing breakdown (e.g. ``"games"``, ``"fermi"``).
+    """
+
+    seconds: float
+    label: str = "compute"
+
+
+@dataclass(frozen=True)
+class Send(Op):
+    """Blocking (buffered-eager) send: completes after the local overhead."""
+
+    dest: int
+    tag: int
+    nbytes: int
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class Isend(Op):
+    """Non-blocking send; result is a request handle for :class:`Wait`."""
+
+    dest: int
+    tag: int
+    nbytes: int
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class Recv(Op):
+    """Blocking receive matched by ``(source, tag)``; result is the payload."""
+
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class Irecv(Op):
+    """Non-blocking receive; result is a request handle for :class:`Wait`."""
+
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class Wait(Op):
+    """Block until ``request`` completes; result is the request's value."""
+
+    request: Any
+
+
+@dataclass(frozen=True)
+class Bcast(Op):
+    """Broadcast ``payload`` (significant at the root) to every rank."""
+
+    root: int
+    nbytes: int
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class Gather(Op):
+    """Gather every rank's ``payload``; the root's result is a list by rank."""
+
+    root: int
+    nbytes: int
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class Reduce(Op):
+    """Reduce payloads with ``op`` (default sum); result significant at root."""
+
+    root: int
+    nbytes: int
+    payload: Any = None
+    op: Callable[[Any, Any], Any] = field(default=lambda a, b: a + b)
+
+
+@dataclass(frozen=True)
+class Allreduce(Op):
+    """Reduce payloads with ``op``; every rank receives the result."""
+
+    nbytes: int
+    payload: Any = None
+    op: Callable[[Any, Any], Any] = field(default=lambda a, b: a + b)
+
+
+@dataclass(frozen=True)
+class Barrier(Op):
+    """Synchronize all ranks."""

@@ -1,0 +1,439 @@
+"""Conservative discrete-event simulator for MPI-style rank programs.
+
+Every rank is a Python generator that yields :mod:`repro.mpisim.ops`
+operations and is resumed with each operation's result.  The simulator keeps
+one virtual clock per rank and advances ranks until they block:
+
+* ``Compute`` advances the local clock;
+* sends are *eager*: the message is deposited at the destination with an
+  arrival time derived from the network model, and the sender proceeds after
+  its injection overhead (like a buffered MPI send);
+* ``Recv``/``Wait`` block until a matching message exists, then set the local
+  clock to ``max(own clock, arrival) + overhead`` — the waiting gap is
+  accounted as communication time;
+* collectives synchronize: the k-th collective yielded by each rank forms
+  one *slot*; when all ranks have arrived the slot completes at
+  ``max(arrival clocks) + network cost`` and every participant resumes with
+  its result.
+
+The scheduler iterates over ranks in index order, running each until it
+blocks; a sweep with no progress while ranks remain unfinished raises
+:class:`~repro.errors.DeadlockError` with a per-rank diagnostic.  Virtual
+time is causally correct because a receive's completion only depends on the
+sender's (already final) clock; determinism holds whenever programs avoid
+``ANY_SOURCE`` races (matching for ``ANY_SOURCE`` picks the earliest
+arrival, tie-broken by source rank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..errors import CommunicationError, DeadlockError
+from .network import NetworkModel
+from .ops import (
+    ANY_SOURCE,
+    Allreduce,
+    Barrier,
+    Bcast,
+    Compute,
+    Gather,
+    Irecv,
+    Isend,
+    Op,
+    Recv,
+    Reduce,
+    Send,
+    Wait,
+)
+
+__all__ = ["Request", "RankTrace", "SimulationReport", "Simulator"]
+
+
+@dataclass
+class Request:
+    """Handle for a non-blocking operation."""
+
+    kind: str  # "send" | "recv"
+    rank: int
+    source: int = ANY_SOURCE
+    tag: int = 0
+    complete_time: float | None = None
+    value: Any = None
+
+    @property
+    def done(self) -> bool:
+        return self.complete_time is not None
+
+
+@dataclass
+class _Message:
+    arrival: float
+    payload: Any
+    nbytes: int
+    seq: int
+
+
+@dataclass
+class RankTrace:
+    """Per-rank virtual-time accounting."""
+
+    rank: int
+    compute_seconds: float = 0.0
+    comm_seconds: float = 0.0
+    compute_by_label: dict[str, float] = field(default_factory=dict)
+    #: (op name, start, end) tuples when event tracing is enabled.
+    events: list[tuple[str, float, float]] = field(default_factory=list)
+
+    def _add_compute(self, label: str, seconds: float) -> None:
+        self.compute_seconds += seconds
+        self.compute_by_label[label] = (
+            self.compute_by_label.get(label, 0.0) + seconds
+        )
+
+
+@dataclass
+class SimulationReport:
+    """Result of one simulated run."""
+
+    n_ranks: int
+    finish_times: list[float]
+    traces: list[RankTrace]
+
+    @property
+    def makespan(self) -> float:
+        """Virtual wallclock of the whole job (slowest rank)."""
+        return max(self.finish_times)
+
+    @property
+    def total_compute(self) -> float:
+        return sum(t.compute_seconds for t in self.traces)
+
+    @property
+    def total_comm(self) -> float:
+        return sum(t.comm_seconds for t in self.traces)
+
+    def compute_by_label(self) -> dict[str, float]:
+        """Aggregate labelled compute time across ranks."""
+        out: dict[str, float] = {}
+        for t in self.traces:
+            for label, sec in t.compute_by_label.items():
+                out[label] = out.get(label, 0.0) + sec
+        return out
+
+
+@dataclass
+class _CollectiveSlot:
+    ops: dict[int, Op] = field(default_factory=dict)
+    arrivals: dict[int, float] = field(default_factory=dict)
+
+
+class _RankState:
+    __slots__ = ("gen", "clock", "blocked_on", "send_value", "finished", "coll_seq")
+
+    def __init__(self, gen: Iterator[Op]):
+        self.gen = gen
+        self.clock = 0.0
+        self.blocked_on: Op | None = None
+        self.send_value: Any = None
+        self.finished = False
+        self.coll_seq = 0
+
+
+class Simulator:
+    """Run rank programs against a network model in virtual time."""
+
+    #: Safety valve: events recorded per rank when tracing is enabled.
+    MAX_TRACE_EVENTS = 10_000
+
+    def __init__(
+        self,
+        n_ranks: int,
+        network: NetworkModel,
+        trace_events: bool = False,
+    ):
+        if network.n_ranks != n_ranks:
+            raise CommunicationError(
+                f"network model sized for {network.n_ranks} ranks, "
+                f"simulator has {n_ranks}"
+            )
+        self.n_ranks = n_ranks
+        self.network = network
+        self.trace_events = trace_events
+        self._mailbox: dict[tuple[int, int, int], list[_Message]] = {}
+        self._collectives: dict[int, _CollectiveSlot] = {}
+        self._msg_seq = 0
+        self._resume_values: dict[int, Any] = {}
+
+    # -- message plumbing -----------------------------------------------------
+
+    def _deposit(
+        self, src: int, dst: int, tag: int, nbytes: int, payload: Any, arrival: float
+    ) -> None:
+        if not 0 <= dst < self.n_ranks:
+            raise CommunicationError(f"send to invalid rank {dst}")
+        self._msg_seq += 1
+        self._mailbox.setdefault((dst, src, tag), []).append(
+            _Message(arrival, payload, nbytes, self._msg_seq)
+        )
+
+    def _match(self, dst: int, src: int, tag: int) -> _Message | None:
+        if src != ANY_SOURCE:
+            queue = self._mailbox.get((dst, src, tag))
+            if not queue:
+                return None
+            msg = min(queue, key=lambda m: (m.arrival, m.seq))
+            queue.remove(msg)
+            return msg
+        candidates: list[tuple[float, int, tuple[int, int, int], _Message]] = []
+        for key, queue in self._mailbox.items():
+            if key[0] == dst and key[2] == tag and queue:
+                msg = min(queue, key=lambda m: (m.arrival, m.seq))
+                candidates.append((msg.arrival, key[1], key, msg))
+        if not candidates:
+            return None
+        _, _, key, msg = min(candidates, key=lambda c: (c[0], c[1]))
+        self._mailbox[key].remove(msg)
+        return msg
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, programs: list[Iterator[Op]]) -> SimulationReport:
+        """Execute the given rank programs to completion."""
+        if len(programs) != self.n_ranks:
+            raise CommunicationError(
+                f"expected {self.n_ranks} programs, got {len(programs)}"
+            )
+        states = [_RankState(gen) for gen in programs]
+        traces = [RankTrace(rank=r) for r in range(self.n_ranks)]
+
+        unfinished = set(range(self.n_ranks))
+        while unfinished:
+            progressed = False
+            for rank in sorted(unfinished):
+                if self._run_rank(rank, states, traces):
+                    progressed = True
+            for rank in list(unfinished):
+                if states[rank].finished:
+                    unfinished.discard(rank)
+            if not progressed and unfinished:
+                raise DeadlockError(self._deadlock_report(states, unfinished))
+        finish = [states[r].clock for r in range(self.n_ranks)]
+        return SimulationReport(self.n_ranks, finish, traces)
+
+    def _run_rank(
+        self, rank: int, states: list[_RankState], traces: list[RankTrace]
+    ) -> bool:
+        """Advance one rank until it blocks or finishes; True if it progressed."""
+        state = states[rank]
+        if state.finished:
+            return False
+        progressed = False
+        while True:
+            op = state.blocked_on
+            if op is None:
+                try:
+                    op = state.gen.send(state.send_value)
+                except StopIteration:
+                    state.finished = True
+                    return True
+                state.send_value = None
+            else:
+                state.blocked_on = None
+            done = self._execute(rank, op, states, traces)
+            if not done:
+                state.blocked_on = op
+                return progressed
+            progressed = True
+            if state.finished:
+                return True
+
+    # -- op handlers -------------------------------------------------------------
+
+    def _trace(
+        self, traces: list[RankTrace], rank: int, name: str, start: float, end: float
+    ) -> None:
+        if self.trace_events and len(traces[rank].events) < self.MAX_TRACE_EVENTS:
+            traces[rank].events.append((name, start, end))
+
+    def _execute(
+        self, rank: int, op: Op, states: list[_RankState], traces: list[RankTrace]
+    ) -> bool:
+        """Try to execute ``op`` for ``rank``.  Returns False when blocked."""
+        state = states[rank]
+        trace = traces[rank]
+
+        if isinstance(op, Compute):
+            if op.seconds < 0:
+                raise CommunicationError(
+                    f"negative compute time {op.seconds} on rank {rank}"
+                )
+            start = state.clock
+            state.clock += op.seconds
+            trace._add_compute(op.label, op.seconds)
+            self._trace(traces, rank, f"compute:{op.label}", start, state.clock)
+            state.send_value = None
+            return True
+
+        if isinstance(op, (Send, Isend)):
+            cost = self.network.p2p(rank, op.dest, op.nbytes)
+            start = state.clock
+            state.clock += cost.send_overhead
+            arrival = state.clock + cost.transit
+            self._deposit(rank, op.dest, op.tag, op.nbytes, op.payload, arrival)
+            trace.comm_seconds += cost.send_overhead
+            self._trace(traces, rank, "send", start, state.clock)
+            if isinstance(op, Isend):
+                state.send_value = Request(
+                    kind="send", rank=rank, complete_time=state.clock
+                )
+            else:
+                state.send_value = None
+            return True
+
+        if isinstance(op, Recv):
+            msg = self._match(rank, op.source, op.tag)
+            if msg is None:
+                return False
+            cost_overhead = self.network.overhead
+            start = state.clock
+            state.clock = max(state.clock, msg.arrival) + cost_overhead
+            trace.comm_seconds += state.clock - start
+            self._trace(traces, rank, "recv", start, state.clock)
+            state.send_value = msg.payload
+            return True
+
+        if isinstance(op, Irecv):
+            state.send_value = Request(
+                kind="recv", rank=rank, source=op.source, tag=op.tag
+            )
+            return True
+
+        if isinstance(op, Wait):
+            request = op.request
+            if not isinstance(request, Request):
+                raise CommunicationError(
+                    f"Wait expects a Request, got {type(request).__name__}"
+                )
+            if request.kind == "send":
+                # Eager sends complete at injection; nothing to wait for.
+                state.send_value = None
+                return True
+            if not request.done:
+                msg = self._match(request.rank, request.source, request.tag)
+                if msg is None:
+                    return False
+                request.complete_time = msg.arrival
+                request.value = msg.payload
+            start = state.clock
+            state.clock = (
+                max(state.clock, request.complete_time) + self.network.overhead
+            )
+            trace.comm_seconds += state.clock - start
+            self._trace(traces, rank, "wait", start, state.clock)
+            state.send_value = request.value
+            return True
+
+        if isinstance(op, (Bcast, Gather, Reduce, Allreduce, Barrier)):
+            return self._execute_collective(rank, op, states, traces)
+
+        raise CommunicationError(f"unknown operation {op!r} on rank {rank}")
+
+    def _execute_collective(
+        self, rank: int, op: Op, states: list[_RankState], traces: list[RankTrace]
+    ) -> bool:
+        state = states[rank]
+        seq = state.coll_seq
+        slot = self._collectives.setdefault(seq, _CollectiveSlot())
+        if rank not in slot.ops:
+            slot.ops[rank] = op
+            slot.arrivals[rank] = state.clock
+            first = next(iter(slot.ops.values()))
+            if type(op) is not type(first):
+                raise CommunicationError(
+                    f"collective mismatch in slot {seq}: rank {rank} called "
+                    f"{type(op).__name__}, others called {type(first).__name__}"
+                )
+        if len(slot.ops) < self.n_ranks:
+            return False  # wait for the other ranks
+
+        # Everyone arrived: complete the collective for all ranks.  The cost
+        # is evaluated on the root's op (its nbytes is authoritative for
+        # rooted collectives; non-rooted collectives are symmetric).
+        del self._collectives[seq]
+        start = max(slot.arrivals.values())
+        root = getattr(op, "root", None)
+        canonical = slot.ops[root] if root is not None else op
+        duration = self._collective_cost(canonical)
+        end = start + duration
+        results = self._collective_results(slot)
+        for r, arr in slot.arrivals.items():
+            other = states[r]
+            other.clock = end
+            traces[r].comm_seconds += end - arr
+            self._trace(traces, r, type(op).__name__.lower(), arr, end)
+            other.coll_seq += 1
+            other.send_value = results[r]
+            if r != rank:
+                # The other ranks were blocked inside this collective.
+                other.blocked_on = None
+        return True
+
+    def _collective_cost(self, op: Op) -> float:
+        if isinstance(op, Bcast):
+            return self.network.bcast(op.nbytes)
+        if isinstance(op, Gather):
+            return self.network.gather(op.nbytes)
+        if isinstance(op, Reduce):
+            return self.network.reduce(op.nbytes)
+        if isinstance(op, Allreduce):
+            return self.network.allreduce(op.nbytes)
+        if isinstance(op, Barrier):
+            return self.network.barrier()
+        raise CommunicationError(f"not a collective: {op!r}")
+
+    def _collective_results(self, slot: _CollectiveSlot) -> dict[int, Any]:
+        ops = slot.ops
+        sample = next(iter(ops.values()))
+        ranks = sorted(ops)
+        if isinstance(sample, Bcast):
+            root_op = ops[sample.root]
+            if not isinstance(root_op, Bcast) or root_op.root != sample.root:
+                raise CommunicationError("Bcast root mismatch across ranks")
+            return {r: root_op.payload for r in ranks}
+        if isinstance(sample, Gather):
+            gathered = [ops[r].payload for r in ranks]
+            return {
+                r: (gathered if r == ops[r].root else None) for r in ranks
+            }
+        if isinstance(sample, (Reduce, Allreduce)):
+            acc = ops[ranks[0]].payload
+            for r in ranks[1:]:
+                acc = sample.op(acc, ops[r].payload)
+            if isinstance(sample, Allreduce):
+                return {r: acc for r in ranks}
+            return {r: (acc if r == ops[r].root else None) for r in ranks}
+        if isinstance(sample, Barrier):
+            return {r: None for r in ranks}
+        raise CommunicationError(f"not a collective: {sample!r}")
+
+    # -- diagnostics ------------------------------------------------------------------
+
+    def _deadlock_report(self, states: list[_RankState], unfinished: set[int]) -> str:
+        lines = ["MPI simulator deadlock; blocked ranks:"]
+        for rank in sorted(unfinished):
+            op = states[rank].blocked_on
+            desc = type(op).__name__ if op is not None else "collective"
+            detail = ""
+            if isinstance(op, Recv):
+                detail = f" (source={op.source}, tag={op.tag})"
+            lines.append(f"  rank {rank}: waiting on {desc}{detail}")
+        pending = sum(len(q) for q in self._mailbox.values())
+        lines.append(f"  undelivered messages: {pending}")
+        if self._collectives:
+            for seq, slot in self._collectives.items():
+                lines.append(
+                    f"  collective slot {seq}: {len(slot.ops)}/{self.n_ranks} arrived"
+                )
+        return "\n".join(lines)

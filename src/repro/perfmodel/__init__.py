@@ -1,0 +1,33 @@
+"""Calibrated analytic scaling model (paper-scale performance evaluation).
+
+Shares the cost vocabulary of :mod:`repro.framework.costs` with the DES and
+is validated against it (:mod:`repro.perfmodel.calibrate`) before being
+trusted at Blue Gene scale (Figures 4, 6a, 6b; Table VI).
+"""
+
+from .analytic import AnalyticModel, GenerationTime
+from .calibrate import (
+    CalibrationPoint,
+    assert_calibrated,
+    validate_against_des,
+)
+from .scaling import (
+    ScalingCurve,
+    ScalingPoint,
+    ratio_sweep,
+    strong_scaling,
+    weak_scaling,
+)
+
+__all__ = [
+    "AnalyticModel",
+    "GenerationTime",
+    "CalibrationPoint",
+    "assert_calibrated",
+    "validate_against_des",
+    "ScalingCurve",
+    "ScalingPoint",
+    "ratio_sweep",
+    "strong_scaling",
+    "weak_scaling",
+]

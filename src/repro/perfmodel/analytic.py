@@ -1,0 +1,150 @@
+"""Closed-form per-generation time model (the paper-scale evaluator).
+
+The DES (:mod:`repro.framework.driver`) executes the real message schedule
+but costs O(ranks x generations) host time; this module evaluates the *same
+cost vocabulary* (:class:`repro.framework.costs.CostModel`) in closed form,
+so Blue Gene/P runs at 294,912 processors (Fig. 6a) are a microsecond
+computation.  :mod:`repro.perfmodel.calibrate` pins the two evaluators
+against each other on overlapping scales.
+
+Per-generation expected critical path, whole-SSet mode:
+
+    T_gen = ceil(R) * t_sset                      (game play, slowest rank)
+          + exposed_sync(ceil(R))                 (Table VI mechanism)
+          + t_bcast(16)                           (decisions broadcast)
+          + pc_rate * (t_fitness_rtt + t_nature + t_bcast(strat))
+          + (pc_rate + mu) * ...                  (update broadcasts)
+
+Split mode replaces the first two terms with the split group's duplicated-
+work share plus the partial-fitness reduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.config import EvolutionConfig
+from ..framework.config import ParallelConfig
+from ..framework.costs import DECISION_BYTES, FITNESS_BYTES, CostModel
+from ..framework.decomposition import Decomposition
+from ..machine.bluegene import MachineSpec
+from ..machine.topology import TorusTopology
+
+__all__ = ["GenerationTime", "AnalyticModel"]
+
+
+@dataclass(frozen=True)
+class GenerationTime:
+    """Expected per-generation critical-path decomposition (seconds)."""
+
+    compute: float
+    exposed_sync: float
+    network: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.exposed_sync + self.network
+
+
+class AnalyticModel:
+    """Closed-form evaluator of a parallel configuration."""
+
+    def __init__(self, evolution: EvolutionConfig, parallel: ParallelConfig):
+        self.evolution = evolution
+        self.parallel = parallel
+        self.costs = CostModel(
+            spec=parallel.machine, evolution=evolution, parallel=parallel
+        )
+        self.decomposition = Decomposition(
+            n_ssets=evolution.n_ssets,
+            n_workers=parallel.n_workers,
+            split_ssets=parallel.split_ssets,
+        )
+
+    # -- network primitives (closed-form versions of NetworkModel) ---------
+
+    @property
+    def spec(self) -> MachineSpec:
+        return self.parallel.machine
+
+    def _tree_depth(self) -> int:
+        return max(1, math.ceil(math.log2(max(2, self.parallel.n_ranks))))
+
+    def bcast_time(self, nbytes: int) -> float:
+        """Collective-network broadcast (matches NetworkModel.bcast)."""
+        return self.spec.alpha_coll * self._tree_depth() + nbytes * self.spec.beta_coll
+
+    def average_p2p_time(self, nbytes: int) -> float:
+        """Mean point-to-point transit over the torus (random endpoints)."""
+        spec = self.spec
+        rpn = self.parallel.ranks_per_node or spec.default_ranks_per_node
+        n_nodes = spec.nodes_for_ranks(self.parallel.n_ranks, rpn)
+        torus = TorusTopology.for_nodes(n_nodes, spec.torus_dims)
+        return (
+            spec.alpha_p2p
+            + torus.average_hops * spec.hop_latency
+            + nbytes * spec.beta_p2p
+            + 2 * spec.overhead
+        )
+
+    # -- per-generation model -------------------------------------------------
+
+    def generation_time(self) -> GenerationTime:
+        """Expected critical-path time of one generation."""
+        evo = self.evolution
+        dec = self.decomposition
+        costs = self.costs
+
+        if dec.split_active:
+            compute = costs.split_rank_game_time(dec)
+            exposed = 0.0
+            reduction = (dec.group_size - 1) * self.average_p2p_time(FITNESS_BYTES)
+        else:
+            loaded = dec.max_ssets_per_worker()
+            compute = costs.rank_game_time(loaded)
+            exposed = (
+                costs.exposed_sync(loaded) if dec.ratio >= 1.0 else 0.0
+            )
+            reduction = 0.0
+
+        strat_update_bytes = costs.strategy_bytes() + 8
+        network = (
+            self.bcast_time(DECISION_BYTES)
+            + evo.pc_rate
+            * (
+                self.average_p2p_time(FITNESS_BYTES)  # fitness returns
+                + reduction
+                + costs.nature_event_time()
+                + self.bcast_time(strat_update_bytes)  # learning update
+            )
+            + evo.mutation_rate * self.bcast_time(strat_update_bytes)
+        )
+        return GenerationTime(compute=compute, exposed_sync=exposed, network=network)
+
+    def setup_time(self) -> float:
+        """Initial setup broadcast.
+
+        Only the master seed and global parameters travel: each rank
+        derives its SSets' initial strategies locally ("we are able to
+        leverage the system size and processor rank data to allow each node
+        to calculate its position within an SSet ... individually",
+        Section V), so setup does not scale with the population.
+        """
+        return self.bcast_time(64)
+
+    def total_time(self) -> float:
+        """Expected virtual wallclock of the whole run."""
+        return self.setup_time() + self.evolution.generations * self.generation_time().total
+
+    # -- breakdowns used by the experiments -----------------------------------------
+
+    def compute_comm_split(self) -> tuple[float, float]:
+        """(computation, communication) totals over the run (Fig. 5 bars).
+
+        Communication = network waits + exposed synchronisation, matching
+        :attr:`repro.framework.driver.ParallelResult.comm_seconds`.
+        """
+        gen = self.generation_time()
+        g = self.evolution.generations
+        return g * gen.compute, self.setup_time() + g * (gen.exposed_sync + gen.network)

@@ -1,0 +1,83 @@
+"""Cross-validation of the analytic model against the DES.
+
+The honesty contract of DESIGN.md section 2: the closed-form model is only
+trusted at paper scale because it matches the discrete-event simulation at
+the scales both can run.  :func:`validate_against_des` runs both evaluators
+over a grid of small configurations and reports relative errors;
+:func:`assert_calibrated` raises :class:`~repro.errors.CalibrationError`
+when any error exceeds the tolerance.  The test suite executes this check,
+and the large-scale benchmarks re-run it before extrapolating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import EvolutionConfig
+from ..errors import CalibrationError
+from ..framework.config import ParallelConfig
+from ..framework.driver import run_parallel_simulation
+from .analytic import AnalyticModel
+
+__all__ = ["CalibrationPoint", "validate_against_des", "assert_calibrated"]
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One DES-vs-analytic comparison."""
+
+    n_ranks: int
+    n_ssets: int
+    des_makespan: float
+    analytic_makespan: float
+
+    @property
+    def relative_error(self) -> float:
+        return abs(self.des_makespan - self.analytic_makespan) / self.des_makespan
+
+
+def validate_against_des(
+    evolution: EvolutionConfig,
+    parallel: ParallelConfig,
+    rank_counts: list[int],
+    sset_counts: list[int],
+) -> list[CalibrationPoint]:
+    """Run DES and analytic model over a grid; return the comparison.
+
+    Uses cost-only DES runs (the science does not affect the schedule's
+    expected cost) with enough generations for the event-rate expectation
+    to hold.
+    """
+    points = []
+    for n_ranks in rank_counts:
+        for n_ssets in sset_counts:
+            evo = evolution.with_updates(n_ssets=max(2, n_ssets))
+            par = parallel.with_updates(n_ranks=n_ranks, executable=False)
+            des = run_parallel_simulation(evo, par)
+            model = AnalyticModel(evo, par)
+            points.append(
+                CalibrationPoint(
+                    n_ranks=n_ranks,
+                    n_ssets=evo.n_ssets,
+                    des_makespan=des.makespan,
+                    analytic_makespan=model.total_time(),
+                )
+            )
+    return points
+
+
+def assert_calibrated(
+    points: list[CalibrationPoint], tolerance: float = 0.15
+) -> None:
+    """Raise :class:`CalibrationError` if any point misses the tolerance."""
+    bad = [p for p in points if p.relative_error > tolerance]
+    if bad:
+        detail = ", ".join(
+            f"(ranks={p.n_ranks}, ssets={p.n_ssets}: "
+            f"DES={p.des_makespan:.4g}s vs model={p.analytic_makespan:.4g}s, "
+            f"err={p.relative_error:.1%})"
+            for p in bad[:5]
+        )
+        raise CalibrationError(
+            f"analytic model disagrees with DES beyond {tolerance:.0%}: {detail}"
+        )

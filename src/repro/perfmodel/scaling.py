@@ -1,0 +1,163 @@
+"""Strong- and weak-scaling predictors (Figures 4, 6a, 6b; Table VI).
+
+These helpers sweep rank counts through :class:`~repro.perfmodel.analytic.
+AnalyticModel` and reduce the results to the quantities the paper plots:
+parallel efficiency (percent of ideal speedup) and speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import EvolutionConfig
+from ..errors import ConfigurationError
+from ..framework.config import ParallelConfig
+from .analytic import AnalyticModel
+
+__all__ = ["ScalingPoint", "ScalingCurve", "strong_scaling", "weak_scaling", "ratio_sweep"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (processor count, time) sample of a scaling study.
+
+    Speedup and efficiency are measured over *worker* processors (the
+    Nature Agent is a constant +1 on every configuration and is excluded
+    from the ideal-speedup accounting, as in the paper's plots).
+    """
+
+    n_ranks: int
+    time: float
+    speedup: float
+    efficiency: float  # fraction of ideal (0..1]
+    ssets_per_worker: float
+
+    @property
+    def n_workers(self) -> int:
+        return self.n_ranks - 1
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """A full scaling study."""
+
+    label: str
+    points: list[ScalingPoint]
+
+    def efficiencies_percent(self) -> list[float]:
+        return [100.0 * p.efficiency for p in self.points]
+
+
+def _check_ranks(rank_counts: list[int]) -> None:
+    if not rank_counts:
+        raise ConfigurationError("need at least one rank count")
+    if sorted(rank_counts) != rank_counts:
+        raise ConfigurationError("rank counts must be ascending")
+    if rank_counts[0] < 2:
+        raise ConfigurationError("rank counts must be >= 2 (Nature + worker)")
+
+
+def strong_scaling(
+    evolution: EvolutionConfig,
+    parallel_base: ParallelConfig,
+    rank_counts: list[int],
+    label: str | None = None,
+) -> ScalingCurve:
+    """Fixed problem, growing machine (Figures 4 and 6b).
+
+    Efficiency is relative to the smallest rank count in the sweep, as in
+    the paper ("percent of ideal speedup achieved for each processor
+    count").
+    """
+    _check_ranks(rank_counts)
+    times = []
+    for p in rank_counts:
+        model = AnalyticModel(evolution, parallel_base.with_updates(n_ranks=p))
+        times.append(model.total_time())
+    w0, t0 = rank_counts[0] - 1, times[0]
+    points = []
+    for p, t in zip(rank_counts, times):
+        speedup = t0 / t * w0
+        points.append(
+            ScalingPoint(
+                n_ranks=p,
+                time=t,
+                speedup=speedup,
+                efficiency=speedup / (p - 1),
+                ssets_per_worker=evolution.n_ssets / (p - 1),
+            )
+        )
+    return ScalingCurve(label=label or f"{evolution.n_ssets} SSets", points=points)
+
+
+def weak_scaling(
+    evolution_per_rank: EvolutionConfig,
+    parallel_base: ParallelConfig,
+    rank_counts: list[int],
+    ssets_per_worker: int,
+    label: str | None = None,
+) -> ScalingCurve:
+    """Fixed work per processor, growing machine (Figure 6a).
+
+    The population grows with the machine (``ssets_per_worker`` per worker)
+    while each SSet's opponent-game count stays fixed
+    (``parallel_base.opponents_per_sset``; see DESIGN.md section 6 for why
+    all-vs-all weak scaling is not what the paper can have measured).
+    """
+    _check_ranks(rank_counts)
+    if parallel_base.opponents_per_sset is None:
+        raise ConfigurationError(
+            "weak scaling requires a fixed opponents_per_sset (constant "
+            "work per processor); None means all-vs-all, which grows with P"
+        )
+    times = []
+    for p in rank_counts:
+        evo = evolution_per_rank.with_updates(n_ssets=ssets_per_worker * (p - 1))
+        model = AnalyticModel(evo, parallel_base.with_updates(n_ranks=p))
+        times.append(model.total_time())
+    t0 = times[0]
+    points = []
+    for p, t in zip(rank_counts, times):
+        eff = t0 / t
+        points.append(
+            ScalingPoint(
+                n_ranks=p,
+                time=t,
+                speedup=eff * p,
+                efficiency=eff,
+                ssets_per_worker=float(ssets_per_worker),
+            )
+        )
+    return ScalingCurve(
+        label=label or f"{ssets_per_worker} SSets/processor", points=points
+    )
+
+
+def ratio_sweep(
+    evolution: EvolutionConfig,
+    parallel_base: ParallelConfig,
+    ratios: list[float],
+    n_workers: int = 1024,
+) -> list[tuple[float, float]]:
+    """Efficiency as a function of R = SSets/processor (Table VI).
+
+    Holds the worker count fixed and varies the population so that
+    R = S / workers takes each requested value; efficiency is each
+    configuration's useful-work fraction:
+
+        eff(R) = (R * t_sset) / T_gen
+
+    i.e. per-generation game time a perfectly balanced rank would need,
+    over the modelled critical path.
+    """
+    out = []
+    for ratio in ratios:
+        n_ssets = round(ratio * n_workers)
+        if n_ssets < 1:
+            raise ConfigurationError(f"ratio {ratio} gives an empty population")
+        evo = evolution.with_updates(n_ssets=n_ssets)
+        model = AnalyticModel(evo, parallel_base.with_updates(n_ranks=n_workers + 1))
+        gen = model.generation_time()
+        useful = (n_ssets / n_workers) * model.costs.sset_game_time()
+        out.append((ratio, 100.0 * useful / gen.total))
+    return out

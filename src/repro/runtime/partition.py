@@ -1,0 +1,40 @@
+"""Work partitioning for the real parallel runtime.
+
+Mirrors the decomposition arithmetic of the simulated framework at process
+granularity: contiguous balanced blocks (cache-friendly for row-block
+payoff-matrix computation) and interleaved assignment (better balance when
+work per item varies systematically).
+"""
+
+from __future__ import annotations
+
+from ..errors import DecompositionError
+
+__all__ = ["block_ranges", "interleaved_indices"]
+
+
+def block_ranges(n_items: int, n_parts: int) -> list[tuple[int, int]]:
+    """Split ``range(n_items)`` into ``n_parts`` contiguous balanced blocks.
+
+    The first ``n_items % n_parts`` blocks get one extra item.  Empty blocks
+    are returned as zero-length ranges when ``n_parts > n_items``.
+    """
+    if n_items < 0:
+        raise DecompositionError(f"n_items must be >= 0, got {n_items}")
+    if n_parts < 1:
+        raise DecompositionError(f"n_parts must be >= 1, got {n_parts}")
+    base, extra = divmod(n_items, n_parts)
+    ranges = []
+    lo = 0
+    for part in range(n_parts):
+        size = base + (1 if part < extra else 0)
+        ranges.append((lo, lo + size))
+        lo += size
+    return ranges
+
+
+def interleaved_indices(n_items: int, n_parts: int, part: int) -> list[int]:
+    """Indices assigned to ``part`` under round-robin dealing."""
+    if not 0 <= part < n_parts:
+        raise DecompositionError(f"part {part} out of range 0..{n_parts - 1}")
+    return list(range(part, n_items, n_parts))

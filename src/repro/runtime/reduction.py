@@ -1,0 +1,36 @@
+"""Tree reductions (the in-process mirror of the split-group fitness sum).
+
+The simulated framework reduces partial fitness along a rank-group tree; the
+real runtime uses the same shape to combine per-process partial results in
+O(log k) combination depth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from ..errors import ConfigurationError
+
+T = TypeVar("T")
+
+__all__ = ["tree_reduce"]
+
+
+def tree_reduce(items: Sequence[T], combine: Callable[[T, T], T]) -> T:
+    """Reduce ``items`` pairwise in a balanced tree.
+
+    Deterministic combination order: level by level, left to right — the
+    same order regardless of how many processes produced the partials,
+    which keeps floating-point sums reproducible across worker counts.
+    """
+    if len(items) == 0:
+        raise ConfigurationError("cannot reduce an empty sequence")
+    level = list(items)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(combine(level[i], level[i + 1]))
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

@@ -1,0 +1,60 @@
+"""Shared-memory NumPy arrays for zero-copy result assembly.
+
+The executor's row-block workers can write their payoff-matrix blocks
+directly into one shared buffer instead of pickling results back — the
+in-process analogue of the paper's "shared memory on the node" (hybrid
+OpenMP level).  Wraps :mod:`multiprocessing.shared_memory` with explicit
+lifetime management.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArraySpec", "SharedArray"]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable handle a worker needs to attach to a shared array."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+class SharedArray:
+    """Owner-side wrapper around one shared-memory NumPy array."""
+
+    def __init__(self, shape: tuple[int, ...], dtype=np.float64):
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        self.array = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf)
+        self.spec = SharedArraySpec(
+            name=self._shm.name, shape=tuple(shape), dtype=dtype.str
+        )
+
+    @staticmethod
+    def attach(spec: SharedArraySpec) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+        """Worker-side attach; caller must ``close()`` the returned handle."""
+        shm = shared_memory.SharedMemory(name=spec.name)
+        array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+        return array, shm
+
+    def close(self) -> None:
+        """Release the owner's mapping and unlink the segment."""
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked
+            pass
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

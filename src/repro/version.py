@@ -1,0 +1,9 @@
+"""Version information for the repro package."""
+
+__version__ = "1.0.0"
+
+#: Paper this package reproduces.
+PAPER = (
+    "Randles et al., 'Massively Parallel Model of Extended Memory Use in "
+    "Evolutionary Game Dynamics', IPDPS 2013, doi:10.1109/ipdps.2013.102"
+)

@@ -1,0 +1,209 @@
+"""Tests for k-means, classification, metrics, heatmaps, and tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    classify,
+    cluster_order,
+    cooperation_propensity,
+    dominance_timeline,
+    format_table,
+    hamming_distance,
+    lloyd_kmeans,
+    nearest_classic,
+    population_cooperation_rate,
+    render_raster,
+    strategy_entropy,
+    strategy_richness,
+)
+from repro.core import (
+    MEMORY_ONE_GRAY_ORDER,
+    Population,
+    all_c,
+    all_d,
+    grim,
+    gtft,
+    tft,
+    wsls,
+)
+from repro.errors import ConfigurationError, StrategyError
+from repro.rng import make_rng
+
+
+class TestKMeans:
+    def test_separates_two_obvious_clusters(self):
+        rng = make_rng(0)
+        a = rng.normal(0.0, 0.05, size=(20, 4))
+        b = rng.normal(1.0, 0.05, size=(30, 4))
+        data = np.vstack([a, b])
+        result = lloyd_kmeans(data, 2, make_rng(1))
+        labels_a = set(result.labels[:20].tolist())
+        labels_b = set(result.labels[20:].tolist())
+        assert len(labels_a) == 1 and len(labels_b) == 1
+        assert labels_a != labels_b
+
+    def test_inertia_decreases_with_k(self):
+        rng = make_rng(3)
+        data = rng.random((60, 4))
+        inertias = [
+            lloyd_kmeans(data, k, make_rng(4)).inertia for k in (1, 2, 4, 8)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+    def test_k_one_center_is_mean(self):
+        data = make_rng(5).random((40, 3))
+        result = lloyd_kmeans(data, 1, make_rng(6))
+        np.testing.assert_allclose(result.centers[0], data.mean(axis=0))
+
+    def test_duplicate_points_handled(self):
+        data = np.zeros((10, 4))
+        result = lloyd_kmeans(data, 3, make_rng(7))
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_cluster_order_groups_and_sorts_by_size(self):
+        data = np.vstack([np.zeros((5, 2)), np.ones((15, 2))])
+        result = lloyd_kmeans(data, 2, make_rng(8))
+        order = cluster_order(result)
+        ordered_labels = result.labels[order]
+        # Largest cluster first, each cluster contiguous.
+        assert len(set(ordered_labels[:15].tolist())) == 1
+        assert len(set(ordered_labels[15:].tolist())) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            lloyd_kmeans(np.zeros((5, 2)), 0, make_rng(0))
+        with pytest.raises(ConfigurationError):
+            lloyd_kmeans(np.zeros((5, 2)), 6, make_rng(0))
+        with pytest.raises(ConfigurationError):
+            lloyd_kmeans(np.zeros(5), 2, make_rng(0))
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_labels_in_range(self, seed):
+        data = make_rng(seed).random((25, 3))
+        result = lloyd_kmeans(data, 4, make_rng(seed + 1))
+        assert set(result.labels.tolist()) <= set(range(4))
+        assert result.cluster_sizes().sum() == 25
+
+
+class TestClassification:
+    def test_exact_classics(self):
+        assert classify(wsls(1)) == "WSLS"
+        assert classify(tft(1)) == "TFT"
+        assert classify(all_c(1)) == "ALLC"
+        assert classify(all_d(1)) == "ALLD"
+        assert classify(grim(1)) == "GRIM"
+
+    def test_lifted_classics_still_classify(self):
+        assert classify(wsls(3)) == "WSLS"
+        assert classify(tft(2)) == "TFT"
+
+    def test_mixed_not_classified(self):
+        assert classify(gtft(0.3, 1)) is None
+
+    def test_unknown_strategy(self):
+        from repro.core import Strategy
+
+        weird = Strategy(np.array([1, 0, 0, 1], dtype=np.uint8), 1)
+        assert classify(weird) is None
+        name, dist = nearest_classic(weird)
+        assert dist > 0
+
+    def test_hamming(self):
+        assert hamming_distance(all_c(1), all_d(1)) == 4
+        assert hamming_distance(wsls(1), wsls(1)) == 0
+        with pytest.raises(StrategyError):
+            hamming_distance(all_c(1), all_c(2))
+
+    def test_nearest_classic_exact_is_zero(self):
+        name, dist = nearest_classic(wsls(2))
+        assert name == "WSLS" and dist == 0
+
+    def test_cooperation_propensity(self):
+        assert cooperation_propensity(all_c(1)) == 1.0
+        assert cooperation_propensity(all_d(1)) == 0.0
+        assert cooperation_propensity(wsls(1)) == 0.5
+
+
+class TestMetrics:
+    def test_cooperative_population(self):
+        pop = Population.from_strategies([wsls(1)] * 4)
+        assert population_cooperation_rate(pop, rounds=100) == pytest.approx(1.0)
+
+    def test_defecting_population(self):
+        pop = Population.from_strategies([all_d(1)] * 4)
+        assert population_cooperation_rate(pop, rounds=100) == pytest.approx(0.0)
+
+    def test_mixed_population_in_between(self):
+        pop = Population.from_strategies([wsls(1)] * 2 + [all_d(1)] * 2)
+        rate = population_cooperation_rate(pop, rounds=100)
+        assert 0.0 < rate < 1.0
+
+    def test_richness_and_entropy(self):
+        pop = Population.from_strategies([wsls(1), wsls(1), tft(1), all_d(1)])
+        assert strategy_richness(pop) == 3
+        assert 0 < strategy_entropy(pop) <= np.log(4)
+        uniform = Population.from_strategies([wsls(1)] * 4)
+        assert strategy_entropy(uniform) == pytest.approx(0.0)
+
+    def test_dominance_timeline(self):
+        from repro.core import EvolutionConfig, run_event_driven
+
+        cfg = EvolutionConfig(
+            n_ssets=8, generations=500, rounds=16, record_every=100, seed=3
+        )
+        result = run_event_driven(cfg)
+        timeline = dominance_timeline(result.snapshots)
+        assert timeline[0][0] == 0
+        assert timeline[-1][0] == 500
+        assert all(0 < share <= 1 for _, share in timeline)
+
+
+class TestHeatmap:
+    def test_renders_c_and_d(self):
+        pop = Population.from_strategies([all_c(1), all_d(1)])
+        text = render_raster(pop.strategy_matrix(), title="raster")
+        lines = text.splitlines()
+        assert lines[1] == "...."
+        assert lines[2] == "####"
+
+    def test_column_order_gray(self):
+        pop = Population.from_strategies([wsls(1)])
+        natural = render_raster(pop.strategy_matrix())
+        gray = render_raster(
+            pop.strategy_matrix(), column_order=MEMORY_ONE_GRAY_ORDER
+        )
+        assert natural.splitlines()[-1] == ".##."
+        assert gray.splitlines()[-1] == ".#.#"  # the paper's 0101
+
+    def test_row_subsampling(self):
+        pop = Population.from_strategies([all_c(1)] * 100)
+        text = render_raster(pop.strategy_matrix(), max_rows=10)
+        assert len(text.splitlines()) == 10
+
+    def test_bad_column_order(self):
+        pop = Population.from_strategies([all_c(1)])
+        with pytest.raises(ConfigurationError):
+            render_raster(pop.strategy_matrix(), column_order=(0, 0, 1, 2))
+
+
+class TestTables:
+    def test_basic_format(self):
+        text = format_table(
+            ["Memory", "Strategies"], [[1, 16], [2, 65536]], title="Table IV"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table IV"
+        assert "Memory" in lines[1]
+        assert "65536" in lines[-1]
+
+    def test_row_length_validation(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000001], [123456.0], [1.5]])
+        assert "e" in text  # scientific for extremes

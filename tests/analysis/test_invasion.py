@@ -1,0 +1,54 @@
+"""Tests for the invasion/ESS analysis (and the Fig. 2 deviation evidence)."""
+
+import pytest
+
+from repro.analysis.invasion import can_invade, invasion_fitness, uninvadable_by
+from repro.core import all_c, all_d, all_memory_one_strategies, grim, tft, wsls
+from repro.errors import ConfigurationError
+
+
+class TestInvasionMechanics:
+    def test_alld_invades_allc(self):
+        assert can_invade(resident=all_c(1), invader=all_d(1))
+
+    def test_allc_cannot_invade_alld(self):
+        assert not can_invade(resident=all_d(1), invader=all_d(1))
+        assert not can_invade(resident=all_d(1), invader=all_c(1))
+
+    def test_tft_resists_alld(self):
+        # Classic direct-reciprocity result: TFT residents out-earn an
+        # ALLD invader (mutual cooperation vs punished defection).
+        assert not can_invade(resident=tft(1), invader=all_d(1))
+
+    def test_fitness_components(self):
+        res = invasion_fitness(all_c(1), all_d(1), n_ssets=10, rounds=100)
+        # Residents: 8 mutual-C games (300) + 1 sucker game (0).
+        assert res.resident_fitness == pytest.approx(8 * 300 + 0)
+        # Invader: 9 temptation games.
+        assert res.invader_fitness == pytest.approx(9 * 400)
+
+    def test_small_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            invasion_fitness(tft(1), all_d(1), n_ssets=2)
+
+
+class TestFig2Deviation:
+    """Both GRIM and WSLS are uninvadable under errors: the evolved winner
+    is decided by basin entry, not stability (EXPERIMENTS.md)."""
+
+    @pytest.mark.parametrize("resident", [grim(1), wsls(1)])
+    def test_uninvadable_by_all_pure_memory_one(self, resident):
+        challengers = [
+            s for s in all_memory_one_strategies() if s != resident
+        ]
+        survivors = uninvadable_by(
+            resident, challengers, n_ssets=100, rounds=200, noise=0.01
+        )
+        assert len(survivors) == len(challengers)
+
+    def test_wsls_outearns_grim_in_self_play_under_noise(self):
+        from repro.core import expected_payoffs
+
+        wsls_self, _, _ = expected_payoffs(wsls(1), wsls(1), 200, noise=0.01)
+        grim_self, _, _ = expected_payoffs(grim(1), grim(1), 200, noise=0.01)
+        assert wsls_self > 1.5 * grim_self

@@ -1,0 +1,27 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig
+from repro.rng import make_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for test-local sampling."""
+    return make_rng(12345)
+
+
+@pytest.fixture
+def small_config() -> EvolutionConfig:
+    """A fast config exercising all dynamics (events within ~2k generations)."""
+    return EvolutionConfig(
+        memory_steps=1,
+        n_ssets=16,
+        generations=2_000,
+        rounds=64,
+        seed=99,
+    )

@@ -1,0 +1,147 @@
+"""Cross-validation of the four game engines.
+
+The scalar engine (`play_game`) is the reference; the vectorised kernel,
+cycle-exact evaluator, and Markov expected-payoff evaluator must agree with
+it (exactly for deterministic games, in expectation for stochastic ones).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    exact_payoffs,
+    expected_payoffs,
+    find_cycle,
+    gtft,
+    payoff_matrix,
+    play_game,
+    play_pairs,
+    random_pure,
+    tft,
+    wsls,
+)
+from repro.rng import make_rng
+
+
+def _random_pair(seed: int, memory: int):
+    rng = make_rng(seed)
+    return random_pure(rng, memory), random_pure(rng, memory)
+
+
+class TestCycleEngine:
+    @given(seed=st.integers(0, 10_000), memory=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_cycle_matches_scalar(self, seed, memory):
+        a, b = _random_pair(seed, memory)
+        rounds = 73
+        ref = play_game(a, b, rounds)
+        pay_a, pay_b, coop = exact_payoffs(a, b, rounds)
+        assert pay_a == ref.payoff_a
+        assert pay_b == ref.payoff_b
+        assert coop == pytest.approx(ref.cooperation_rate)
+
+    def test_cycle_structure_bounds(self):
+        a, b = _random_pair(7, 2)
+        cyc = find_cycle(a, b)
+        assert 1 <= cyc.cycle_length <= 16
+        assert 0 <= cyc.transient_length <= 16
+
+    def test_cycle_cost_independent_of_rounds(self):
+        a, b = _random_pair(11, 2)
+        short = exact_payoffs(a, b, 10)
+        long = exact_payoffs(a, b, 10_000_000)
+        # Per-round averages converge to the cycle mean; both must be finite
+        # and the long evaluation must be exact (integer-valued payoffs).
+        assert long[0] == int(long[0])
+        assert short[0] <= long[0]
+
+    def test_long_game_equals_scalar_spot_check(self):
+        a, b = _random_pair(13, 1)
+        ref = play_game(a, b, 977)
+        assert exact_payoffs(a, b, 977)[0] == ref.payoff_a
+
+
+class TestMarkovEngine:
+    @given(seed=st.integers(0, 10_000), memory=st.integers(1, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_markov_matches_scalar_deterministic(self, seed, memory):
+        a, b = _random_pair(seed, memory)
+        ref = play_game(a, b, 37)
+        pay_a, pay_b, coop = expected_payoffs(a, b, 37)
+        assert pay_a == pytest.approx(ref.payoff_a)
+        assert pay_b == pytest.approx(ref.payoff_b)
+        assert coop == pytest.approx(ref.cooperation_rate)
+
+    def test_markov_matches_sampling_mean_with_noise(self):
+        a, b = tft(1), tft(1)
+        noise = 0.05
+        rounds = 100
+        exp_a, exp_b, exp_coop = expected_payoffs(a, b, rounds, noise=noise)
+        rng = make_rng(2024)
+        samples = [
+            play_game(a, b, rounds, noise=noise, rng=rng).payoff_a
+            for _ in range(800)
+        ]
+        assert np.mean(samples) == pytest.approx(exp_a, rel=0.03)
+
+    def test_markov_mixed_strategy_mean(self):
+        g = gtft(1 / 3, 1)
+        rounds = 50
+        exp_a, _, _ = expected_payoffs(g, tft(1).to_mixed(), rounds)
+        rng = make_rng(7)
+        samples = [
+            play_game(g, tft(1), rounds, rng=rng).payoff_a for _ in range(800)
+        ]
+        assert np.mean(samples) == pytest.approx(exp_a, rel=0.05)
+
+
+class TestVectorEngine:
+    @given(seed=st.integers(0, 5_000), memory=st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_pairs_match_scalar(self, seed, memory):
+        rng = make_rng(seed)
+        strategies = [random_pure(rng, memory) for _ in range(5)]
+        a_idx = np.array([0, 1, 2, 3, 4, 0])
+        b_idx = np.array([1, 2, 3, 4, 0, 0])
+        pay_a, pay_b = play_pairs(strategies, a_idx, b_idx, rounds=41)
+        for k in range(len(a_idx)):
+            ref = play_game(strategies[a_idx[k]], strategies[b_idx[k]], 41)
+            assert pay_a[k] == ref.payoff_a
+            assert pay_b[k] == ref.payoff_b
+
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_matrix_matches_scalar(self, seed):
+        rng = make_rng(seed)
+        strategies = [random_pure(rng, 2) for _ in range(6)]
+        m = payoff_matrix(strategies, rounds=29)
+        for i in range(6):
+            for j in range(6):
+                ref = play_game(strategies[i], strategies[j], 29)
+                assert m[i, j] == ref.payoff_a
+
+    def test_matrix_with_noise_is_unbiased(self):
+        strategies = [tft(1), wsls(1)]
+        rounds = 60
+        noise = 0.03
+        rng = make_rng(5)
+        total = np.zeros((2, 2))
+        n_rep = 400
+        for _ in range(n_rep):
+            total += payoff_matrix(strategies, rounds, noise=noise, rng=rng)
+        mean = total / n_rep
+        for i, a in enumerate(strategies):
+            for j, b in enumerate(strategies):
+                exp, _, _ = expected_payoffs(a, b, rounds, noise=noise)
+                assert mean[i, j] == pytest.approx(exp, rel=0.05)
+
+    def test_mixed_strategy_pairs_sample(self):
+        strategies = [gtft(0.5, 1), tft(1).to_mixed()]
+        rng = make_rng(3)
+        pay_a, pay_b = play_pairs(
+            strategies, np.array([0]), np.array([1]), rounds=30, rng=rng
+        )
+        assert 0 <= pay_a[0] <= 120
+        assert 0 <= pay_b[0] <= 120

@@ -1,0 +1,165 @@
+"""Tests for SSets, the strategy histogram, and the population container."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EvolutionConfig,
+    PayoffCache,
+    Population,
+    SSet,
+    StrategyHistogram,
+    all_c,
+    all_d,
+    play_game,
+    random_pure,
+    tft,
+    wsls,
+)
+from repro.errors import ConfigurationError
+from repro.rng import make_rng
+
+
+class TestSSet:
+    def test_adopt_and_mutate_count(self):
+        s = SSet(0, tft(1), n_agents=4)
+        s.adopt(wsls(1))
+        s.mutate(all_d(1))
+        assert s.adoptions == 1
+        assert s.mutations == 1
+        assert s.strategy == all_d(1)
+
+    def test_games_per_agent_ceiling(self):
+        s = SSet(0, tft(1), n_agents=4)
+        assert s.games_per_agent(10) == 3  # ceil(10/4)
+
+    def test_invalid_agents(self):
+        with pytest.raises(ConfigurationError):
+            SSet(0, tft(1), n_agents=0)
+
+
+class TestHistogram:
+    def test_counts_and_distinct(self):
+        h = StrategyHistogram.from_strategies([tft(1), tft(1), wsls(1)])
+        assert h.total == 3
+        assert h.distinct == 2
+        assert h.counts[tft(1).key()] == 2
+
+    def test_replace_keeps_total(self):
+        h = StrategyHistogram.from_strategies([tft(1), wsls(1)])
+        h.replace(tft(1), all_d(1))
+        assert h.total == 2
+        assert tft(1).key() not in h.counts
+
+    def test_remove_missing_raises(self):
+        h = StrategyHistogram.from_strategies([tft(1)])
+        with pytest.raises(KeyError):
+            h.remove(all_c(1))
+
+    def test_most_common_ordering(self):
+        h = StrategyHistogram.from_strategies([tft(1), tft(1), wsls(1)])
+        top = h.most_common()
+        assert top[0][0] == tft(1) and top[0][1] == 2
+
+    def test_fitness_matches_direct_sum(self):
+        strategies = [tft(1), wsls(1), all_d(1), all_d(1)]
+        h = StrategyHistogram.from_strategies(strategies)
+        cache = PayoffCache(rounds=50)
+        fit = h.fitness_of(tft(1), cache, include_self_play=False)
+        expected = sum(
+            play_game(tft(1), s, 50).payoff_a for s in strategies
+        ) - play_game(tft(1), tft(1), 50).payoff_a
+        assert fit == expected
+
+    def test_fitness_with_self_play(self):
+        strategies = [tft(1), all_d(1)]
+        h = StrategyHistogram.from_strategies(strategies)
+        cache = PayoffCache(rounds=50)
+        with_self = h.fitness_of(tft(1), cache, include_self_play=True)
+        without = h.fitness_of(tft(1), cache, include_self_play=False)
+        assert with_self - without == play_game(tft(1), tft(1), 50).payoff_a
+
+
+class TestPayoffCache:
+    def test_cache_hit_counting(self):
+        cache = PayoffCache(rounds=20)
+        cache.pair_payoffs(tft(1), all_d(1))
+        assert cache.misses == 1
+        cache.pair_payoffs(tft(1), all_d(1))
+        cache.pair_payoffs(all_d(1), tft(1))  # symmetric entry pre-filled
+        assert cache.hits == 2
+        assert len(cache) == 2
+
+    def test_cache_matches_play_game(self):
+        rng = make_rng(1)
+        for _ in range(10):
+            a, b = random_pure(rng, 2), random_pure(rng, 2)
+            cache = PayoffCache(rounds=33)
+            assert cache.pair_payoffs(a, b) == (
+                play_game(a, b, 33).payoff_a,
+                play_game(a, b, 33).payoff_b,
+            )
+
+    def test_stochastic_games_not_cached(self):
+        cache = PayoffCache(rounds=20, noise=0.2, rng=make_rng(0))
+        cache.pair_payoffs(tft(1), tft(1))
+        cache.pair_payoffs(tft(1), tft(1))
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = PayoffCache(rounds=10)
+        cache.pair_payoffs(tft(1), wsls(1))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestPopulation:
+    def test_random_population_shape(self):
+        cfg = EvolutionConfig(n_ssets=10, memory_steps=2, agents_per_sset=3)
+        pop = Population.random(cfg, make_rng(0))
+        assert len(pop) == 10
+        assert pop.memory_steps == 2
+        assert pop.n_agents == 30
+        assert pop.strategy_matrix().shape == (10, 16)
+
+    def test_ids_must_be_ordered(self):
+        with pytest.raises(ConfigurationError):
+            Population([SSet(1, tft(1))])
+
+    def test_mixed_memories_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Population([SSet(0, tft(1)), SSet(1, tft(2))])
+
+    def test_adopt_updates_histogram(self):
+        pop = Population.from_strategies([tft(1), wsls(1), all_d(1)])
+        pop.adopt(0, wsls(1))
+        assert pop.histogram.counts[wsls(1).key()] == 2
+        assert tft(1).key() not in pop.histogram.counts
+        assert pop[0].adoptions == 1
+
+    def test_mutate_updates_histogram(self):
+        pop = Population.from_strategies([tft(1), wsls(1)])
+        pop.mutate(1, all_c(1))
+        assert pop.share_of(all_c(1)) == 0.5
+
+    def test_dominant_share(self):
+        pop = Population.from_strategies([tft(1), tft(1), wsls(1)])
+        strategy, share = pop.dominant_share()
+        assert strategy == tft(1)
+        assert share == pytest.approx(2 / 3)
+
+    def test_uniform_population(self):
+        pop = Population.uniform(wsls(1), 5, agents_per_sset=2)
+        assert pop.share_of(wsls(1)) == 1.0
+        assert pop.n_agents == 10
+
+    def test_all_fitness_consistent_with_single(self):
+        pop = Population.from_strategies([tft(1), wsls(1), all_d(1), all_d(1)])
+        cache = PayoffCache(rounds=25)
+        vec = pop.all_fitness(cache)
+        for i in range(4):
+            assert vec[i] == pop.fitness_of(i, cache)
+        # Identical strategies share identical fitness.
+        assert vec[2] == vec[3]
+        # SSet records were updated.
+        assert pop[0].fitness == vec[0]

@@ -1,0 +1,136 @@
+"""Tests for memory-n state encoding (paper Tables II and V)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MEMORY_ONE_GRAY_ORDER,
+    advance_view,
+    encode_round,
+    history_to_view,
+    num_states,
+    state_table,
+    swap_perspective,
+    swap_perspective_array,
+    view_mask,
+    view_to_history,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCounts:
+    @pytest.mark.parametrize("n,expected", [(1, 4), (2, 16), (3, 64), (6, 4096)])
+    def test_num_states_is_4_pow_n(self, n, expected):
+        assert num_states(n) == expected
+
+    def test_mask(self):
+        assert view_mask(1) == 0b11
+        assert view_mask(3) == 0b111111
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "two"])
+    def test_invalid_memory_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            num_states(bad)
+
+
+class TestEncoding:
+    def test_encode_round_codes(self):
+        assert encode_round(0, 0) == 0  # CC
+        assert encode_round(0, 1) == 1  # CD
+        assert encode_round(1, 0) == 2  # DC
+        assert encode_round(1, 1) == 3  # DD
+
+    def test_advance_drops_oldest(self):
+        # memory-1: only the newest round survives
+        v = advance_view(0, 1, 1, 1)
+        assert v == 3
+        v = advance_view(v, 0, 0, 1)
+        assert v == 0
+
+    def test_advance_keeps_n_rounds(self):
+        v = 0
+        v = advance_view(v, 1, 0, 2)  # DC
+        v = advance_view(v, 0, 1, 2)  # CD
+        # most recent round (CD) in low bits, older (DC) above it
+        assert v == (encode_round(1, 0) << 2) | encode_round(0, 1)
+
+    def test_roundtrip_history(self):
+        for view in range(num_states(3)):
+            hist = view_to_history(view, 3)
+            assert history_to_view(hist, 3) == view
+
+    def test_history_most_recent_first(self):
+        v = advance_view(0, 1, 1, 2)  # now: newest DD, older CC
+        hist = view_to_history(v, 2)
+        assert hist[0] == (1, 1)
+        assert hist[1] == (0, 0)
+
+    def test_view_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            view_to_history(4, 1)
+
+    def test_bad_history_rejected(self):
+        with pytest.raises(ConfigurationError):
+            history_to_view([(0, 2)], 1)
+        with pytest.raises(ConfigurationError):
+            history_to_view([(0, 0), (0, 0)], 1)
+
+
+class TestPerspectiveSwap:
+    def test_swap_memory_one(self):
+        assert swap_perspective(encode_round(0, 1), 1) == encode_round(1, 0)
+        assert swap_perspective(encode_round(1, 1), 1) == encode_round(1, 1)
+
+    @given(view=st.integers(0, 4**3 - 1))
+    def test_swap_is_involution(self, view):
+        assert swap_perspective(swap_perspective(view, 3), 3) == view
+
+    @given(view=st.integers(0, 4**4 - 1))
+    @settings(max_examples=50)
+    def test_swap_transposes_history(self, view):
+        swapped = swap_perspective(view, 4)
+        hist = view_to_history(view, 4)
+        hist_swapped = view_to_history(swapped, 4)
+        assert hist_swapped == [(opp, my) for my, opp in hist]
+
+    def test_array_swap_matches_scalar(self):
+        views = np.arange(num_states(3))
+        swapped = swap_perspective_array(views, 3)
+        expected = np.array([swap_perspective(int(v), 3) for v in views])
+        np.testing.assert_array_equal(swapped, expected)
+
+
+class TestConsistencyWithGamePlay:
+    @given(
+        moves=st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=3, max_size=12
+        )
+    )
+    @settings(max_examples=50)
+    def test_two_players_views_stay_mirrored(self, moves):
+        n = 2
+        view_a = view_b = 0
+        for my, opp in moves:
+            view_a = advance_view(view_a, my, opp, n)
+            view_b = advance_view(view_b, opp, my, n)
+            assert view_b == swap_perspective(view_a, n)
+
+
+class TestStateTables:
+    def test_table2_memory_one_states(self):
+        # Paper Table II: CC, CD, DC, DD in natural order.
+        rows = state_table(1)
+        assert [r.letters() for r in rows] == ["CC", "CD", "DC", "DD"]
+
+    def test_table5_gray_order(self):
+        rows = state_table(1, order=MEMORY_ONE_GRAY_ORDER)
+        assert [r.bits() for r in rows] == ["00", "01", "11", "10"]
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            state_table(1, order=(0, 1, 2, 2))
+
+    def test_memory_two_count(self):
+        assert len(state_table(2)) == 16

@@ -1,0 +1,221 @@
+"""Tests for strategies (paper Tables III, IV, V)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MEMORY_ONE_GRAY_ORDER,
+    Strategy,
+    all_c,
+    all_d,
+    all_memory_one_strategies,
+    enumerate_pure_strategies,
+    grim,
+    gtft,
+    num_states,
+    paper_table_v_rows,
+    random_mixed,
+    random_pure,
+    strategy_space_size,
+    tf2t,
+    tft,
+    wsls,
+)
+from repro.errors import StrategyError
+from repro.rng import make_rng
+
+
+class TestConstruction:
+    def test_pure_strategy_stored_uint8(self):
+        s = Strategy(np.array([0, 1, 0, 1]), 1)
+        assert s.is_pure
+        assert s.table.dtype == np.uint8
+
+    def test_mixed_strategy_stored_float(self):
+        s = Strategy(np.array([0.5, 0.0, 1.0, 0.25]), 1)
+        assert not s.is_pure
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(StrategyError):
+            Strategy(np.zeros(5, dtype=np.uint8), 1)
+
+    def test_bad_moves_rejected(self):
+        with pytest.raises(StrategyError):
+            Strategy(np.array([0, 1, 2, 0]), 1)
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(StrategyError):
+            Strategy(np.array([0.5, -0.1, 0.2, 0.3]), 1)
+        with pytest.raises(StrategyError):
+            Strategy(np.array([0.5, np.nan, 0.2, 0.3]), 1)
+
+    def test_table_is_immutable(self):
+        s = tft(1)
+        with pytest.raises(ValueError):
+            s.table[0] = 1
+
+    def test_equality_and_hash(self):
+        a = Strategy(np.array([0, 1, 1, 0]), 1)
+        b = wsls(1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != tft(1)
+
+    def test_pure_and_mixed_with_same_values_differ(self):
+        pure = all_c(1)
+        mixed = pure.to_mixed()
+        assert pure != mixed  # different dtype -> different behaviour contract
+        assert mixed.defect_probabilities().sum() == 0
+
+
+class TestClassics:
+    def test_wsls_natural_and_gray_bits(self):
+        w = wsls(1)
+        assert w.bits() == "0110"
+        # The paper's Table V / Fig. 2 display order makes WSLS read 0101.
+        assert w.bits(MEMORY_ONE_GRAY_ORDER) == "0101"
+
+    def test_tft_copies_opponent(self):
+        t = tft(2)
+        views = np.arange(num_states(2))
+        np.testing.assert_array_equal(t.table, views & 1)
+
+    def test_grim_defects_after_any_defection(self):
+        g = grim(1)
+        assert list(g.table) == [0, 1, 1, 1]
+
+    def test_tf2t_needs_memory_two(self):
+        with pytest.raises(StrategyError):
+            tf2t(1)
+        s = tf2t(2)
+        # Defect only when opponent defected in both remembered rounds.
+        view_dd = (1 << 0) | (1 << 2)  # opp D most recent and previous
+        assert s.table[view_dd] == 1
+        assert s.table[1] == 0  # only most recent defection
+
+    def test_gtft_is_mixed_and_generous(self):
+        g = gtft(1 / 3, 1)
+        assert not g.is_pure
+        probs = g.defect_probabilities()
+        assert probs[0] == 0.0  # after opponent C: cooperate
+        assert probs[1] == pytest.approx(2 / 3)  # after opponent D: forgive 1/3
+
+    def test_gtft_generosity_bounds(self):
+        with pytest.raises(StrategyError):
+            gtft(1.5, 1)
+
+    def test_wsls_uses_own_history_tft_does_not(self):
+        assert wsls(1).responds_to_own_history()
+        assert not tft(1).responds_to_own_history()
+
+    def test_table_v_rows(self):
+        rows = paper_table_v_rows()
+        assert [bits for _, bits, _ in rows] == ["00", "01", "11", "10"]
+        assert [move for _, _, move in rows] == [0, 1, 0, 1]
+
+
+class TestLift:
+    def test_lift_preserves_play(self):
+        from repro.core import play_game
+
+        base = wsls(1)
+        lifted = base.lift(3)
+        opp = tft(3)
+        r1 = play_game(base.lift(3), opp, 64)
+        r2 = play_game(lifted, opp, 64)
+        assert r1.payoff_a == r2.payoff_a
+
+    def test_lift_identity(self):
+        s = tft(2)
+        assert s.lift(2) is s
+
+    def test_lift_down_rejected(self):
+        with pytest.raises(StrategyError):
+            wsls(2).lift(1)
+
+    @given(n_from=st.integers(1, 2), n_to=st.integers(2, 4))
+    @settings(max_examples=20)
+    def test_lift_table_only_reads_recent_rounds(self, n_from, n_to):
+        if n_to < n_from:
+            n_to = n_from
+        rng = make_rng(5)
+        s = random_pure(rng, n_from)
+        lifted = s.lift(n_to)
+        mask = num_states(n_from) - 1
+        for v in range(0, num_states(n_to), 7):
+            assert lifted.table[v] == s.table[v & mask]
+
+
+class TestSpaceSize:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, 2**4), (2, 2**16), (3, 2**64), (4, 2**256), (5, 2**1024), (6, 2**4096)],
+    )
+    def test_table4_from_formula(self, n, expected):
+        # n=4 and n=5 deviate from the paper's printed (inconsistent) rows;
+        # see DESIGN.md section 3.
+        assert strategy_space_size(n) == expected
+
+    def test_enumeration_memory_one(self):
+        strategies = all_memory_one_strategies()
+        assert len(strategies) == 16
+        assert len({s.key() for s in strategies}) == 16
+
+    def test_enumeration_covers_classics(self):
+        keys = {s.key() for s in all_memory_one_strategies()}
+        for classic in (all_c(1), all_d(1), tft(1), wsls(1), grim(1)):
+            assert classic.key() in keys
+
+    def test_enumeration_blows_up_gracefully(self):
+        # memory-3 would be 2**64 strategies; the generator must refuse.
+        with pytest.raises(StrategyError):
+            list(enumerate_pure_strategies(3))
+
+    def test_memory_two_enumeration_allowed_lazily(self):
+        # memory-2 (2**16 strategies) is feasible; take just a few.
+        import itertools
+
+        first = list(itertools.islice(enumerate_pure_strategies(2), 3))
+        assert [s.bits() for s in first] == [
+            "0" * 16,
+            "1" + "0" * 15,
+            "01" + "0" * 14,
+        ]
+
+
+class TestRandomGeneration:
+    def test_random_pure_reproducible(self):
+        a = random_pure(make_rng(3), 2)
+        b = random_pure(make_rng(3), 2)
+        assert a == b
+
+    def test_random_pure_covers_space(self):
+        rng = make_rng(0)
+        seen = {random_pure(rng, 1).key() for _ in range(400)}
+        assert len(seen) == 16  # all memory-one strategies appear
+
+    def test_random_mixed_in_unit_interval(self):
+        s = random_mixed(make_rng(1), 2)
+        probs = s.defect_probabilities()
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_move_sampling_requires_rng_for_mixed(self):
+        s = random_mixed(make_rng(1), 1)
+        with pytest.raises(StrategyError):
+            s.move(0)
+
+
+class TestDisplay:
+    def test_letters(self):
+        assert all_d(1).letters() == "DDDD"
+        assert wsls(1).letters() == "CDDC"
+
+    def test_bits_rejected_for_mixed(self):
+        with pytest.raises(StrategyError):
+            gtft(0.3, 1).bits()
+
+    def test_describe_mentions_every_state(self):
+        text = wsls(1).describe()
+        assert text.count("state") == 4

@@ -1,0 +1,106 @@
+"""Tests for the experiment registry and the cheap experiment runners.
+
+The expensive shape assertions live in ``benchmarks/``; here we pin the
+registry mechanics and the fast tables.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import Scale, all_experiments, get
+from repro.experiments.registry import ExperimentResult
+
+
+class TestRegistry:
+    def test_all_expected_ids_registered(self):
+        ids = {e.experiment_id for e in all_experiments()}
+        assert ids == {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6a",
+            "fig6b",
+            "claim-mem6",
+        }
+
+    def test_every_experiment_has_paper_ref(self):
+        for exp in all_experiments():
+            assert exp.paper_ref
+            assert exp.title
+
+    def test_unknown_id(self):
+        with pytest.raises(ConfigurationError):
+            get("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.registry import register
+
+        with pytest.raises(ConfigurationError):
+
+            @register("table1", "dup", "nowhere")
+            def dup(scale):  # pragma: no cover
+                raise AssertionError
+
+
+class TestStaticTables:
+    @pytest.mark.parametrize("eid", ["table1", "table2", "table3", "table4", "table5"])
+    def test_runs_and_renders(self, eid):
+        result = get(eid).run(Scale.SMOKE)
+        assert isinstance(result, ExperimentResult)
+        assert result.rendered
+        assert result.paper_expectation
+        assert str(result)  # __str__ works
+
+    def test_table4_flags_paper_discrepancy(self):
+        result = get("table4").run(Scale.SMOKE)
+        assert "inconsistent" in result.rendered
+
+    def test_table5_gray_order(self):
+        result = get("table5").run(Scale.SMOKE)
+        assert result.data["wsls_bits_paper_order"] == "0101"
+
+
+class TestCheapModelExperiments:
+    def test_claim_mem6(self):
+        result = get("claim-mem6").run(Scale.SMOKE)
+        assert result.data["limits"] == {"BG/P": 6, "BG/Q": 6}
+
+    def test_table6_smoke(self):
+        result = get("table6").run(Scale.SMOKE)
+        eff = result.data["efficiency_by_ratio"]
+        assert eff[0.5] < eff[1.0] < eff[2.0]
+
+    def test_fig5_smoke(self):
+        result = get("fig5").run(Scale.SMOKE)
+        assert set(result.data["compute"]) == {1, 2, 3, 4, 5, 6}
+
+    def test_fig6a_smoke(self):
+        result = get("fig6a").run(Scale.SMOKE)
+        assert set(result.data["curves"]) == {"BG/P", "BG/Q"}
+
+    def test_fig6b_smoke(self):
+        result = get("fig6b").run(Scale.SMOKE)
+        assert len(result.data["efficiencies"]) == 5
+
+
+class TestValidationConfig:
+    def test_scales(self):
+        from repro.experiments.validation import validation_config
+
+        smoke = validation_config(Scale.SMOKE)
+        full = validation_config(Scale.FULL)
+        assert full.n_ssets == 5_000
+        assert full.generations == 10_000_000
+        assert smoke.generations < full.generations
+        # Both use the paper's rates and errors-on expected fitness.
+        for cfg in (smoke, full):
+            assert cfg.pc_rate == 0.10
+            assert cfg.mutation_rate == 0.05
+            assert cfg.expected_fitness

@@ -1,0 +1,108 @@
+"""Tests for the SSet-to-rank decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecompositionError
+from repro.framework import Decomposition
+
+
+class TestWholeMode:
+    def test_even_blocks(self):
+        d = Decomposition(n_ssets=8, n_workers=4)
+        blocks = [d.block_for_worker(w).sset_ids for w in range(4)]
+        assert blocks == [(0, 1), (2, 3), (4, 5), (6, 7)]
+
+    def test_uneven_blocks_balanced(self):
+        d = Decomposition(n_ssets=10, n_workers=4)
+        sizes = [len(d.block_for_worker(w).sset_ids) for w in range(4)]
+        assert sorted(sizes) == [2, 2, 3, 3]
+        assert max(sizes) == d.max_ssets_per_worker()
+
+    def test_fewer_ssets_than_workers_idles_ranks(self):
+        d = Decomposition(n_ssets=2, n_workers=4)
+        sizes = [len(d.block_for_worker(w).sset_ids) for w in range(4)]
+        assert sizes == [1, 1, 0, 0]
+        assert not d.split_active
+
+    def test_owner_matches_blocks(self):
+        d = Decomposition(n_ssets=10, n_workers=4)
+        for w in range(4):
+            for s in d.block_for_worker(w).sset_ids:
+                assert d.owner_of(s) == w
+
+    def test_ratio(self):
+        assert Decomposition(n_ssets=8, n_workers=4).ratio == 2.0
+        assert Decomposition(n_ssets=2, n_workers=4).ratio == 0.5
+
+    def test_validate_cover(self):
+        Decomposition(n_ssets=13, n_workers=5).validate_cover()
+
+    @given(s=st.integers(1, 200), w=st.integers(1, 64))
+    @settings(max_examples=60)
+    def test_cover_property(self, s, w):
+        d = Decomposition(n_ssets=s, n_workers=w)
+        d.validate_cover()
+        for sset in range(s):
+            owner = d.owner_of(sset)
+            assert sset in d.block_for_worker(owner).sset_ids
+
+    def test_invalid_args(self):
+        with pytest.raises(DecompositionError):
+            Decomposition(n_ssets=0, n_workers=4)
+        with pytest.raises(DecompositionError):
+            Decomposition(n_ssets=4, n_workers=0)
+        with pytest.raises(DecompositionError):
+            Decomposition(n_ssets=4, n_workers=2).block_for_worker(2)
+        with pytest.raises(DecompositionError):
+            Decomposition(n_ssets=4, n_workers=2).owner_of(4)
+
+
+class TestSplitMode:
+    def test_split_engages_only_below_one(self):
+        d = Decomposition(n_ssets=8, n_workers=4, split_ssets=True)
+        assert not d.split_active  # R = 2, splitting unnecessary
+        d2 = Decomposition(n_ssets=2, n_workers=4, split_ssets=True)
+        assert d2.split_active
+        assert d2.group_size == 2
+
+    def test_group_members(self):
+        d = Decomposition(n_ssets=2, n_workers=4, split_ssets=True)
+        assert d.group_members(0) == (0, 1)
+        assert d.group_members(1) == (2, 3)
+        assert d.owner_of(1) == 2  # group leader
+
+    def test_split_blocks(self):
+        d = Decomposition(n_ssets=2, n_workers=4, split_ssets=True)
+        b = d.block_for_worker(1)
+        assert b.sset_ids == (0,)
+        assert b.split_index == 1
+        assert b.split_group_size == 2
+        assert b.is_split
+
+    def test_remainder_workers_idle(self):
+        d = Decomposition(n_ssets=3, n_workers=7, split_ssets=True)
+        assert d.group_size == 2
+        idle = [w for w in range(7) if not d.block_for_worker(w).sset_ids]
+        assert idle == [6]
+
+    def test_opponents_share_sums_to_total(self):
+        d = Decomposition(n_ssets=2, n_workers=8, split_ssets=True)
+        total = 37
+        shares = [d.opponents_share(total, i) for i in range(d.group_size)]
+        assert sum(shares) == total
+        assert max(shares) - min(shares) <= 1
+
+    @given(s=st.integers(1, 16), w=st.integers(1, 64))
+    @settings(max_examples=40)
+    def test_group_partition_property(self, s, w):
+        d = Decomposition(n_ssets=s, n_workers=w, split_ssets=True)
+        seen = set()
+        for sset in range(s):
+            members = d.group_members(sset)
+            assert len(members) == d.group_size
+            if d.split_active:
+                # Split groups partition the workers.
+                assert not (set(members) & seen)
+            seen.update(members)

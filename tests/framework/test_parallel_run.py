@@ -1,0 +1,209 @@
+"""Integration tests: the DES parallel run against the serial reference."""
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, run_serial
+from repro.errors import ConfigurationError
+from repro.framework import (
+    CostModel,
+    OptimizationLevel,
+    ParallelConfig,
+    run_parallel_simulation,
+)
+from repro.machine import BLUEGENE_P, BLUEGENE_Q
+
+
+@pytest.fixture
+def evo() -> EvolutionConfig:
+    return EvolutionConfig(n_ssets=12, generations=400, rounds=32, seed=31)
+
+
+class TestTrajectoryEquality:
+    """The flagship property: parallel science == serial science."""
+
+    @pytest.mark.parametrize("n_ranks", [2, 3, 5, 13])
+    def test_matches_serial_across_rank_counts(self, evo, n_ranks):
+        serial = run_serial(evo)
+        par = run_parallel_simulation(
+            evo, ParallelConfig(n_ranks=n_ranks, machine=BLUEGENE_Q)
+        )
+        assert serial.events == par.events
+        assert np.array_equal(
+            serial.population.strategy_matrix(),
+            np.stack([s.table for s in par.final_strategies]),
+        )
+
+    def test_split_mode_matches_serial(self, evo):
+        # More workers than SSets with splitting enabled.
+        par = run_parallel_simulation(
+            evo,
+            ParallelConfig(n_ranks=25, machine=BLUEGENE_Q, split_ssets=True),
+        )
+        serial = run_serial(evo)
+        assert serial.events == par.events
+
+    def test_worker_views_all_converge(self, evo):
+        par = run_parallel_simulation(
+            evo, ParallelConfig(n_ranks=5, machine=BLUEGENE_Q)
+        )
+        reference = [s.key() for s in par.final_strategies]
+        for view in par.worker_views.values():
+            assert [s.key() for s in view] == reference
+
+    def test_optimization_level_does_not_change_science(self, evo):
+        runs = [
+            run_parallel_simulation(
+                evo,
+                ParallelConfig(
+                    n_ranks=4, machine=BLUEGENE_Q, optimization=level
+                ),
+            )
+            for level in OptimizationLevel
+        ]
+        for run in runs[1:]:
+            assert run.events == runs[0].events
+
+    def test_machine_does_not_change_science(self, evo):
+        a = run_parallel_simulation(evo, ParallelConfig(n_ranks=4, machine=BLUEGENE_P))
+        b = run_parallel_simulation(evo, ParallelConfig(n_ranks=4, machine=BLUEGENE_Q))
+        assert a.events == b.events
+        assert a.makespan != b.makespan  # but the clocks differ
+
+
+class TestTiming:
+    def test_optimizations_speed_up_runtime(self, evo):
+        times = {}
+        for level in OptimizationLevel:
+            result = run_parallel_simulation(
+                evo,
+                ParallelConfig(n_ranks=4, machine=BLUEGENE_Q, optimization=level),
+            )
+            times[level] = result.makespan
+        assert times[OptimizationLevel.ORIGINAL] > times[OptimizationLevel.COMPILER]
+        assert times[OptimizationLevel.COMPILER] > times[OptimizationLevel.INTRINSICS]
+        # The comm-only step is a small improvement (paper Fig. 3).
+        assert times[OptimizationLevel.NONBLOCKING] <= times[OptimizationLevel.ORIGINAL]
+
+    def test_more_ranks_faster_when_saturated(self, evo):
+        # 12 SSets: 3 workers (R=4) vs 6 workers (R=2) — both overlap-capable.
+        slow = run_parallel_simulation(
+            evo, ParallelConfig(n_ranks=4, machine=BLUEGENE_Q)
+        )
+        fast = run_parallel_simulation(
+            evo, ParallelConfig(n_ranks=7, machine=BLUEGENE_Q)
+        )
+        assert fast.makespan < slow.makespan
+
+    def test_memory_steps_increase_runtime(self):
+        base = EvolutionConfig(n_ssets=8, generations=50, rounds=32, seed=1)
+        times = []
+        for n in (1, 3, 6):
+            evo = base.with_updates(memory_steps=n)
+            result = run_parallel_simulation(
+                evo,
+                ParallelConfig(n_ranks=3, machine=BLUEGENE_P, executable=False),
+            )
+            times.append(result.makespan)
+        assert times[0] < times[1] < times[2]
+
+    def test_compute_comm_split_reported(self, evo):
+        result = run_parallel_simulation(
+            evo, ParallelConfig(n_ranks=4, machine=BLUEGENE_Q)
+        )
+        assert result.compute_seconds > 0
+        assert result.comm_seconds > 0
+
+
+class TestCostOnlyMode:
+    def test_cost_only_has_no_science(self, evo):
+        result = run_parallel_simulation(
+            evo, ParallelConfig(n_ranks=4, machine=BLUEGENE_Q, executable=False)
+        )
+        assert result.final_strategies == []
+        with pytest.raises(ConfigurationError):
+            result.final_population()
+
+    def test_cost_only_makespan_close_to_executable(self, evo):
+        exe = run_parallel_simulation(
+            evo, ParallelConfig(n_ranks=4, machine=BLUEGENE_Q)
+        )
+        cost = run_parallel_simulation(
+            evo, ParallelConfig(n_ranks=4, machine=BLUEGENE_Q, executable=False)
+        )
+        # Cost-only runs never broadcast adopted strategies (fitness is 0),
+        # but the virtual-time difference must stay small: the schedule is
+        # dominated by game compute.
+        assert cost.makespan == pytest.approx(exe.makespan, rel=0.05)
+
+
+class TestGuards:
+    def test_rank_limit(self, evo):
+        with pytest.raises(ConfigurationError):
+            run_parallel_simulation(evo, ParallelConfig(n_ranks=100_000))
+
+    def test_stochastic_executable_rejected(self):
+        evo = EvolutionConfig(n_ssets=4, generations=10, noise=0.1)
+        with pytest.raises(ConfigurationError):
+            run_parallel_simulation(evo, ParallelConfig(n_ranks=3))
+
+    def test_min_ranks(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(n_ranks=1)
+
+
+class TestCostModel:
+    def test_thread_speedup_paper_claim(self):
+        # BG/Q, 32 ranks/node, 2 threads/rank: threads share cores via SMT,
+        # the paper saw ~2% ("The impact of the threads was minimal").
+        evo = EvolutionConfig(n_ssets=8, generations=10)
+        par = ParallelConfig(
+            n_ranks=4, machine=BLUEGENE_Q, threads_per_rank=2, ranks_per_node=32
+        )
+        costs = CostModel(spec=BLUEGENE_Q, evolution=evo, parallel=par)
+        assert costs.thread_speedup == pytest.approx(1.02)
+
+    def test_dedicated_cores_scale_linearly(self):
+        evo = EvolutionConfig(n_ssets=8, generations=10)
+        par = ParallelConfig(
+            n_ranks=4, machine=BLUEGENE_Q, threads_per_rank=4, ranks_per_node=4
+        )
+        costs = CostModel(spec=BLUEGENE_Q, evolution=evo, parallel=par)
+        assert costs.thread_speedup == pytest.approx(4.0)
+
+    def test_exposed_sync_knee(self):
+        evo = EvolutionConfig(n_ssets=8, generations=10)
+        par = ParallelConfig(n_ranks=4, machine=BLUEGENE_P)
+        costs = CostModel(spec=BLUEGENE_P, evolution=evo, parallel=par)
+        base = costs.sync_exposure_base()
+        # At memory-one the exposure is ~80% of one SSet's game time.
+        assert base == pytest.approx(0.8 * costs.sset_game_time(), rel=0.01)
+        assert costs.exposed_sync(1) == pytest.approx(base)
+        assert costs.exposed_sync(2) == 0.0
+        assert 0 < costs.exposed_sync(1.5) < costs.exposed_sync(1)
+
+    def test_exposure_independent_of_memory_steps(self):
+        # Fig. 5: communication stays flat while compute grows ~n^2.
+        par = ParallelConfig(n_ranks=4, machine=BLUEGENE_P)
+        bases = []
+        for n in (1, 6):
+            evo = EvolutionConfig(n_ssets=8, generations=10, memory_steps=n)
+            costs = CostModel(spec=BLUEGENE_P, evolution=evo, parallel=par)
+            bases.append(costs.sync_exposure_base())
+        assert bases[0] == pytest.approx(bases[1])
+
+    def test_blocking_never_overlaps(self):
+        evo = EvolutionConfig(n_ssets=8, generations=10)
+        par = ParallelConfig(
+            n_ranks=4,
+            machine=BLUEGENE_P,
+            optimization=OptimizationLevel.ORIGINAL,
+        )
+        costs = CostModel(spec=BLUEGENE_P, evolution=evo, parallel=par)
+        assert costs.exposed_sync(8) > 0.0
+
+    def test_strategy_bytes(self):
+        evo = EvolutionConfig(n_ssets=8, generations=1, memory_steps=6)
+        par = ParallelConfig(n_ranks=4)
+        costs = CostModel(spec=BLUEGENE_Q, evolution=evo, parallel=par)
+        assert costs.strategy_bytes() == 4096

@@ -1,0 +1,103 @@
+"""Tests for the recorder and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, Population, run_event_driven, tft, wsls
+from repro.errors import CheckpointError
+from repro.io import (
+    GenerationRecorder,
+    load_population,
+    read_records,
+    save_population,
+)
+
+
+@pytest.fixture
+def result():
+    return run_event_driven(
+        EvolutionConfig(n_ssets=8, generations=800, rounds=16, seed=13)
+    )
+
+
+class TestRecorder:
+    def test_roundtrip_events(self, tmp_path, result):
+        path = tmp_path / "run.jsonl"
+        with GenerationRecorder(path) as rec:
+            rec.record_result(result)
+        records = read_records(path)
+        events = [r for r in records if r["type"] == "event"]
+        assert len(events) == len(result.events)
+        assert events[0]["generation"] == result.events[0].generation
+        summaries = [r for r in records if r["type"] == "summary"]
+        assert len(summaries) == 1
+        assert summaries[0]["generation"] == result.generations_run
+
+    def test_requires_context_manager(self, tmp_path, result):
+        rec = GenerationRecorder(tmp_path / "x.jsonl")
+        with pytest.raises(CheckpointError):
+            rec.record_result(result)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_records(tmp_path / "absent.jsonl")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "event"}\nnot json\n')
+        with pytest.raises(CheckpointError):
+            read_records(path)
+
+    def test_creates_parent_dirs(self, tmp_path, result):
+        path = tmp_path / "nested" / "deep" / "run.jsonl"
+        with GenerationRecorder(path) as rec:
+            rec.record_summary(0, "0110", 1.0)
+        assert path.exists()
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        pop = Population.from_strategies([wsls(1), tft(1)], agents_per_sset=3)
+        path = tmp_path / "pop.npz"
+        save_population(pop, path)
+        restored = load_population(path)
+        assert len(restored) == 2
+        assert restored.memory_steps == 1
+        np.testing.assert_array_equal(
+            restored.strategy_matrix(), pop.strategy_matrix()
+        )
+        assert restored[0].n_agents == 3
+
+    def test_roundtrip_evolved_population(self, tmp_path, result):
+        path = tmp_path / "evolved.npz"
+        save_population(result.population, path)
+        restored = load_population(path)
+        np.testing.assert_array_equal(
+            restored.strategy_matrix(), result.population.strategy_matrix()
+        )
+        # Histogram reconstructed consistently.
+        assert (
+            restored.dominant_share()[1] == result.population.dominant_share()[1]
+        )
+
+    def test_missing_checkpoint(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_population(tmp_path / "absent.npz")
+
+    def test_corrupt_checkpoint(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"definitely not a zip")
+        with pytest.raises(CheckpointError):
+            load_population(path)
+
+    def test_memory_six_checkpoint(self, tmp_path):
+        from repro.core import random_pure
+        from repro.rng import make_rng
+
+        rng = make_rng(5)
+        pop = Population.from_strategies([random_pure(rng, 6) for _ in range(4)])
+        path = tmp_path / "mem6.npz"
+        save_population(pop, path)
+        restored = load_population(path)
+        assert restored.memory_steps == 6
+        assert restored.strategy_matrix().shape == (4, 4096)

@@ -1,0 +1,148 @@
+"""Tests for torus topology and machine specs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, MemoryCapacityError
+from repro.machine import (
+    BLUEGENE_P,
+    BLUEGENE_Q,
+    GENERIC_CLUSTER,
+    TorusTopology,
+    balanced_dims,
+    estimate_footprint,
+    max_memory_steps,
+    network_for,
+)
+
+
+class TestBalancedDims:
+    def test_power_of_two_3d(self):
+        assert balanced_dims(512, 3) == (8, 8, 8)
+
+    def test_power_of_two_5d(self):
+        dims = balanced_dims(1024, 5)
+        assert len(dims) == 5
+        import math
+
+        assert math.prod(dims) == 1024
+
+    def test_single_node(self):
+        assert balanced_dims(1, 3) == (1, 1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            balanced_dims(0, 3)
+
+    @given(n=st.integers(1, 4096), d=st.integers(1, 5))
+    @settings(max_examples=60)
+    def test_product_preserved(self, n, d):
+        import math
+
+        assert math.prod(balanced_dims(n, d)) == n
+
+
+class TestTorus:
+    def test_coordinates_roundtrip(self):
+        t = TorusTopology((4, 4, 4))
+        seen = {t.coordinates(i) for i in range(64)}
+        assert len(seen) == 64
+
+    def test_hop_distance_wraps(self):
+        t = TorusTopology((8,))
+        assert t.hop_distance(0, 1) == 1
+        assert t.hop_distance(0, 7) == 1  # wrap-around link
+        assert t.hop_distance(0, 4) == 4  # antipode
+
+    def test_diameter(self):
+        t = TorusTopology((8, 8, 8))
+        assert t.max_hops == 12
+
+    def test_average_hops_positive(self):
+        t = TorusTopology((8, 8))
+        assert 0 < t.average_hops <= t.max_hops
+
+    def test_symmetry(self):
+        t = TorusTopology((4, 6))
+        for a in range(0, 24, 5):
+            for b in range(0, 24, 7):
+                assert t.hop_distance(a, b) == t.hop_distance(b, a)
+
+    def test_triangle_inequality(self):
+        t = TorusTopology((4, 4))
+        for a in range(16):
+            for b in range(16):
+                for c in range(0, 16, 3):
+                    assert t.hop_distance(a, c) <= t.hop_distance(
+                        a, b
+                    ) + t.hop_distance(b, c)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            TorusTopology((4,)).coordinates(4)
+
+
+class TestMachineSpecs:
+    def test_bgp_shape(self):
+        assert BLUEGENE_P.cores_per_node == 4
+        assert BLUEGENE_P.torus_dims == 3
+        # Virtual-node mode: 512 MB per rank.
+        assert BLUEGENE_P.memory_per_rank_bytes() == 512 * 1024**2
+
+    def test_bgq_shape(self):
+        assert BLUEGENE_Q.cores_per_node == 16
+        assert BLUEGENE_Q.torus_dims == 5
+        assert BLUEGENE_Q.default_ranks_per_node == 32
+
+    def test_t_round_grows_with_memory(self):
+        costs = [BLUEGENE_P.t_round(n) for n in range(1, 7)]
+        assert all(b > a for a, b in zip(costs, costs[1:]))
+        # Calibration targets (see bluegene.py docstring): us scale.
+        assert costs[0] == pytest.approx(1.33e-6, rel=0.05)
+        assert costs[5] == pytest.approx(27e-6, rel=0.05)
+
+    def test_nodes_for_ranks(self):
+        assert BLUEGENE_P.nodes_for_ranks(2048) == 512
+        assert BLUEGENE_Q.nodes_for_ranks(16384) == 512
+
+    def test_network_for_builds_hops(self):
+        net = network_for(BLUEGENE_P, n_ranks=16, ranks_per_node=4)
+        cost_near = net.p2p(0, 1, 100)  # same node
+        cost_far = net.p2p(0, 15, 100)
+        assert cost_far.transit >= cost_near.transit
+
+
+class TestMemoryModel:
+    def test_paper_claim_memory_six_on_bgp(self):
+        # 32,768 strategies (the paper's strong-scaling working set):
+        # memory-six fits in a 512 MB VN-mode rank, memory-seven does not.
+        assert max_memory_steps(BLUEGENE_P, n_strategies=32_768) == 6
+
+    def test_bgq_also_capped_at_six(self):
+        # Paper: memory-six "was the largest memory step model that could
+        # fit into memory on both ... platforms" (BG/Q runs 32 ranks/node
+        # -> 512 MB/rank as well).
+        assert max_memory_steps(BLUEGENE_Q, n_strategies=32_768) == 6
+
+    def test_fewer_strategies_allow_more_memory(self):
+        assert max_memory_steps(BLUEGENE_P, n_strategies=1_024) >= 7
+
+    def test_mixed_strategies_cost_more(self):
+        pure = max_memory_steps(BLUEGENE_P, n_strategies=32_768)
+        mixed = max_memory_steps(
+            BLUEGENE_P, n_strategies=32_768, mixed_strategies=True
+        )
+        assert mixed < pure
+
+    def test_footprint_components(self):
+        fp = estimate_footprint(6, 32_768, ssets_per_rank=4096)
+        assert fp.strategy_store == 32_768 * 4096
+        assert fp.total > fp.strategy_store
+
+    def test_impossible_configuration_raises(self):
+        with pytest.raises(MemoryCapacityError):
+            max_memory_steps(BLUEGENE_P, n_strategies=2**30)
+
+    def test_generic_cluster_roomier(self):
+        assert max_memory_steps(GENERIC_CLUSTER, n_strategies=32_768) >= 7

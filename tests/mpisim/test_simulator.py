@@ -1,0 +1,320 @@
+"""Tests for the discrete-event MPI simulator."""
+
+import pytest
+
+from repro.errors import CommunicationError, DeadlockError
+from repro.mpisim import (
+    ANY_SOURCE,
+    Allreduce,
+    Barrier,
+    Bcast,
+    Compute,
+    Gather,
+    Irecv,
+    Isend,
+    Recv,
+    Reduce,
+    Send,
+    Simulator,
+    UniformNetwork,
+    Wait,
+)
+
+
+def make_sim(n, latency=1e-6, bandwidth=1e9, trace=False):
+    return Simulator(n, UniformNetwork(n, latency, bandwidth), trace_events=trace)
+
+
+class TestCompute:
+    def test_compute_advances_clock(self):
+        def prog():
+            yield Compute(2.5)
+
+        report = make_sim(1).run([prog()])
+        assert report.finish_times == [2.5]
+        assert report.traces[0].compute_seconds == 2.5
+
+    def test_labels_accumulate(self):
+        def prog():
+            yield Compute(1.0, label="games")
+            yield Compute(0.5, label="games")
+            yield Compute(0.25, label="fermi")
+
+        report = make_sim(1).run([prog()])
+        assert report.traces[0].compute_by_label == {"games": 1.5, "fermi": 0.25}
+        assert report.compute_by_label()["games"] == 1.5
+
+    def test_negative_compute_rejected(self):
+        def prog():
+            yield Compute(-1.0)
+
+        with pytest.raises(CommunicationError):
+            make_sim(1).run([prog()])
+
+
+class TestPointToPoint:
+    def test_send_recv_payload(self):
+        def sender():
+            yield Send(dest=1, tag=7, nbytes=100, payload={"x": 42})
+
+        def receiver():
+            msg = yield Recv(source=0, tag=7)
+            assert msg == {"x": 42}
+
+        make_sim(2).run([sender(), receiver()])
+
+    def test_receiver_waits_for_transit(self):
+        latency = 1e-3
+
+        def sender():
+            yield Compute(1.0)
+            yield Send(dest=1, tag=0, nbytes=0)
+
+        def receiver():
+            yield Recv(source=0, tag=0)
+
+        report = make_sim(2, latency=latency).run([sender(), receiver()])
+        # Receiver finishes after sender's compute + latency.
+        assert report.finish_times[1] >= 1.0 + latency
+        assert report.traces[1].comm_seconds >= 1.0
+
+    def test_tag_matching(self):
+        def sender():
+            yield Send(dest=1, tag=1, nbytes=0, payload="one")
+            yield Send(dest=1, tag=2, nbytes=0, payload="two")
+
+        def receiver():
+            b = yield Recv(source=0, tag=2)
+            a = yield Recv(source=0, tag=1)
+            assert (a, b) == ("one", "two")
+
+        make_sim(2).run([sender(), receiver()])
+
+    def test_any_source(self):
+        def sender(payload):
+            def prog():
+                yield Send(dest=2, tag=0, nbytes=0, payload=payload)
+
+            return prog()
+
+        received = []
+
+        def receiver():
+            for _ in range(2):
+                msg = yield Recv(source=ANY_SOURCE, tag=0)
+                received.append(msg)
+
+        make_sim(3).run([sender("a"), sender("b"), receiver()])
+        assert sorted(received) == ["a", "b"]
+
+    def test_fifo_per_source_same_tag(self):
+        def sender():
+            yield Send(dest=1, tag=0, nbytes=0, payload=1)
+            yield Send(dest=1, tag=0, nbytes=0, payload=2)
+
+        def receiver():
+            first = yield Recv(source=0, tag=0)
+            second = yield Recv(source=0, tag=0)
+            assert (first, second) == (1, 2)
+
+        make_sim(2).run([sender(), receiver()])
+
+    def test_isend_wait(self):
+        def sender():
+            req = yield Isend(dest=1, tag=0, nbytes=8, payload=3.14)
+            yield Compute(1.0)
+            yield Wait(req)
+
+        def receiver():
+            value = yield Recv(source=0, tag=0)
+            assert value == 3.14
+
+        make_sim(2).run([sender(), receiver()])
+
+    def test_irecv_wait(self):
+        def sender():
+            yield Compute(0.5)
+            yield Send(dest=1, tag=0, nbytes=0, payload="late")
+
+        def receiver():
+            req = yield Irecv(source=0, tag=0)
+            yield Compute(0.1)
+            value = yield Wait(req)
+            assert value == "late"
+
+        make_sim(2).run([sender(), receiver()])
+
+    def test_send_to_invalid_rank(self):
+        def prog():
+            yield Send(dest=9, tag=0, nbytes=0)
+
+        with pytest.raises(CommunicationError):
+            make_sim(2).run([prog(), iter(())])
+
+    def test_bandwidth_term(self):
+        bw = 1e6  # 1 MB/s
+
+        def sender():
+            yield Send(dest=1, tag=0, nbytes=1_000_000)
+
+        def receiver():
+            yield Recv(source=0, tag=0)
+
+        report = make_sim(2, latency=0.0, bandwidth=bw).run([sender(), receiver()])
+        assert report.finish_times[1] == pytest.approx(1.0, rel=1e-6)
+
+
+class TestCollectives:
+    def test_bcast_delivers_root_payload(self):
+        def root():
+            got = yield Bcast(root=0, nbytes=10, payload="hello")
+            assert got == "hello"
+
+        def other():
+            got = yield Bcast(root=0, nbytes=10)
+            assert got == "hello"
+
+        make_sim(3).run([root(), other(), other()])
+
+    def test_bcast_synchronizes_clocks(self):
+        def fast():
+            yield Bcast(root=0, nbytes=0, payload=1)
+
+        def slow():
+            yield Compute(5.0)
+            yield Bcast(root=0, nbytes=0)
+
+        report = make_sim(2).run([fast(), slow()])
+        assert report.finish_times[0] == report.finish_times[1]
+        assert report.finish_times[0] > 5.0
+        # The fast rank's wait is accounted as communication.
+        assert report.traces[0].comm_seconds >= 5.0
+
+    def test_gather(self):
+        def prog(rank):
+            def inner():
+                got = yield Gather(root=0, nbytes=8, payload=rank * 10)
+                if rank == 0:
+                    assert got == [0, 10, 20]
+                else:
+                    assert got is None
+
+            return inner()
+
+        make_sim(3).run([prog(0), prog(1), prog(2)])
+
+    def test_reduce_sum(self):
+        def prog(rank):
+            def inner():
+                got = yield Reduce(root=1, nbytes=8, payload=rank + 1)
+                if rank == 1:
+                    assert got == 6
+
+            return inner()
+
+        make_sim(3).run([prog(0), prog(1), prog(2)])
+
+    def test_allreduce_everyone_gets_result(self):
+        results = []
+
+        def prog(rank):
+            def inner():
+                got = yield Allreduce(nbytes=8, payload=rank)
+                results.append(got)
+
+            return inner()
+
+        make_sim(4).run([prog(r) for r in range(4)])
+        assert results == [6, 6, 6, 6]
+
+    def test_barrier(self):
+        def fast():
+            yield Barrier()
+            yield Compute(1.0)
+
+        def slow():
+            yield Compute(3.0)
+            yield Barrier()
+
+        report = make_sim(2).run([fast(), slow()])
+        assert report.finish_times[0] > 3.0
+
+    def test_mismatched_collectives_rejected(self):
+        def a():
+            yield Bcast(root=0, nbytes=0)
+
+        def b():
+            yield Barrier()
+
+        with pytest.raises(CommunicationError):
+            make_sim(2).run([a(), b()])
+
+    def test_sequences_of_collectives(self):
+        order = []
+
+        def prog(rank):
+            def inner():
+                v1 = yield Bcast(root=0, nbytes=0, payload="first" if rank == 0 else None)
+                v2 = yield Bcast(root=1, nbytes=0, payload="second" if rank == 1 else None)
+                order.append((rank, v1, v2))
+
+            return inner()
+
+        make_sim(2).run([prog(0), prog(1)])
+        assert order[0][1:] == ("first", "second")
+        assert order[1][1:] == ("first", "second")
+
+
+class TestDeadlockDetection:
+    def test_recv_without_send(self):
+        def prog():
+            yield Recv(source=0, tag=0)
+
+        def idle():
+            yield Compute(1.0)
+
+        with pytest.raises(DeadlockError) as err:
+            make_sim(2).run([idle(), prog()])
+        assert "rank 1" in str(err.value)
+
+    def test_partial_collective(self):
+        def a():
+            yield Barrier()
+
+        def b():
+            yield Compute(1.0)  # never joins the barrier
+
+        with pytest.raises(DeadlockError) as err:
+            make_sim(2).run([a(), b()])
+        assert "collective" in str(err.value).lower() or "Barrier" in str(err.value)
+
+    def test_wrong_program_count(self):
+        with pytest.raises(CommunicationError):
+            make_sim(2).run([iter(())])
+
+
+class TestTracing:
+    def test_events_recorded(self):
+        def sender():
+            yield Compute(1.0, label="games")
+            yield Send(dest=1, tag=0, nbytes=8)
+
+        def receiver():
+            yield Recv(source=0, tag=0)
+
+        report = make_sim(2, trace=True).run([sender(), receiver()])
+        names = [e[0] for e in report.traces[0].events]
+        assert names == ["compute:games", "send"]
+        assert [e[0] for e in report.traces[1].events] == ["recv"]
+
+    def test_totals(self):
+        def prog(rank):
+            def inner():
+                yield Compute(1.0)
+                yield Barrier()
+
+            return inner()
+
+        report = make_sim(3).run([prog(r) for r in range(3)])
+        assert report.total_compute == pytest.approx(3.0)
+        assert report.makespan >= 1.0

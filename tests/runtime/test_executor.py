@@ -1,0 +1,117 @@
+"""Tests for the real multiprocessing runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core import all_c, all_d, payoff_matrix, random_pure, tft, wsls
+from repro.errors import ConfigurationError, DecompositionError
+from repro.rng import make_rng
+from repro.runtime import (
+    ParallelKernel,
+    SharedArray,
+    block_ranges,
+    interleaved_indices,
+    parallel_all_fitness,
+    parallel_payoff_matrix,
+    tree_reduce,
+)
+
+
+@pytest.fixture(scope="module")
+def strategies():
+    rng = make_rng(77)
+    return [tft(1), wsls(1), all_c(1), all_d(1)] + [random_pure(rng, 1) for _ in range(8)]
+
+
+class TestPartition:
+    def test_block_ranges_cover(self):
+        ranges = block_ranges(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_parts_than_items(self):
+        ranges = block_ranges(2, 4)
+        assert ranges == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    def test_invalid(self):
+        with pytest.raises(DecompositionError):
+            block_ranges(-1, 2)
+        with pytest.raises(DecompositionError):
+            block_ranges(4, 0)
+
+    def test_interleaved(self):
+        assert interleaved_indices(7, 3, 0) == [0, 3, 6]
+        assert interleaved_indices(7, 3, 2) == [2, 5]
+        with pytest.raises(DecompositionError):
+            interleaved_indices(7, 3, 3)
+
+
+class TestTreeReduce:
+    def test_sum(self):
+        assert tree_reduce([1, 2, 3, 4, 5], lambda a, b: a + b) == 15
+
+    def test_single(self):
+        assert tree_reduce([42], lambda a, b: a + b) == 42
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tree_reduce([], lambda a, b: a + b)
+
+    def test_deterministic_float_order(self):
+        values = [0.1 * i for i in range(9)]
+        a = tree_reduce(values, lambda x, y: x + y)
+        b = tree_reduce(values, lambda x, y: x + y)
+        assert a == b
+
+
+class TestSharedArray:
+    def test_roundtrip(self):
+        with SharedArray((4, 3)) as shared:
+            shared.array[:] = 7.0
+            attached, handle = SharedArray.attach(shared.spec)
+            try:
+                assert np.all(attached == 7.0)
+                attached[0, 0] = 1.0
+            finally:
+                handle.close()
+            assert shared.array[0, 0] == 1.0
+
+
+class TestParallelKernel:
+    def test_serial_path_matches_reference(self, strategies):
+        with ParallelKernel(n_workers=1, rounds=50) as kernel:
+            result = kernel.payoff_matrix(strategies)
+        reference = payoff_matrix(strategies, rounds=50)
+        np.testing.assert_array_equal(result, reference)
+
+    def test_two_workers_bit_identical(self, strategies):
+        reference = payoff_matrix(strategies, rounds=50)
+        result = parallel_payoff_matrix(strategies, rounds=50, n_workers=2)
+        np.testing.assert_array_equal(result, reference)
+
+    def test_shared_memory_transport(self, strategies):
+        reference = payoff_matrix(strategies, rounds=50)
+        result = parallel_payoff_matrix(
+            strategies, rounds=50, n_workers=2, use_shared_memory=True
+        )
+        np.testing.assert_array_equal(result, reference)
+
+    def test_fitness_vector(self, strategies):
+        reference = payoff_matrix(strategies, rounds=50)
+        expected = reference.sum(axis=1) - np.diag(reference)
+        fitness = parallel_all_fitness(strategies, rounds=50, n_workers=2)
+        np.testing.assert_allclose(fitness, expected)
+
+    def test_fitness_with_self_play(self, strategies):
+        reference = payoff_matrix(strategies, rounds=50)
+        with ParallelKernel(n_workers=1, rounds=50) as kernel:
+            fitness = kernel.all_fitness(strategies, include_self_play=True)
+        np.testing.assert_allclose(fitness, reference.sum(axis=1))
+
+    def test_empty_strategies_rejected(self):
+        with ParallelKernel(n_workers=1) as kernel:
+            with pytest.raises(ConfigurationError):
+                kernel.payoff_matrix([])
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            ParallelKernel(n_workers=0)

@@ -1,0 +1,34 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table6" in out and "fig6b" in out
+
+    def test_run_table(self, capsys):
+        assert main(["run", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "WSLS" in out or "0101" in out
+
+    def test_run_unknown_experiment(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "fig99"])
+
+    def test_evolve_small(self, capsys):
+        assert main(
+            ["evolve", "--ssets", "8", "--generations", "500", "--rounds", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dominant:" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
