@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Ensemble sweep: which strategies win across seeds and memory depths?
+
+Uses the unified front-end's batch API (:func:`repro.run_sweep`) to fan an
+ensemble of independent evolutions over a process pool — every run's seed
+is derived deterministically from one master seed, so the whole ensemble is
+reproducible — then tallies the dominant strategy per memory depth.
+
+Run:  python examples/ensemble_sweep.py
+"""
+
+from collections import Counter
+
+from repro import EvolutionConfig, run_sweep
+from repro.analysis import classify, nearest_classic
+
+MEMORY_DEPTHS = (1, 2)
+RUNS_PER_DEPTH = 8
+MASTER_SEED = 20130521  # the paper's conference date
+
+
+def label(strategy) -> str:
+    name = classify(strategy)
+    if name is None and strategy.is_pure:
+        near, dist = nearest_classic(strategy)
+        name = f"~{near}+{dist}"
+    return f"{strategy.bits() if strategy.is_pure else '<mixed>'} ({name})"
+
+
+def main() -> None:
+    configs = [
+        EvolutionConfig(
+            memory_steps=memory, n_ssets=32, generations=30_000, rounds=200
+        )
+        for memory in MEMORY_DEPTHS
+        for _ in range(RUNS_PER_DEPTH)
+    ]
+    print(f"running {len(configs)} evolutions over 4 worker processes ...")
+
+    def progress(index: int, result) -> None:
+        dominant, share = result.dominant()
+        print(f"  run {index:>2}: memory-{result.config.memory_steps} "
+              f"seed={result.config.seed} -> {label(dominant)} at {share:.0%}")
+
+    results = run_sweep(configs, workers=4, base_seed=MASTER_SEED,
+                        on_result=progress)
+
+    for memory in MEMORY_DEPTHS:
+        winners = Counter(
+            label(r.dominant()[0])
+            for r in results
+            if r.config.memory_steps == memory
+        )
+        print(f"\nmemory-{memory} winners over {RUNS_PER_DEPTH} seeds:")
+        for name, count in winners.most_common():
+            print(f"  {count:>2}x {name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,8 +12,9 @@ Run:  python examples/parallel_bluegene.py
 
 import numpy as np
 
-from repro.core import EvolutionConfig, run_serial
-from repro.framework import ParallelConfig, run_parallel_simulation
+from repro import Simulation
+from repro.core import EvolutionConfig
+from repro.framework import ParallelConfig
 from repro.machine import BLUEGENE_Q
 from repro.perfmodel import AnalyticModel, strong_scaling
 
@@ -25,20 +26,22 @@ def main() -> None:
     parallel = ParallelConfig(machine=BLUEGENE_Q, n_ranks=9)  # 8 workers + Nature
 
     print("running the serial reference ...")
-    serial = run_serial(evolution)
+    serial = Simulation(evolution, backend="serial").run()
     print("running the same config through the DES on simulated BG/Q ...")
-    result = run_parallel_simulation(evolution, parallel)
+    result = Simulation(evolution, backend="des", parallel=parallel).run()
+    report = result.backend_report
 
     same_events = serial.events == result.events
     same_final = np.array_equal(
         serial.population.strategy_matrix(),
-        np.stack([s.table for s in result.final_strategies]),
+        result.population.strategy_matrix(),
     )
     print(f"  parallel trajectory == serial trajectory : {same_events}")
     print(f"  final populations identical              : {same_final}")
-    print(f"  virtual wallclock on 8 BG/Q workers      : {result.makespan:.3f}s")
+    print(f"  virtual wallclock on 8 BG/Q workers      : "
+          f"{report.makespan_seconds:.3f}s")
     print(f"  compute / communication seconds          : "
-          f"{result.compute_seconds:.3f} / {result.comm_seconds:.3f}")
+          f"{report.compute_seconds:.3f} / {report.comm_seconds:.3f}")
 
     print("\nextrapolating with the calibrated analytic model ...")
     big = evolution.with_updates(n_ssets=32_768)

@@ -10,7 +10,7 @@ population cooperation rate.
 Run:  python examples/quickstart.py
 """
 
-from repro import EvolutionConfig, run_event_driven
+from repro import EvolutionConfig, Simulation
 from repro.analysis import (
     classify,
     nearest_classic,
@@ -31,7 +31,7 @@ def main() -> None:
         seed=42,
     )
     print(f"Evolving {config.n_ssets} SSets for {config.generations:,} generations ...")
-    result = run_event_driven(config)
+    result = Simulation(config, backend="event").run()
 
     print()
     print(
@@ -67,6 +67,7 @@ def main() -> None:
     )
     print(f"wallclock         : {result.wallclock_seconds:.2f}s "
           f"(payoff cache: {result.cache_hits} hits / {result.cache_misses} misses)")
+    print(f"execution         : {result.backend_report.summary()}")
 
 
 if __name__ == "__main__":

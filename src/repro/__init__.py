@@ -8,12 +8,19 @@ reproduced on a simulated Blue Gene substrate.
 
 Quickstart
 ----------
->>> from repro import EvolutionConfig, run_event_driven
->>> result = run_event_driven(EvolutionConfig(n_ssets=64, generations=50_000))
+>>> from repro import EvolutionConfig, Simulation
+>>> result = Simulation(EvolutionConfig(n_ssets=64, generations=50_000)).run()
 >>> strategy, share = result.dominant()
+
+Every execution substrate hides behind the same front-end: pick it with
+``Simulation(config, backend=...)`` (``baseline``, ``serial``, ``event``,
+``multiprocess``, ``des``, or anything registered through
+:func:`repro.api.register_backend`), and batch independent runs with
+:func:`run_sweep`.
 
 Package map
 -----------
+``repro.api``         unified Simulation front-end + backend registry
 ``repro.core``        the evolutionary model (strategies, games, dynamics)
 ``repro.mpisim``      discrete-event MPI simulator
 ``repro.machine``     Blue Gene/P, Blue Gene/Q and generic machine models
@@ -25,6 +32,15 @@ Package map
 ``repro.io``          generation recorder and checkpoints
 """
 
+from .api import (
+    Backend,
+    BackendReport,
+    Simulation,
+    available_backends,
+    get_backend,
+    register_backend,
+    run_sweep,
+)
 from .core import (
     PAPER_BETA,
     PAPER_MUTATION_RATE,
@@ -54,6 +70,13 @@ from .version import __version__
 
 __all__ = [
     "__version__",
+    "Backend",
+    "BackendReport",
+    "Simulation",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "run_sweep",
     "EvolutionConfig",
     "EvolutionResult",
     "GameResult",

@@ -1,11 +1,13 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro ...``).
 
 Commands
 --------
 ``list``                      list the registered experiments
+``backends``                  list the registered execution backends
 ``run <id> [--full]``         regenerate one paper table/figure
 ``run-all [--full]``          regenerate everything
-``evolve [options]``          run an evolution and print the outcome
+``evolve [options]``          run one evolution and print the outcome
+``sweep [options]``           run an ensemble of evolutions (process pool)
 """
 
 from __future__ import annotations
@@ -14,8 +16,9 @@ import argparse
 import sys
 
 from .analysis import classify, nearest_classic, render_raster
-from .core import EvolutionConfig, run_event_driven
-from .experiments import Scale, all_experiments, get
+from .api import Simulation, available_backends, get_backend, run_sweep
+from .core import PAPER_MUTATION_RATE, PAPER_PC_RATE, EvolutionConfig
+from .experiments import Scale, all_experiments, get, set_default_backend
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -24,8 +27,16 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(_args: argparse.Namespace) -> int:
+    for name in available_backends():
+        print(f"{name:<14} {get_backend(name).summary}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scale = Scale.FULL if args.full else Scale.SMOKE
+    if args.backend is not None:
+        set_default_backend(args.backend)
     result = get(args.experiment).run(scale)
     print(result)
     return 0
@@ -33,35 +44,131 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
     scale = Scale.FULL if args.full else Scale.SMOKE
+    if args.backend is not None:
+        set_default_backend(args.backend)
     for exp in all_experiments():
         print(exp.run(scale))
         print()
     return 0
 
 
-def _cmd_evolve(args: argparse.Namespace) -> int:
-    config = EvolutionConfig(
-        memory_steps=args.memory,
+def _evolution_config(args: argparse.Namespace, memory: int) -> EvolutionConfig:
+    return EvolutionConfig(
+        memory_steps=memory,
         n_ssets=args.ssets,
         generations=args.generations,
         rounds=args.rounds,
+        pc_rate=args.pc_rate,
+        mutation_rate=args.mutation_rate,
         noise=args.noise,
-        expected_fitness=args.noise > 0,
+        expected_fitness=args.expected_fitness,
+        record_every=args.record_every,
         seed=args.seed,
     )
-    result = run_event_driven(config)
+
+
+def _backend_opts(args: argparse.Namespace) -> dict[str, object]:
+    """Map CLI flags onto the selected backend's options."""
+    if args.backend == "multiprocess":
+        return {"workers": args.workers}
+    if args.backend == "des":
+        return {"n_ranks": args.ranks}
+    return {}
+
+
+def _describe_dominant(result) -> str:
     dominant, share = result.dominant()
     name = classify(dominant)
     if name is None and dominant.is_pure:
         near, dist = nearest_classic(dominant)
         name = f"~{near}+{dist}"
+    bits = dominant.bits() if dominant.is_pure else "<mixed>"
+    return (
+        f"dominant: {bits} ({name}) at {share:.1%} "
+        f"after {result.generations_run:,} generations "
+        f"({result.n_pc_events} PC events, {result.n_mutations} mutations)"
+    )
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    simulation = Simulation(
+        _evolution_config(args, args.memory),
+        backend=args.backend,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        **_backend_opts(args),
+    )
+    result = simulation.run()
     print(render_raster(result.population.strategy_matrix(), max_rows=20,
                         title="final population"))
-    bits = dominant.bits() if dominant.is_pure else "<mixed>"
-    print(f"\ndominant: {bits} ({name}) at {share:.1%} "
-          f"after {result.generations_run:,} generations "
-          f"({result.n_pc_events} PC events, {result.n_mutations} mutations)")
+    print()
+    print(_describe_dominant(result))
+    assert result.backend_report is not None
+    print(result.backend_report.summary())
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    labels = [
+        (memory, run)
+        for memory in args.memory_values
+        for run in range(args.runs)
+    ]
+    configs = [_evolution_config(args, memory) for memory, _ in labels]
+
+    def report(index: int, result) -> None:
+        memory, run = labels[index]
+        seed = result.config.seed
+        print(f"[memory={memory} run={run} seed={seed}] "
+              f"{_describe_dominant(result)}")
+
+    # --workers always means "processes working for you": the sweep pool in
+    # general, or the backend's fitness pool for the multiprocess backend
+    # (runs then execute one at a time so counts don't multiply).  Building
+    # the instance here keeps backend options clear of run_sweep's own
+    # workers= keyword.
+    backend = get_backend(args.backend)(**_backend_opts(args))
+    pool_workers = 1 if args.backend == "multiprocess" else args.workers
+    base_seed = args.base_seed if args.base_seed is not None else args.seed
+    run_sweep(
+        configs,
+        backend=backend,
+        workers=pool_workers,
+        on_result=report,
+        base_seed=base_seed,
+    )
+    print(f"\n{len(configs)} runs complete "
+          f"(backend={args.backend}, workers={args.workers})")
+    return 0
+
+
+def _add_evolution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Science flags shared by ``evolve`` and ``sweep``."""
+    parser.add_argument("--ssets", type=int, default=128,
+                        help="number of Strategy Sets (default 128)")
+    parser.add_argument("--generations", type=int, default=100_000)
+    parser.add_argument("--rounds", type=int, default=200,
+                        help="IPD rounds per game (default 200)")
+    parser.add_argument("--pc-rate", type=float, default=PAPER_PC_RATE,
+                        dest="pc_rate",
+                        help="pairwise-comparison rate (default: paper's 0.1)")
+    parser.add_argument("--mutation-rate", type=float,
+                        default=PAPER_MUTATION_RATE, dest="mutation_rate",
+                        help="mutation rate (default: paper's 0.05)")
+    parser.add_argument("--noise", type=float, default=0.0,
+                        help="trembling-hand error probability per move")
+    parser.add_argument("--expected-fitness", action="store_true",
+                        dest="expected_fitness",
+                        help="exact expected payoffs (Markov engine) instead "
+                             "of sampled games; recommended with --noise")
+    parser.add_argument("--record-every", type=int, default=0,
+                        dest="record_every",
+                        help="snapshot the population every N generations")
+    parser.add_argument("--seed", type=int, default=2013)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="process-pool size (multiprocess backend / sweep)")
+    parser.add_argument("--ranks", type=int, default=8,
+                        help="simulated MPI ranks (des backend)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,31 +181,75 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list registered experiments").set_defaults(
         func=_cmd_list
     )
+    sub.add_parser(
+        "backends", help="list registered execution backends"
+    ).set_defaults(func=_cmd_backends)
 
     run = sub.add_parser("run", help="regenerate one table/figure")
     run.add_argument("experiment", help="experiment id, e.g. table6 or fig4")
     run.add_argument("--full", action="store_true", help="paper-scale run")
+    # Only serial/event handle the stochastic expected-fitness configs the
+    # evolution experiments (fig2) use; the other backends would reject them.
+    experiment_backends = ["serial", "event"]
+    run.add_argument("--backend", choices=experiment_backends, default=None,
+                     help="execution backend for experiments that run "
+                          "front-end evolutions (currently fig2); DES-based "
+                          "experiments are unaffected")
     run.set_defaults(func=_cmd_run)
 
     run_all = sub.add_parser("run-all", help="regenerate everything")
     run_all.add_argument("--full", action="store_true")
+    run_all.add_argument("--backend", choices=experiment_backends,
+                         default=None)
     run_all.set_defaults(func=_cmd_run_all)
 
     evolve = sub.add_parser("evolve", help="run an evolution")
-    evolve.add_argument("--memory", type=int, default=1)
-    evolve.add_argument("--ssets", type=int, default=128)
-    evolve.add_argument("--generations", type=int, default=100_000)
-    evolve.add_argument("--rounds", type=int, default=200)
-    evolve.add_argument("--noise", type=float, default=0.0)
-    evolve.add_argument("--seed", type=int, default=2013)
+    evolve.add_argument("--memory", type=int, default=1,
+                        help="memory steps n of the strategy model")
+    evolve.add_argument("--backend", choices=available_backends(),
+                        default="event")
+    evolve.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="save the final population to PATH (.npz)")
+    evolve.add_argument("--resume", action="store_true",
+                        help="start from --checkpoint when the file exists")
+    _add_evolution_arguments(evolve)
     evolve.set_defaults(func=_cmd_evolve)
+
+    sweep = sub.add_parser(
+        "sweep", help="run an ensemble of evolutions over a process pool"
+    )
+    sweep.add_argument("--memory", type=int, nargs="+", default=[1],
+                       dest="memory_values",
+                       help="memory steps to sweep (one or more values)")
+    sweep.add_argument("--runs", type=int, default=4,
+                       help="replicates per memory value (default 4)")
+    sweep.add_argument("--base-seed", type=int, default=None, dest="base_seed",
+                       help="master seed every run's seed is derived from "
+                            "(default: --seed), so replicates are distinct "
+                            "but reproducible")
+    sweep.add_argument("--backend", choices=available_backends(),
+                       default="event")
+    _add_evolution_arguments(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse and dispatch; library errors propagate (tests rely on this)."""
     args = build_parser().parse_args(argv)
     return args.func(args)
 
 
+def cli(argv: list[str] | None = None) -> int:
+    """Console entry point: render library errors as clean CLI messages."""
+    from .errors import ReproError
+
+    try:
+        return main(argv)
+    except ReproError as err:
+        print(f"repro: error: {err}", file=sys.stderr)
+        return 2
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(cli())

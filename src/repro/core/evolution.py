@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,6 +35,9 @@ from .nature import NatureAgent
 from .payoff_cache import PayoffCache
 from .population import Population
 from .strategy import Strategy
+
+if TYPE_CHECKING:  # pragma: no cover - avoid a runtime core -> api cycle
+    from ..api.report import BackendReport
 
 __all__ = [
     "EventRecord",
@@ -83,6 +87,9 @@ class EvolutionResult:
     wallclock_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Execution metadata attached by the :mod:`repro.api` front-end; the
+    #: legacy drivers leave it ``None``.
+    backend_report: "BackendReport | None" = None
 
     def dominant(self) -> tuple[Strategy, float]:
         """Most common final strategy and its population share."""
@@ -191,15 +198,24 @@ def _finalise(
 
 
 def run_serial(
-    config: EvolutionConfig, population: Population | None = None
+    config: EvolutionConfig,
+    population: Population | None = None,
+    *,
+    cache: PayoffCache | None = None,
 ) -> EvolutionResult:
-    """Faithful generation-by-generation evolution (reference driver)."""
+    """Faithful generation-by-generation evolution (reference driver).
+
+    ``cache`` substitutes the payoff evaluator (e.g. a process-pool backed
+    one); it must produce the same values as the default for the trajectory
+    to stay on the reference path.
+    """
     started = time.perf_counter()
     tree = SeedSequenceTree(config.seed)
     nature = NatureAgent(config, tree)
     if population is None:
         population = Population.random(config, tree.generator("init"))
-    cache = _make_cache(config, nature)
+    if cache is None:
+        cache = _make_cache(config, nature)
     result = EvolutionResult(config=config, population=population)
     _maybe_snapshot(result, population, 0, force=True)
 
@@ -224,19 +240,23 @@ def run_event_driven(
     config: EvolutionConfig,
     population: Population | None = None,
     batch_size: int = 1 << 16,
+    *,
+    cache: PayoffCache | None = None,
 ) -> EvolutionResult:
     """Fast-forward evolution: identical trajectory, ~1000x faster.
 
     Scans event flags in vectorised batches and executes Python logic only
     at event generations.  Snapshot recording (``record_every``) is aligned
-    to the same generations as :func:`run_serial`.
+    to the same generations as :func:`run_serial`.  ``cache`` substitutes
+    the payoff evaluator (see :func:`run_serial`).
     """
     started = time.perf_counter()
     tree = SeedSequenceTree(config.seed)
     nature = NatureAgent(config, tree)
     if population is None:
         population = Population.random(config, tree.generator("init"))
-    cache = _make_cache(config, nature)
+    if cache is None:
+        cache = _make_cache(config, nature)
     result = EvolutionResult(config=config, population=population)
     _maybe_snapshot(result, population, 0, force=True)
 

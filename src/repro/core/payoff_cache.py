@@ -96,6 +96,24 @@ class PayoffCache:
         """Payoff earned by ``a`` in one game against ``b``."""
         return self.pair_payoffs(a, b)[0]
 
+    @property
+    def _supports_batch(self) -> bool:
+        """Whether :meth:`_evaluate_missing` applies (else per-pair path)."""
+        return self.expected
+
+    def _evaluate_missing(
+        self, a: Strategy, targets: list[Strategy]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched evaluation of uncached opponents: ``(to_a, to_targets)``.
+
+        Subclasses substitute other batch evaluators (e.g. a process-pool
+        kernel) while reusing the probe/fill bookkeeping of
+        :meth:`payoffs_to_many`.
+        """
+        return expected_payoffs_many(
+            a, targets, self.rounds, self.payoff, self.noise
+        )
+
     def payoffs_to_many(self, a: Strategy, others: list[Strategy]) -> np.ndarray:
         """Payoffs ``a`` earns against each of ``others`` (batched).
 
@@ -104,7 +122,7 @@ class PayoffCache:
         regimes fall back to per-pair evaluation.
         """
         out = np.empty(len(others), dtype=np.float64)
-        if not self.expected:
+        if not self._supports_batch:
             for i, b in enumerate(others):
                 out[i] = self.payoff_to(a, b)
             return out
@@ -120,9 +138,7 @@ class PayoffCache:
         if missing:
             self.misses += len(missing)
             targets = [others[i] for i in missing]
-            forward, backward = expected_payoffs_many(
-                a, targets, self.rounds, self.payoff, self.noise
-            )
+            forward, backward = self._evaluate_missing(a, targets)
             for i, pay_a, pay_b in zip(missing, forward, backward):
                 b = others[i]
                 self._cache[(key_a, b.key())] = (float(pay_a), float(pay_b))

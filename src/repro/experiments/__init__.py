@@ -12,7 +12,16 @@ scaling), claim-mem6 (memory-capacity limit).  The benchmarks in
 ``benchmarks/`` execute these runners and assert the paper's shapes.
 """
 
-from .registry import Experiment, ExperimentResult, Scale, all_experiments, get
+from .registry import (
+    Experiment,
+    ExperimentResult,
+    Scale,
+    all_experiments,
+    get,
+    get_default_backend,
+    run_evolution,
+    set_default_backend,
+)
 
 # Importing the modules registers the experiments.
 from . import large_scale  # noqa: E402,F401
@@ -29,4 +38,7 @@ __all__ = [
     "Scale",
     "all_experiments",
     "get",
+    "get_default_backend",
+    "run_evolution",
+    "set_default_backend",
 ]

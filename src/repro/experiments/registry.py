@@ -14,7 +14,51 @@ from typing import Any, Callable
 
 from ..errors import ConfigurationError
 
-__all__ = ["Scale", "ExperimentResult", "Experiment", "register", "get", "all_experiments"]
+__all__ = [
+    "Scale",
+    "ExperimentResult",
+    "Experiment",
+    "register",
+    "get",
+    "all_experiments",
+    "run_evolution",
+    "get_default_backend",
+    "set_default_backend",
+]
+
+#: Backend every experiment's evolutions run through (CLI ``--backend``).
+_DEFAULT_BACKEND = "event"
+
+
+def get_default_backend() -> str:
+    """Backend name experiments currently run their evolutions on."""
+    return _DEFAULT_BACKEND
+
+
+def set_default_backend(name: str) -> None:
+    """Route all experiment evolutions through backend ``name``.
+
+    Lets ``python -m repro run fig2 --backend serial`` cross-check a
+    figure on a different execution substrate without touching the
+    experiment code.
+    """
+    from ..api import get_backend
+
+    get_backend(name)  # validate eagerly; raises ConfigurationError
+    global _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = name
+
+
+def run_evolution(config, **backend_opts):
+    """Run one evolution through the registry's default backend.
+
+    The shared entry point for experiment runners: science code states the
+    configuration, the unified :class:`repro.api.Simulation` front-end
+    decides how it executes.
+    """
+    from ..api import Simulation
+
+    return Simulation(config, backend=_DEFAULT_BACKEND, **backend_opts).run()
 
 
 class Scale(enum.Enum):

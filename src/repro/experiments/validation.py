@@ -31,12 +31,11 @@ from ..analysis.heatmap import render_raster
 from ..analysis.kmeans import cluster_order, lloyd_kmeans
 from ..analysis.tables import format_table
 from ..core.config import EvolutionConfig
-from ..core.evolution import run_event_driven
 from ..core.markov import stationary_cooperation_rate
 from ..core.states import MEMORY_ONE_GRAY_ORDER
 from ..core.strategy import grim, tft, wsls
 from ..rng import make_rng
-from .registry import ExperimentResult, Scale, register
+from .registry import ExperimentResult, Scale, register, run_evolution
 
 __all__ = ["fig2"]
 
@@ -67,7 +66,7 @@ def validation_config(scale: Scale) -> EvolutionConfig:
 def fig2(scale: Scale = Scale.SMOKE) -> ExperimentResult:
     """Run the validation experiment and render the before/after rasters."""
     config = validation_config(scale)
-    result = run_event_driven(config)
+    result = run_evolution(config)
 
     initial = result.snapshots[0].strategy_matrix
     final = result.population.strategy_matrix()

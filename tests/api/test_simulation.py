@@ -1,0 +1,137 @@
+"""The Simulation front-end: legacy-shim equivalence and checkpoint hooks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import EventBackend, Simulation
+from repro.core import (
+    EvolutionConfig,
+    run_baseline,
+    run_event_driven,
+    run_serial,
+)
+from repro.errors import CheckpointError, ConfigurationError
+
+
+def tiny_config(**overrides) -> EvolutionConfig:
+    base = dict(n_ssets=8, generations=400, rounds=16, seed=23)
+    base.update(overrides)
+    return EvolutionConfig(**base)
+
+
+class TestLegacyShimEquivalence:
+    """The legacy entry points and the front-end are bit-identical."""
+
+    @pytest.mark.parametrize(
+        "backend,legacy",
+        [
+            ("serial", run_serial),
+            ("event", run_event_driven),
+            ("baseline", run_baseline),
+        ],
+    )
+    def test_bit_identical_trajectory(self, backend, legacy):
+        cfg = tiny_config()
+        via_api = Simulation(cfg, backend=backend).run()
+        via_legacy = legacy(cfg)
+        assert via_api.events == via_legacy.events
+        assert np.array_equal(
+            via_api.population.strategy_matrix(),
+            via_legacy.population.strategy_matrix(),
+        )
+        for a, b in zip(via_api.snapshots, via_legacy.snapshots):
+            assert a.generation == b.generation
+            assert np.array_equal(a.strategy_matrix, b.strategy_matrix)
+        assert via_api.n_pc_events == via_legacy.n_pc_events
+        assert via_api.n_adoptions == via_legacy.n_adoptions
+        assert via_api.n_mutations == via_legacy.n_mutations
+        # The front-end adds the report; the legacy shims leave it unset.
+        assert via_api.backend_report is not None
+        assert via_legacy.backend_report is None
+
+    def test_snapshot_recording_matches(self):
+        cfg = tiny_config(record_every=50)
+        via_api = Simulation(cfg).run()
+        via_legacy = run_event_driven(cfg)
+        assert [s.generation for s in via_api.snapshots] == [
+            s.generation for s in via_legacy.snapshots
+        ]
+
+
+class TestFrontEnd:
+    def test_backend_instance_accepted(self):
+        cfg = tiny_config()
+        result = Simulation(cfg, backend=EventBackend(batch_size=64)).run()
+        assert result.events == run_event_driven(cfg).events
+
+    def test_backend_class_accepted(self):
+        result = Simulation(tiny_config(), backend=EventBackend).run()
+        assert result.backend_report.backend == "event"
+
+    def test_instance_plus_opts_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend_opts"):
+            Simulation(tiny_config(), backend=EventBackend(), batch_size=4)
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError):
+            Simulation(tiny_config(), backend="event", bogus_option=1)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            Simulation(tiny_config(), backend="warp-drive")
+
+    def test_initial_population_used(self):
+        from repro.core import Population, tft
+
+        cfg = tiny_config(generations=0)
+        population = Population.uniform(tft(1), cfg.n_ssets)
+        result = Simulation(cfg, initial_population=population).run()
+        strategy, share = result.dominant()
+        assert share == 1.0 and strategy == tft(1)
+
+
+class TestCheckpointHooks:
+    def test_save_and_resume(self, tmp_path):
+        path = tmp_path / "pop.npz"
+        cfg = tiny_config()
+        first = Simulation(cfg, checkpoint_path=path).run()
+        assert path.exists()
+        resumed = Simulation(cfg, checkpoint_path=path, resume=True).run()
+        assert np.array_equal(
+            resumed.snapshots[0].strategy_matrix,
+            first.population.strategy_matrix(),
+        )
+
+    def test_resume_missing_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "absent.npz"
+        cfg = tiny_config()
+        result = Simulation(cfg, checkpoint_path=path, resume=True).run()
+        assert result.events == run_serial(cfg).events
+        assert path.exists()  # saved at the end
+
+    def test_resume_without_path_rejected(self):
+        with pytest.raises(ConfigurationError, match="checkpoint_path"):
+            Simulation(tiny_config(), resume=True)
+
+    def test_incompatible_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "pop.npz"
+        Simulation(tiny_config(), checkpoint_path=path).run()
+        with pytest.raises(CheckpointError, match="SSets"):
+            Simulation(
+                tiny_config(n_ssets=16), checkpoint_path=path, resume=True
+            ).run()
+        with pytest.raises(CheckpointError, match="memory_steps"):
+            Simulation(
+                tiny_config(memory_steps=2), checkpoint_path=path, resume=True
+            ).run()
+
+    def test_des_resume_rejected(self, tmp_path):
+        path = tmp_path / "pop.npz"
+        Simulation(tiny_config(), checkpoint_path=path).run()
+        with pytest.raises(ConfigurationError, match="initial populations"):
+            Simulation(
+                tiny_config(), backend="des", n_ranks=4,
+                checkpoint_path=path, resume=True,
+            ).run()

@@ -104,3 +104,30 @@ class TestValidationConfig:
             assert cfg.pc_rate == 0.10
             assert cfg.mutation_rate == 0.05
             assert cfg.expected_fitness
+
+
+class TestDefaultBackendRouting:
+    def test_run_evolution_uses_default_backend(self):
+        from repro.core import EvolutionConfig, run_serial
+        from repro.experiments import (
+            get_default_backend,
+            run_evolution,
+            set_default_backend,
+        )
+
+        cfg = EvolutionConfig(n_ssets=8, generations=300, rounds=16, seed=9)
+        assert get_default_backend() == "event"
+        set_default_backend("serial")
+        try:
+            result = run_evolution(cfg)
+            assert result.backend_report.backend == "serial"
+            assert result.events == run_serial(cfg).events
+        finally:
+            set_default_backend("event")
+
+    def test_unknown_backend_rejected_eagerly(self):
+        from repro.experiments import get_default_backend, set_default_backend
+
+        with pytest.raises(ConfigurationError):
+            set_default_backend("warp-drive")
+        assert get_default_backend() == "event"

@@ -4,6 +4,14 @@ import pytest
 
 from repro.__main__ import build_parser, main
 
+SMALL = ["--ssets", "8", "--generations", "500", "--rounds", "16"]
+
+
+def dominant_line(capsys) -> str:
+    out = capsys.readouterr().out
+    (line,) = [l for l in out.splitlines() if l.startswith("dominant:")]
+    return line
+
 
 class TestCli:
     def test_list(self, capsys):
@@ -32,3 +40,105 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestCliEntryPoint:
+    def test_cli_renders_library_errors(self, capsys):
+        from repro.__main__ import cli
+
+        assert cli(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and "fig99" in err
+
+    def test_cli_passes_through_success(self, capsys):
+        from repro.__main__ import cli
+
+        assert cli(["backends"]) == 0
+        assert "event" in capsys.readouterr().out
+
+
+class TestBackendsCommand:
+    def test_lists_all_builtins(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("baseline", "serial", "event", "multiprocess", "des"):
+            assert name in out
+
+
+class TestEvolveBackends:
+    def test_serial_and_event_agree(self, capsys):
+        assert main(["evolve", *SMALL, "--backend", "serial"]) == 0
+        serial_line = dominant_line(capsys)
+        assert main(["evolve", *SMALL, "--backend", "event"]) == 0
+        assert dominant_line(capsys) == serial_line
+
+    def test_multiprocess(self, capsys):
+        assert main(
+            ["evolve", *SMALL, "--backend", "multiprocess", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dominant:" in out and "backend=multiprocess" in out
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["evolve", "--backend", "warp-drive"])
+
+    def test_new_science_flags(self, capsys):
+        assert main(
+            ["evolve", *SMALL, "--pc-rate", "0.2", "--mutation-rate", "0.01",
+             "--record-every", "100", "--seed", "4"]
+        ) == 0
+        assert "dominant:" in capsys.readouterr().out
+
+    def test_expected_fitness_flag(self, capsys):
+        assert main(
+            ["evolve", "--ssets", "8", "--generations", "200", "--rounds",
+             "16", "--noise", "0.01", "--expected-fitness"]
+        ) == 0
+        assert "dominant:" in capsys.readouterr().out
+
+    def test_checkpoint_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "pop.npz")
+        assert main(["evolve", *SMALL, "--checkpoint", path]) == 0
+        assert (tmp_path / "pop.npz").exists()
+        assert main(["evolve", *SMALL, "--checkpoint", path, "--resume"]) == 0
+        assert "dominant:" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_smoke(self, capsys):
+        assert main(
+            ["sweep", "--ssets", "8", "--generations", "200", "--rounds",
+             "16", "--runs", "2", "--workers", "1", "--base-seed", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("dominant:") == 2
+        assert "2 runs complete" in out
+
+    def test_default_base_seed_gives_distinct_replicates(self, capsys):
+        assert main(
+            ["sweep", "--ssets", "8", "--generations", "100", "--rounds",
+             "16", "--runs", "3", "--workers", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        seeds = [l.split("seed=")[1].split("]")[0]
+                 for l in out.splitlines() if l.startswith("[memory=")]
+        assert len(set(seeds)) == 3
+
+    def test_multiprocess_backend_sweep(self, capsys):
+        """--workers feeds the backend's pool; runs execute serially."""
+        assert main(
+            ["sweep", "--ssets", "8", "--generations", "100", "--rounds",
+             "16", "--runs", "2", "--backend", "multiprocess",
+             "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("dominant:") == 2
+
+    def test_multiple_memories(self, capsys):
+        assert main(
+            ["sweep", "--ssets", "8", "--generations", "100", "--rounds",
+             "16", "--memory", "1", "2", "--runs", "1", "--workers", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[memory=1 run=0" in out and "[memory=2 run=0" in out
