@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Machine-readable perf harness: generations/sec across population structures.
+
+Writes ``BENCH_structured.json`` — the repo's perf trajectory file — with
+one record per (structure, memory_steps) cell at N=64 SSets on the event
+backend.  CI runs ``--smoke`` (one cell, short horizon) so the harness
+cannot rot; developers run it bare before/after perf work and diff the
+JSON.
+
+Usage::
+
+    python benchmarks/structured_bench.py                 # full grid
+    python benchmarks/structured_bench.py --smoke         # 1 cell (CI)
+    python benchmarks/structured_bench.py --out my.json --generations 200000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # runnable without installation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import EvolutionConfig, Simulation, __version__  # noqa: E402
+
+N_SSETS = 64
+STRUCTURES = ("well-mixed", "ring:k=4", "grid:rows=8,cols=8")
+MEMORY_STEPS = (1, 2)
+DEFAULT_GENERATIONS = 100_000
+SMOKE_GENERATIONS = 5_000
+
+
+def bench_one(structure: str, memory_steps: int, generations: int) -> dict:
+    """Time one seeded run; report generations/sec and science fingerprints."""
+    config = EvolutionConfig(
+        memory_steps=memory_steps,
+        n_ssets=N_SSETS,
+        generations=generations,
+        structure=structure,
+        seed=2013,
+    )
+    started = time.perf_counter()
+    result = Simulation(config).run()
+    elapsed = time.perf_counter() - started
+    _, share = result.dominant()
+    return {
+        "structure": structure,
+        "memory_steps": memory_steps,
+        "n_ssets": N_SSETS,
+        "generations": generations,
+        "seconds": round(elapsed, 4),
+        "generations_per_sec": round(generations / elapsed, 1),
+        "pc_events": result.n_pc_events,
+        "mutations": result.n_mutations,
+        "dominant_share": round(share, 4),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="one cell at a short horizon (CI anti-rot mode)")
+    parser.add_argument("--generations", type=int, default=None,
+                        help=f"generations per cell (default "
+                             f"{DEFAULT_GENERATIONS:,}; smoke "
+                             f"{SMOKE_GENERATIONS:,})")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_structured.json"),
+                        metavar="PATH", help="output JSON path")
+    args = parser.parse_args(argv)
+
+    generations = (
+        args.generations
+        if args.generations is not None
+        else (SMOKE_GENERATIONS if args.smoke else DEFAULT_GENERATIONS)
+    )
+    cells = (
+        [(STRUCTURES[0], MEMORY_STEPS[0])]
+        if args.smoke
+        else [(s, m) for m in MEMORY_STEPS for s in STRUCTURES]
+    )
+
+    results = []
+    for structure, memory in cells:
+        record = bench_one(structure, memory, generations)
+        results.append(record)
+        print(f"{structure:<18} memory={memory}  "
+              f"{record['generations_per_sec']:>12,.1f} gen/s  "
+              f"({record['seconds']:.2f}s)")
+
+    payload = {
+        "benchmark": "structured",
+        "created_unix": int(time.time()),
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repro_version": __version__,
+        "backend": "event",
+        "results": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out} ({len(results)} cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

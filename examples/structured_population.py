@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Structured populations: the same dynamics on different interaction graphs.
+
+Evolves one seeded configuration on the paper's well-mixed population and
+on three interaction graphs (ring lattice, 2-D torus grid, random regular
+graph), then compares the spatial order parameters: dominant-strategy
+share, mean per-neighborhood cooperation, and the largest dominant-strategy
+cluster.  Sparse graphs localise pairwise-comparison learning — strategies
+spread through neighborhoods instead of sweeping the whole population.
+
+Also demonstrates checkpoint/resume carrying the structure spec: a resumed
+run refuses to continue on a different graph than it was saved under.
+
+Run:  python examples/structured_population.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import EvolutionConfig, Simulation
+from repro.analysis import (
+    largest_cluster_fraction,
+    neighborhood_cooperation,
+    strategy_richness,
+)
+
+STRUCTURES = ("well-mixed", "ring:k=4", "grid:rows=6,cols=6", "regular:d=4,seed=1")
+
+
+def main() -> None:
+    print(f"{'structure':<20} {'dominant':>9} {'nbhd coop':>10} "
+          f"{'max cluster':>12} {'richness':>9}")
+    for structure in STRUCTURES:
+        config = EvolutionConfig(
+            memory_steps=1,
+            n_ssets=36,
+            generations=30_000,
+            structure=structure,
+            seed=11,
+        )
+        result = Simulation(config).run()
+        _, share = result.dominant()
+        coop = neighborhood_cooperation(result.population, structure)
+        cluster = largest_cluster_fraction(result.population, structure)
+        print(f"{structure:<20} {share:>8.1%} {float(coop.mean()):>9.1%} "
+              f"{cluster:>11.1%} {strategy_richness(result.population):>9}")
+
+    # Checkpoints carry the structure spec: resuming under a different graph
+    # is an error, not a silent change of science.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "ring.npz"
+        config = EvolutionConfig(
+            n_ssets=36, generations=10_000, structure="ring:k=4", seed=11
+        )
+        Simulation(config, checkpoint_path=path).run()
+        resumed = Simulation(
+            config.with_updates(seed=12), checkpoint_path=path, resume=True
+        ).run()
+        print(f"\nresumed ring run: {resumed.summary()}")
+
+
+if __name__ == "__main__":
+    main()

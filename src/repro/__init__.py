@@ -22,6 +22,7 @@ Package map
 -----------
 ``repro.api``         unified Simulation front-end + backend registry
 ``repro.core``        the evolutionary model (strategies, games, dynamics)
+``repro.structure``   population structures (well-mixed, ring, grid, ...)
 ``repro.mpisim``      discrete-event MPI simulator
 ``repro.machine``     Blue Gene/P, Blue Gene/Q and generic machine models
 ``repro.framework``   the paper's parallel algorithm on the simulated machine
@@ -40,6 +41,12 @@ from .api import (
     get_backend,
     register_backend,
     run_sweep,
+)
+from .structure import (
+    InteractionModel,
+    available_structures,
+    build_structure,
+    register_structure,
 )
 from .core import (
     PAPER_BETA,
@@ -77,6 +84,10 @@ __all__ = [
     "get_backend",
     "register_backend",
     "run_sweep",
+    "InteractionModel",
+    "available_structures",
+    "build_structure",
+    "register_structure",
     "EvolutionConfig",
     "EvolutionResult",
     "GameResult",

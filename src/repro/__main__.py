@@ -15,7 +15,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .analysis import classify, nearest_classic, render_raster
+from .analysis import (
+    classify,
+    largest_cluster_fraction,
+    nearest_classic,
+    neighborhood_cooperation,
+    render_raster,
+)
 from .api import Simulation, available_backends, get_backend, run_sweep
 from .core import PAPER_MUTATION_RATE, PAPER_PC_RATE, EvolutionConfig
 from .experiments import Scale, all_experiments, get, set_default_backend
@@ -62,6 +68,7 @@ def _evolution_config(args: argparse.Namespace, memory: int) -> EvolutionConfig:
         mutation_rate=args.mutation_rate,
         noise=args.noise,
         expected_fitness=args.expected_fitness,
+        structure=args.structure,
         record_every=args.record_every,
         seed=args.seed,
     )
@@ -102,7 +109,20 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
     print(render_raster(result.population.strategy_matrix(), max_rows=20,
                         title="final population"))
     print()
+    print(result.config.summary())
     print(_describe_dominant(result))
+    if not result.config.is_well_mixed:
+        coop = neighborhood_cooperation(
+            result.population, result.config.structure,
+            rounds=result.config.rounds, payoff=result.config.payoff,
+            noise=result.config.noise,
+        )
+        cluster = largest_cluster_fraction(
+            result.population, result.config.structure
+        )
+        print(f"neighborhood cooperation: {float(coop.mean()):.1%} mean "
+              f"(min {float(coop.min()):.1%}, max {float(coop.max()):.1%}); "
+              f"largest dominant cluster: {cluster:.1%} of SSets")
     assert result.backend_report is not None
     print(result.backend_report.summary())
     return 0
@@ -161,6 +181,10 @@ def _add_evolution_arguments(parser: argparse.ArgumentParser) -> None:
                         dest="expected_fitness",
                         help="exact expected payoffs (Markov engine) instead "
                              "of sampled games; recommended with --noise")
+    parser.add_argument("--structure", default="well-mixed",
+                        help="population structure: well-mixed (default), "
+                             "complete, ring:k=4, grid, grid:rows=8,cols=8, "
+                             "or regular:d=4,seed=7")
     parser.add_argument("--record-every", type=int, default=0,
                         dest="record_every",
                         help="snapshot the population every N generations")

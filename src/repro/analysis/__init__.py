@@ -16,6 +16,11 @@ from .metrics import (
     strategy_entropy,
     strategy_richness,
 )
+from .structured import (
+    dominant_strategy_clusters,
+    largest_cluster_fraction,
+    neighborhood_cooperation,
+)
 from .tables import format_table
 
 __all__ = [
@@ -38,5 +43,8 @@ __all__ = [
     "population_cooperation_rate",
     "strategy_entropy",
     "strategy_richness",
+    "dominant_strategy_clusters",
+    "largest_cluster_fraction",
+    "neighborhood_cooperation",
     "format_table",
 ]

@@ -1,0 +1,122 @@
+"""Structured-population metrics (neighborhood cooperation, clustering).
+
+Graph-structured dynamics are spatial: cooperation survives (or dies) in
+*clusters*, which global metrics like
+:func:`~repro.analysis.metrics.population_cooperation_rate` average away.
+These metrics resolve the population onto its interaction graph:
+
+* :func:`neighborhood_cooperation` — per-SSet cooperation fraction over
+  the games it actually plays (its neighborhood);
+* :func:`dominant_strategy_clusters` — connected-component sizes of the
+  subgraph induced by the SSets holding the dominant strategy;
+* :func:`largest_cluster_fraction` — the classic spatial-game order
+  parameter (size of the biggest dominant-strategy cluster / N).
+
+All three accept either a bound :class:`~repro.structure.InteractionModel`
+or a spec string (``"ring:k=4"``), which they bind to the population size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cycle import exact_payoffs
+from ..core.markov import expected_payoffs
+from ..core.payoff import PAPER_PAYOFF, PayoffMatrix
+from ..core.population import Population
+from ..structure import InteractionModel, build_structure
+
+__all__ = [
+    "neighborhood_cooperation",
+    "dominant_strategy_clusters",
+    "largest_cluster_fraction",
+]
+
+
+def _bind(
+    structure: "InteractionModel | str", population: Population
+) -> InteractionModel:
+    return build_structure(structure, len(population))
+
+
+def neighborhood_cooperation(
+    population: Population,
+    structure: "InteractionModel | str",
+    rounds: int = 200,
+    payoff: PayoffMatrix = PAPER_PAYOFF,
+    noise: float = 0.0,
+) -> np.ndarray:
+    """Per-SSet *expected* cooperation fraction over its neighborhood games.
+
+    Entry ``i`` is the mean cooperation rate (both players' moves) of the
+    games SSet ``i`` plays against its neighbors: the exact cycle engine
+    for pure noiseless pairs, the exact Markov expectation otherwise —
+    pass the run's ``noise`` so the metric describes the same game the
+    dynamics played.  For the well-mixed model the neighborhood is the
+    whole population, so the mean of this vector matches the global
+    cooperation rate up to pair weighting.
+    """
+    model = _bind(structure, population)
+    coop_cache: dict[tuple[bytes, bytes], float] = {}
+    out = np.empty(len(population), dtype=np.float64)
+    for i in range(len(population)):
+        me = population[i].strategy
+        total = 0.0
+        nbrs = model.neighbors(i)
+        for j in nbrs:
+            other = population[int(j)].strategy
+            key = (me.key(), other.key())
+            coop = coop_cache.get(key)
+            if coop is None:
+                if noise == 0.0 and me.is_pure and other.is_pure:
+                    _, _, coop = exact_payoffs(me, other, rounds, payoff)
+                else:
+                    _, _, coop = expected_payoffs(
+                        me, other, rounds, payoff, noise=noise
+                    )
+                coop_cache[key] = coop
+                coop_cache[(key[1], key[0])] = coop
+            total += coop
+        out[i] = total / len(nbrs)
+    return out
+
+
+def dominant_strategy_clusters(
+    population: Population, structure: "InteractionModel | str"
+) -> list[int]:
+    """Connected-component sizes (descending) of the dominant strategy.
+
+    A cluster is a maximal set of SSets that all hold the population's
+    dominant strategy and are connected through the interaction graph.
+    A well-mixed population always forms one cluster (the graph is
+    complete), so fragmentation is purely a structure effect.
+    """
+    model = _bind(structure, population)
+    dominant, _ = population.dominant_share()
+    key = dominant.key()
+    members = {
+        i for i in range(len(population)) if population[i].strategy.key() == key
+    }
+    sizes: list[int] = []
+    unvisited = set(members)
+    while unvisited:
+        frontier = [unvisited.pop()]
+        size = 0
+        while frontier:
+            node = frontier.pop()
+            size += 1
+            for j in model.neighbors(node):
+                j = int(j)
+                if j in unvisited:
+                    unvisited.remove(j)
+                    frontier.append(j)
+        sizes.append(size)
+    return sorted(sizes, reverse=True)
+
+
+def largest_cluster_fraction(
+    population: Population, structure: "InteractionModel | str"
+) -> float:
+    """Largest dominant-strategy cluster as a fraction of the population."""
+    sizes = dominant_strategy_clusters(population, structure)
+    return sizes[0] / len(population) if sizes else 0.0

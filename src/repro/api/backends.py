@@ -70,6 +70,10 @@ class Backend(ABC):
     #: Whether :meth:`run` accepts a caller-supplied initial population
     #: (checkpoint resume relies on this).
     supports_initial_population: ClassVar[bool] = True
+    #: Whether :meth:`run` honours structured (non-well-mixed) populations.
+    #: Enforced by the base :meth:`validate`, so overriders must call
+    #: ``super().validate(config)``.
+    supports_structures: ClassVar[bool] = True
 
     @abstractmethod
     def run(
@@ -82,7 +86,18 @@ class Backend(ABC):
         """
 
     def validate(self, config: EvolutionConfig) -> None:
-        """Reject configurations this backend cannot execute (fail fast)."""
+        """Reject configurations this backend cannot execute (fail fast).
+
+        The base implementation enforces :attr:`supports_structures`;
+        overriders extend it via ``super().validate(config)``.
+        """
+        if not self.supports_structures and not config.is_well_mixed:
+            raise ConfigurationError(
+                f"the {self.name} backend supports well-mixed populations "
+                f"only (got structure={config.canonical_structure()!r}); "
+                "use the serial, event or multiprocess backend for "
+                "structured populations"
+            )
 
     def options(self) -> dict[str, Any]:
         """The option values this backend instance was built with."""
@@ -94,6 +109,7 @@ class Backend(ABC):
             backend=self.name,
             wallclock_seconds=result.wallclock_seconds,
             options=self.options(),
+            structure=result.config.canonical_structure(),
             **extra,
         )
         return result
@@ -177,7 +193,10 @@ class BaselineBackend(Backend):
         "one agent per strategy, every game replayed serially (no cache)"
     )
 
+    supports_structures: ClassVar[bool] = False
+
     def validate(self, config: EvolutionConfig) -> None:
+        super().validate(config)
         # run_baseline replays plain noiseless games, so expected-fitness
         # configs would silently follow a different (noise-free) trajectory.
         _require_sampled_deterministic(config, self.name)
@@ -220,6 +239,7 @@ class EventBackend(Backend):
     batch_size: int = 1 << 16
 
     def validate(self, config: EvolutionConfig) -> None:
+        super().validate(config)
         _require_positive_batch(self.batch_size)
 
     def run(
@@ -279,6 +299,7 @@ class MultiprocessBackend(Backend):
     batch_size: int = 1 << 16
 
     def validate(self, config: EvolutionConfig) -> None:
+        super().validate(config)
         _require_sampled_deterministic(config, self.name)
         _require_positive_batch(self.batch_size)
         payoff = config.payoff
@@ -334,6 +355,7 @@ class DESBackend(Backend):
         "simulated-machine run (DES MPI): science + virtual Blue Gene timing"
     )
     supports_initial_population: ClassVar[bool] = False
+    supports_structures: ClassVar[bool] = False
 
     #: Simulated MPI ranks, including the Nature Agent on rank 0.
     n_ranks: int = 8
@@ -355,6 +377,10 @@ class DESBackend(Backend):
         return ParallelConfig(n_ranks=self.n_ranks)
 
     def validate(self, config: EvolutionConfig) -> None:
+        # supports_structures=False: the parallel decomposition broadcasts
+        # the global histogram; a graph-structured fitness would need
+        # neighborhood-aware sharding.
+        super().validate(config)
         # The DES workers evaluate plain noiseless payoffs, so noisy or
         # expected-fitness configs would silently lose their noise model.
         _require_sampled_deterministic(config, self.name)

@@ -30,6 +30,9 @@ class BackendReport:
         The backend options the run was configured with (e.g. ``workers``,
         ``batch_size``, ``n_ranks``) — whatever ``Simulation(**backend_opts)``
         forwarded.
+    structure:
+        Canonical population-structure spec the run executed under
+        (``"well-mixed"``, ``"ring:k=4"``, ...).
     workers:
         Process-pool size for backends that fan work over processes.
     n_ranks:
@@ -48,6 +51,7 @@ class BackendReport:
     backend: str
     wallclock_seconds: float
     options: dict[str, Any] = field(default_factory=dict)
+    structure: str | None = None
     workers: int | None = None
     n_ranks: int | None = None
     ssets_per_worker: float | None = None
@@ -58,6 +62,8 @@ class BackendReport:
     def summary(self) -> str:
         """One-line human description of the execution."""
         parts = [f"backend={self.backend}", f"wallclock={self.wallclock_seconds:.3f}s"]
+        if self.structure is not None and self.structure != "well-mixed":
+            parts.append(f"structure={self.structure}")
         if self.workers is not None:
             parts.append(f"workers={self.workers}")
         if self.n_ranks is not None:

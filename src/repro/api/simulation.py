@@ -25,7 +25,7 @@ from ..core.config import EvolutionConfig
 from ..core.evolution import EvolutionResult
 from ..core.population import Population
 from ..errors import CheckpointError, ConfigurationError
-from ..io.checkpoint import load_population, save_population
+from ..io.checkpoint import load_checkpoint, save_population
 from .backends import Backend, resolve_backend
 
 __all__ = ["Simulation"]
@@ -87,7 +87,16 @@ class Simulation:
             and self.checkpoint_path is not None
             and self.checkpoint_path.exists()
         ):
-            population = load_population(self.checkpoint_path)
+            population, saved_structure = load_checkpoint(self.checkpoint_path)
+            # Legacy checkpoints (no structure field) were written by
+            # well-mixed-only code; treat them as well-mixed.
+            saved = saved_structure if saved_structure is not None else "well-mixed"
+            expected = self.config.canonical_structure()
+            if saved != expected:
+                raise CheckpointError(
+                    f"checkpoint {self.checkpoint_path} was written under "
+                    f"structure {saved!r}, config wants {expected!r}"
+                )
         if population is None:
             return None
         if not self.backend.supports_initial_population:
@@ -114,7 +123,11 @@ class Simulation:
         population = self._resolve_initial_population()
         result = self.backend.run(self.config, population)
         if self.checkpoint_path is not None:
-            save_population(result.population, self.checkpoint_path)
+            save_population(
+                result.population,
+                self.checkpoint_path,
+                structure=self.config.canonical_structure(),
+            )
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import time
 
+from ..errors import ConfigurationError
 from ..rng import SeedSequenceTree
 from .config import EvolutionConfig
 from .evolution import EventRecord, EvolutionResult, _maybe_snapshot
@@ -61,6 +62,12 @@ def run_baseline(
         raise NotImplementedError(
             "the traditional baseline is implemented for deterministic "
             "configurations only"
+        )
+    if not config.is_well_mixed:
+        raise ConfigurationError(
+            "the traditional baseline models the pre-SSet *well-mixed* "
+            f"algorithm only (got structure={config.structure!r}); use the "
+            "serial or event driver for structured populations"
         )
     started = time.perf_counter()
     tree = SeedSequenceTree(config.seed)

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..errors import ConfigurationError
+from ..structure import InteractionModel, build_structure, validate_structure
 from .fermi import PAPER_BETA
 from .payoff import PAPER_PAYOFF, PayoffMatrix
 
@@ -67,6 +68,14 @@ class EvolutionConfig:
         SSet limit (an SSet's fitness sums its agents' games) and makes
         long noisy runs (the Fig. 2 validation) tractable; it also keeps
         noisy dynamics deterministic given the seed.
+    structure:
+        Population-structure spec (:mod:`repro.structure`):
+        ``"well-mixed"`` (the paper's population, default), ``"complete"``,
+        ``"ring:k=4"``, ``"grid"``/``"grid:rows=8,cols=8"``, or
+        ``"regular:d=4,seed=7"`` — or a hand-constructed, already-bound
+        :class:`~repro.structure.InteractionModel`.  Structured populations
+        evaluate fitness over graph neighborhoods and pick PC teachers from
+        the learner's neighbors.
     seed:
         Master seed for all random streams.
     record_every:
@@ -88,6 +97,7 @@ class EvolutionConfig:
     include_self_play: bool = False
     allow_downhill_learning: bool = False
     expected_fitness: bool = False
+    structure: "str | InteractionModel" = "well-mixed"
     seed: int = 2013
     record_every: int = 0
 
@@ -123,6 +133,40 @@ class EvolutionConfig:
             raise ConfigurationError(
                 f"record_every must be >= 0, got {self.record_every}"
             )
+        # Parse + bind eagerly so a bad spec (or one incompatible with
+        # n_ssets) fails at construction, not mid-run.
+        validate_structure(self.structure, self.n_ssets)
+
+    @property
+    def is_well_mixed(self) -> bool:
+        """Whether the population is the paper's well-mixed one.
+
+        Goes through the bound model (cached) rather than spec parsing, so
+        it also works when ``structure`` is a hand-constructed
+        :class:`~repro.structure.InteractionModel` instance.
+        """
+        return build_structure(self.structure, self.n_ssets).is_well_mixed
+
+    def canonical_structure(self) -> str:
+        """The bound structure's canonical spec (checkpoints persist this)."""
+        return build_structure(self.structure, self.n_ssets).spec()
+
+    def summary(self) -> str:
+        """One-line human description of the science configuration."""
+        parts = [
+            f"memory={self.memory_steps}",
+            f"ssets={self.n_ssets}",
+            f"generations={self.generations:,}",
+            f"structure={self.canonical_structure()}",
+            f"seed={self.seed}",
+        ]
+        if self.noise > 0.0:
+            parts.append(f"noise={self.noise}")
+        if self.mixed_strategies:
+            parts.append("mixed")
+        if self.expected_fitness:
+            parts.append("expected-fitness")
+        return " ".join(parts)
 
     @property
     def population_size(self) -> int:

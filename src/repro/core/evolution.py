@@ -19,6 +19,12 @@ Fitness is evaluated lazily: only the PC-selected teacher/learner fitness is
 computed (via the strategy histogram + payoff cache), exactly the values the
 dynamics consume.  Set ``full_fitness_every`` to also produce the paper's
 per-generation full fitness evaluation for recording.
+
+Both drivers honour ``config.structure`` (:mod:`repro.structure`): the
+default well-mixed model keeps the histogram fast path and the historical
+RNG draw order (hence the bit-identical guarantee above), while graph
+structures evaluate fitness over neighborhoods and pick PC teachers from
+the learner's neighbors.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..rng import SeedSequenceTree
+from ..structure import InteractionModel, build_structure
 from .config import EvolutionConfig
 from .nature import NatureAgent
 from .payoff_cache import PayoffCache
@@ -139,16 +146,17 @@ def _apply_generation_events(
     population: Population,
     cache: PayoffCache,
     result: EvolutionResult,
+    structure: InteractionModel,
 ) -> None:
     """Apply one generation's events in the paper's order (PC, then mutation)."""
     config = result.config
     if pc:
-        decision = nature.pc_selection(len(population))
-        fit_t = population.fitness_of(
-            decision.teacher, cache, config.include_self_play
+        decision = nature.pc_selection(len(population), structure)
+        fit_t = structure.fitness_of(
+            population, decision.teacher, cache, config.include_self_play
         )
-        fit_l = population.fitness_of(
-            decision.learner, cache, config.include_self_play
+        fit_l = structure.fitness_of(
+            population, decision.learner, cache, config.include_self_play
         )
         adopted = nature.decide_learning(decision, fit_t, fit_l)
         if adopted:
@@ -212,6 +220,7 @@ def run_serial(
     started = time.perf_counter()
     tree = SeedSequenceTree(config.seed)
     nature = NatureAgent(config, tree)
+    structure = build_structure(config.structure, config.n_ssets)
     if population is None:
         population = Population.random(config, tree.generator("init"))
     if cache is None:
@@ -230,6 +239,7 @@ def run_serial(
                 population,
                 cache,
                 result,
+                structure,
             )
         if config.record_every > 0 and generation > 0:
             _maybe_snapshot(result, population, generation, force=False)
@@ -253,6 +263,7 @@ def run_event_driven(
     started = time.perf_counter()
     tree = SeedSequenceTree(config.seed)
     nature = NatureAgent(config, tree)
+    structure = build_structure(config.structure, config.n_ssets)
     if population is None:
         population = Population.random(config, tree.generator("init"))
     if cache is None:
@@ -286,6 +297,7 @@ def run_event_driven(
                 population,
                 cache,
                 result,
+                structure,
             )
             if next_snapshot is not None and next_snapshot == gen:
                 if gen < config.generations:

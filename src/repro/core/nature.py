@@ -31,7 +31,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..rng import SeedSequenceTree
+from ..structure import InteractionModel, WellMixed
 from .config import EvolutionConfig
 from .fermi import fermi_probability
 from .strategy import Strategy, random_mixed, random_pure
@@ -98,12 +100,29 @@ class NatureAgent:
 
     # -- pairwise comparison --------------------------------------------------
 
-    def pc_selection(self, n_ssets: int) -> PCDecision:
-        """Select teacher and learner SSets (distinct) and the adoption draw."""
-        teacher = int(self._pc_rng.integers(n_ssets))
-        learner = int(self._pc_rng.integers(n_ssets))
-        while learner == teacher:
-            learner = int(self._pc_rng.integers(n_ssets))
+    def pc_selection(
+        self, n_ssets: int, structure: InteractionModel | None = None
+    ) -> PCDecision:
+        """Select teacher and learner SSets (distinct) and the adoption draw.
+
+        Without a ``structure`` (or with the well-mixed one) both SSets are
+        uniform over the population — teacher drawn first, then the learner
+        with rejection, the historical order the bit-identical-trajectory
+        contract pins (that order lives in exactly one place:
+        :meth:`repro.structure.WellMixed.select_pair`, to which the bare
+        call delegates).  A graph structure instead draws the learner
+        uniformly and the teacher uniformly from the learner's neighborhood
+        (the structured-population convention); either way the Nature Agent
+        stays the only source of randomness.
+        """
+        if structure is None:
+            structure = WellMixed(n_ssets)
+        elif structure.n_ssets != n_ssets:
+            raise ConfigurationError(
+                f"structure is bound to {structure.n_ssets} SSets, "
+                f"population has {n_ssets}"
+            )
+        teacher, learner = structure.select_pair(self._pc_rng)
         return PCDecision(
             teacher=teacher,
             learner=learner,

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SimulationError
 from .config import EvolutionConfig
 from .payoff_cache import PayoffCache, StrategyHistogram
 from .sset import SSet
@@ -110,19 +110,54 @@ class Population:
 
     # -- mutation-preserving updates ------------------------------------------
 
+    def set_strategy(self, sset_id: int, strategy: Strategy) -> None:
+        """Replace one SSet's strategy — the *only* strategy write path.
+
+        Every strategy write (learning, mutation, manual surgery) must go
+        through here so the SSet list and the derived histogram cannot
+        desync; :meth:`check_invariants` verifies the pairing.
+        """
+        sset = self._ssets[sset_id]
+        old = sset.strategy
+        sset.strategy = strategy
+        self.histogram.replace(old, strategy)
+
     def adopt(self, learner_id: int, strategy: Strategy) -> None:
         """Learner SSet adopts a teacher's strategy (histogram kept in sync)."""
-        sset = self._ssets[learner_id]
-        old = sset.strategy
-        sset.adopt(strategy)
-        self.histogram.replace(old, strategy)
+        self.set_strategy(learner_id, strategy)
+        self._ssets[learner_id].adoptions += 1
 
     def mutate(self, target_id: int, strategy: Strategy) -> None:
         """Target SSet receives a fresh strategy (histogram kept in sync)."""
-        sset = self._ssets[target_id]
-        old = sset.strategy
-        sset.mutate(strategy)
-        self.histogram.replace(old, strategy)
+        self.set_strategy(target_id, strategy)
+        self._ssets[target_id].mutations += 1
+
+    # -- invariants ------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify the histogram matches a fresh recount of the SSet list.
+
+        Raises :class:`~repro.errors.SimulationError` on any desync (a write
+        bypassed :meth:`set_strategy`).  Cheap enough for tests and
+        paranoid callers; not called on the hot path.
+        """
+        rebuilt = StrategyHistogram.from_strategies(
+            [s.strategy for s in self._ssets]
+        )
+        if rebuilt.counts != self.histogram.counts:
+            extra = set(self.histogram.counts) - set(rebuilt.counts)
+            missing = set(rebuilt.counts) - set(self.histogram.counts)
+            raise SimulationError(
+                "population histogram desynced from SSet list "
+                f"({len(extra)} stale keys, {len(missing)} missing keys, "
+                "counts differ); strategy writes must go through "
+                "Population.set_strategy"
+            )
+        for i, sset in enumerate(self._ssets):
+            if sset.sset_id != i:
+                raise SimulationError(
+                    f"SSet at index {i} carries id {sset.sset_id}"
+                )
 
     # -- fitness ---------------------------------------------------------------
 

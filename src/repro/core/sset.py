@@ -32,7 +32,10 @@ class SSet:
     n_agents: int = 1
     #: Fitness from the most recent evaluation (sum over the SSet's games).
     fitness: float = 0.0
-    #: Number of times this SSet adopted a teacher's strategy.
+    #: Number of times this SSet adopted a teacher's strategy.  Strategy
+    #: writes go through :meth:`repro.core.Population.set_strategy` (and its
+    #: adopt/mutate wrappers) so the population histogram stays in sync;
+    #: the SSet record itself exposes no strategy-writing methods.
     adoptions: int = field(default=0, repr=False)
     #: Number of times this SSet received a mutant strategy.
     mutations: int = field(default=0, repr=False)
@@ -42,16 +45,6 @@ class SSet:
             raise ConfigurationError(f"sset_id must be >= 0, got {self.sset_id}")
         if self.n_agents < 1:
             raise ConfigurationError(f"n_agents must be >= 1, got {self.n_agents}")
-
-    def adopt(self, strategy: Strategy) -> None:
-        """Adopt a teacher's strategy (pairwise-comparison learning)."""
-        self.strategy = strategy
-        self.adoptions += 1
-
-    def mutate(self, strategy: Strategy) -> None:
-        """Receive a brand-new strategy from the Nature Agent."""
-        self.strategy = strategy
-        self.mutations += 1
 
     def games_per_agent(self, n_opponents: int) -> int:
         """Opponent games each agent handles, ``ceil(s_a)`` (Section IV.A).

@@ -8,7 +8,8 @@ Usage::
 Registered experiments: table1..table5 (model-definition tables), fig2
 (validation), fig3 (optimisation levels), fig4 + table6 (strong scaling /
 R sweep), fig5 (memory steps), fig6a/fig6b (large-scale weak/strong
-scaling), claim-mem6 (memory-capacity limit).  The benchmarks in
+scaling), claim-mem6 (memory-capacity limit), structures (extension:
+cooperation across population structures).  The benchmarks in
 ``benchmarks/`` execute these runners and assert the paper's shapes.
 """
 
@@ -29,6 +30,7 @@ from . import memory_limit  # noqa: E402,F401
 from . import memory_steps  # noqa: E402,F401
 from . import optimization  # noqa: E402,F401
 from . import strong_scaling  # noqa: E402,F401
+from . import structured  # noqa: E402,F401
 from . import tables_static  # noqa: E402,F401
 from . import validation  # noqa: E402,F401
 

@@ -97,6 +97,14 @@ def run_parallel_simulation(
             "(pure strategies, no noise); use cost-only mode or the serial "
             "drivers for stochastic science"
         )
+    if not evolution.is_well_mixed:
+        # The decomposition broadcasts the global strategy histogram; a
+        # graph-structured fitness would need neighborhood-aware sharding.
+        raise ConfigurationError(
+            "the parallel DES framework models the well-mixed population "
+            f"only (got structure={evolution.canonical_structure()!r}); use "
+            "the serial or event driver for structured populations"
+        )
 
     decomposition = Decomposition(
         n_ssets=evolution.n_ssets,

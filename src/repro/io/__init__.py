@@ -1,9 +1,10 @@
 """Run recording and checkpointing (the Nature Agent's file I/O)."""
 
-from .checkpoint import load_population, save_population
+from .checkpoint import load_checkpoint, load_population, save_population
 from .recorder import GenerationRecorder, read_records
 
 __all__ = [
+    "load_checkpoint",
     "load_population",
     "save_population",
     "GenerationRecorder",

@@ -10,16 +10,30 @@ from ..core.population import Population
 from ..core.strategy import Strategy
 from ..errors import CheckpointError
 
-__all__ = ["save_population", "load_population"]
+__all__ = ["save_population", "load_population", "load_checkpoint"]
 
 _FORMAT_VERSION = 1
 
 
-def save_population(population: Population, path: str | Path) -> None:
-    """Save a population's strategies and SSet metadata to ``.npz``."""
+def save_population(
+    population: Population,
+    path: str | Path,
+    *,
+    structure: str | None = None,
+) -> None:
+    """Save a population's strategies and SSet metadata to ``.npz``.
+
+    ``structure`` persists the population-structure spec the run executed
+    under (canonical form, e.g. ``"ring:k=4"``), so a resumed run can
+    verify it continues on the same interaction graph.  Checkpoints written
+    before the structure era simply lack the field and load as well-mixed.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     matrix = population.strategy_matrix()
+    extra: dict[str, np.ndarray] = {}
+    if structure is not None:
+        extra["structure"] = np.array(structure, dtype=np.str_)
     np.savez_compressed(
         path,
         version=np.int64(_FORMAT_VERSION),
@@ -27,11 +41,16 @@ def save_population(population: Population, path: str | Path) -> None:
         strategy_matrix=matrix,
         n_agents=np.array([s.n_agents for s in population.ssets], dtype=np.int64),
         is_pure=np.bool_(matrix.dtype == np.uint8),
+        **extra,
     )
 
 
-def load_population(path: str | Path) -> Population:
-    """Restore a population saved by :func:`save_population`."""
+def load_checkpoint(path: str | Path) -> tuple[Population, str | None]:
+    """Restore ``(population, structure_spec)`` from a checkpoint.
+
+    ``structure_spec`` is ``None`` for legacy checkpoints that predate
+    population structures (callers treat that as well-mixed).
+    """
     path = Path(path)
     if not path.exists():
         raise CheckpointError(f"no checkpoint at {path}")
@@ -60,4 +79,11 @@ def load_population(path: str | Path) -> Population:
     population = Population.from_strategies(strategies)
     for sset, agents in zip(population.ssets, n_agents):
         sset.n_agents = int(agents)
+    structure = str(data["structure"]) if "structure" in data.files else None
+    return population, structure
+
+
+def load_population(path: str | Path) -> Population:
+    """Restore just the population saved by :func:`save_population`."""
+    population, _ = load_checkpoint(path)
     return population

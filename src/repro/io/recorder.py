@@ -43,6 +43,24 @@ class GenerationRecorder:
             )
         self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
 
+    def record_run_header(self, config) -> None:
+        """Write the run's science configuration (one header per run).
+
+        Persisting the structure spec makes record files self-describing:
+        the per-event source/target ids are only interpretable against the
+        interaction graph they were drawn on.
+        """
+        self._write(
+            {
+                "type": "run",
+                "memory_steps": config.memory_steps,
+                "n_ssets": config.n_ssets,
+                "generations": config.generations,
+                "structure": config.canonical_structure(),
+                "seed": config.seed,
+            }
+        )
+
     def record_event(self, event: EventRecord) -> None:
         """Write one learning/mutation event."""
         self._write(
@@ -72,7 +90,8 @@ class GenerationRecorder:
         )
 
     def record_result(self, result: EvolutionResult) -> None:
-        """Write a full run: all events plus the final summary."""
+        """Write a full run: header, all events, and the final summary."""
+        self.record_run_header(result.config)
         for event in result.events:
             self.record_event(event)
         strategy, share = result.dominant()

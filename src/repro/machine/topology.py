@@ -75,6 +75,43 @@ class TorusTopology:
             node //= dim
         return tuple(reversed(coords))
 
+    def rank_of(self, coords: tuple[int, ...]) -> int:
+        """Row-major rank of a coordinate tuple (inverse of
+        :meth:`coordinates`)."""
+        if len(coords) != len(self.dims):
+            raise ConfigurationError(
+                f"expected {len(self.dims)} coordinates, got {coords}"
+            )
+        rank = 0
+        for c, dim in zip(coords, self.dims):
+            if not 0 <= c < dim:
+                raise ConfigurationError(
+                    f"coordinate {coords} out of range for dims {self.dims}"
+                )
+            rank = rank * dim + c
+        return rank
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        """Distinct unit-hop neighbors of a node, sorted.
+
+        One step ±1 per dimension with wrap-around.  Dimensions of size 1
+        contribute no neighbors and dimensions of size 2 contribute one (the
+        +1 and -1 steps coincide), so the degree is ``<= 2 * len(dims)``.
+        This is both the machine's point-to-point adjacency and the
+        von-Neumann neighborhood the structured-population grid reuses.
+        """
+        coords = self.coordinates(node)
+        out: set[int] = set()
+        for axis, dim in enumerate(self.dims):
+            if dim == 1:
+                continue
+            for step in (-1, 1):
+                shifted = list(coords)
+                shifted[axis] = (coords[axis] + step) % dim
+                out.add(self.rank_of(tuple(shifted)))
+        out.discard(node)
+        return tuple(sorted(out))
+
     def hop_distance(self, a: int, b: int) -> int:
         """Minimal hops between two nodes (per-dimension wrap distance)."""
         ca, cb = self.coordinates(a), self.coordinates(b)

@@ -1,0 +1,47 @@
+"""Population structures: who interacts with whom.
+
+The :class:`InteractionModel` layer decouples the evolutionary dynamics
+from the paper's well-mixed assumption.  ``structure`` specs are plain
+strings carried by :class:`~repro.core.EvolutionConfig`:
+
+=============================  ================================================
+``well-mixed`` (default)       the paper's population — histogram fast path,
+                               bit-identical to the pre-structure drivers
+``complete``                   all-to-all graph (well-mixed fitness values,
+                               neighbor-based teacher selection)
+``ring:k=4``                   cycle, each SSet tied to its k nearest
+``grid`` / ``grid:rows=8,cols=8``  2-D torus, von-Neumann neighborhoods
+``regular:d=4,seed=7``         random d-regular graph (own seed)
+=============================  ================================================
+
+Build one with :func:`build_structure(spec, n_ssets)`; register new models
+with :func:`register_structure`.
+"""
+
+from .base import (
+    InteractionModel,
+    WellMixed,
+    available_structures,
+    build_structure,
+    is_well_mixed_spec,
+    parse_structure_spec,
+    register_structure,
+    validate_structure,
+)
+from .graphs import Complete, GraphStructure, Grid2D, RandomRegular, RingLattice
+
+__all__ = [
+    "InteractionModel",
+    "GraphStructure",
+    "WellMixed",
+    "Complete",
+    "RingLattice",
+    "Grid2D",
+    "RandomRegular",
+    "available_structures",
+    "build_structure",
+    "is_well_mixed_spec",
+    "parse_structure_spec",
+    "register_structure",
+    "validate_structure",
+]

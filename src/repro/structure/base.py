@@ -1,0 +1,284 @@
+"""The :class:`InteractionModel` abstraction — *who plays whom*.
+
+The paper's population is well-mixed: every SSet plays every strategy in
+the population, and pairwise-comparison learning draws teacher and learner
+uniformly.  Structured populations (Sun, Su & Wang 2025; Stewart & Plotkin
+2014) replace both with a graph: an SSet's fitness sums its games against
+its *neighbors*, and a learner compares itself against a random neighbor.
+
+An :class:`InteractionModel` is bound to a population size and answers
+three questions:
+
+* ``fitness_of(population, sset_id, cache, ...)`` — an SSet's fitness
+  under this interaction pattern (edge-batched through the
+  :class:`~repro.core.payoff_cache.PayoffCache` so distinct-strategy games
+  are evaluated once);
+* ``select_pair(rng, n_ssets)`` — which (teacher, learner) pair a PC
+  learning event compares;
+* ``neighbors(sset_id)`` — the interaction neighborhood (used by the
+  structured analysis metrics).
+
+:class:`WellMixed` preserves the paper's exact semantics **and** its exact
+RNG draw order, so configurations with ``structure="well-mixed"`` (the
+default) follow bit-identical trajectories to the pre-structure drivers —
+pinned by the test suite.
+
+Structure *specs* are plain strings (``"well-mixed"``, ``"ring:k=4"``,
+``"grid:rows=8,cols=8"``, ``"regular:d=4,seed=7"``) so they travel through
+:class:`~repro.core.EvolutionConfig`, checkpoints, and the CLI unchanged;
+:func:`build_structure` turns a spec plus the population size into a bound
+model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import lru_cache
+from typing import TYPE_CHECKING, Callable, ClassVar
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..core.payoff_cache import PayoffCache
+    from ..core.population import Population
+
+__all__ = [
+    "InteractionModel",
+    "WellMixed",
+    "parse_structure_spec",
+    "build_structure",
+    "validate_structure",
+    "is_well_mixed_spec",
+    "available_structures",
+    "register_structure",
+]
+
+
+class InteractionModel(ABC):
+    """One interaction pattern, bound to a population of ``n_ssets`` SSets."""
+
+    #: Registry key — the part of the spec before the ``:``.
+    name: ClassVar[str]
+
+    def __init__(self, n_ssets: int):
+        if n_ssets < 2:
+            raise ConfigurationError(
+                f"interaction models need at least 2 SSets, got {n_ssets}"
+            )
+        self.n_ssets = n_ssets
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def is_well_mixed(self) -> bool:
+        """Whether this model is the paper's well-mixed fast path."""
+        return False
+
+    @abstractmethod
+    def spec(self) -> str:
+        """Canonical spec string; ``build_structure(m.spec(), n)`` rebuilds
+        an equivalent model (checkpoints persist this)."""
+
+    # -- dynamics ------------------------------------------------------------
+
+    @abstractmethod
+    def select_pair(self, rng: np.random.Generator) -> tuple[int, int]:
+        """Draw the ``(teacher, learner)`` pair of one PC learning event
+        over this model's own ``n_ssets``."""
+
+    @abstractmethod
+    def fitness_of(
+        self,
+        population: "Population",
+        sset_id: int,
+        cache: "PayoffCache",
+        include_self_play: bool = False,
+    ) -> float:
+        """Fitness of one SSet under this interaction pattern."""
+
+    @abstractmethod
+    def neighbors(self, sset_id: int) -> np.ndarray:
+        """Sorted ids of the SSets that ``sset_id`` interacts with."""
+
+    # -- helpers -------------------------------------------------------------
+
+    def _check_id(self, sset_id: int) -> None:
+        if not 0 <= sset_id < self.n_ssets:
+            raise ConfigurationError(
+                f"sset_id {sset_id} out of range for {self.n_ssets} SSets"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(spec={self.spec()!r}, n={self.n_ssets})"
+
+
+class WellMixed(InteractionModel):
+    """The paper's population: every SSet plays every strategy.
+
+    Fitness delegates to the histogram fast path
+    (:meth:`repro.core.population.Population.fitness_of`) and
+    :meth:`select_pair` reproduces the Nature Agent's historical draw order
+    (teacher first, then learner with rejection), so well-mixed runs are
+    bit-identical to the pre-structure drivers.
+    """
+
+    name: ClassVar[str] = "well-mixed"
+
+    @property
+    def is_well_mixed(self) -> bool:
+        return True
+
+    def spec(self) -> str:
+        return self.name
+
+    def select_pair(self, rng: np.random.Generator) -> tuple[int, int]:
+        # This draw order (teacher first, then learner with rejection) is
+        # the pinned pre-structure RNG consumption; NatureAgent delegates
+        # here so the contract lives in exactly one place.
+        n_ssets = self.n_ssets
+        teacher = int(rng.integers(n_ssets))
+        learner = int(rng.integers(n_ssets))
+        while learner == teacher:
+            learner = int(rng.integers(n_ssets))
+        return teacher, learner
+
+    def fitness_of(
+        self,
+        population: "Population",
+        sset_id: int,
+        cache: "PayoffCache",
+        include_self_play: bool = False,
+    ) -> float:
+        return population.fitness_of(sset_id, cache, include_self_play)
+
+    def neighbors(self, sset_id: int) -> np.ndarray:
+        """Everyone else (the whole population is the neighborhood)."""
+        self._check_id(sset_id)
+        ids = np.arange(self.n_ssets, dtype=np.int64)
+        return ids[ids != sset_id]
+
+
+# -- spec registry -------------------------------------------------------------
+
+#: name -> factory(params, n_ssets) building a bound model.
+_REGISTRY: dict[str, Callable[[dict[str, int], int], InteractionModel]] = {}
+
+
+def register_structure(
+    name: str,
+) -> Callable[
+    [Callable[[dict[str, int], int], InteractionModel]],
+    Callable[[dict[str, int], int], InteractionModel],
+]:
+    """Register a structure factory under ``name`` (decorator)."""
+
+    def wrap(factory: Callable[[dict[str, int], int], InteractionModel]):
+        if name in _REGISTRY:
+            raise ConfigurationError(f"duplicate structure name {name!r}")
+        _REGISTRY[name] = factory
+        return factory
+
+    return wrap
+
+
+def available_structures() -> list[str]:
+    """Names of all registered structures, sorted."""
+    return sorted(_REGISTRY)
+
+
+def parse_structure_spec(spec: str) -> tuple[str, dict[str, int]]:
+    """Split ``"name:k1=v1,k2=v2"`` into ``(name, {k: int})``.
+
+    The name is validated against the registry; parameter validation is the
+    factory's job (it knows the population size).
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ConfigurationError(f"structure spec must be a non-empty string, got {spec!r}")
+    head, _, tail = spec.strip().partition(":")
+    name = head.strip()
+    if name not in _REGISTRY:
+        known = ", ".join(available_structures())
+        raise ConfigurationError(
+            f"unknown structure {name!r}; registered: {known}"
+        )
+    params: dict[str, int] = {}
+    if tail.strip():
+        for item in tail.split(","):
+            key, eq, value = item.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise ConfigurationError(
+                    f"malformed structure parameter {item!r} in {spec!r} "
+                    "(expected key=value)"
+                )
+            if key in params:
+                raise ConfigurationError(
+                    f"duplicate structure parameter {key!r} in {spec!r}"
+                )
+            try:
+                params[key] = int(value.strip())
+            except ValueError:
+                raise ConfigurationError(
+                    f"structure parameter {key!r} in {spec!r} must be an "
+                    f"integer, got {value.strip()!r}"
+                ) from None
+    return name, params
+
+
+@lru_cache(maxsize=128)
+def _build_from_spec(spec: str, n_ssets: int) -> InteractionModel:
+    """Bound-model cache: configs, drivers, checkpoints and the CLI all
+    rebuild the same (spec, n) repeatedly — graph generation (notably the
+    random-regular pairing model) should run once per distinct binding.
+    Models are immutable after construction, so sharing instances is safe.
+    """
+    name, params = parse_structure_spec(spec)
+    return _REGISTRY[name](params, n_ssets)
+
+
+def build_structure(spec: "str | InteractionModel", n_ssets: int) -> InteractionModel:
+    """Build the bound :class:`InteractionModel` for a spec string.
+
+    A ready-made model passes through unchanged (after a size check), so
+    callers can hand-construct exotic graphs and still use every driver.
+    String specs are cached per ``(spec, n_ssets)`` binding.
+    """
+    if isinstance(spec, InteractionModel):
+        if spec.n_ssets != n_ssets:
+            raise ConfigurationError(
+                f"structure is bound to {spec.n_ssets} SSets, "
+                f"population has {n_ssets}"
+            )
+        return spec
+    return _build_from_spec(spec, n_ssets)
+
+
+def validate_structure(spec: str, n_ssets: int) -> None:
+    """Raise :class:`ConfigurationError` when ``spec`` cannot bind to a
+    population of ``n_ssets`` (used by ``EvolutionConfig.__post_init__``)."""
+    build_structure(spec, n_ssets)
+
+
+def is_well_mixed_spec(spec: str) -> bool:
+    """Whether ``spec`` names the well-mixed fast path (no graph)."""
+    name, _ = parse_structure_spec(spec)
+    return name == WellMixed.name
+
+
+def _expect_params(
+    name: str, params: dict[str, int], allowed: set[str]
+) -> None:
+    unknown = set(params) - allowed
+    if unknown:
+        raise ConfigurationError(
+            f"structure {name!r} does not accept parameters "
+            f"{sorted(unknown)}; allowed: {sorted(allowed)}"
+        )
+
+
+@register_structure(WellMixed.name)
+def _make_well_mixed(params: dict[str, int], n_ssets: int) -> WellMixed:
+    _expect_params(WellMixed.name, params, set())
+    return WellMixed(n_ssets)

@@ -1,0 +1,330 @@
+"""Graph-structured interaction models.
+
+Every model here derives from :class:`GraphStructure`, which owns the
+adjacency lists and implements the shared dynamics:
+
+* **fitness** — one game against each neighbor, grouped by distinct
+  strategy and evaluated through
+  :meth:`~repro.core.payoff_cache.PayoffCache.payoffs_to_many`, so the
+  per-event cost is one (usually cached / vectorised) evaluation per
+  *distinct* neighboring strategy, not per edge;
+* **PC partner selection** — the learner is drawn uniformly from the
+  population, the teacher uniformly from the learner's neighborhood (death-
+  birth-flavored pairwise comparison, the convention of the structured-
+  population literature).
+
+Models:
+
+* :class:`Complete` — all-to-all graph.  Same fitness values as
+  :class:`~repro.structure.base.WellMixed` (useful as a cross-check) but
+  selected through the neighbor path.
+* :class:`RingLattice` — N SSets on a cycle, each tied to its ``k`` nearest
+  (``k/2`` per side); ``ring:k=4``.
+* :class:`Grid2D` — 2-D torus with von-Neumann neighborhoods, reusing the
+  Blue Gene torus coordinate math (:class:`repro.machine.TorusTopology`);
+  ``grid`` (balanced factorization) or ``grid:rows=8,cols=8``.
+* :class:`RandomRegular` — random d-regular graph from the pairing model,
+  deterministic given its own ``seed`` parameter (independent of the
+  evolution seed, so the graph is part of the *configuration*);
+  ``regular:d=4,seed=7``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..machine.topology import TorusTopology, balanced_dims
+from .base import InteractionModel, _expect_params, register_structure
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..core.payoff_cache import PayoffCache
+    from ..core.population import Population
+
+__all__ = ["GraphStructure", "Complete", "RingLattice", "Grid2D", "RandomRegular"]
+
+
+class GraphStructure(InteractionModel):
+    """An interaction model backed by explicit adjacency lists."""
+
+    def __init__(self, n_ssets: int, adjacency: list[np.ndarray]):
+        super().__init__(n_ssets)
+        if len(adjacency) != n_ssets:
+            raise ConfigurationError(
+                f"adjacency has {len(adjacency)} rows for {n_ssets} SSets"
+            )
+        for i, nbrs in enumerate(adjacency):
+            if len(nbrs) == 0:
+                raise ConfigurationError(
+                    f"SSet {i} has no neighbors; every SSet needs at least "
+                    "one interaction partner"
+                )
+            if i in nbrs:
+                raise ConfigurationError(f"SSet {i} lists itself as a neighbor")
+            if len(set(int(j) for j in nbrs)) != len(nbrs):
+                raise ConfigurationError(
+                    f"SSet {i} lists a neighbor more than once; interaction "
+                    "graphs are simple (no multi-edges)"
+                )
+        self._adjacency = [
+            np.asarray(sorted(int(j) for j in nbrs), dtype=np.int64)
+            for nbrs in adjacency
+        ]
+        # Instances are shared through the build_structure cache, and
+        # neighbors() hands these arrays out directly: freeze them so an
+        # in-place edit by a caller cannot corrupt every later run.
+        for arr in self._adjacency:
+            arr.flags.writeable = False
+        # n_edges, edges(), and the cluster metrics all assume an
+        # undirected graph, so asymmetric adjacency (possible from custom
+        # register_structure factories) must fail loudly.
+        directed = {
+            (i, int(j)) for i, nbrs in enumerate(self._adjacency) for j in nbrs
+        }
+        for i, j in directed:
+            if (j, i) not in directed:
+                raise ConfigurationError(
+                    f"adjacency is not symmetric: SSet {i} lists {j} as a "
+                    f"neighbor but not vice versa; interaction graphs are "
+                    "undirected"
+                )
+
+    # -- graph views ---------------------------------------------------------
+
+    def neighbors(self, sset_id: int) -> np.ndarray:
+        self._check_id(sset_id)
+        return self._adjacency[sset_id]
+
+    def degree(self, sset_id: int) -> int:
+        return len(self.neighbors(sset_id))
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adjacency) // 2
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All undirected edges as sorted ``(low, high)`` pairs."""
+        return [
+            (i, int(j))
+            for i, nbrs in enumerate(self._adjacency)
+            for j in nbrs
+            if i < j
+        ]
+
+    # -- dynamics ------------------------------------------------------------
+
+    def select_pair(self, rng: np.random.Generator) -> tuple[int, int]:
+        learner = int(rng.integers(self.n_ssets))
+        nbrs = self._adjacency[learner]
+        teacher = int(nbrs[int(rng.integers(len(nbrs)))])
+        return teacher, learner
+
+    def fitness_of(
+        self,
+        population: "Population",
+        sset_id: int,
+        cache: "PayoffCache",
+        include_self_play: bool = False,
+    ) -> float:
+        """Sum of game payoffs against the neighborhood.
+
+        Reuses the shared histogram fitness kernel on a *local* histogram
+        of the neighborhood, so a tight cluster of one strategy costs a
+        single cache probe, exactly like the well-mixed global fast path.
+        The neighborhood never contains the focal SSet (no self-loops), so
+        the histogram is summed without its self-play exclusion and the
+        optional self game is added separately.
+        """
+        # Runtime import: repro.structure is imported by repro.core.config,
+        # so a module-level core import here would be circular.
+        from ..core.payoff_cache import StrategyHistogram
+
+        self._check_id(sset_id)
+        me = population[sset_id].strategy
+        hist = StrategyHistogram.from_strategies(
+            [population[int(j)].strategy for j in self._adjacency[sset_id]]
+        )
+        total = hist.fitness_of(me, cache, include_self_play=True)
+        if include_self_play:
+            total += cache.payoff_to(me, me)
+        return total
+
+
+class Complete(GraphStructure):
+    """All-to-all graph (every SSet neighbors every other)."""
+
+    name: ClassVar[str] = "complete"
+
+    def __init__(self, n_ssets: int):
+        ids = np.arange(n_ssets, dtype=np.int64)
+        super().__init__(n_ssets, [ids[ids != i] for i in range(n_ssets)])
+
+    def spec(self) -> str:
+        return self.name
+
+
+class RingLattice(GraphStructure):
+    """Cycle of N SSets, each tied to its ``k`` nearest (``k/2`` per side)."""
+
+    name: ClassVar[str] = "ring"
+
+    def __init__(self, n_ssets: int, k: int = 2):
+        if k < 2 or k % 2 != 0:
+            raise ConfigurationError(
+                f"ring lattice k must be a positive even integer, got {k}"
+            )
+        if k >= n_ssets:
+            raise ConfigurationError(
+                f"ring lattice k={k} needs at least k+1={k + 1} SSets, "
+                f"got {n_ssets}"
+            )
+        self.k = k
+        half = k // 2
+        adjacency = [
+            np.array(
+                sorted({(i + d) % n_ssets for d in range(-half, half + 1)} - {i}),
+                dtype=np.int64,
+            )
+            for i in range(n_ssets)
+        ]
+        super().__init__(n_ssets, adjacency)
+
+    def spec(self) -> str:
+        return f"{self.name}:k={self.k}"
+
+
+class Grid2D(GraphStructure):
+    """2-D torus grid with von-Neumann (4-)neighborhoods.
+
+    The wrap-around adjacency is the Blue Gene torus coordinate math
+    (:meth:`repro.machine.TorusTopology.neighbors`) on a 2-D torus; rows of
+    size 2 degenerate to degree-3 nodes (the ±1 steps coincide), which the
+    topology deduplicates.
+    """
+
+    name: ClassVar[str] = "grid"
+
+    def __init__(self, n_ssets: int, rows: int | None = None, cols: int | None = None):
+        if (rows is None) != (cols is None):
+            raise ConfigurationError(
+                "grid structure needs both rows and cols (or neither, for "
+                "the balanced factorization)"
+            )
+        if rows is None:
+            dims = balanced_dims(n_ssets, 2)
+            rows, cols = int(dims[0]), int(dims[1])
+        assert cols is not None
+        if rows * cols != n_ssets:
+            raise ConfigurationError(
+                f"grid rows*cols = {rows}*{cols} = {rows * cols} "
+                f"must equal n_ssets = {n_ssets}"
+            )
+        if min(rows, cols) < 2:
+            raise ConfigurationError(
+                f"grid needs both dimensions >= 2, got {rows}x{cols}; a 2-D "
+                "torus requires n_ssets to factor as rows*cols with both "
+                ">= 2 (impossible for prime n_ssets — use ring:k=... there)"
+            )
+        self.rows, self.cols = rows, cols
+        torus = TorusTopology((rows, cols))
+        adjacency = [
+            np.array(torus.neighbors(i), dtype=np.int64)
+            for i in range(n_ssets)
+        ]
+        super().__init__(n_ssets, adjacency)
+
+    def spec(self) -> str:
+        return f"{self.name}:rows={self.rows},cols={self.cols}"
+
+
+class RandomRegular(GraphStructure):
+    """Random d-regular graph (pairing/configuration model with rejection).
+
+    The graph is a function of ``(n_ssets, d, seed)`` alone — the ``seed``
+    is the *structure's* seed, independent of the evolution seed, so the
+    same spec always rebuilds the same graph (checkpoint resume relies on
+    this).
+    """
+
+    name: ClassVar[str] = "regular"
+
+    _MAX_ATTEMPTS = 500
+
+    def __init__(self, n_ssets: int, d: int = 4, seed: int = 0):
+        if d < 1:
+            raise ConfigurationError(f"regular graph degree must be >= 1, got {d}")
+        if d >= n_ssets:
+            raise ConfigurationError(
+                f"regular graph degree d={d} needs at least d+1={d + 1} "
+                f"SSets, got {n_ssets}"
+            )
+        if (d * n_ssets) % 2 != 0:
+            raise ConfigurationError(
+                f"d*n must be even for a d-regular graph, got d={d}, "
+                f"n={n_ssets}"
+            )
+        if seed < 0:
+            raise ConfigurationError(
+                f"regular graph seed must be >= 0, got {seed}"
+            )
+        self.d = d
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        adjacency = self._generate(n_ssets, d, rng)
+        super().__init__(n_ssets, adjacency)
+
+    @classmethod
+    def _generate(
+        cls, n: int, d: int, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        stubs = np.repeat(np.arange(n, dtype=np.int64), d)
+        for _ in range(cls._MAX_ATTEMPTS):
+            rng.shuffle(stubs)
+            a, b = stubs[0::2], stubs[1::2]
+            if np.any(a == b):
+                continue  # self-loop: reject the whole matching
+            lo, hi = np.minimum(a, b), np.maximum(a, b)
+            edges = set(zip(lo.tolist(), hi.tolist()))
+            if len(edges) != len(a):
+                continue  # multi-edge: reject
+            neighbors: list[list[int]] = [[] for _ in range(n)]
+            for x, y in edges:
+                neighbors[x].append(y)
+                neighbors[y].append(x)
+            return [np.array(sorted(ns), dtype=np.int64) for ns in neighbors]
+        raise ConfigurationError(
+            f"failed to generate a {d}-regular graph on {n} nodes after "
+            f"{cls._MAX_ATTEMPTS} pairing attempts; try another seed or degree"
+        )
+
+    def spec(self) -> str:
+        return f"{self.name}:d={self.d},seed={self.seed}"
+
+
+@register_structure(Complete.name)
+def _make_complete(params: dict[str, int], n_ssets: int) -> Complete:
+    _expect_params(Complete.name, params, set())
+    return Complete(n_ssets)
+
+
+@register_structure(RingLattice.name)
+def _make_ring(params: dict[str, int], n_ssets: int) -> RingLattice:
+    _expect_params(RingLattice.name, params, {"k"})
+    return RingLattice(n_ssets, k=params.get("k", 2))
+
+
+@register_structure(Grid2D.name)
+def _make_grid(params: dict[str, int], n_ssets: int) -> Grid2D:
+    _expect_params(Grid2D.name, params, {"rows", "cols"})
+    return Grid2D(n_ssets, rows=params.get("rows"), cols=params.get("cols"))
+
+
+@register_structure(RandomRegular.name)
+def _make_regular(params: dict[str, int], n_ssets: int) -> RandomRegular:
+    _expect_params(RandomRegular.name, params, {"d", "seed"})
+    return RandomRegular(
+        n_ssets, d=params.get("d", 4), seed=params.get("seed", 0)
+    )

@@ -22,12 +22,18 @@ from repro.rng import make_rng
 
 class TestSSet:
     def test_adopt_and_mutate_count(self):
-        s = SSet(0, tft(1), n_agents=4)
-        s.adopt(wsls(1))
-        s.mutate(all_d(1))
-        assert s.adoptions == 1
-        assert s.mutations == 1
-        assert s.strategy == all_d(1)
+        """Counters update through the Population write path (the SSet
+        record itself exposes no strategy-writing methods)."""
+        pop = Population.from_strategies([tft(1), wsls(1)])
+        pop.adopt(0, wsls(1))
+        pop.mutate(0, all_d(1))
+        assert pop[0].adoptions == 1
+        assert pop[0].mutations == 1
+        assert pop[0].strategy == all_d(1)
+
+    def test_no_direct_strategy_write_methods(self):
+        s = SSet(0, tft(1))
+        assert not hasattr(s, "adopt") and not hasattr(s, "mutate")
 
     def test_games_per_agent_ceiling(self):
         s = SSet(0, tft(1), n_agents=4)
@@ -163,3 +169,48 @@ class TestPopulation:
         assert vec[2] == vec[3]
         # SSet records were updated.
         assert pop[0].fitness == vec[0]
+
+
+class TestSetStrategyAndInvariants:
+    def test_set_strategy_keeps_histogram_in_sync(self):
+        pop = Population.from_strategies([tft(1), wsls(1), all_d(1)])
+        pop.set_strategy(0, all_d(1))
+        assert pop.share_of(all_d(1)) == pytest.approx(2 / 3)
+        assert tft(1).key() not in pop.histogram.counts
+        # set_strategy is the raw write path: no adoption/mutation counters.
+        assert pop[0].adoptions == 0 and pop[0].mutations == 0
+        pop.check_invariants()
+
+    def test_adopt_and_mutate_route_through_set_strategy(self):
+        pop = Population.from_strategies([tft(1), wsls(1)])
+        pop.adopt(0, wsls(1))
+        pop.mutate(1, all_c(1))
+        assert pop[0].adoptions == 1
+        assert pop[1].mutations == 1
+        pop.check_invariants()
+
+    def test_check_invariants_detects_bypassing_write(self):
+        from repro.errors import SimulationError
+
+        pop = Population.from_strategies([tft(1), wsls(1), all_d(1)])
+        pop.check_invariants()
+        # Write around the choke point: the histogram goes stale.
+        pop.ssets[0].strategy = all_c(1)
+        with pytest.raises(SimulationError):
+            pop.check_invariants()
+
+    def test_check_invariants_detects_desynced_counts(self):
+        from repro.errors import SimulationError
+
+        pop = Population.from_strategies([tft(1), tft(1), wsls(1)])
+        pop.histogram.remove(tft(1))
+        with pytest.raises(SimulationError):
+            pop.check_invariants()
+
+    def test_long_run_population_passes_invariants(self):
+        from repro.core import EvolutionConfig, run_event_driven
+
+        result = run_event_driven(
+            EvolutionConfig(n_ssets=12, generations=3000, rounds=16, seed=3)
+        )
+        result.population.check_invariants()

@@ -28,6 +28,7 @@ class TestRegistry:
             "fig6a",
             "fig6b",
             "claim-mem6",
+            "structures",
         }
 
     def test_every_experiment_has_paper_ref(self):

@@ -1,0 +1,79 @@
+"""Checkpoint round-tripping of the population-structure spec."""
+
+import numpy as np
+import pytest
+
+from repro.core import Population, tft, wsls
+from repro.errors import CheckpointError
+from repro.io import load_checkpoint, load_population, save_population
+
+
+@pytest.fixture
+def population():
+    return Population.from_strategies([tft(1), wsls(1), tft(1), wsls(1)])
+
+
+class TestStructureRoundTrip:
+    def test_spec_round_trips(self, tmp_path, population):
+        path = tmp_path / "pop.npz"
+        save_population(population, path, structure="ring:k=2")
+        loaded, spec = load_checkpoint(path)
+        assert spec == "ring:k=2"
+        assert [s.strategy for s in loaded.ssets] == [
+            s.strategy for s in population.ssets
+        ]
+
+    def test_no_structure_saves_none(self, tmp_path, population):
+        path = tmp_path / "pop.npz"
+        save_population(population, path)
+        _, spec = load_checkpoint(path)
+        assert spec is None
+
+    def test_load_population_ignores_structure(self, tmp_path, population):
+        path = tmp_path / "pop.npz"
+        save_population(population, path, structure="grid:rows=2,cols=2")
+        loaded = load_population(path)
+        assert len(loaded) == 4
+
+    def test_legacy_checkpoint_without_structure_field(self, tmp_path, population):
+        """Pre-structure checkpoints (no 'structure' entry at all) still
+        load, reporting no spec — callers treat that as well-mixed."""
+        path = tmp_path / "legacy.npz"
+        matrix = population.strategy_matrix()
+        np.savez_compressed(
+            path,
+            version=np.int64(1),
+            memory_steps=np.int64(population.memory_steps),
+            strategy_matrix=matrix,
+            n_agents=np.array(
+                [s.n_agents for s in population.ssets], dtype=np.int64
+            ),
+            is_pure=np.bool_(True),
+        )
+        loaded, spec = load_checkpoint(path)
+        assert spec is None
+        assert len(loaded) == len(population)
+
+    def test_legacy_resume_defaults_to_well_mixed(self, tmp_path):
+        """A legacy (structure-less) checkpoint resumes fine under the
+        default well-mixed config but is rejected under a graph config."""
+        from repro.api import Simulation
+        from repro.core import EvolutionConfig
+
+        config = EvolutionConfig(n_ssets=4, generations=100, seed=1)
+        path = tmp_path / "legacy.npz"
+        result = Simulation(config).run()
+        save_population(result.population, path)  # legacy: no structure
+
+        resumed = Simulation(
+            config.with_updates(seed=2), checkpoint_path=path, resume=True
+        ).run()
+        assert resumed.generations_run == 100
+
+        ring = config.with_updates(structure="ring:k=2")
+        with pytest.raises(CheckpointError):
+            Simulation(ring, checkpoint_path=path, resume=True).run()
+
+    def test_missing_file_still_errors(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "absent.npz")

@@ -101,3 +101,21 @@ class TestCheckpoint:
         restored = load_population(path)
         assert restored.memory_steps == 6
         assert restored.strategy_matrix().shape == (4, 4096)
+
+
+class TestRunHeader:
+    def test_record_result_writes_header_with_structure(self, tmp_path):
+        config = EvolutionConfig(
+            n_ssets=8, generations=400, rounds=16, seed=13, structure="ring:k=2"
+        )
+        result = run_event_driven(config)
+        path = tmp_path / "run.jsonl"
+        with GenerationRecorder(path) as rec:
+            rec.record_result(result)
+        records = read_records(path)
+        headers = [r for r in records if r["type"] == "run"]
+        assert len(headers) == 1
+        assert records[0] is headers[0]  # header comes first
+        assert headers[0]["structure"] == "ring:k=2"
+        assert headers[0]["n_ssets"] == 8
+        assert headers[0]["seed"] == 13

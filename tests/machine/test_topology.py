@@ -146,3 +146,40 @@ class TestMemoryModel:
 
     def test_generic_cluster_roomier(self):
         assert max_memory_steps(GENERIC_CLUSTER, n_strategies=32_768) >= 7
+
+
+class TestTorusNeighbors:
+    def test_2d_neighbors(self):
+        from repro.machine import TorusTopology
+
+        torus = TorusTopology((3, 4))
+        # Node 0 at (0,0): up (2,0)=8, down (1,0)=4, left (0,3)=3, right (0,1)=1.
+        assert torus.neighbors(0) == (1, 3, 4, 8)
+
+    def test_rank_of_inverts_coordinates(self):
+        from repro.machine import TorusTopology
+
+        torus = TorusTopology((2, 3, 4))
+        for node in range(torus.n_nodes):
+            assert torus.rank_of(torus.coordinates(node)) == node
+
+    def test_neighbors_at_unit_hop(self):
+        from repro.machine import TorusTopology
+
+        torus = TorusTopology((4, 4))
+        for node in range(torus.n_nodes):
+            for other in torus.neighbors(node):
+                assert torus.hop_distance(node, other) == 1
+
+    def test_size_two_dimension_dedupes(self):
+        from repro.machine import TorusTopology
+
+        torus = TorusTopology((2, 4))
+        # The ±1 steps in the size-2 dimension coincide: degree 3.
+        assert len(torus.neighbors(0)) == 3
+
+    def test_size_one_dimension_contributes_nothing(self):
+        from repro.machine import TorusTopology
+
+        torus = TorusTopology((1, 5))
+        assert torus.neighbors(0) == (1, 4)

@@ -1,0 +1,253 @@
+"""Tests for the InteractionModel layer: specs, graphs, selection, fitness."""
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, PayoffCache, Population, random_pure
+from repro.errors import ConfigurationError
+from repro.rng import make_rng
+from repro.structure import (
+    Complete,
+    Grid2D,
+    InteractionModel,
+    RandomRegular,
+    RingLattice,
+    WellMixed,
+    available_structures,
+    build_structure,
+    is_well_mixed_spec,
+    parse_structure_spec,
+    register_structure,
+)
+
+
+class TestSpecParsing:
+    def test_all_builtins_registered(self):
+        assert set(available_structures()) >= {
+            "well-mixed",
+            "complete",
+            "ring",
+            "grid",
+            "regular",
+        }
+
+    def test_bare_name(self):
+        assert parse_structure_spec("well-mixed") == ("well-mixed", {})
+
+    def test_params(self):
+        assert parse_structure_spec("regular:d=4,seed=7") == (
+            "regular",
+            {"d": 4, "seed": 7},
+        )
+
+    def test_whitespace_tolerated(self):
+        assert parse_structure_spec(" ring : k = 4 ") == ("ring", {"k": 4})
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "nope", "ring:k", "ring:k=two", "ring:=4", "well-mixed:k=1",
+         "ring:k=2,k=8"],
+    )
+    def test_bad_specs(self, spec):
+        with pytest.raises(ConfigurationError):
+            build_structure(spec, 16)
+
+    def test_is_well_mixed_spec(self):
+        assert is_well_mixed_spec("well-mixed")
+        assert not is_well_mixed_spec("ring:k=2")
+
+    def test_spec_roundtrip(self):
+        for spec, n in [
+            ("well-mixed", 10),
+            ("complete", 10),
+            ("ring:k=4", 10),
+            ("grid:rows=3,cols=4", 12),
+            ("regular:d=3,seed=5", 10),
+        ]:
+            model = build_structure(spec, n)
+            rebuilt = build_structure(model.spec(), n)
+            assert rebuilt.spec() == model.spec()
+            if not model.is_well_mixed:
+                for i in range(n):
+                    assert np.array_equal(
+                        rebuilt.neighbors(i), model.neighbors(i)
+                    )
+
+    def test_passthrough_instance(self):
+        model = RingLattice(10, k=2)
+        assert build_structure(model, 10) is model
+        with pytest.raises(ConfigurationError):
+            build_structure(model, 12)  # bound to the wrong size
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_structure("ring")(lambda params, n: None)
+
+
+class TestWellMixed:
+    def test_neighbors_is_everyone_else(self):
+        model = WellMixed(5)
+        assert model.neighbors(2).tolist() == [0, 1, 3, 4]
+
+    def test_select_pair_matches_legacy_draws(self):
+        """WellMixed.select_pair consumes the pc stream exactly as the
+        historical inline code (teacher, then learner with rejection)."""
+        model = WellMixed(8)
+        rng_a, rng_b = make_rng(42), make_rng(42)
+        for _ in range(200):
+            teacher = int(rng_a.integers(8))
+            learner = int(rng_a.integers(8))
+            while learner == teacher:
+                learner = int(rng_a.integers(8))
+            assert model.select_pair(rng_b) == (teacher, learner)
+
+
+class TestRing:
+    def test_neighbors(self):
+        model = RingLattice(8, k=4)
+        assert model.neighbors(0).tolist() == [1, 2, 6, 7]
+        assert model.degree(3) == 4
+        assert model.n_edges == 8 * 4 // 2
+
+    @pytest.mark.parametrize("k", [0, 1, 3, -2, 8, 9])
+    def test_invalid_k(self, k):
+        with pytest.raises(ConfigurationError):
+            RingLattice(8, k=k)
+
+
+class TestGrid:
+    def test_explicit_dims(self):
+        model = Grid2D(12, rows=3, cols=4)
+        assert model.spec() == "grid:rows=3,cols=4"
+        # Node 0 at (0,0) on a 3x4 torus: up (2,0)=8, down (1,0)=4,
+        # left (0,3)=3, right (0,1)=1.
+        assert model.neighbors(0).tolist() == [1, 3, 4, 8]
+
+    def test_balanced_default(self):
+        model = build_structure("grid", 36)
+        assert model.rows * model.cols == 36
+        assert {model.rows, model.cols} == {6}
+
+    def test_degenerate_dim_two_dedupes(self):
+        model = Grid2D(8, rows=2, cols=4)
+        # Row wraparound +1/-1 coincide: degree 3, not 4.
+        assert model.degree(0) == 3
+
+    def test_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Grid2D(12, rows=3, cols=5)
+        with pytest.raises(ConfigurationError):
+            Grid2D(13, rows=13, cols=1)
+
+    def test_partial_params(self):
+        with pytest.raises(ConfigurationError):
+            build_structure("grid:rows=4", 16)
+
+
+class TestRandomRegular:
+    def test_regularity_and_determinism(self):
+        a = RandomRegular(20, d=4, seed=3)
+        b = build_structure("regular:d=4,seed=3", 20)
+        for i in range(20):
+            assert a.degree(i) == 4
+            assert np.array_equal(a.neighbors(i), b.neighbors(i))
+            assert i not in a.neighbors(i)
+
+    def test_different_seeds_differ(self):
+        a = RandomRegular(20, d=4, seed=1)
+        b = RandomRegular(20, d=4, seed=2)
+        assert any(
+            not np.array_equal(a.neighbors(i), b.neighbors(i))
+            for i in range(20)
+        )
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomRegular(9, d=3)
+
+    def test_degree_too_large(self):
+        with pytest.raises(ConfigurationError):
+            RandomRegular(4, d=4)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomRegular(8, d=4, seed=-1)
+
+
+class TestGraphFitness:
+    @pytest.fixture
+    def population(self):
+        config = EvolutionConfig(n_ssets=12, generations=0, seed=5)
+        return Population.random(config, make_rng(5))
+
+    def test_complete_matches_well_mixed(self, population):
+        """The all-to-all graph reproduces the histogram fast-path values."""
+        cache = PayoffCache(rounds=32)
+        complete = Complete(12)
+        mixed = WellMixed(12)
+        for include_self in (False, True):
+            for i in range(12):
+                assert complete.fitness_of(
+                    population, i, cache, include_self
+                ) == pytest.approx(
+                    mixed.fitness_of(population, i, cache, include_self)
+                )
+
+    def test_neighborhood_sum(self, population):
+        """Graph fitness equals the naive per-neighbor payoff sum."""
+        cache = PayoffCache(rounds=32)
+        model = RingLattice(12, k=4)
+        for i in range(12):
+            expected = sum(
+                cache.payoff_to(
+                    population[i].strategy, population[int(j)].strategy
+                )
+                for j in model.neighbors(i)
+            )
+            assert model.fitness_of(population, i, cache) == pytest.approx(
+                expected
+            )
+
+    def test_select_pair_teacher_is_neighbor(self):
+        model = Grid2D(16, rows=4, cols=4)
+        rng = make_rng(0)
+        for _ in range(100):
+            teacher, learner = model.select_pair(rng)
+            assert teacher in model.neighbors(learner)
+
+    def test_interaction_model_is_abstract(self):
+        with pytest.raises(TypeError):
+            InteractionModel(4)
+
+    def test_asymmetric_adjacency_rejected(self):
+        from repro.structure import GraphStructure
+
+        class Lopsided(GraphStructure):
+            name = "lopsided"
+
+            def spec(self):
+                return self.name
+
+        with pytest.raises(ConfigurationError, match="not symmetric"):
+            Lopsided(
+                3,
+                [np.array([1]), np.array([0, 2]), np.array([1, 0])],
+            )
+        with pytest.raises(ConfigurationError, match="more than once"):
+            Lopsided(
+                2,
+                [np.array([1, 1]), np.array([0, 0])],
+            )
+
+    def test_string_specs_share_cached_instances(self):
+        a = build_structure("regular:d=4,seed=9", 20)
+        b = build_structure("regular:d=4,seed=9", 20)
+        assert a is b
+        assert build_structure("regular:d=4,seed=9", 22) is not a
+
+    def test_neighbor_arrays_are_frozen(self):
+        """Cached models hand out their adjacency arrays: they must be
+        read-only so no caller can corrupt the shared graph in place."""
+        model = build_structure("ring:k=2", 6)
+        with pytest.raises(ValueError):
+            model.neighbors(0)[0] = 3

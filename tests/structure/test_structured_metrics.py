@@ -1,0 +1,89 @@
+"""Tests for the structured analysis metrics."""
+
+import pytest
+
+from repro.analysis import (
+    dominant_strategy_clusters,
+    largest_cluster_fraction,
+    neighborhood_cooperation,
+)
+from repro.core import Population, all_c, all_d
+from repro.structure import RingLattice
+
+
+def ring_population(pattern):
+    """Population of AllC ('c') / AllD ('d') SSets laid out on a ring."""
+    return Population.from_strategies(
+        [all_c(1) if ch == "c" else all_d(1) for ch in pattern]
+    )
+
+
+class TestNeighborhoodCooperation:
+    def test_all_cooperators(self):
+        pop = ring_population("cccccc")
+        coop = neighborhood_cooperation(pop, "ring:k=2", rounds=16)
+        assert coop.tolist() == [1.0] * 6
+
+    def test_all_defectors(self):
+        pop = ring_population("dddddd")
+        coop = neighborhood_cooperation(pop, "ring:k=2", rounds=16)
+        assert coop.tolist() == [0.0] * 6
+
+    def test_boundary_sees_less_cooperation(self):
+        # Cooperator block next to a defector block: interior cooperators
+        # see full cooperation, boundary ones see half.
+        pop = ring_population("ccccdddd")
+        coop = neighborhood_cooperation(pop, "ring:k=2", rounds=16)
+        # SSet 1..2 are interior cooperators (both neighbors cooperate).
+        assert coop[1] == pytest.approx(1.0)
+        assert coop[2] == pytest.approx(1.0)
+        # SSet 3 borders the defector block: AllC vs AllD games — AllC
+        # cooperates, AllD defects -> 1/2 cooperation in that game.
+        assert coop[3] == pytest.approx((1.0 + 0.5) / 2)
+        # Interior defectors see zero cooperation.
+        assert coop[5] == pytest.approx(0.0)
+
+    def test_accepts_bound_model(self):
+        pop = ring_population("cccc")
+        model = RingLattice(4, k=2)
+        coop = neighborhood_cooperation(pop, model, rounds=16)
+        assert coop.shape == (4,)
+
+    def test_noise_changes_the_metric(self):
+        """Noisy runs report the cooperation of the *noisy* game (Markov
+        expectation), not the noiseless cycle value."""
+        pop = ring_population("cccccc")
+        clean = neighborhood_cooperation(pop, "ring:k=2", rounds=16)
+        noisy = neighborhood_cooperation(pop, "ring:k=2", rounds=16, noise=0.1)
+        assert clean.tolist() == [1.0] * 6
+        assert all(noisy < 1.0)
+
+    def test_mixed_strategies_use_markov_expectation(self):
+        from repro.core import gtft
+
+        pop = Population.from_strategies([gtft(), all_c(1), all_c(1)])
+        coop = neighborhood_cooperation(pop, "ring:k=2", rounds=16)
+        assert coop.shape == (3,)
+        assert all(0.0 <= c <= 1.0 for c in coop)
+
+
+class TestDominantClusters:
+    def test_two_separated_clusters(self):
+        # Dominant strategy is AllC (5 of 8); it sits in blocks of 3 and 2
+        # separated by defectors on a k=2 ring.
+        pop = ring_population("cccdccdd")
+        sizes = dominant_strategy_clusters(pop, "ring:k=2")
+        assert sizes == [3, 2]
+        assert largest_cluster_fraction(pop, "ring:k=2") == pytest.approx(3 / 8)
+
+    def test_wider_ring_merges_clusters(self):
+        # k=4 jumps over the single defector gap: one cluster of 5.
+        pop = ring_population("cccdccdd")
+        assert dominant_strategy_clusters(pop, "ring:k=4") == [5]
+
+    def test_well_mixed_single_cluster(self):
+        pop = ring_population("ccccdd")
+        assert dominant_strategy_clusters(pop, "well-mixed") == [4]
+        assert largest_cluster_fraction(pop, "well-mixed") == pytest.approx(
+            4 / 6
+        )

@@ -142,3 +142,70 @@ class TestSweepCommand:
         ) == 0
         out = capsys.readouterr().out
         assert "[memory=1 run=0" in out and "[memory=2 run=0" in out
+
+
+class TestStructureFlag:
+    def test_evolve_structured(self, capsys):
+        assert main(
+            ["evolve", *SMALL, "--structure", "ring:k=2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "structure=ring:k=2" in out
+        assert "neighborhood cooperation:" in out
+        assert "largest dominant cluster:" in out
+
+    def test_evolve_well_mixed_output_names_structure(self, capsys):
+        assert main(["evolve", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "structure=well-mixed" in out
+        # Spatial metrics only appear for structured runs.
+        assert "neighborhood cooperation:" not in out
+
+    def test_evolve_grid_defaults(self, capsys):
+        assert main(
+            ["evolve", "--ssets", "16", "--generations", "300", "--rounds",
+             "16", "--structure", "grid"]
+        ) == 0
+        assert "structure=grid:rows=4,cols=4" in capsys.readouterr().out
+
+    def test_sweep_structured(self, capsys):
+        assert main(
+            ["sweep", "--ssets", "8", "--generations", "200", "--rounds",
+             "16", "--runs", "2", "--workers", "1", "--structure", "ring:k=2"]
+        ) == 0
+        assert capsys.readouterr().out.count("dominant:") == 2
+
+    def test_structured_checkpoint_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "ring.npz")
+        args = [*SMALL, "--structure", "ring:k=2", "--checkpoint", path]
+        assert main(["evolve", *args]) == 0
+        assert main(["evolve", *args, "--resume"]) == 0
+        assert "dominant:" in capsys.readouterr().out
+
+    def test_bad_spec_is_clean_cli_error(self, capsys):
+        from repro.__main__ import cli
+
+        assert cli(["evolve", *SMALL, "--structure", "moebius:k=3"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and "moebius" in err
+
+    def test_unsupported_backend_combo_is_clean_cli_error(self, capsys):
+        from repro.__main__ import cli
+
+        assert cli(
+            ["evolve", *SMALL, "--structure", "ring:k=2",
+             "--backend", "baseline"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "well-mixed" in err and "baseline" in err
+
+    def test_infeasible_params_clean_error(self, capsys):
+        from repro.__main__ import cli
+
+        # k >= n_ssets: rejected while building the config, not mid-run.
+        assert cli(
+            ["evolve", "--ssets", "8", "--generations", "100", "--rounds",
+             "16", "--structure", "ring:k=8"]
+        ) == 2
+        assert capsys.readouterr().err.startswith("repro: error:")
