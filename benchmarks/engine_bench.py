@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Legacy-vs-engine throughput harness: the FitnessEngine's scorecard.
+
+Writes ``BENCH_engine.json`` with one record per scenario, each timing the
+same seeded run twice — ``engine=False`` (legacy PayoffCache path) and
+``engine=True`` (interned-strategy dense payoff matrix) — plus the speedup
+ratio.  Trajectories are bit-identical between the two (pinned by the test
+suite), so the science fingerprints double as a cross-check here.
+
+CI runs ``--smoke`` (one scenario, short horizon) so the harness cannot
+rot; developers run it bare before/after engine work and commit the JSON.
+
+Usage::
+
+    python benchmarks/engine_bench.py                 # full scenario grid
+    python benchmarks/engine_bench.py --smoke         # 1 scenario (CI)
+    python benchmarks/engine_bench.py --out my.json --generations 50000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # runnable without installation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import EvolutionConfig, Simulation, __version__  # noqa: E402
+
+N_SSETS = 64
+
+#: (label, structure, memory_steps) — the event-driven scenarios the ISSUE's
+#: acceptance targets name, plus the memory-3 deep-memory cell.
+SCENARIOS = (
+    ("well-mixed-m1", "well-mixed", 1),
+    ("well-mixed-m2", "well-mixed", 2),
+    ("well-mixed-m3", "well-mixed", 3),
+    ("ring-m2", "ring:k=4", 2),
+    ("grid-m2", "grid:rows=8,cols=8", 2),
+    ("complete-m2", "complete", 2),
+)
+DEFAULT_GENERATIONS = 100_000
+SMOKE_GENERATIONS = 4_000
+
+
+def bench_scenario(
+    label: str, structure: str, memory_steps: int, generations: int
+) -> dict:
+    """Time one seeded run with the engine off, then on."""
+    record: dict = {
+        "scenario": label,
+        "structure": structure,
+        "memory_steps": memory_steps,
+        "n_ssets": N_SSETS,
+        "generations": generations,
+    }
+    fingerprints = {}
+    for mode, engine in (("legacy", False), ("engine", True)):
+        config = EvolutionConfig(
+            memory_steps=memory_steps,
+            n_ssets=N_SSETS,
+            generations=generations,
+            structure=structure,
+            seed=2013,
+            engine=engine,
+            record_events=False,
+        )
+        started = time.perf_counter()
+        result = Simulation(config).run()
+        elapsed = time.perf_counter() - started
+        _, share = result.dominant()
+        record[f"{mode}_seconds"] = round(elapsed, 4)
+        record[f"{mode}_generations_per_sec"] = round(generations / elapsed, 1)
+        fingerprints[mode] = (
+            result.n_pc_events,
+            result.n_mutations,
+            round(share, 6),
+        )
+    if fingerprints["legacy"] != fingerprints["engine"]:
+        raise AssertionError(
+            f"{label}: engine trajectory diverged from legacy "
+            f"({fingerprints['engine']} vs {fingerprints['legacy']})"
+        )
+    record["pc_events"], record["mutations"], record["dominant_share"] = (
+        fingerprints["engine"]
+    )
+    record["speedup"] = round(
+        record["engine_generations_per_sec"]
+        / record["legacy_generations_per_sec"],
+        2,
+    )
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="one scenario at a short horizon (CI anti-rot)")
+    parser.add_argument("--generations", type=int, default=None,
+                        help=f"generations per scenario (default "
+                             f"{DEFAULT_GENERATIONS:,}; smoke "
+                             f"{SMOKE_GENERATIONS:,})")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_engine.json"),
+                        metavar="PATH", help="output JSON path")
+    args = parser.parse_args(argv)
+
+    generations = (
+        args.generations
+        if args.generations is not None
+        else (SMOKE_GENERATIONS if args.smoke else DEFAULT_GENERATIONS)
+    )
+    scenarios = SCENARIOS[:1] if args.smoke else SCENARIOS
+
+    results = []
+    for label, structure, memory in scenarios:
+        record = bench_scenario(label, structure, memory, generations)
+        results.append(record)
+        print(f"{label:<15} legacy "
+              f"{record['legacy_generations_per_sec']:>11,.1f} gen/s   "
+              f"engine {record['engine_generations_per_sec']:>11,.1f} gen/s   "
+              f"x{record['speedup']}")
+
+    payload = {
+        "benchmark": "engine",
+        "created_unix": int(time.time()),
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repro_version": __version__,
+        "backend": "event",
+        "results": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out} ({len(results)} scenarios)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,16 @@ def test_event_driven_fastforward(benchmark):
 
 
 def test_payoff_cache_effectiveness():
-    result = run_event_driven(CFG)
-    # Nearly all pair evaluations are cache hits after warm-up.
+    # Ablation of the *legacy* payoff cache, so pin engine=False: nearly
+    # all pair evaluations are cache hits after warm-up.
+    result = run_event_driven(CFG.with_updates(engine=False))
     assert result.cache_hits > 20 * result.cache_misses
+
+
+def test_engine_evaluation_volume():
+    # The dense engine's analogue: pair evaluations (misses) are batched
+    # row fills, bounded by interns x live strategies — far below the
+    # event count x population volume a cacheless evaluator would replay.
+    result = run_event_driven(CFG)
+    naive_games = 2 * result.n_pc_events * CFG.n_ssets
+    assert result.cache_misses < naive_games

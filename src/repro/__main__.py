@@ -71,6 +71,8 @@ def _evolution_config(args: argparse.Namespace, memory: int) -> EvolutionConfig:
         structure=args.structure,
         record_every=args.record_every,
         seed=args.seed,
+        engine=args.engine,
+        record_events=args.record_events,
     )
 
 
@@ -188,6 +190,17 @@ def _add_evolution_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--record-every", type=int, default=0,
                         dest="record_every",
                         help="snapshot the population every N generations")
+    parser.add_argument("--engine", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="dense interned-strategy fitness engine "
+                             "(default on; --no-engine forces the legacy "
+                             "payoff-cache reference path — trajectories "
+                             "are bit-identical either way)")
+    parser.add_argument("--record-events", dest="record_events",
+                        action=argparse.BooleanOptionalAction, default=True,
+                        help="keep per-event records in the result "
+                             "(--no-record-events saves memory on very "
+                             "long runs; counters are kept regardless)")
     parser.add_argument("--seed", type=int, default=2013)
     parser.add_argument("--workers", type=int, default=2,
                         help="process-pool size (multiprocess backend / sweep)")

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..core.baseline import run_baseline
 from ..core.config import EvolutionConfig
+from ..core.engine import is_integer_payoff
 from ..core.evolution import EvolutionResult, run_event_driven, run_serial
 from ..core.payoff_cache import PayoffCache
 from ..core.population import Population
@@ -302,16 +303,15 @@ class MultiprocessBackend(Backend):
         super().validate(config)
         _require_sampled_deterministic(config, self.name)
         _require_positive_batch(self.batch_size)
-        payoff = config.payoff
-        values = (payoff.reward, payoff.sucker, payoff.temptation, payoff.punishment)
-        if not all(float(v).is_integer() for v in values):
+        if not is_integer_payoff(config.payoff):
             # The pooled kernel sums payoffs round by round while the serial
             # cache multiplies cycle sums; only integer payoffs make both
             # float-exact, which the identical-trajectory contract needs.
             raise ConfigurationError(
                 "the multiprocess backend requires an integer-valued payoff "
-                f"matrix to guarantee the serial-identical trajectory (got "
-                f"{values}); use the event backend for non-integer payoffs"
+                "matrix to guarantee the serial-identical trajectory (got "
+                f"{list(config.payoff.vector)}); use the event backend for "
+                "non-integer payoffs"
             )
         if self.workers < 1:
             raise ConfigurationError(
@@ -409,7 +409,10 @@ class DESBackend(Backend):
         result = EvolutionResult(
             config=config,
             population=des.final_population(),
-            events=list(des.events),
+            # The DES always traces events internally (the science flows
+            # through them); record_events only controls what the result
+            # retains, matching the serial drivers.
+            events=list(des.events) if config.record_events else [],
         )
         result.n_pc_events = sum(1 for e in des.events if e.kind == "pc")
         result.n_adoptions = sum(

@@ -6,13 +6,15 @@ Public surface:
 * memory-*n* states (:func:`num_states`, :func:`advance_view`, ...);
 * strategies (:class:`Strategy`, classics, random generation, Table IV);
 * game engines (scalar, vectorised, cycle-exact, Markov-exact);
-* population dynamics (SSets, Nature Agent, Fermi rule, histogram fitness);
+* population dynamics (SSets, Nature Agent, Fermi rule, histogram fitness,
+  and the interned-strategy dense :class:`FitnessEngine`);
 * drivers (:func:`run_serial`, :func:`run_event_driven`, :func:`run_baseline`).
 """
 
 from .baseline import run_baseline
 from .config import PAPER_MUTATION_RATE, PAPER_PC_RATE, EvolutionConfig
 from .cycle import CycleStructure, exact_payoffs, find_cycle
+from .engine import FitnessEngine, StrategyPool, is_integer_payoff
 from .evolution import (
     EventRecord,
     EvolutionResult,
@@ -59,7 +61,12 @@ from .strategy import (
     tft,
     wsls,
 )
-from .vectorgame import payoff_matrix, play_pairs, stack_tables
+from .vectorgame import (
+    cycle_payoffs_pairs,
+    payoff_matrix,
+    play_pairs,
+    stack_tables,
+)
 
 __all__ = [
     # payoff
@@ -76,11 +83,12 @@ __all__ = [
     "strategy_space_size", "tf2t", "tft", "wsls",
     # games
     "GameResult", "PAPER_ROUNDS", "play_game", "round_robin",
-    "payoff_matrix", "play_pairs", "stack_tables",
+    "payoff_matrix", "play_pairs", "stack_tables", "cycle_payoffs_pairs",
     "CycleStructure", "exact_payoffs", "find_cycle",
     "expected_payoffs", "stationary_cooperation_rate", "transition_model",
     # population dynamics
     "PayoffCache", "StrategyHistogram", "SSet", "Population",
+    "FitnessEngine", "StrategyPool", "is_integer_payoff",
     "NatureAgent", "GenerationEvents", "PCDecision", "MutationDecision",
     "fermi_probability", "PAPER_BETA",
     # drivers

@@ -90,30 +90,32 @@ def run_baseline(
                 )
             result.n_pc_events += 1
             result.n_adoptions += int(adopted)
-            result.events.append(
-                EventRecord(
-                    generation=generation,
-                    kind="pc",
-                    source=decision.teacher,
-                    target=decision.learner,
-                    applied=adopted,
-                    teacher_fitness=fit_t,
-                    learner_fitness=fit_l,
+            if config.record_events:
+                result.events.append(
+                    EventRecord(
+                        generation=generation,
+                        kind="pc",
+                        source=decision.teacher,
+                        target=decision.learner,
+                        applied=adopted,
+                        teacher_fitness=fit_t,
+                        learner_fitness=fit_l,
+                    )
                 )
-            )
         if events.mutation:
             decision = nature.mutation_selection(len(population))
             population.mutate(decision.target, decision.strategy)
             result.n_mutations += 1
-            result.events.append(
-                EventRecord(
-                    generation=generation,
-                    kind="mutation",
-                    source=decision.target,
-                    target=decision.target,
-                    applied=True,
+            if config.record_events:
+                result.events.append(
+                    EventRecord(
+                        generation=generation,
+                        kind="mutation",
+                        source=decision.target,
+                        target=decision.target,
+                        applied=True,
+                    )
                 )
-            )
         if config.record_every > 0 and generation > 0:
             _maybe_snapshot(result, population, generation, force=False)
 

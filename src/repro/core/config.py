@@ -81,6 +81,21 @@ class EvolutionConfig:
     record_every:
         Record a population snapshot every this many generations
         (0 = record only the initial and final states).
+    engine:
+        Use the interned-strategy :class:`~repro.core.engine.FitnessEngine`
+        (dense payoff-matrix fitness) when the configuration supports it
+        (default).  The engine follows the bit-identical trajectory of the
+        legacy :class:`~repro.core.payoff_cache.PayoffCache` path; drivers
+        fall back to the legacy cache automatically for regimes the dense
+        kernel cannot serve (sampled-stochastic fitness, non-integer
+        payoff matrices).  ``False`` forces the legacy reference path.
+    record_events:
+        Keep per-event :class:`~repro.core.evolution.EventRecord` entries in
+        ``EvolutionResult.events`` (default).  Long benchmark/experiment
+        runs pass ``False`` so 10^7-generation runs stop accumulating
+        millions of record objects; the scalar counters
+        (``n_pc_events``/``n_adoptions``/``n_mutations``) are kept either
+        way and the trajectory is unaffected.
     """
 
     memory_steps: int = 1
@@ -100,6 +115,8 @@ class EvolutionConfig:
     structure: "str | InteractionModel" = "well-mixed"
     seed: int = 2013
     record_every: int = 0
+    engine: bool = True
+    record_events: bool = True
 
     def __post_init__(self) -> None:
         if self.memory_steps < 1:
@@ -166,6 +183,8 @@ class EvolutionConfig:
             parts.append("mixed")
         if self.expected_fitness:
             parts.append("expected-fitness")
+        if not self.engine:
+            parts.append("legacy-cache")
         return " ".join(parts)
 
     @property

@@ -1,0 +1,548 @@
+"""Interned-strategy fitness engine: dense payoff-matrix population fitness.
+
+The legacy :class:`~repro.core.payoff_cache.PayoffCache` keys every probe on
+strategy *bytes* (``table.tobytes()`` + a dict of bytes tuples) and walks
+Python loops per distinct opponent.  This module replaces those per-event
+loops with integer-indexed array math:
+
+* :class:`StrategyPool` interns every distinct strategy table into a stable
+  integer id (**sid**) backed by one stacked ``(capacity, 4**n)`` table
+  array (the layout of :func:`repro.core.vectorgame.stack_tables`).  Slots
+  are reference-counted against the population multiset.  In the
+  deterministic regime they are recycled when the last SSet drops a
+  strategy, keeping the pool O(population) for arbitrarily long runs; the
+  expected regime instead *retires* dead slots (see the bit-parity notes
+  below), so there — like the legacy cache it mirrors, though with a
+  denser footprint — memory grows with the distinct strategies ever seen.
+
+* :class:`FitnessEngine` maintains a dense ``capacity x capacity`` payoff
+  matrix over those slots — ``paymat[i, j]`` is the total game payoff
+  strategy ``i`` earns against strategy ``j`` — and population fitness
+  collapses to ``counts @ paymat[sid]`` for well-mixed populations and
+  ``paymat[sid, sids[neighbors]].sum()`` for graph neighborhoods.
+
+Bit-parity contract
+-------------------
+The engine is an *optimisation*, not a model change: for every supported
+configuration it must follow the **bit-identical trajectory** of the legacy
+``PayoffCache`` path (pinned by the golden-hash tests).  That drives the
+regime split:
+
+* **deterministic** (pure strategies, no noise) — new sids are filled
+  *eagerly*, one batched cycle-exact row+column evaluation per intern
+  (:func:`repro.core.vectorgame.cycle_payoffs_pairs`).  Payoffs are sums of
+  integer payoff-matrix entries, exact in float64 in any summation order,
+  so the vectorised fills and dot products match the scalar cycle engine
+  bit for bit.  Integer payoff matrices only — the engine refuses (and
+  drivers fall back to the legacy cache) otherwise.
+
+* **expected** (Markov-exact fitness for noisy / mixed games) — expected
+  payoffs are irrational floats whose summation order matters, and the
+  batched Markov kernel is *not* bitwise perspective-symmetric, so eager
+  transposed fills would drift by ulps.  The engine instead fills rows
+  *lazily at query time with the focal strategy as the evaluation
+  perspective*, exactly when and how the legacy cache evaluates its
+  misses (same kernel, :func:`repro.core.markov.expected_payoffs_many`,
+  same batch membership), and accumulates fitness in the same
+  histogram-insertion order with the same left-to-right float additions.
+
+* **sampled** (stochastic games without ``expected_fitness``) — every game
+  is an independent draw from the shared RNG stream and is never cached,
+  so there is nothing to vectorise without changing the random-number
+  consumption (and hence the trajectory).  :meth:`FitnessEngine.from_config`
+  returns ``None`` and the drivers keep the legacy scalar path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError, StrategyError
+from .config import EvolutionConfig
+from .cycle import exact_payoffs
+from .markov import expected_payoffs, expected_payoffs_many
+from .payoff import PAPER_PAYOFF, PayoffMatrix
+from .states import num_states
+from .strategy import Strategy
+from .vectorgame import cycle_payoffs_pairs, stack_tables
+
+__all__ = ["StrategyPool", "FitnessEngine", "is_integer_payoff"]
+
+
+def is_integer_payoff(payoff: PayoffMatrix) -> bool:
+    """Whether every payoff value is integer-valued (float-exact sums)."""
+    return all(float(v).is_integer() for v in payoff.vector)
+
+
+class StrategyPool:
+    """Interns distinct strategy tables into stable, recycled integer slots.
+
+    The pool is the sid <-> strategy bijection behind the engine: one
+    stacked table array plus per-slot reference counts.  ``acquire`` /
+    ``release`` mirror the add/remove semantics of
+    :class:`~repro.core.payoff_cache.StrategyHistogram` — including
+    insertion order, which :meth:`ordered_sids` exposes because the
+    expected-fitness regime must accumulate payoffs in exactly that order
+    to stay on the legacy trajectory.
+    """
+
+    def __init__(
+        self,
+        memory_steps: int,
+        dtype: np.dtype,
+        capacity: int = 64,
+        evict: bool = True,
+    ):
+        if memory_steps < 1:
+            raise ConfigurationError(
+                f"memory_steps must be >= 1, got {memory_steps}"
+            )
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.memory_steps = memory_steps
+        self.n_states = num_states(memory_steps)
+        #: With ``evict`` (deterministic regime) a slot whose refcount hits
+        #: zero is recycled, keeping the pool O(live strategies).  Without
+        #: it (expected regime) the slot is *retired* — the strategy, its
+        #: id, and its matrix row survive so a strategy that dies and later
+        #: reappears reuses its previously evaluated payoffs, exactly like
+        #: the legacy cache's unbounded memoisation (bit-parity needs this:
+        #: re-evaluating from a different perspective drifts by ulps).
+        self.evict = evict
+        self._tables = np.zeros((capacity, self.n_states), dtype=dtype)
+        self._strategies: list[Strategy | None] = [None] * capacity
+        self._ids: dict[bytes, int] = {}
+        self._refcounts = np.zeros(capacity, dtype=np.int64)
+        #: LIFO free list (low slots first) — slot assignment is
+        #: deterministic but carries no science, only matrix layout.
+        self._free = list(range(capacity - 1, -1, -1))
+        #: Live sids in histogram insertion order (dict preserves order).
+        self._order: dict[int, None] = {}
+        self._order_array: np.ndarray | None = None
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._tables.shape[0]
+
+    @property
+    def tables(self) -> np.ndarray:
+        """The stacked ``(capacity, 4**n)`` backing array (live rows valid)."""
+        return self._tables
+
+    @property
+    def refcounts(self) -> np.ndarray:
+        """Per-slot SSet counts (0 for free slots)."""
+        return self._refcounts
+
+    def __len__(self) -> int:
+        """Number of distinct live strategies."""
+        return len(self._order)
+
+    @property
+    def total(self) -> int:
+        """Number of SSets represented (sum of refcounts)."""
+        return int(self._refcounts.sum())
+
+    def __contains__(self, strategy: Strategy) -> bool:
+        return strategy.key() in self._ids
+
+    def sid_of(self, strategy: Strategy) -> int:
+        """The live sid of ``strategy`` (KeyError if not interned)."""
+        return self._ids[strategy.key()]
+
+    def strategy(self, sid: int) -> Strategy:
+        found = self._strategies[sid]
+        if found is None:
+            raise SimulationError(f"slot {sid} is free (no live strategy)")
+        return found
+
+    def count(self, sid: int) -> int:
+        return int(self._refcounts[sid])
+
+    def ordered_sids(self) -> np.ndarray:
+        """Live sids in histogram insertion order (cached array view)."""
+        if self._order_array is None:
+            self._order_array = np.fromiter(
+                self._order, dtype=np.int64, count=len(self._order)
+            )
+        return self._order_array
+
+    # -- interning ------------------------------------------------------------
+
+    def _grow(self) -> None:
+        old = self.capacity
+        new = old * 2
+        tables = np.zeros((new, self.n_states), dtype=self._tables.dtype)
+        tables[:old] = self._tables
+        self._tables = tables
+        refcounts = np.zeros(new, dtype=np.int64)
+        refcounts[:old] = self._refcounts
+        self._refcounts = refcounts
+        self._strategies.extend([None] * (new - old))
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def acquire(self, strategy: Strategy) -> tuple[int, bool]:
+        """Intern ``strategy`` (refcount + 1); returns ``(sid, is_new)``."""
+        if strategy.memory_steps != self.memory_steps:
+            raise StrategyError(
+                f"pool interns memory-{self.memory_steps} strategies, got "
+                f"memory-{strategy.memory_steps}"
+            )
+        key = strategy.key()
+        sid = self._ids.get(key)
+        if sid is not None:
+            if self._refcounts[sid] == 0:
+                # Reviving a retired slot (non-evicting pools only): the
+                # strategy re-enters the live order at the end, exactly
+                # like a histogram re-add.
+                self._order[sid] = None
+                self._order_array = None
+            self._refcounts[sid] += 1
+            return sid, False
+        if not self._free:
+            self._grow()
+        sid = self._free.pop()
+        table = (
+            strategy.table
+            if self._tables.dtype == strategy.table.dtype
+            else strategy.defect_probabilities()
+        )
+        self._tables[sid] = table
+        self._strategies[sid] = strategy
+        self._ids[key] = sid
+        self._refcounts[sid] = 1
+        self._order[sid] = None
+        self._order_array = None
+        return sid, True
+
+    def release(self, sid: int) -> bool:
+        """Drop one reference; returns True when the strategy left the live
+        set (slot recycled when evicting, retired otherwise)."""
+        if self._refcounts[sid] <= 0:
+            raise SimulationError(f"release of slot {sid} with no references")
+        self._refcounts[sid] -= 1
+        if self._refcounts[sid] > 0:
+            return False
+        del self._order[sid]
+        self._order_array = None
+        if self.evict:
+            strategy = self._strategies[sid]
+            assert strategy is not None
+            del self._ids[strategy.key()]
+            self._strategies[sid] = None
+            self._free.append(sid)
+        return True
+
+
+class FitnessEngine:
+    """Dense payoff-matrix fitness over interned strategies.
+
+    Built directly (see ``__init__`` parameters, mirroring
+    :class:`~repro.core.payoff_cache.PayoffCache`) or from a configuration
+    via :meth:`from_config`, which returns ``None`` for regimes the dense
+    kernel cannot serve bit-identically (sampled-stochastic fitness, or
+    deterministic fitness under a non-integer payoff matrix) so callers
+    fall back to the legacy cache.
+
+    ``hits`` counts fitness queries served from the dense matrix;
+    ``misses`` counts ordered pair evaluations performed to fill it (the
+    analogue of the legacy cache's evaluation count).
+    """
+
+    def __init__(
+        self,
+        memory_steps: int,
+        rounds: int,
+        payoff: PayoffMatrix = PAPER_PAYOFF,
+        noise: float = 0.0,
+        expected: bool = False,
+        mixed: bool = False,
+        capacity: int = 64,
+    ):
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        if not expected:
+            if noise > 0.0 or mixed:
+                raise ConfigurationError(
+                    "stochastic sampled fitness cannot be served from a "
+                    "dense payoff matrix (every game is an independent "
+                    "draw); use expected=True or the legacy PayoffCache"
+                )
+            if not is_integer_payoff(payoff):
+                raise ConfigurationError(
+                    "the deterministic dense kernel is float-exact (hence "
+                    "trajectory-identical to the legacy cache) only for "
+                    f"integer payoff matrices, got {list(payoff.vector)}; "
+                    "use the legacy PayoffCache for non-integer payoffs"
+                )
+        self.rounds = rounds
+        self.payoff = payoff
+        self.noise = noise
+        self.expected = expected
+        self.pool = StrategyPool(
+            memory_steps,
+            np.dtype(np.float64) if mixed else np.dtype(np.uint8),
+            capacity=capacity,
+            # The expected regime retires slots instead of recycling them —
+            # see StrategyPool.evict; the legacy cache it mirrors never
+            # forgets an evaluated pair either.
+            evict=not expected,
+        )
+        capacity = self.pool.capacity
+        self._paymat = np.zeros((capacity, capacity), dtype=np.float64)
+        #: Lazy-regime fill mask; the eager deterministic regime keeps every
+        #: live row/column filled by construction and leaves this ``None``.
+        self._evaluated: np.ndarray | None = (
+            np.zeros((capacity, capacity), dtype=bool) if expected else None
+        )
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_config(cls, config: EvolutionConfig) -> "FitnessEngine | None":
+        """Build the engine for ``config``, or ``None`` when the dense
+        kernel cannot reproduce the legacy trajectory bit-for-bit."""
+        if not config.engine:
+            return None
+        if config.is_stochastic:
+            # Sampled regime: the legacy path replays one fresh game per
+            # probe from the shared games stream; caching would change both
+            # the science and the RNG consumption.
+            return None
+        expected = config.expected_fitness and (
+            config.noise > 0.0 or config.mixed_strategies
+        )
+        if not expected and not is_integer_payoff(config.payoff):
+            return None
+        return cls(
+            memory_steps=config.memory_steps,
+            rounds=config.rounds,
+            payoff=config.payoff,
+            noise=config.noise,
+            expected=expected,
+            mixed=config.mixed_strategies,
+            capacity=max(64, config.n_ssets + 2),
+        )
+
+    # -- matrix maintenance ----------------------------------------------------
+
+    @property
+    def paymat(self) -> np.ndarray:
+        """The dense payoff matrix (rows/columns beyond live sids stale)."""
+        return self._paymat
+
+    def _sync_capacity(self) -> None:
+        capacity = self.pool.capacity
+        if self._paymat.shape[0] == capacity:
+            return
+        paymat = np.zeros((capacity, capacity), dtype=np.float64)
+        old = self._paymat.shape[0]
+        paymat[:old, :old] = self._paymat
+        self._paymat = paymat
+        if self._evaluated is not None:
+            evaluated = np.zeros((capacity, capacity), dtype=bool)
+            evaluated[:old, :old] = self._evaluated
+            self._evaluated = evaluated
+
+    def intern(self, strategy: Strategy) -> int:
+        """Intern one strategy occurrence, filling the matrix if new."""
+        sid, is_new = self.pool.acquire(strategy)
+        if is_new:
+            self._sync_capacity()
+            if self._evaluated is None:
+                self._fill_deterministic(sid)
+        return sid
+
+    def intern_all(self, strategies: list[Strategy]) -> np.ndarray:
+        """Bulk-intern a population's strategies; returns the sid array.
+
+        Stacks the tables first (:func:`repro.core.vectorgame.stack_tables`)
+        so a heterogeneous list fails loudly before any slot is allocated.
+        """
+        _, memory_steps, any_mixed = stack_tables(strategies)
+        if memory_steps != self.pool.memory_steps:
+            raise StrategyError(
+                f"engine interns memory-{self.pool.memory_steps} strategies, "
+                f"got memory-{memory_steps}"
+            )
+        if any_mixed and self.pool.tables.dtype == np.uint8:
+            raise StrategyError(
+                "engine was built for pure strategies but the population "
+                "holds mixed ones"
+            )
+        return np.array([self.intern(s) for s in strategies], dtype=np.int64)
+
+    def release(self, sid: int) -> None:
+        """Drop one strategy occurrence (slot recycled or retired at zero;
+        retired slots keep their evaluated payoffs for reappearances)."""
+        self.pool.release(sid)
+
+    def _fill_deterministic(self, sid: int) -> None:
+        """Eager batched cycle-exact row + column fill for a new sid."""
+        live = self.pool.ordered_sids()
+        focal = np.full(live.shape, sid, dtype=np.intp)
+        pay_new, pay_live = cycle_payoffs_pairs(
+            self.pool.tables, focal, live, self.rounds, self.payoff
+        )
+        self._paymat[sid, live] = pay_new
+        self._paymat[live, sid] = pay_live
+        self.misses += len(live)
+
+    def _ensure_row(self, sid: int, opponents: list[int]) -> "np.floating | None":
+        """Lazy expected-regime fill: evaluate the not-yet-known opponents
+        from the focal perspective, exactly like the legacy cache evaluates
+        its misses (same kernel, same batch, both directions stored).
+
+        Returns the focal-perspective *self-pair* value when the self pair
+        was among this call's misses, else ``None``.  Quirk compatibility:
+        the legacy cache's reverse-entry store overwrites a freshly
+        evaluated ``(a, a)`` entry with the mirrored (opponent-perspective)
+        value — which is not always bit-equal, the batched Markov kernel is
+        not perspective-symmetric in the last ulp — while the *evaluating
+        call itself* accumulates the focal-perspective value.  The matrix
+        diagonal therefore keeps the mirrored value (what every later
+        probe sees) and the caller patches this return value in for the
+        current accumulation only.
+        """
+        evaluated = self._evaluated
+        assert evaluated is not None
+        row = evaluated[sid]
+        missing = [j for j in opponents if not row[j]]
+        if not missing:
+            return None
+        focal = self.pool.strategy(sid)
+        targets = [self.pool.strategy(j) for j in missing]
+        to_focal, to_targets = expected_payoffs_many(
+            focal, targets, self.rounds, self.payoff, self.noise
+        )
+        cols = np.asarray(missing, dtype=np.intp)
+        self._paymat[sid, cols] = to_focal
+        self._paymat[cols, sid] = to_targets
+        evaluated[sid, cols] = True
+        evaluated[cols, sid] = True
+        self.misses += len(missing)
+        if sid in missing:
+            return to_focal[missing.index(sid)]
+        return None
+
+    def _self_payoff(self, sid: int) -> float:
+        """Payoff of a strategy against itself, legacy scalar semantics.
+
+        The legacy cache reaches self-play through the *scalar*
+        ``pair_payoffs`` path (cycle-exact for pure noiseless pairs, scalar
+        Markov otherwise).  Quirk compatibility, same as the batched fill:
+        on a self-pair the legacy reverse-entry store overwrites the cache
+        with the opponent-perspective value, so the *evaluating* call
+        returns ``pay_a`` while every later probe sees ``pay_b`` (not
+        always bit-equal under the Markov engine).  The matrix keeps
+        ``pay_b``; this call returns ``pay_a``.
+        """
+        if self._evaluated is None:
+            return float(self._paymat[sid, sid])
+        if self._evaluated[sid, sid]:
+            return float(self._paymat[sid, sid])
+        strategy = self.pool.strategy(sid)
+        if self.noise == 0.0 and strategy.is_pure:
+            pay_a, pay_b, _ = exact_payoffs(
+                strategy, strategy, self.rounds, self.payoff
+            )
+        else:
+            pay_a, pay_b, _ = expected_payoffs(
+                strategy, strategy, self.rounds, self.payoff, noise=self.noise
+            )
+        self._paymat[sid, sid] = pay_b
+        self._evaluated[sid, sid] = True
+        self.misses += 1
+        return pay_a
+
+    # -- fitness kernels ---------------------------------------------------------
+
+    def fitness_well_mixed(self, sid: int, include_self_play: bool = False) -> float:
+        """Fitness of one SSet holding ``sid`` against the whole pool
+        multiset: ``counts @ paymat[sid]`` (minus self-play by default)."""
+        self.hits += 1
+        counts = self.pool.refcounts
+        if self._evaluated is None:
+            total = self._paymat[sid] @ counts
+            if not include_self_play:
+                total = total - self._paymat[sid, sid]
+            return total
+        # Expected regime: replicate the legacy histogram accumulation —
+        # same insertion order, same left-to-right float additions (and the
+        # same np.float64 scalar type: the golden event hashes repr() it).
+        order = self.pool.ordered_sids()
+        fresh_self = self._ensure_row(sid, [int(j) for j in order])
+        row = self._paymat[sid]
+        total = 0.0
+        for j in order:
+            pay = fresh_self if (fresh_self is not None and j == sid) else row[j]
+            total += counts[j] * pay
+        if not include_self_play:
+            total -= row[sid]
+        return total
+
+    def fitness_neighbors(
+        self,
+        sid: int,
+        neighbor_sids: np.ndarray,
+        include_self_play: bool = False,
+    ) -> float:
+        """Fitness of one SSet against a graph neighborhood (one game per
+        neighbor): ``paymat[sid, sids[neighbors]].sum()``."""
+        self.hits += 1
+        if self._evaluated is None:
+            total = self._paymat[sid, neighbor_sids].sum()
+            if include_self_play:
+                total = total + self._self_payoff(sid)
+            return total
+        # Expected regime: group by first occurrence, mirroring the local
+        # neighborhood StrategyHistogram the legacy path builds per call.
+        local_counts: dict[int, int] = {}
+        for j in neighbor_sids:
+            j = int(j)
+            local_counts[j] = local_counts.get(j, 0) + 1
+        fresh_self = self._ensure_row(sid, list(local_counts))
+        row = self._paymat[sid]
+        total = 0.0
+        for j, count in local_counts.items():
+            pay = fresh_self if (fresh_self is not None and j == sid) else row[j]
+            total += count * pay
+        if include_self_play:
+            total += self._self_payoff(sid)
+        return total
+
+    # -- introspection -------------------------------------------------------------
+
+    def payoff_between(self, sid_a: int, sid_b: int) -> float:
+        """Payoff ``sid_a`` earns against ``sid_b`` (evaluating on demand
+        in the lazy regime) — a debugging/testing convenience."""
+        self.pool.strategy(sid_a)
+        self.pool.strategy(sid_b)
+        if self._evaluated is not None:
+            self._ensure_row(sid_a, [sid_b])
+        return float(self._paymat[sid_a, sid_b])
+
+    def stats(self) -> dict[str, int]:
+        """Counters for reports/benchmarks."""
+        return {
+            "distinct": len(self.pool),
+            "capacity": self.pool.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def check_consistent(self, strategies: list[Strategy]) -> None:
+        """Verify the pool matches a recount of ``strategies`` exactly
+        (counts, insertion is not checked) — test/paranoia helper."""
+        counts: dict[bytes, int] = {}
+        for s in strategies:
+            counts[s.key()] = counts.get(s.key(), 0) + 1
+        live = {self.pool.strategy(int(j)).key(): self.pool.count(int(j))
+                for j in self.pool.ordered_sids()}
+        if counts != live:
+            raise SimulationError(
+                "strategy pool desynced from the population multiset "
+                f"({len(counts)} distinct expected, {len(live)} live)"
+            )

@@ -16,9 +16,14 @@ Two equivalent drivers are provided:
   10^7-generation validation run (Fig. 2) feasible.
 
 Fitness is evaluated lazily: only the PC-selected teacher/learner fitness is
-computed (via the strategy histogram + payoff cache), exactly the values the
-dynamics consume.  Set ``full_fitness_every`` to also produce the paper's
-per-generation full fitness evaluation for recording.
+computed, exactly the values the dynamics consume.  By default the values
+come from the interned-strategy :class:`~repro.core.engine.FitnessEngine`
+(dense payoff-matrix kernel, ``config.engine``); configurations the dense
+kernel cannot serve bit-identically — sampled-stochastic fitness,
+non-integer payoffs — fall back to the legacy strategy histogram +
+:class:`~repro.core.payoff_cache.PayoffCache` automatically, and
+``engine=False`` forces that reference path.  Either way the trajectory is
+identical, pinned by the golden-hash tests.
 
 Both drivers honour ``config.structure`` (:mod:`repro.structure`): the
 default well-mixed model keeps the histogram fast path and the historical
@@ -38,10 +43,14 @@ import numpy as np
 from ..rng import SeedSequenceTree
 from ..structure import InteractionModel, build_structure
 from .config import EvolutionConfig
+from .engine import FitnessEngine
 from .nature import NatureAgent
 from .payoff_cache import PayoffCache
 from .population import Population
 from .strategy import Strategy
+
+#: Either fitness evaluator the drivers thread through the structure layer.
+Evaluator = PayoffCache | FitnessEngine
 
 if TYPE_CHECKING:  # pragma: no cover - avoid a runtime core -> api cycle
     from ..api.report import BackendReport
@@ -123,6 +132,24 @@ def _make_cache(config: EvolutionConfig, nature: NatureAgent) -> PayoffCache:
     )
 
 
+def _make_evaluator(
+    config: EvolutionConfig, nature: NatureAgent, population: Population
+) -> Evaluator:
+    """Build the run's fitness evaluator and bind/unbind the population.
+
+    With ``config.engine`` (the default) this is the dense
+    :class:`FitnessEngine` whenever the configuration's fitness regime
+    supports it bit-identically; otherwise — sampled-stochastic fitness,
+    non-integer payoffs, or ``engine=False`` — the legacy
+    :class:`PayoffCache` reference path.
+    """
+    engine = FitnessEngine.from_config(config)
+    population.bind_engine(engine)
+    if engine is not None:
+        return engine
+    return _make_cache(config, nature)
+
+
 def _maybe_snapshot(
     result: EvolutionResult, population: Population, generation: int, force: bool
 ) -> None:
@@ -144,7 +171,7 @@ def _apply_generation_events(
     mutation: bool,
     nature: NatureAgent,
     population: Population,
-    cache: PayoffCache,
+    evaluator: Evaluator,
     result: EvolutionResult,
     structure: InteractionModel,
 ) -> None:
@@ -153,10 +180,10 @@ def _apply_generation_events(
     if pc:
         decision = nature.pc_selection(len(population), structure)
         fit_t = structure.fitness_of(
-            population, decision.teacher, cache, config.include_self_play
+            population, decision.teacher, evaluator, config.include_self_play
         )
         fit_l = structure.fitness_of(
-            population, decision.learner, cache, config.include_self_play
+            population, decision.learner, evaluator, config.include_self_play
         )
         adopted = nature.decide_learning(decision, fit_t, fit_l)
         if adopted:
@@ -165,42 +192,46 @@ def _apply_generation_events(
             )
         result.n_pc_events += 1
         result.n_adoptions += int(adopted)
-        result.events.append(
-            EventRecord(
-                generation=generation,
-                kind="pc",
-                source=decision.teacher,
-                target=decision.learner,
-                applied=adopted,
-                teacher_fitness=fit_t,
-                learner_fitness=fit_l,
+        if config.record_events:
+            result.events.append(
+                EventRecord(
+                    generation=generation,
+                    kind="pc",
+                    source=decision.teacher,
+                    target=decision.learner,
+                    applied=adopted,
+                    teacher_fitness=fit_t,
+                    learner_fitness=fit_l,
+                )
             )
-        )
     if mutation:
         decision = nature.mutation_selection(len(population))
         population.mutate(decision.target, decision.strategy)
         result.n_mutations += 1
-        result.events.append(
-            EventRecord(
-                generation=generation,
-                kind="mutation",
-                source=decision.target,
-                target=decision.target,
-                applied=True,
+        if config.record_events:
+            result.events.append(
+                EventRecord(
+                    generation=generation,
+                    kind="mutation",
+                    source=decision.target,
+                    target=decision.target,
+                    applied=True,
+                )
             )
-        )
 
 
 def _finalise(
     result: EvolutionResult,
     population: Population,
-    cache: PayoffCache,
+    evaluator: Evaluator,
     started: float,
 ) -> EvolutionResult:
     result.generations_run = result.config.generations
     _maybe_snapshot(result, population, result.config.generations, force=True)
-    result.cache_hits = cache.hits
-    result.cache_misses = cache.misses
+    # PayoffCache and FitnessEngine both expose hit/miss counters (the
+    # engine counts dense fitness queries / pair evaluations performed).
+    result.cache_hits = evaluator.hits
+    result.cache_misses = evaluator.misses
     result.wallclock_seconds = time.perf_counter() - started
     return result
 
@@ -214,8 +245,9 @@ def run_serial(
     """Faithful generation-by-generation evolution (reference driver).
 
     ``cache`` substitutes the payoff evaluator (e.g. a process-pool backed
-    one); it must produce the same values as the default for the trajectory
-    to stay on the reference path.
+    one) and disables the :class:`FitnessEngine` for the run; it must
+    produce the same values as the default for the trajectory to stay on
+    the reference path.
     """
     started = time.perf_counter()
     tree = SeedSequenceTree(config.seed)
@@ -224,7 +256,10 @@ def run_serial(
     if population is None:
         population = Population.random(config, tree.generator("init"))
     if cache is None:
-        cache = _make_cache(config, nature)
+        evaluator: Evaluator = _make_evaluator(config, nature, population)
+    else:
+        population.bind_engine(None)
+        evaluator = cache
     result = EvolutionResult(config=config, population=population)
     _maybe_snapshot(result, population, 0, force=True)
 
@@ -237,13 +272,13 @@ def run_serial(
                 events.mutation,
                 nature,
                 population,
-                cache,
+                evaluator,
                 result,
                 structure,
             )
         if config.record_every > 0 and generation > 0:
             _maybe_snapshot(result, population, generation, force=False)
-    return _finalise(result, population, cache, started)
+    return _finalise(result, population, evaluator, started)
 
 
 def run_event_driven(
@@ -267,7 +302,10 @@ def run_event_driven(
     if population is None:
         population = Population.random(config, tree.generator("init"))
     if cache is None:
-        cache = _make_cache(config, nature)
+        evaluator: Evaluator = _make_evaluator(config, nature, population)
+    else:
+        population.bind_engine(None)
+        evaluator = cache
     result = EvolutionResult(config=config, population=population)
     _maybe_snapshot(result, population, 0, force=True)
 
@@ -295,7 +333,7 @@ def run_event_driven(
                 bool(mu_flags[offset]),
                 nature,
                 population,
-                cache,
+                evaluator,
                 result,
                 structure,
             )
@@ -309,4 +347,4 @@ def run_event_driven(
     while next_snapshot is not None and next_snapshot < config.generations:
         _maybe_snapshot(result, population, next_snapshot, force=True)
         next_snapshot += every
-    return _finalise(result, population, cache, started)
+    return _finalise(result, population, evaluator, started)

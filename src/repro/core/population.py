@@ -2,7 +2,12 @@
 
 The histogram is the performance-critical view (fitness is a function of the
 strategy multiset only); the SSet list is the identity-preserving view used
-by the recorder, the heatmaps, and the parallel decomposition.
+by the recorder, the heatmaps, and the parallel decomposition.  When a
+:class:`~repro.core.engine.FitnessEngine` is bound, the population also
+maintains a per-SSet strategy-id array over the engine's interned pool —
+the integer-indexed mirror of the histogram that the dense fitness kernels
+consume — kept in sync through the single :meth:`Population.set_strategy`
+write path.
 """
 
 from __future__ import annotations
@@ -11,6 +16,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, SimulationError
 from .config import EvolutionConfig
+from .engine import FitnessEngine
 from .payoff_cache import PayoffCache, StrategyHistogram
 from .sset import SSet
 from .strategy import Strategy, random_mixed, random_pure
@@ -36,6 +42,8 @@ class Population:
         self.histogram = StrategyHistogram.from_strategies(
             [s.strategy for s in ssets]
         )
+        self._engine: FitnessEngine | None = None
+        self._sids: np.ndarray | None = None
 
     # -- construction -------------------------------------------------------
 
@@ -108,19 +116,64 @@ class Population:
         """(n_ssets, 4**n) move/probability matrix — the Fig. 2 raster."""
         return np.stack([s.strategy.table for s in self._ssets])
 
+    # -- engine binding -------------------------------------------------------
+
+    @property
+    def engine(self) -> FitnessEngine | None:
+        """The bound :class:`FitnessEngine`, if any."""
+        return self._engine
+
+    @property
+    def sids(self) -> np.ndarray:
+        """Per-SSet strategy ids over the bound engine's pool."""
+        if self._sids is None:
+            raise SimulationError(
+                "population has no bound FitnessEngine (call bind_engine)"
+            )
+        return self._sids
+
+    def sid_of(self, sset_id: int) -> int:
+        """Interned strategy id of one SSet (engine must be bound)."""
+        return int(self.sids[sset_id])
+
+    def bind_engine(self, engine: FitnessEngine | None) -> None:
+        """Attach (or detach, with ``None``) a fitness engine.
+
+        Interns every current strategy into the engine's pool, in SSet
+        order — the same order the histogram was built in, so the pool's
+        insertion order mirrors the histogram's (the expected-fitness
+        regime relies on that).  A previously bound engine is simply
+        dropped; engines are cheap per-run objects, not shared state.
+        """
+        if engine is None:
+            self._engine = None
+            self._sids = None
+            return
+        self._sids = engine.intern_all([s.strategy for s in self._ssets])
+        self._engine = engine
+
     # -- mutation-preserving updates ------------------------------------------
 
     def set_strategy(self, sset_id: int, strategy: Strategy) -> None:
         """Replace one SSet's strategy — the *only* strategy write path.
 
         Every strategy write (learning, mutation, manual surgery) must go
-        through here so the SSet list and the derived histogram cannot
-        desync; :meth:`check_invariants` verifies the pairing.
+        through here so the SSet list, the derived histogram, and the
+        engine's sid array / refcounts cannot desync;
+        :meth:`check_invariants` verifies the pairing.  The engine update
+        interns the new strategy *before* releasing the old one, matching
+        the histogram's add-then-remove insertion-order semantics.
         """
         sset = self._ssets[sset_id]
         old = sset.strategy
         sset.strategy = strategy
         self.histogram.replace(old, strategy)
+        if self._engine is not None:
+            assert self._sids is not None
+            new_sid = self._engine.intern(strategy)
+            old_sid = int(self._sids[sset_id])
+            self._sids[sset_id] = new_sid
+            self._engine.release(old_sid)
 
     def adopt(self, learner_id: int, strategy: Strategy) -> None:
         """Learner SSet adopts a teacher's strategy (histogram kept in sync)."""
@@ -135,7 +188,8 @@ class Population:
     # -- invariants ------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Verify the histogram matches a fresh recount of the SSet list.
+        """Verify the histogram (and bound engine, if any) matches a fresh
+        recount of the SSet list.
 
         Raises :class:`~repro.errors.SimulationError` on any desync (a write
         bypassed :meth:`set_strategy`).  Cheap enough for tests and
@@ -158,19 +212,48 @@ class Population:
                 raise SimulationError(
                     f"SSet at index {i} carries id {sset.sset_id}"
                 )
+        if self._engine is not None:
+            assert self._sids is not None
+            for i, sset in enumerate(self._ssets):
+                pooled = self._engine.pool.strategy(int(self._sids[i]))
+                if pooled.key() != sset.strategy.key():
+                    raise SimulationError(
+                        f"engine sid array desynced at SSet {i}: pool slot "
+                        f"{int(self._sids[i])} holds a different strategy"
+                    )
+            self._engine.check_consistent([s.strategy for s in self._ssets])
 
     # -- fitness ---------------------------------------------------------------
 
     def fitness_of(
-        self, sset_id: int, cache: PayoffCache, include_self_play: bool = False
+        self,
+        sset_id: int,
+        evaluator: "PayoffCache | FitnessEngine",
+        include_self_play: bool = False,
     ) -> float:
-        """Fitness of one SSet against the whole population."""
+        """Fitness of one SSet against the whole population.
+
+        ``evaluator`` is either the legacy :class:`PayoffCache` (histogram
+        fitness) or a bound :class:`FitnessEngine` (dense matrix fitness);
+        both produce bit-identical values for supported configurations.
+        """
+        if isinstance(evaluator, FitnessEngine):
+            if evaluator is not self._engine:
+                raise SimulationError(
+                    "fitness requested through a FitnessEngine the "
+                    "population is not bound to (call bind_engine first)"
+                )
+            return evaluator.fitness_well_mixed(
+                self.sid_of(sset_id), include_self_play
+            )
         return self.histogram.fitness_of(
-            self._ssets[sset_id].strategy, cache, include_self_play
+            self._ssets[sset_id].strategy, evaluator, include_self_play
         )
 
     def all_fitness(
-        self, cache: PayoffCache, include_self_play: bool = False
+        self,
+        evaluator: "PayoffCache | FitnessEngine",
+        include_self_play: bool = False,
     ) -> np.ndarray:
         """Fitness vector over all SSets (the paper's full per-generation
         evaluation; only needed for recording, since learning uses just the
@@ -181,9 +264,7 @@ class Population:
         for i, sset in enumerate(self._ssets):
             key = sset.strategy.key()
             if key not in by_key:
-                by_key[key] = self.histogram.fitness_of(
-                    sset.strategy, cache, include_self_play
-                )
+                by_key[key] = self.fitness_of(i, evaluator, include_self_play)
             out[i] = by_key[key]
             sset.fitness = out[i]
         return out

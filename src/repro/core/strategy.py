@@ -103,8 +103,19 @@ class Strategy:
         return self.table.dtype == np.uint8
 
     def key(self) -> bytes:
-        """Stable bytes identity (used by payoff caches and histograms)."""
-        return self.table.tobytes()
+        """Stable bytes identity (used by payoff caches and histograms).
+
+        Cached on first access (frozen dataclass, hence the
+        ``object.__setattr__``): histogram and cache probes call this on
+        every population event, and re-running ``tobytes()`` each time was
+        a measurable hot-path cost.  Safe because the table is frozen
+        (read-only) after ``__post_init__``.
+        """
+        cached = self.__dict__.get("_key_bytes")
+        if cached is None:
+            cached = self.table.tobytes()
+            object.__setattr__(self, "_key_bytes", cached)
+        return cached
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Strategy):

@@ -23,9 +23,15 @@ import numpy as np
 
 from ..errors import ConfigurationError, StrategyError
 from .payoff import PAPER_PAYOFF, PayoffMatrix
+from .states import swap_perspective_array
 from .strategy import Strategy
 
-__all__ = ["stack_tables", "play_pairs", "payoff_matrix"]
+__all__ = [
+    "stack_tables",
+    "play_pairs",
+    "payoff_matrix",
+    "cycle_payoffs_pairs",
+]
 
 
 def stack_tables(strategies: list[Strategy]) -> tuple[np.ndarray, int, bool]:
@@ -118,6 +124,93 @@ def play_pairs(
         views_a = ((views_a << 2) | code_a) & mask
         views_b = ((views_b << 2) | code_b) & mask
     return pay_a, pay_b
+
+
+def cycle_payoffs_pairs(
+    tables: np.ndarray,
+    a_idx: np.ndarray,
+    b_idx: np.ndarray,
+    rounds: int,
+    payoff: PayoffMatrix = PAPER_PAYOFF,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact payoffs for many pure, noiseless pairings at once.
+
+    The batched counterpart of :func:`repro.core.cycle.exact_payoffs`: each
+    pairing's joint history is a deterministic walk over the ``4**n`` view
+    states (the opponent's view is the bit-swapped mirror), so one round is
+    a fixed *round map* ``view -> next view`` with a fixed per-state payoff.
+    Instead of simulating round by round, the map is raised to the
+    ``rounds``-th power by **exponentiation by squaring** — each doubling
+    composes the map with itself and adds the payoff-sum tables — so the
+    cost is ``O(n_pairs * 4**n * log2(rounds))`` regardless of cycle
+    structure.  A 200-round (or 200-million-round) game costs ~8 doublings
+    of tiny arrays.
+
+    ``tables`` is a stacked ``(K, 4**n)`` uint8 array (one row per pure
+    strategy); ``a_idx``/``b_idx`` index rows.  Returns ``(pay_a, pay_b)``
+    — total payoffs per pairing to each side.
+
+    For **integer-valued** payoff matrices the result is float-exact, hence
+    bit-identical to :func:`~repro.core.cycle.exact_payoffs` regardless of
+    summation order; non-integer payoffs can differ from the scalar engine
+    in the last ulp (different association of the same sums).  This is the
+    fill kernel of the deterministic-regime
+    :class:`repro.core.engine.FitnessEngine`, which is why that engine
+    requires integer payoffs.
+    """
+    if tables.dtype != np.uint8:
+        raise StrategyError(
+            "cycle_payoffs_pairs needs stacked pure (uint8) tables, got "
+            f"dtype {tables.dtype}"
+        )
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    a_idx = np.asarray(a_idx, dtype=np.intp)
+    b_idx = np.asarray(b_idx, dtype=np.intp)
+    if a_idx.shape != b_idx.shape or a_idx.ndim != 1:
+        raise ConfigurationError("a_idx and b_idx must be equal-length 1-D arrays")
+    n_pairs = a_idx.shape[0]
+    if n_pairs == 0:
+        return np.zeros(0, dtype=np.float64), np.zeros(0, dtype=np.float64)
+    n_states = tables.shape[1]
+    memory_steps = (n_states.bit_length() - 1) // 2
+    mask = n_states - 1
+    mirror = swap_perspective_array(np.arange(n_states), memory_steps)
+    vec = payoff.vector
+
+    # One-round tables, per pairing and view state: the move pair played
+    # from view v, the successor view, and both sides' round payoffs.  The
+    # successor is stored as a *flat* index into the ravelled (L, S)
+    # arrays (row offset baked in), so every composition below is a single
+    # cheap 1-D fancy gather.
+    moves_a = tables[a_idx].astype(np.int64)  # (L, S)
+    moves_b = tables[b_idx][:, mirror].astype(np.int64)
+    code = 2 * moves_a + moves_b
+    offsets = (np.arange(n_pairs, dtype=np.int64) * n_states)[:, None]
+    step = ((((np.arange(n_states, dtype=np.int64)[None, :] << 2) | code)
+             & mask) + offsets)
+    sum_a = vec[code]  # payoff sums over the current 2**k-round block
+    sum_b = vec[2 * moves_b + moves_a]
+
+    view = offsets[:, 0].copy()  # all games start all-C (state 0 per row)
+    total_a = np.zeros(n_pairs, dtype=np.float64)
+    total_b = np.zeros(n_pairs, dtype=np.float64)
+
+    remaining = rounds
+    while True:
+        if remaining & 1:
+            total_a += sum_a.ravel()[view]
+            total_b += sum_b.ravel()[view]
+            view = step.ravel()[view]
+        remaining >>= 1
+        if not remaining:
+            break
+        # Square the block: 2**(k+1) rounds = 2**k rounds, then 2**k more
+        # from wherever the walk landed.
+        sum_a = sum_a + sum_a.ravel()[step]
+        sum_b = sum_b + sum_b.ravel()[step]
+        step = step.ravel()[step]
+    return total_a, total_b
 
 
 def payoff_matrix(

@@ -51,6 +51,7 @@ def structured_config(
         n_ssets=N_SSETS,
         generations=generations,
         structure=structure,
+        record_events=False,  # the sweep only reads summary metrics
     )
 
 

@@ -59,6 +59,9 @@ def validation_config(scale: Scale) -> EvolutionConfig:
         noise=0.01,  # Section III.F errors; WSLS's raison d'etre
         expected_fitness=True,
         seed=2013,
+        # The 10^7-generation FULL run would otherwise accumulate ~1.5M
+        # EventRecord objects; the experiment only reads the rasters.
+        record_events=False,
     )
 
 

@@ -9,10 +9,13 @@ its *neighbors*, and a learner compares itself against a random neighbor.
 An :class:`InteractionModel` is bound to a population size and answers
 three questions:
 
-* ``fitness_of(population, sset_id, cache, ...)`` — an SSet's fitness
-  under this interaction pattern (edge-batched through the
-  :class:`~repro.core.payoff_cache.PayoffCache` so distinct-strategy games
-  are evaluated once);
+* ``fitness_of(population, sset_id, evaluator, ...)`` — an SSet's fitness
+  under this interaction pattern.  ``evaluator`` is either the legacy
+  :class:`~repro.core.payoff_cache.PayoffCache` (games edge-batched so
+  distinct-strategy pairs are evaluated once) or a bound
+  :class:`~repro.core.engine.FitnessEngine`, in which case fitness is a
+  dense payoff-matrix gather over interned strategy ids (the vectorised
+  graph fitness path);
 * ``select_pair(rng, n_ssets)`` — which (teacher, learner) pair a PC
   learning event compares;
 * ``neighbors(sset_id)`` — the interaction neighborhood (used by the
@@ -41,6 +44,7 @@ import numpy as np
 from ..errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..core.engine import FitnessEngine
     from ..core.payoff_cache import PayoffCache
     from ..core.population import Population
 
@@ -93,7 +97,7 @@ class InteractionModel(ABC):
         self,
         population: "Population",
         sset_id: int,
-        cache: "PayoffCache",
+        evaluator: "PayoffCache | FitnessEngine",
         include_self_play: bool = False,
     ) -> float:
         """Fitness of one SSet under this interaction pattern."""
@@ -148,10 +152,13 @@ class WellMixed(InteractionModel):
         self,
         population: "Population",
         sset_id: int,
-        cache: "PayoffCache",
+        evaluator: "PayoffCache | FitnessEngine",
         include_self_play: bool = False,
     ) -> float:
-        return population.fitness_of(sset_id, cache, include_self_play)
+        # Population.fitness_of dispatches on the evaluator type: dense
+        # counts @ paymat[sid] for a bound FitnessEngine, histogram fitness
+        # for the legacy PayoffCache.
+        return population.fitness_of(sset_id, evaluator, include_self_play)
 
     def neighbors(self, sset_id: int) -> np.ndarray:
         """Everyone else (the whole population is the neighborhood)."""

@@ -3,8 +3,11 @@
 Every model here derives from :class:`GraphStructure`, which owns the
 adjacency lists and implements the shared dynamics:
 
-* **fitness** — one game against each neighbor, grouped by distinct
-  strategy and evaluated through
+* **fitness** — one game against each neighbor.  With a bound
+  :class:`~repro.core.engine.FitnessEngine` this is the vectorised dense
+  path, ``paymat[sid, sids[neighbors]].sum()`` — one fancy-indexed gather
+  per event.  With the legacy :class:`~repro.core.payoff_cache.PayoffCache`
+  the neighborhood is grouped by distinct strategy and evaluated through
   :meth:`~repro.core.payoff_cache.PayoffCache.payoffs_to_many`, so the
   per-event cost is one (usually cached / vectorised) evaluation per
   *distinct* neighboring strategy, not per edge;
@@ -35,11 +38,12 @@ from typing import TYPE_CHECKING, ClassVar
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SimulationError
 from ..machine.topology import TorusTopology, balanced_dims
 from .base import InteractionModel, _expect_params, register_structure
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..core.engine import FitnessEngine
     from ..core.payoff_cache import PayoffCache
     from ..core.population import Population
 
@@ -126,30 +130,45 @@ class GraphStructure(InteractionModel):
         self,
         population: "Population",
         sset_id: int,
-        cache: "PayoffCache",
+        evaluator: "PayoffCache | FitnessEngine",
         include_self_play: bool = False,
     ) -> float:
         """Sum of game payoffs against the neighborhood.
 
-        Reuses the shared histogram fitness kernel on a *local* histogram
-        of the neighborhood, so a tight cluster of one strategy costs a
-        single cache probe, exactly like the well-mixed global fast path.
-        The neighborhood never contains the focal SSet (no self-loops), so
-        the histogram is summed without its self-play exclusion and the
-        optional self game is added separately.
+        With a bound :class:`~repro.core.engine.FitnessEngine` this is the
+        vectorised dense path: one payoff-matrix gather over the neighbors'
+        interned strategy ids.  The legacy path reuses the shared histogram
+        fitness kernel on a *local* histogram of the neighborhood, so a
+        tight cluster of one strategy costs a single cache probe, exactly
+        like the well-mixed global fast path.  The neighborhood never
+        contains the focal SSet (no self-loops), so the histogram is summed
+        without its self-play exclusion and the optional self game is added
+        separately.
         """
-        # Runtime import: repro.structure is imported by repro.core.config,
+        # Runtime imports: repro.structure is imported by repro.core.config,
         # so a module-level core import here would be circular.
+        from ..core.engine import FitnessEngine
         from ..core.payoff_cache import StrategyHistogram
 
         self._check_id(sset_id)
+        if isinstance(evaluator, FitnessEngine):
+            if evaluator is not population.engine:
+                raise SimulationError(
+                    "fitness requested through a FitnessEngine the "
+                    "population is not bound to (call bind_engine first)"
+                )
+            return evaluator.fitness_neighbors(
+                population.sid_of(sset_id),
+                population.sids[self._adjacency[sset_id]],
+                include_self_play,
+            )
         me = population[sset_id].strategy
         hist = StrategyHistogram.from_strategies(
             [population[int(j)].strategy for j in self._adjacency[sset_id]]
         )
-        total = hist.fitness_of(me, cache, include_self_play=True)
+        total = hist.fitness_of(me, evaluator, include_self_play=True)
         if include_self_play:
-            total += cache.payoff_to(me, me)
+            total += evaluator.payoff_to(me, me)
         return total
 
 

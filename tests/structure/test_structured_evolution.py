@@ -79,6 +79,24 @@ class TestWellMixedGolden:
             )
             assert actual == expected, driver.__name__
 
+    @pytest.mark.parametrize("engine", [True, False])
+    def test_engine_and_legacy_paths_both_golden(self, engine):
+        """The FitnessEngine (default) and the legacy PayoffCache path
+        (engine=False) must both replay the pre-refactor trajectory."""
+        config = EvolutionConfig(
+            n_ssets=48, generations=4000, seed=2013, engine=engine
+        )
+        result = run_event_driven(config)
+        expected = GOLDEN[(2013, ())]
+        actual = (
+            result.n_pc_events,
+            result.n_adoptions,
+            result.n_mutations,
+            population_hash(result),
+            event_hash(result),
+        )
+        assert actual == expected
+
     def test_explicit_well_mixed_spec_identical(self):
         """structure="well-mixed" goes through InteractionModel.select_pair
         yet must replay the exact same trajectory as the default."""

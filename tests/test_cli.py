@@ -97,6 +97,22 @@ class TestEvolveBackends:
         ) == 0
         assert "dominant:" in capsys.readouterr().out
 
+    def test_engine_toggle(self, capsys):
+        """--no-engine forces the legacy payoff cache; same trajectory."""
+        assert main(["evolve", *SMALL]) == 0
+        engine_line = dominant_line(capsys)
+        assert main(["evolve", *SMALL, "--no-engine"]) == 0
+        out = capsys.readouterr().out
+        assert "legacy-cache" in out
+        (legacy_line,) = [
+            l for l in out.splitlines() if l.startswith("dominant:")
+        ]
+        assert legacy_line == engine_line
+
+    def test_record_events_toggle(self, capsys):
+        assert main(["evolve", *SMALL, "--no-record-events"]) == 0
+        assert "dominant:" in capsys.readouterr().out
+
     def test_checkpoint_roundtrip(self, tmp_path, capsys):
         path = str(tmp_path / "pop.npz")
         assert main(["evolve", *SMALL, "--checkpoint", path]) == 0
