@@ -32,16 +32,25 @@ from pathlib import Path
 
 def _rate_key(record: dict) -> str:
     """The throughput field: plain benches emit ``generations_per_sec``,
-    the engine bench emits ``engine_generations_per_sec``."""
-    if "generations_per_sec" in record:
-        return "generations_per_sec"
-    if "engine_generations_per_sec" in record:
-        return "engine_generations_per_sec"
+    the engine bench ``engine_generations_per_sec``, the ensemble bench
+    ``ensemble_generations_per_sec`` (aggregate over all lanes)."""
+    for key in (
+        "generations_per_sec",
+        "engine_generations_per_sec",
+        "ensemble_generations_per_sec",
+    ):
+        if key in record:
+            return key
     raise KeyError(f"no throughput field in record {sorted(record)}")
 
 
 def load_rows(path: Path) -> dict[tuple[str, int], float]:
-    """``(structure, memory_steps) -> generations_per_sec`` from one file."""
+    """``(scenario-or-structure, memory_steps) -> generations_per_sec``.
+
+    Keyed on the scenario label when one is present (the ensemble bench
+    repeats a structure across population sizes), falling back to the
+    structure spec for older files.
+    """
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except FileNotFoundError:
@@ -50,8 +59,10 @@ def load_rows(path: Path) -> dict[tuple[str, int], float]:
         raise SystemExit(f"bench_gate: unreadable JSON in {path}: {err}")
     rows = {}
     for record in payload.get("results", []):
-        key = (str(record["structure"]), int(record["memory_steps"]))
-        rows[key] = float(record[_rate_key(record)])
+        label = str(record.get("scenario", record["structure"]))
+        rows[(label, int(record["memory_steps"]))] = float(
+            record[_rate_key(record)]
+        )
     if not rows:
         raise SystemExit(f"bench_gate: {path} contains no result rows")
     return rows

@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Lane-batched ensemble throughput harness: the ensemble backend's scorecard.
+
+Writes ``BENCH_ensemble.json`` with one record per scenario.  Each scenario
+runs the same seeded replicate ensemble twice —
+``run_sweep(workers=1, backend="event")`` (the legacy one-run-at-a-time
+path) and ``run_sweep(backend="ensemble")`` (all replicates as one array
+program) — checks the science fingerprints match (every lane is
+bit-identical to its serial run, pinned by the test suite), and records
+both aggregate throughputs plus the speedup ratio.
+
+The acceptance scenario is ``wm-m2-n16``: a 64-replicate well-mixed
+memory-2 ensemble, where lane batching clears the >= 3x bar.  The wider
+rows map how the advantage scales with population size and memory depth —
+the shared pool/matrix wins biggest when the per-event work is small
+relative to the interpreter dispatch it replaces.
+
+CI runs ``--smoke`` (one scenario, few replicates, short horizon) so the
+harness cannot rot; developers run it bare before/after ensemble work and
+commit the JSON.
+
+Usage::
+
+    python benchmarks/ensemble_bench.py                 # full scenario grid
+    python benchmarks/ensemble_bench.py --smoke         # 1 scenario (CI)
+    python benchmarks/ensemble_bench.py --out my.json --generations 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # runnable without installation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import EvolutionConfig, __version__, run_sweep  # noqa: E402
+
+#: (label, structure, memory_steps, n_ssets) — wm-m2-n16 is the acceptance
+#: scenario; the rest map the scaling surface.
+SCENARIOS = (
+    ("wm-m2-n16", "well-mixed", 2, 16),
+    ("wm-m2-n32", "well-mixed", 2, 32),
+    ("wm-m2-n64", "well-mixed", 2, 64),
+    ("wm-m1-n64", "well-mixed", 1, 64),
+    ("ring-m2-n16", "ring:k=4", 2, 16),
+)
+DEFAULT_REPLICATES = 64
+DEFAULT_GENERATIONS = 10_000
+SMOKE_REPLICATES = 8
+SMOKE_GENERATIONS = 2_000
+
+
+def fingerprint(result) -> tuple:
+    _, share = result.dominant()
+    return (
+        result.n_pc_events,
+        result.n_adoptions,
+        result.n_mutations,
+        round(share, 6),
+    )
+
+
+def bench_scenario(
+    label: str,
+    structure: str,
+    memory_steps: int,
+    n_ssets: int,
+    replicates: int,
+    generations: int,
+) -> dict:
+    """Time one seeded replicate ensemble on both paths."""
+    configs = [
+        EvolutionConfig(
+            memory_steps=memory_steps,
+            n_ssets=n_ssets,
+            generations=generations,
+            structure=structure,
+            seed=2013 + i,
+            record_events=False,
+        )
+        for i in range(replicates)
+    ]
+    record: dict = {
+        "scenario": label,
+        "structure": structure,
+        "memory_steps": memory_steps,
+        "n_ssets": n_ssets,
+        "replicates": replicates,
+        "generations": generations,
+    }
+    total_generations = replicates * generations
+
+    # Warm both paths (allocator, import, kernel caches) so neither side
+    # pays first-run costs inside the timed region; then time each path
+    # twice and keep the faster pass (standard noise mitigation — shared
+    # or thermally-throttled hosts can halve a single pass's speed).
+    warm = [c.with_updates(generations=min(1000, generations or 1))
+            for c in configs[: min(4, replicates)]]
+    run_sweep(warm, backend="ensemble")
+    run_sweep(warm, backend="event", workers=1)
+
+    ensemble_seconds = float("inf")
+    event_seconds = float("inf")
+    for _ in range(2):
+        started = time.perf_counter()
+        ensemble = run_sweep(configs, backend="ensemble")
+        ensemble_seconds = min(
+            ensemble_seconds, time.perf_counter() - started
+        )
+        started = time.perf_counter()
+        event = run_sweep(configs, backend="event", workers=1)
+        event_seconds = min(event_seconds, time.perf_counter() - started)
+
+    for a, b in zip(ensemble, event):
+        if fingerprint(a) != fingerprint(b):
+            raise AssertionError(
+                f"{label}: ensemble lane diverged from the serial event run "
+                f"({fingerprint(a)} vs {fingerprint(b)}, seed {a.config.seed})"
+            )
+
+    record["event_seconds"] = round(event_seconds, 4)
+    record["event_generations_per_sec"] = round(
+        total_generations / event_seconds, 1
+    )
+    record["ensemble_seconds"] = round(ensemble_seconds, 4)
+    record["ensemble_generations_per_sec"] = round(
+        total_generations / ensemble_seconds, 1
+    )
+    record["speedup"] = round(event_seconds / ensemble_seconds, 2)
+    report = ensemble[0].backend_report
+    if report is not None and report.shared_engine is not None:
+        record["shared_engine"] = dict(report.shared_engine)
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="one scenario at a short horizon (CI anti-rot)")
+    parser.add_argument("--replicates", type=int, default=None,
+                        help=f"ensemble lanes per scenario (default "
+                             f"{DEFAULT_REPLICATES}; smoke "
+                             f"{SMOKE_REPLICATES})")
+    parser.add_argument("--generations", type=int, default=None,
+                        help=f"generations per replicate (default "
+                             f"{DEFAULT_GENERATIONS:,}; smoke "
+                             f"{SMOKE_GENERATIONS:,})")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_ensemble.json"),
+                        metavar="PATH", help="output JSON path")
+    args = parser.parse_args(argv)
+
+    replicates = (
+        args.replicates
+        if args.replicates is not None
+        else (SMOKE_REPLICATES if args.smoke else DEFAULT_REPLICATES)
+    )
+    generations = (
+        args.generations
+        if args.generations is not None
+        else (SMOKE_GENERATIONS if args.smoke else DEFAULT_GENERATIONS)
+    )
+    scenarios = SCENARIOS[:1] if args.smoke else SCENARIOS
+
+    results = []
+    for label, structure, memory, n_ssets in scenarios:
+        record = bench_scenario(
+            label, structure, memory, n_ssets, replicates, generations
+        )
+        results.append(record)
+        print(f"{label:<12} event "
+              f"{record['event_generations_per_sec']:>11,.1f} gen/s   "
+              f"ensemble {record['ensemble_generations_per_sec']:>11,.1f} "
+              f"gen/s   x{record['speedup']}")
+
+    payload = {
+        "benchmark": "ensemble",
+        "created_unix": int(time.time()),
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repro_version": __version__,
+        "results": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out} ({len(results)} scenarios)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

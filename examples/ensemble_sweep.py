@@ -1,21 +1,27 @@
 #!/usr/bin/env python3
 """Ensemble sweep: which strategies win across seeds and memory depths?
 
-Uses the unified front-end's batch API (:func:`repro.run_sweep`) to fan an
-ensemble of independent evolutions over a process pool — every run's seed
-is derived deterministically from one master seed, so the whole ensemble is
-reproducible — then tallies the dominant strategy per memory depth.
+Runs a replicate ensemble through the lane-batched ``ensemble`` backend —
+the whole sweep advances as one array program over a shared strategy pool
+and payoff matrix, while every replicate's trajectory stays bit-identical
+to running it alone (``backend="event"``).  The script times both paths on
+a small ensemble so you can see the speedup on your machine, then tallies
+the dominant strategy per memory depth.
+
+Every run's seed derives deterministically from one master seed, so the
+whole ensemble is reproducible.
 
 Run:  python examples/ensemble_sweep.py
 """
 
+import time
 from collections import Counter
 
 from repro import EvolutionConfig, run_sweep
 from repro.analysis import classify, nearest_classic
 
 MEMORY_DEPTHS = (1, 2)
-RUNS_PER_DEPTH = 8
+RUNS_PER_DEPTH = 16
 MASTER_SEED = 20130521  # the paper's conference date
 
 
@@ -30,20 +36,32 @@ def label(strategy) -> str:
 def main() -> None:
     configs = [
         EvolutionConfig(
-            memory_steps=memory, n_ssets=32, generations=30_000, rounds=200
+            memory_steps=memory, n_ssets=16, generations=30_000, rounds=200,
+            record_events=False,
         )
         for memory in MEMORY_DEPTHS
         for _ in range(RUNS_PER_DEPTH)
     ]
-    print(f"running {len(configs)} evolutions over 4 worker processes ...")
+    print(f"running {len(configs)} evolutions lane-batched ...")
+    started = time.perf_counter()
+    results = run_sweep(configs, backend="ensemble", base_seed=MASTER_SEED)
+    ensemble_seconds = time.perf_counter() - started
+    report = results[0].backend_report
+    print(f"  ensemble backend: {ensemble_seconds:.2f}s "
+          f"({report.lanes} lanes in the first group)")
 
-    def progress(index: int, result) -> None:
-        dominant, share = result.dominant()
-        print(f"  run {index:>2}: memory-{result.config.memory_steps} "
-              f"seed={result.config.seed} -> {label(dominant)} at {share:.0%}")
+    started = time.perf_counter()
+    reference = run_sweep(configs, backend="event", base_seed=MASTER_SEED)
+    event_seconds = time.perf_counter() - started
+    print(f"  event backend:    {event_seconds:.2f}s "
+          f"(speedup x{event_seconds / ensemble_seconds:.1f})")
 
-    results = run_sweep(configs, workers=4, base_seed=MASTER_SEED,
-                        on_result=progress)
+    for mine, theirs in zip(results, reference):
+        dom_mine, share_mine = mine.dominant()
+        dom_theirs, share_theirs = theirs.dominant()
+        assert (dom_mine.key(), share_mine) == (
+            dom_theirs.key(), share_theirs,
+        ), "lanes must match!"
 
     for memory in MEMORY_DEPTHS:
         winners = Counter(

@@ -22,6 +22,8 @@ Package map
 -----------
 ``repro.api``         unified Simulation front-end + backend registry
 ``repro.core``        the evolutionary model (strategies, games, dynamics)
+``repro.ensemble``    lane-batched ensemble engine (whole sweeps as one
+                      array program, bit-identical per lane)
 ``repro.structure``   population structures (well-mixed, ring, grid, ...)
 ``repro.mpisim``      discrete-event MPI simulator
 ``repro.machine``     Blue Gene/P, Blue Gene/Q and generic machine models
@@ -73,6 +75,7 @@ from .core import (
     tft,
     wsls,
 )
+from .ensemble import run_ensemble
 from .version import __version__
 
 __all__ = [
@@ -83,6 +86,7 @@ __all__ = [
     "available_backends",
     "get_backend",
     "register_backend",
+    "run_ensemble",
     "run_sweep",
     "InteractionModel",
     "available_structures",

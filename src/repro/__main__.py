@@ -73,13 +73,14 @@ def _evolution_config(args: argparse.Namespace, memory: int) -> EvolutionConfig:
         seed=args.seed,
         engine=args.engine,
         record_events=args.record_events,
+        engine_pool_cap=args.engine_pool_cap,
     )
 
 
 def _backend_opts(args: argparse.Namespace) -> dict[str, object]:
     """Map CLI flags onto the selected backend's options."""
     if args.backend == "multiprocess":
-        return {"workers": args.workers}
+        return {"workers": args.workers if args.workers is not None else 2}
     if args.backend == "des":
         return {"n_ranks": args.ranks}
     return {}
@@ -148,9 +149,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # general, or the backend's fitness pool for the multiprocess backend
     # (runs then execute one at a time so counts don't multiply).  Building
     # the instance here keeps backend options clear of run_sweep's own
-    # workers= keyword.
+    # workers= keyword.  The ensemble backend defaults to a single
+    # lane-batched process (one shared engine across every replicate);
+    # pass --workers explicitly to chunk its lanes over a pool.
     backend = get_backend(args.backend)(**_backend_opts(args))
-    pool_workers = 1 if args.backend == "multiprocess" else args.workers
+    if args.backend == "multiprocess":
+        pool_workers = 1
+    elif args.workers is not None:
+        pool_workers = args.workers
+    else:
+        pool_workers = 1 if args.backend == "ensemble" else 2
     base_seed = args.base_seed if args.base_seed is not None else args.seed
     run_sweep(
         configs,
@@ -160,7 +168,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         base_seed=base_seed,
     )
     print(f"\n{len(configs)} runs complete "
-          f"(backend={args.backend}, workers={args.workers})")
+          f"(backend={args.backend}, workers={pool_workers})")
     return 0
 
 
@@ -201,9 +209,18 @@ def _add_evolution_arguments(parser: argparse.ArgumentParser) -> None:
                         help="keep per-event records in the result "
                              "(--no-record-events saves memory on very "
                              "long runs; counters are kept regardless)")
+    parser.add_argument("--engine-pool-cap", type=int, default=0,
+                        dest="engine_pool_cap",
+                        help="bound the expected-fitness engine's strategy "
+                             "pool: once live+retired strategies reach the "
+                             "cap, the oldest retired slot is recycled "
+                             "(0 = unbounded, the legacy-mirroring default)")
     parser.add_argument("--seed", type=int, default=2013)
-    parser.add_argument("--workers", type=int, default=2,
-                        help="process-pool size (multiprocess backend / sweep)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (multiprocess backend / "
+                             "sweep; default 2 — except the ensemble "
+                             "backend, which lane-batches the whole sweep "
+                             "in one process unless told otherwise)")
     parser.add_argument("--ranks", type=int, default=8,
                         help="simulated MPI ranks (des backend)")
 
@@ -253,7 +270,9 @@ def build_parser() -> argparse.ArgumentParser:
     evolve.set_defaults(func=_cmd_evolve)
 
     sweep = sub.add_parser(
-        "sweep", help="run an ensemble of evolutions over a process pool"
+        "sweep",
+        help="run an ensemble of evolutions (lane-batched with "
+             "--backend ensemble; process pool with --workers)",
     )
     sweep.add_argument("--memory", type=int, nargs="+", default=[1],
                        dest="memory_values",

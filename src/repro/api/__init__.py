@@ -13,6 +13,7 @@ Built-in backends (``python -m repro backends`` lists them):
 ``baseline``              paper Section IV.A pre-SSet algorithm (slow, naive)
 ``serial``                faithful per-generation reference loop
 ``event`` (default)       vectorised fast-forward, identical trajectory
+``ensemble``              lane-batched replicates over one shared engine
 ``multiprocess``          event loop + process-pool fitness fan-out
 ``des``                   simulated Blue Gene machine (science + timing)
 ========================  ====================================================
@@ -26,6 +27,7 @@ from .backends import (
     Backend,
     BaselineBackend,
     DESBackend,
+    EnsembleBackend,
     EventBackend,
     MultiprocessBackend,
     SerialBackend,
@@ -49,6 +51,7 @@ __all__ = [
     "BaselineBackend",
     "SerialBackend",
     "EventBackend",
+    "EnsembleBackend",
     "MultiprocessBackend",
     "DESBackend",
 ]

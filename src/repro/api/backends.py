@@ -33,11 +33,12 @@ import numpy as np
 
 from ..core.baseline import run_baseline
 from ..core.config import EvolutionConfig
-from ..core.engine import is_integer_payoff
+from ..core.engine import FitnessEngine, is_integer_payoff
 from ..core.evolution import EvolutionResult, run_event_driven, run_serial
 from ..core.payoff_cache import PayoffCache
 from ..core.population import Population
 from ..core.strategy import Strategy
+from ..ensemble import run_ensemble_detailed
 from ..errors import ConfigurationError
 from .report import BackendReport
 
@@ -52,6 +53,7 @@ __all__ = [
     "BaselineBackend",
     "SerialBackend",
     "EventBackend",
+    "EnsembleBackend",
     "MultiprocessBackend",
     "DESBackend",
 ]
@@ -252,6 +254,95 @@ class EventBackend(Backend):
         )
 
 
+@register_backend
+@dataclass
+class EnsembleBackend(Backend):
+    """Lane-batched ensemble execution (:mod:`repro.ensemble`).
+
+    One run is a one-lane ensemble; the real payoff comes through
+    :func:`repro.api.run_sweep`, which hands the *whole* config list to
+    :meth:`run_many` so same-science replicates advance together over one
+    shared strategy pool and payoff matrix.  Every lane's trajectory is
+    bit-identical to the same-seed serial ``event`` run (pinned by the
+    lane-parity tests); execution metadata (``cache_hits``/``cache_misses``
+    and the backend report's ``lanes``/``shared_engine``) reflects the
+    shared-engine accounting instead of per-run engines.
+    """
+
+    name: ClassVar[str] = "ensemble"
+    summary: ClassVar[str] = (
+        "lane-batched ensemble: same-science replicates as one array program"
+    )
+
+    #: Generations scanned per vectorised event-flag batch.
+    batch_size: int = 1 << 16
+
+    def validate(self, config: EvolutionConfig) -> None:
+        super().validate(config)
+        _require_positive_batch(self.batch_size)
+        if config.is_stochastic:
+            raise ConfigurationError(
+                "the ensemble backend supports deterministic and expected-"
+                "fitness configurations only (sampled-stochastic fitness "
+                "draws one fresh game per probe and cannot be lane-batched "
+                "without changing the trajectory); use the event or serial "
+                "backend"
+            )
+
+    def run(
+        self, config: EvolutionConfig, population: Population | None = None
+    ) -> EvolutionResult:
+        self.validate(config)
+        return self.run_many([config], [population])[0]
+
+    def run_many(
+        self,
+        configs: list[EvolutionConfig],
+        populations: list[Population | None] | None = None,
+    ) -> list[EvolutionResult]:
+        """Execute many runs lane-batched; results in config order."""
+        run_configs = list(configs)
+        for config in run_configs:
+            self.validate(config)
+        results, metas = run_ensemble_detailed(
+            run_configs, populations, batch_size=self.batch_size
+        )
+        return [
+            self._report(
+                result,
+                lanes=meta["lanes"],
+                shared_engine=meta["shared_engine"],
+            )
+            for result, meta in zip(results, metas)
+        ]
+
+
+class _PooledFitnessEngine(FitnessEngine):
+    """Deterministic dense engine whose eager fills fan over a process pool.
+
+    The multiprocess backend's fitness path: the interned sid arrays and
+    the dense payoff matrix live on the parent exactly as in the serial
+    engine, while each new strategy's row/column evaluation (focal vs every
+    live strategy) is chunked over worker processes.  Valid only where the
+    backend already restricts itself — the fully deterministic regime with
+    integer payoff matrices, where the round-summing pooled kernel is
+    float-exact and hence value-identical to the cycle-exact serial fill.
+    """
+
+    def __init__(self, kernel, **engine_kwargs: Any) -> None:
+        super().__init__(**engine_kwargs)
+        self._kernel = kernel
+
+    def _fill_deterministic(self, sid: int) -> None:
+        live = self.pool.ordered_sids()
+        focal = self.pool.strategy(sid)
+        targets = [self.pool.strategy(int(j)) for j in live]
+        to_focal, to_targets = self._kernel.payoffs_against(focal, targets)
+        self._paymat[sid, live] = to_focal
+        self._paymat[live, sid] = to_targets
+        self.misses += len(live)
+
+
 class _PooledPayoffCache(PayoffCache):
     """Payoff cache whose misses are fanned over a process pool.
 
@@ -327,12 +418,31 @@ class MultiprocessBackend(Backend):
         with ParallelKernel(
             n_workers=self.workers, rounds=config.rounds, payoff=config.payoff
         ) as kernel:
-            cache = _PooledPayoffCache(
-                kernel, rounds=config.rounds, payoff=config.payoff
-            )
-            result = run_event_driven(
-                config, population, batch_size=self.batch_size, cache=cache
-            )
+            if config.engine:
+                # The engine's sid arrays + dense matrix, with the fill
+                # evaluations fanned over the pool (PR 3 follow-on; the
+                # legacy pooled PayoffCache remains the engine=False path).
+                engine = _PooledFitnessEngine(
+                    kernel,
+                    memory_steps=config.memory_steps,
+                    rounds=config.rounds,
+                    payoff=config.payoff,
+                    capacity=max(64, config.n_ssets + 2),
+                    pool_cap=config.engine_pool_cap,
+                )
+                result = run_event_driven(
+                    config,
+                    population,
+                    batch_size=self.batch_size,
+                    evaluator=engine,
+                )
+            else:
+                cache = _PooledPayoffCache(
+                    kernel, rounds=config.rounds, payoff=config.payoff
+                )
+                result = run_event_driven(
+                    config, population, batch_size=self.batch_size, cache=cache
+                )
         return self._report(result, workers=self.workers)
 
 

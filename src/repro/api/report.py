@@ -35,6 +35,13 @@ class BackendReport:
         (``"well-mixed"``, ``"ring:k=4"``, ...).
     workers:
         Process-pool size for backends that fan work over processes.
+    lanes:
+        Number of replicates the ``ensemble`` backend executed together in
+        this run's lane-batched group (1 = the run was its own group).
+    shared_engine:
+        Shared-engine counters of the lane-batched group (distinct
+        strategies, pool capacity, pair evaluations and kernel calls) —
+        ``None`` when the group ran on per-lane evaluators.
     n_ranks:
         Simulated MPI ranks (DES backend; includes the Nature Agent).
     ssets_per_worker:
@@ -53,6 +60,8 @@ class BackendReport:
     options: dict[str, Any] = field(default_factory=dict)
     structure: str | None = None
     workers: int | None = None
+    lanes: int | None = None
+    shared_engine: dict[str, int] | None = None
     n_ranks: int | None = None
     ssets_per_worker: float | None = None
     makespan_seconds: float | None = None
@@ -66,6 +75,13 @@ class BackendReport:
             parts.append(f"structure={self.structure}")
         if self.workers is not None:
             parts.append(f"workers={self.workers}")
+        if self.lanes is not None:
+            parts.append(f"lanes={self.lanes}")
+        if self.shared_engine is not None:
+            parts.append(
+                f"shared-engine={self.shared_engine.get('distinct', 0)} "
+                "distinct"
+            )
         if self.n_ranks is not None:
             parts.append(f"ranks={self.n_ranks}")
         if self.makespan_seconds is not None:

@@ -3,9 +3,30 @@
 :func:`run_sweep` is the workload front-end: give it any iterable of
 configurations and it executes each through the unified backend machinery,
 optionally fanning the runs over worker processes.  Results are returned in
-config order and are identical to a serial ``[Simulation(c).run() for c in
-configs]`` loop for any worker count (each run is independent and
-deterministic given its seed) — pinned by the tests.
+config order and follow trajectories identical to a serial
+``[Simulation(c).run() for c in configs]`` loop for any worker count (each
+run is independent and deterministic given its seed) — pinned by the tests.
+
+Two ensemble-scale optimisations live here:
+
+* **Lane batching** — ``backend="ensemble"`` hands the whole config list to
+  :meth:`~repro.api.EnsembleBackend.run_many`, which advances same-science
+  replicates together over one shared strategy pool and payoff matrix
+  (:mod:`repro.ensemble`); with ``workers`` the lanes are chunked over the
+  pool, composing the two levels of parallelism.
+
+* **Shared engine pairs** — on the legacy per-run path, deterministic-regime
+  runs can share one read-only store of evaluated strategy-pair payoffs
+  (:func:`repro.core.engine.shared_engine_pairs`): the values are pure
+  functions of the strategy tables plus ``(rounds, payoff)``, so later runs
+  (and each pool worker's later tasks) stop re-deriving identical matrix
+  entries.  Trajectories are unchanged; only the ``cache_misses``
+  evaluation counters shrink relative to an isolated ``Simulation`` run.
+  By default sharing turns on only where reuse is structural — memory-one
+  sweeps, whose 16-strategy space every run revisits; deeper memories draw
+  mostly-distinct random mutants, and the per-pair store bookkeeping would
+  cost more than the re-derivations it saves (``share_engine=True``
+  forces it on for workloads known to repeat strategies).
 
 Seed derivation: pass ``base_seed`` to overwrite every config's seed with a
 deterministic, statistically independent child derived through
@@ -16,15 +37,17 @@ N-replicate ensemble from one master seed.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..core.config import EvolutionConfig
+from ..core.engine import enable_engine_pair_sharing, shared_engine_pairs
 from ..core.evolution import EvolutionResult
 from ..errors import ConfigurationError
 from ..rng import SeedSequenceTree
-from .backends import Backend, resolve_backend
+from .backends import Backend, EnsembleBackend, resolve_backend
 
 __all__ = ["run_sweep", "derive_sweep_seeds"]
 
@@ -49,6 +72,59 @@ def _run_one(config: EvolutionConfig, backend: Backend) -> EvolutionResult:
     return backend.run(config)
 
 
+def _run_chunk(
+    configs: list[EvolutionConfig], backend: EnsembleBackend
+) -> list[EvolutionResult]:
+    """Worker entry point: one lane-batched chunk (must stay module-level)."""
+    return backend.run_many(configs)
+
+
+def _chunk_ranges(n: int, chunks: int) -> list[tuple[int, int]]:
+    """``n`` items into ``chunks`` contiguous, near-equal ranges."""
+    size, extra = divmod(n, chunks)
+    ranges = []
+    start = 0
+    for i in range(chunks):
+        end = start + size + (1 if i < extra else 0)
+        ranges.append((start, end))
+        start = end
+    return ranges
+
+
+def _run_sweep_ensemble(
+    run_configs: Sequence[EvolutionConfig],
+    backend: EnsembleBackend,
+    workers: int | None,
+    on_result: Callable[[int, EvolutionResult], None] | None,
+) -> list[EvolutionResult]:
+    """Lane-batched fast path: whole chunks of the sweep run as single
+    array programs (results still arrive in config order, per chunk)."""
+    if not run_configs:
+        return []
+    if workers is None or workers <= 1 or len(run_configs) <= 1:
+        results = backend.run_many(list(run_configs))
+    else:
+        pool_size = min(workers, len(run_configs))
+        ranges = _chunk_ranges(len(run_configs), pool_size)
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            futures = [
+                pool.submit(_run_chunk, list(run_configs[lo:hi]), backend)
+                for lo, hi in ranges
+            ]
+            results = [r for future in futures for r in future.result()]
+    if on_result is not None:
+        for i, result in enumerate(results):
+            on_result(i, result)
+    return results
+
+
+def _auto_share(configs: Sequence[EvolutionConfig]) -> bool:
+    """Default sharing rule: on iff every run is memory-one (16 pure
+    strategies — every sweep revisits the same pairs, so reuse is
+    guaranteed rather than incidental)."""
+    return bool(configs) and all(c.memory_steps == 1 for c in configs)
+
+
 def run_sweep(
     configs: Iterable[EvolutionConfig],
     backend: str | type[Backend] | Backend = "event",
@@ -56,6 +132,7 @@ def run_sweep(
     workers: int | None = None,
     on_result: Callable[[int, EvolutionResult], None] | None = None,
     base_seed: int | None = None,
+    share_engine: bool | None = None,
     **backend_opts: object,
 ) -> list[EvolutionResult]:
     """Run every config and return the results in config order.
@@ -63,20 +140,28 @@ def run_sweep(
     Parameters
     ----------
     configs:
-        The runs.  Each is executed independently (no shared state).
+        The runs.  Each is executed independently (no shared state beyond
+        read-only payoff-pair reuse, which cannot alter trajectories).
     backend:
         Backend for every run (name, class, or instance).  Instances must be
-        picklable when ``workers > 1``; the built-ins are.
+        picklable when ``workers > 1``; the built-ins are.  The
+        ``ensemble`` backend takes the lane-batched fast path: the whole
+        sweep (or each worker's chunk) executes as one array program.
     workers:
         Process-pool size for the fan-out.  ``None``/``0``/``1`` runs the
         sweep serially in-process.  Nesting note: combining a parallel sweep
         with the ``multiprocess`` backend multiplies process counts.
     on_result:
         Callback invoked in the parent process as ``on_result(index,
-        result)``, in config order, as results arrive.
+        result)``, in config order, as results arrive (the ensemble fast
+        path delivers a chunk's results when the chunk completes).
     base_seed:
         When given, replaces each config's seed with the ``i``-th child of
         :func:`derive_sweep_seeds` — a one-liner ensemble builder.
+    share_engine:
+        Share deterministic pair evaluations across the sweep's runs (see
+        the module docstring).  ``None`` (default) auto-enables for
+        memory-one sweeps only; ``True``/``False`` force it.
     **backend_opts:
         Forwarded to the backend class (as in :class:`~repro.api.Simulation`).
         A backend option named ``workers`` (the multiprocess backend's pool
@@ -92,17 +177,31 @@ def run_sweep(
             c.with_updates(seed=s) for c, s in zip(run_configs, seeds)
         ]
 
+    if isinstance(resolved, EnsembleBackend):
+        return _run_sweep_ensemble(run_configs, resolved, workers, on_result)
+
+    share = share_engine if share_engine is not None else _auto_share(run_configs)
     results: list[EvolutionResult] = []
     if workers is None or workers <= 1 or len(run_configs) <= 1:
-        for i, config in enumerate(run_configs):
-            result = _run_one(config, resolved)
-            if on_result is not None:
-                on_result(i, result)
-            results.append(result)
+        # In-process path: successive deterministic runs share evaluated
+        # payoff pairs instead of re-deriving identical matrix entries.
+        context = shared_engine_pairs() if share else nullcontext()
+        with context:
+            for i, config in enumerate(run_configs):
+                result = _run_one(config, resolved)
+                if on_result is not None:
+                    on_result(i, result)
+                results.append(result)
         return results
 
     pool_size = min(workers, len(run_configs))
-    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+    # Each worker process keeps its own shared pair store across the runs
+    # it executes (the PR 3 follow-on: workers stop re-deriving identical
+    # matrices); the store dies with the pool.
+    with ProcessPoolExecutor(
+        max_workers=pool_size,
+        initializer=enable_engine_pair_sharing if share else None,
+    ) as pool:
         futures = [
             pool.submit(_run_one, config, resolved) for config in run_configs
         ]

@@ -96,6 +96,19 @@ class EvolutionConfig:
         millions of record objects; the scalar counters
         (``n_pc_events``/``n_adoptions``/``n_mutations``) are kept either
         way and the trajectory is unaffected.
+    engine_pool_cap:
+        Bound on the number of distinct strategies the expected-regime
+        :class:`~repro.core.engine.StrategyPool` tracks (0 = unbounded, the
+        default).  The expected regime *retires* dead strategies instead of
+        recycling their slots so reappearances reuse previously evaluated
+        payoffs bit-identically; very long deep-memory runs therefore grow
+        without bound.  With a cap, once live + retired strategies reach the
+        cap the oldest retired slot is recycled (its evaluated payoffs are
+        dropped).  Runs whose distinct-strategy count never exceeds the cap
+        are bit-identical to uncapped runs; runs that do exceed it may
+        re-evaluate reappearing pairs from a different perspective and
+        drift by ulps — which is why the cap is opt-in.  Deterministic-regime
+        pools recycle at zero references already and ignore the cap.
     """
 
     memory_steps: int = 1
@@ -117,6 +130,7 @@ class EvolutionConfig:
     record_every: int = 0
     engine: bool = True
     record_events: bool = True
+    engine_pool_cap: int = 0
 
     def __post_init__(self) -> None:
         if self.memory_steps < 1:
@@ -149,6 +163,11 @@ class EvolutionConfig:
         if self.record_every < 0:
             raise ConfigurationError(
                 f"record_every must be >= 0, got {self.record_every}"
+            )
+        if self.engine_pool_cap < 0:
+            raise ConfigurationError(
+                f"engine_pool_cap must be >= 0 (0 = unbounded), got "
+                f"{self.engine_pool_cap}"
             )
         # Parse + bind eagerly so a bad spec (or one incompatible with
         # n_ssets) fails at construction, not mid-run.
@@ -185,6 +204,8 @@ class EvolutionConfig:
             parts.append("expected-fitness")
         if not self.engine:
             parts.append("legacy-cache")
+        if self.engine_pool_cap:
+            parts.append(f"pool-cap={self.engine_pool_cap}")
         return " ".join(parts)
 
     @property

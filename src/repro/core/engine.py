@@ -55,6 +55,9 @@ regime split:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
 import numpy as np
 
 from ..errors import ConfigurationError, SimulationError, StrategyError
@@ -66,12 +69,81 @@ from .states import num_states
 from .strategy import Strategy
 from .vectorgame import cycle_payoffs_pairs, stack_tables
 
-__all__ = ["StrategyPool", "FitnessEngine", "is_integer_payoff"]
+__all__ = [
+    "StrategyPool",
+    "FitnessEngine",
+    "is_integer_payoff",
+    "shared_engine_pairs",
+    "enable_engine_pair_sharing",
+]
 
 
 def is_integer_payoff(payoff: PayoffMatrix) -> bool:
     """Whether every payoff value is integer-valued (float-exact sums)."""
     return all(float(v).is_integer() for v in payoff.vector)
+
+
+#: Pair-evaluation key: the two strategies' byte identities, focal first.
+_PairKey = tuple[bytes, bytes]
+#: Engine compatibility signature for shared pair stores: deterministic
+#: payoffs depend on (memory, rounds, payoff matrix) alone — never the seed.
+_ShareSig = tuple[int, int, tuple[float, ...]]
+
+
+class _PairShareState:
+    """Process-local cross-run store of deterministic pair evaluations.
+
+    Deterministic cycle-exact payoffs are a pure function of the two
+    strategy tables plus ``(rounds, payoff)`` — they carry no seed and no
+    population state — so every run of a :func:`run_sweep` ensemble
+    re-derives exactly the same matrix entries.  When sharing is enabled
+    (see :func:`shared_engine_pairs`), deterministic-regime engines read
+    previously evaluated pairs from this store instead of re-deriving them
+    and publish their own evaluations back, so a sweep's later runs (or a
+    pool worker's later tasks) start from a warm matrix.  Trajectories are
+    unaffected — the values are float-exact either way — only the
+    ``misses`` evaluation counters shrink.
+    """
+
+    __slots__ = ("enabled", "store")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.store: dict[_ShareSig, dict[_PairKey, tuple[float, float]]] = {}
+
+
+_PAIR_SHARE = _PairShareState()
+
+
+@contextmanager
+def shared_engine_pairs() -> Iterator[
+    dict[_ShareSig, dict[_PairKey, tuple[float, float]]]
+]:
+    """Share deterministic pair evaluations across engines in this block.
+
+    Used by :func:`repro.api.run_sweep` around its in-process run loop so
+    successive deterministic runs stop re-deriving identical payoff-matrix
+    entries.  Nested use keeps the outermost store; leaving the outermost
+    block clears it (the store holds a whole sweep's distinct strategies).
+    """
+    prev = _PAIR_SHARE.enabled
+    _PAIR_SHARE.enabled = True
+    try:
+        yield _PAIR_SHARE.store
+    finally:
+        _PAIR_SHARE.enabled = prev
+        if not prev:
+            _PAIR_SHARE.store.clear()
+
+
+def enable_engine_pair_sharing() -> None:
+    """Enable pair sharing for this process's lifetime (no clearing).
+
+    The process-pool initializer of :func:`repro.api.run_sweep` calls this
+    in each worker, so a worker's successive runs share evaluations; the
+    store dies with the worker process.
+    """
+    _PAIR_SHARE.enabled = True
 
 
 class StrategyPool:
@@ -92,6 +164,8 @@ class StrategyPool:
         dtype: np.dtype,
         capacity: int = 64,
         evict: bool = True,
+        cap: int = 0,
+        on_evict: "Callable[[int], None] | None" = None,
     ):
         if memory_steps < 1:
             raise ConfigurationError(
@@ -99,6 +173,10 @@ class StrategyPool:
             )
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if cap < 0:
+            raise ConfigurationError(
+                f"cap must be >= 0 (0 = unbounded), got {cap}"
+            )
         self.memory_steps = memory_steps
         self.n_states = num_states(memory_steps)
         #: With ``evict`` (deterministic regime) a slot whose refcount hits
@@ -109,6 +187,16 @@ class StrategyPool:
         #: the legacy cache's unbounded memoisation (bit-parity needs this:
         #: re-evaluating from a different perspective drifts by ulps).
         self.evict = evict
+        #: Non-evicting pools only: bound on live + retired strategies
+        #: tracked.  Once reached, acquiring a *new* strategy recycles the
+        #: oldest retired slot (``on_evict`` is told so dependent matrices
+        #: can invalidate the slot's rows) instead of tracking one more.
+        #: 0 = unbounded, the legacy-mirroring default.
+        self.cap = cap
+        self.on_evict = on_evict
+        #: Retired slots (refcount 0, strategy kept) in retirement order —
+        #: the cap's recycling queue.  Always empty in evicting pools.
+        self._retired: dict[int, None] = {}
         self._tables = np.zeros((capacity, self.n_states), dtype=dtype)
         self._strategies: list[Strategy | None] = [None] * capacity
         self._ids: dict[bytes, int] = {}
@@ -139,6 +227,11 @@ class StrategyPool:
     def __len__(self) -> int:
         """Number of distinct live strategies."""
         return len(self._order)
+
+    @property
+    def tracked(self) -> int:
+        """Distinct strategies the pool holds tables for (live + retired)."""
+        return len(self._order) + len(self._retired)
 
     @property
     def total(self) -> int:
@@ -199,8 +292,16 @@ class StrategyPool:
                 # like a histogram re-add.
                 self._order[sid] = None
                 self._order_array = None
+                self._retired.pop(sid, None)
             self._refcounts[sid] += 1
             return sid, False
+        if (
+            self.cap
+            and not self.evict
+            and self._retired
+            and self.tracked >= self.cap
+        ):
+            self._evict_oldest_retired()
         if not self._free:
             self._grow()
         sid = self._free.pop()
@@ -233,7 +334,26 @@ class StrategyPool:
             del self._ids[strategy.key()]
             self._strategies[sid] = None
             self._free.append(sid)
+        else:
+            self._retired[sid] = None
         return True
+
+    def _evict_oldest_retired(self) -> None:
+        """Recycle the longest-retired slot (cap enforcement).
+
+        The slot's strategy, id, and — through ``on_evict`` — any dependent
+        matrix rows are dropped, so a later reappearance of the strategy is
+        re-evaluated from scratch (the documented over-cap ulp caveat).
+        """
+        sid = next(iter(self._retired))
+        del self._retired[sid]
+        strategy = self._strategies[sid]
+        assert strategy is not None
+        del self._ids[strategy.key()]
+        self._strategies[sid] = None
+        self._free.append(sid)
+        if self.on_evict is not None:
+            self.on_evict(sid)
 
 
 class FitnessEngine:
@@ -260,6 +380,7 @@ class FitnessEngine:
         expected: bool = False,
         mixed: bool = False,
         capacity: int = 64,
+        pool_cap: int = 0,
     ):
         if rounds < 1:
             raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
@@ -281,14 +402,23 @@ class FitnessEngine:
         self.payoff = payoff
         self.noise = noise
         self.expected = expected
+        #: Deterministic fills may keep float32 block sums in the batched
+        #: kernel — exact (hence still bit-identical) while every partial
+        #: sum stays under 2**24.
+        self._compact_fill = not expected and rounds * max(
+            abs(float(v)) for v in payoff.vector
+        ) < 2.0**24
         self.pool = StrategyPool(
             memory_steps,
             np.dtype(np.float64) if mixed else np.dtype(np.uint8),
             capacity=capacity,
             # The expected regime retires slots instead of recycling them —
             # see StrategyPool.evict; the legacy cache it mirrors never
-            # forgets an evaluated pair either.
+            # forgets an evaluated pair either.  ``pool_cap`` bounds the
+            # retirement (EvolutionConfig.engine_pool_cap).
             evict=not expected,
+            cap=pool_cap,
+            on_evict=self._on_slot_evicted,
         )
         capacity = self.pool.capacity
         self._paymat = np.zeros((capacity, capacity), dtype=np.float64)
@@ -297,6 +427,17 @@ class FitnessEngine:
         self._evaluated: np.ndarray | None = (
             np.zeros((capacity, capacity), dtype=bool) if expected else None
         )
+        #: Cross-run shared pair store for this engine's signature (see
+        #: :func:`shared_engine_pairs`); deterministic regime only, ``None``
+        #: when sharing is off.
+        self._shared_pairs: dict[_PairKey, tuple[float, float]] | None = None
+        if not expected and _PAIR_SHARE.enabled:
+            sig: _ShareSig = (
+                memory_steps,
+                rounds,
+                tuple(float(v) for v in payoff.vector),
+            )
+            self._shared_pairs = _PAIR_SHARE.store.setdefault(sig, {})
         self.hits = 0
         self.misses = 0
 
@@ -324,6 +465,7 @@ class FitnessEngine:
             expected=expected,
             mixed=config.mixed_strategies,
             capacity=max(64, config.n_ssets + 2),
+            pool_cap=config.engine_pool_cap,
         )
 
     # -- matrix maintenance ----------------------------------------------------
@@ -379,16 +521,58 @@ class FitnessEngine:
         retired slots keep their evaluated payoffs for reappearances)."""
         self.pool.release(sid)
 
+    def _on_slot_evicted(self, sid: int) -> None:
+        """Pool cap recycled a retired slot: invalidate its matrix rows."""
+        self._paymat[sid, :] = 0.0
+        self._paymat[:, sid] = 0.0
+        if self._evaluated is not None:
+            self._evaluated[sid, :] = False
+            self._evaluated[:, sid] = False
+
     def _fill_deterministic(self, sid: int) -> None:
-        """Eager batched cycle-exact row + column fill for a new sid."""
+        """Eager batched cycle-exact row + column fill for a new sid.
+
+        With pair sharing enabled (:func:`shared_engine_pairs`), pairs a
+        previous same-signature engine already evaluated are copied from
+        the shared store — the values are float-exact pure functions of the
+        strategy pair, so the trajectory is unchanged and only the
+        evaluation count (``misses``) shrinks; fresh evaluations are
+        published back for the runs that follow.
+        """
         live = self.pool.ordered_sids()
-        focal = np.full(live.shape, sid, dtype=np.intp)
-        pay_new, pay_live = cycle_payoffs_pairs(
-            self.pool.tables, focal, live, self.rounds, self.payoff
-        )
-        self._paymat[sid, live] = pay_new
-        self._paymat[live, sid] = pay_live
-        self.misses += len(live)
+        shared = self._shared_pairs
+        if shared is None:
+            focal = np.full(live.shape, sid, dtype=np.intp)
+            pay_new, pay_live = cycle_payoffs_pairs(
+                self.pool.tables, focal, live, self.rounds, self.payoff,
+                compact_sums=self._compact_fill,
+            )
+            self._paymat[sid, live] = pay_new
+            self._paymat[live, sid] = pay_live
+            self.misses += len(live)
+            return
+        key_new = self.pool.strategy(sid).key()
+        todo: list[int] = []
+        for j in live.tolist():
+            found = shared.get((key_new, self.pool.strategy(j).key()))
+            if found is None:
+                todo.append(j)
+            else:
+                self._paymat[sid, j], self._paymat[j, sid] = found
+        if todo:
+            targets = np.asarray(todo, dtype=np.intp)
+            focal = np.full(targets.shape, sid, dtype=np.intp)
+            pay_new, pay_live = cycle_payoffs_pairs(
+                self.pool.tables, focal, targets, self.rounds, self.payoff,
+                compact_sums=self._compact_fill,
+            )
+            self._paymat[sid, targets] = pay_new
+            self._paymat[targets, sid] = pay_live
+            for j, to_new, to_j in zip(todo, pay_new, pay_live):
+                key_j = self.pool.strategy(j).key()
+                shared[(key_new, key_j)] = (float(to_new), float(to_j))
+                shared[(key_j, key_new)] = (float(to_j), float(to_new))
+            self.misses += len(todo)
 
     def _ensure_row(self, sid: int, opponents: list[int]) -> "np.floating | None":
         """Lazy expected-regime fill: evaluate the not-yet-known opponents

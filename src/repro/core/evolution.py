@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..rng import SeedSequenceTree
 from ..structure import InteractionModel, build_structure
 from .config import EvolutionConfig
@@ -150,6 +151,37 @@ def _make_evaluator(
     return _make_cache(config, nature)
 
 
+def _resolve_evaluator(
+    config: EvolutionConfig,
+    nature: NatureAgent,
+    population: Population,
+    cache: PayoffCache | None,
+    evaluator: Evaluator | None,
+) -> Evaluator:
+    """Pick the run's evaluator and (un)bind the population accordingly.
+
+    ``evaluator`` injects a ready-made evaluator — e.g. the multiprocess
+    backend's pool-backed :class:`FitnessEngine` — and must produce the
+    same values as the default for the trajectory to stay on the reference
+    path.  ``cache`` keeps its historical meaning: substitute the legacy
+    payoff evaluator and force the non-engine path.
+    """
+    if evaluator is not None:
+        if cache is not None:
+            raise ConfigurationError(
+                "pass either cache= or evaluator=, not both"
+            )
+        if isinstance(evaluator, FitnessEngine):
+            population.bind_engine(evaluator)
+        else:
+            population.bind_engine(None)
+        return evaluator
+    if cache is not None:
+        population.bind_engine(None)
+        return cache
+    return _make_evaluator(config, nature, population)
+
+
 def _maybe_snapshot(
     result: EvolutionResult, population: Population, generation: int, force: bool
 ) -> None:
@@ -241,13 +273,15 @@ def run_serial(
     population: Population | None = None,
     *,
     cache: PayoffCache | None = None,
+    evaluator: Evaluator | None = None,
 ) -> EvolutionResult:
     """Faithful generation-by-generation evolution (reference driver).
 
     ``cache`` substitutes the payoff evaluator (e.g. a process-pool backed
-    one) and disables the :class:`FitnessEngine` for the run; it must
-    produce the same values as the default for the trajectory to stay on
-    the reference path.
+    one) and disables the :class:`FitnessEngine` for the run; ``evaluator``
+    injects a ready-made engine/cache instead (see
+    :func:`_resolve_evaluator`).  Either must produce the same values as
+    the default for the trajectory to stay on the reference path.
     """
     started = time.perf_counter()
     tree = SeedSequenceTree(config.seed)
@@ -255,11 +289,7 @@ def run_serial(
     structure = build_structure(config.structure, config.n_ssets)
     if population is None:
         population = Population.random(config, tree.generator("init"))
-    if cache is None:
-        evaluator: Evaluator = _make_evaluator(config, nature, population)
-    else:
-        population.bind_engine(None)
-        evaluator = cache
+    evaluator = _resolve_evaluator(config, nature, population, cache, evaluator)
     result = EvolutionResult(config=config, population=population)
     _maybe_snapshot(result, population, 0, force=True)
 
@@ -287,13 +317,14 @@ def run_event_driven(
     batch_size: int = 1 << 16,
     *,
     cache: PayoffCache | None = None,
+    evaluator: Evaluator | None = None,
 ) -> EvolutionResult:
     """Fast-forward evolution: identical trajectory, ~1000x faster.
 
     Scans event flags in vectorised batches and executes Python logic only
     at event generations.  Snapshot recording (``record_every``) is aligned
-    to the same generations as :func:`run_serial`.  ``cache`` substitutes
-    the payoff evaluator (see :func:`run_serial`).
+    to the same generations as :func:`run_serial`.  ``cache`` / ``evaluator``
+    substitute the payoff evaluator (see :func:`run_serial`).
     """
     started = time.perf_counter()
     tree = SeedSequenceTree(config.seed)
@@ -301,11 +332,7 @@ def run_event_driven(
     structure = build_structure(config.structure, config.n_ssets)
     if population is None:
         population = Population.random(config, tree.generator("init"))
-    if cache is None:
-        evaluator: Evaluator = _make_evaluator(config, nature, population)
-    else:
-        population.bind_engine(None)
-        evaluator = cache
+    evaluator = _resolve_evaluator(config, nature, population, cache, evaluator)
     result = EvolutionResult(config=config, population=population)
     _maybe_snapshot(result, population, 0, force=True)
 

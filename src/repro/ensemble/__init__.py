@@ -1,0 +1,28 @@
+"""Lane-batched ensemble execution: a whole sweep as one array program.
+
+The ensemble subsystem stacks R independent replicates ("lanes") of the
+evolutionary dynamics into one interpreter loop over shared arrays: a
+single interned-strategy pool and dense payoff matrix serve every lane
+(:class:`EnsembleEngine`), event flags are scanned together, and fitness is
+evaluated in batched payoff-matrix gathers — while per-lane RNG streams
+preserve each replicate's exact serial call order, so every lane's
+trajectory is **bit-identical** to the same-seed serial ``event`` run.
+
+Most callers reach this through the ``ensemble`` backend::
+
+    from repro import run_sweep
+    results = run_sweep(configs, backend="ensemble", base_seed=7)
+
+:func:`run_ensemble` is the direct library entry point.
+"""
+
+from .driver import lane_signature, run_ensemble, run_ensemble_detailed
+from .engine import EnsembleEngine, supports_shared_engine
+
+__all__ = [
+    "EnsembleEngine",
+    "lane_signature",
+    "run_ensemble",
+    "run_ensemble_detailed",
+    "supports_shared_engine",
+]

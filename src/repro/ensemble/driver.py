@@ -1,0 +1,829 @@
+"""Lane-batched ensemble driver: a whole sweep as one array program.
+
+:func:`run_ensemble` executes many independent replicates ("lanes") of the
+evolutionary dynamics in a single interpreter loop.  Lanes with identical
+science (every config field except the seed) are stacked: their populations
+live in one ``(R, n_ssets)`` strategy-id array over one shared
+:class:`~repro.ensemble.engine.EnsembleEngine` pool/payoff matrix, their
+event flags are scanned together, and well-mixed pairwise-comparison
+fitness is evaluated for all of a generation's event lanes in one batched
+payoff-matrix gather (graphs use per-lane neighbor gathers).  Mutant
+payoff rows are prefilled a *window* of generations ahead — mutation draws
+are state-independent, so the window's mutants can be drawn and evaluated
+in one batched kernel call before their events apply.
+
+**Bit-parity contract.**  Every lane follows the *bit-identical trajectory*
+of the same-seed serial :func:`~repro.core.evolution.run_event_driven` run
+(pinned by the lane-parity tests): per-lane RNG streams are consumed
+through exactly the serial call sequence (``batch_event_flags`` layout for
+the events stream, the teacher-then-learner-with-rejection draw of
+:meth:`~repro.structure.WellMixed.select_pair` — or the graph structures'
+learner-then-neighbor draw — plus one adoption uniform for PC, target +
+mutant draws for mutation), Fermi decisions use the same scalar
+``math.exp`` path, and shared-matrix fitness values are float-exact
+integer sums, hence bitwise equal to the per-run engine's.
+
+Regimes:
+
+* **deterministic** (pure strategies, no noise, integer payoffs, ``engine``
+  on) — the shared-engine fast path above.
+* **expected** Markov fitness, non-integer payoffs, or ``engine=False`` —
+  lanes run with per-lane evaluators (the exact serial objects:
+  :class:`~repro.core.engine.FitnessEngine` or the legacy
+  :class:`~repro.core.payoff_cache.PayoffCache`), still sharing the merged
+  event scan.  The expected regime cannot share one matrix bit-identically
+  across lanes — its Markov kernel is not perspective-symmetric in the last
+  ulp, so entry values depend on which lane evaluated a pair first.
+* **sampled-stochastic** fitness is rejected: every game is an independent
+  draw from the per-lane games stream, so there is nothing to share
+  without changing the trajectory (use the ``event`` backend per run).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.config import EvolutionConfig
+from ..core.engine import FitnessEngine
+from ..core.evolution import (
+    EventRecord,
+    EvolutionResult,
+    Snapshot,
+    _maybe_snapshot,
+)
+from ..core.fermi import fermi_probability
+from ..core.payoff_cache import PayoffCache
+from ..core.population import Population
+from ..core.strategy import Strategy, random_mixed, random_pure
+from ..errors import ConfigurationError
+from ..rng import SeedSequenceTree
+from ..structure import InteractionModel, build_structure
+from . import rawstream
+from .engine import EnsembleEngine, supports_shared_engine
+
+__all__ = ["run_ensemble", "run_ensemble_detailed", "lane_signature"]
+
+#: Target mutants per lane per prefetch window.  Larger windows batch more
+#: mutants per kernel call but prefill more pairs that die unqueried;
+#: around three per lane balances both, so the window length adapts to the
+#: configured mutation rate (64 generations at the paper's mu = 0.05).
+_MUTANTS_PER_WINDOW = 3.2
+
+
+def _fill_window(mutation_rate: float) -> int:
+    if mutation_rate <= 0.0:
+        return 1024
+    return max(32, min(1024, round(_MUTANTS_PER_WINDOW / mutation_rate)))
+
+
+def lane_signature(config: EvolutionConfig) -> tuple:
+    """Grouping key: lanes batch together iff their science is identical
+    up to the seed (the standard replicate-ensemble shape).
+
+    Derived from the config's dataclass fields so a future
+    :class:`EvolutionConfig` field can never silently fall out of the key
+    (which would co-batch configs that differ in it); only the seed is
+    excluded, and the two non-hashable fields get canonical stand-ins.
+    """
+    parts: list = []
+    for field in dataclasses.fields(EvolutionConfig):
+        if field.name == "seed":
+            continue
+        value = getattr(config, field.name)
+        if field.name == "structure":
+            value = (
+                ("instance", id(value))
+                if isinstance(value, InteractionModel)
+                else ("spec", config.canonical_structure())
+            )
+        elif field.name == "payoff":
+            value = tuple(float(v) for v in value.vector)
+        parts.append((field.name, value))
+    return tuple(parts)
+
+
+def _validate_config(config: EvolutionConfig) -> None:
+    if config.is_stochastic:
+        raise ConfigurationError(
+            "the ensemble driver supports deterministic and expected-"
+            "fitness configurations only; sampled-stochastic fitness draws "
+            "one fresh game per probe from the per-lane games stream and "
+            "cannot be lane-batched without changing the trajectory — use "
+            "the event or serial backend per run"
+        )
+
+
+def run_ensemble(
+    configs: Iterable[EvolutionConfig],
+    populations: Sequence[Population | None] | None = None,
+    *,
+    batch_size: int = 1 << 16,
+) -> list[EvolutionResult]:
+    """Run every config lane-batched; results come back in config order."""
+    results, _ = run_ensemble_detailed(
+        configs, populations, batch_size=batch_size
+    )
+    return results
+
+
+def run_ensemble_detailed(
+    configs: Iterable[EvolutionConfig],
+    populations: Sequence[Population | None] | None = None,
+    *,
+    batch_size: int = 1 << 16,
+) -> tuple[list[EvolutionResult], list[dict]]:
+    """:func:`run_ensemble` plus one per-result execution-metadata dict
+    (``lanes``, ``shared_engine`` stats) for the backend report."""
+    run_configs = list(configs)
+    if batch_size < 1:
+        raise ConfigurationError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
+    if populations is None:
+        initial: list[Population | None] = [None] * len(run_configs)
+    else:
+        initial = list(populations)
+        if len(initial) != len(run_configs):
+            raise ConfigurationError(
+                f"got {len(initial)} initial populations for "
+                f"{len(run_configs)} configs"
+            )
+    for config in run_configs:
+        _validate_config(config)
+
+    groups: dict[tuple, list[int]] = {}
+    for i, config in enumerate(run_configs):
+        groups.setdefault(lane_signature(config), []).append(i)
+
+    results: list[EvolutionResult | None] = [None] * len(run_configs)
+    metas: list[dict | None] = [None] * len(run_configs)
+    for indices in groups.values():
+        group_configs = [run_configs[i] for i in indices]
+        group_initial = [initial[i] for i in indices]
+        if supports_shared_engine(group_configs[0]):
+            outs, meta = _run_group_shared(
+                group_configs, group_initial, batch_size
+            )
+        else:
+            outs, meta = _run_group_generic(
+                group_configs, group_initial, batch_size
+            )
+        for i, out in zip(indices, outs):
+            results[i] = out
+            metas[i] = meta
+    return results, metas  # type: ignore[return-value]
+
+
+def _lane_setup(
+    configs: list[EvolutionConfig], initial: list[Population | None]
+) -> tuple[list, list, list, list, list[Population]]:
+    """Per-lane RNG streams (serial stream layout) and initial populations."""
+    trees = [SeedSequenceTree(c.seed) for c in configs]
+    events_rngs = [t.generator("nature", "events") for t in trees]
+    pc_rngs = [t.generator("nature", "pc") for t in trees]
+    mu_rngs = [t.generator("nature", "mutation") for t in trees]
+    pops: list[Population] = []
+    for r, config in enumerate(configs):
+        population = initial[r]
+        if population is None:
+            population = Population.random(config, trees[r].generator("init"))
+        pops.append(population)
+    return trees, events_rngs, pc_rngs, mu_rngs, pops
+
+
+def _draw_flags(
+    events_rngs: list, pc_rate: float, mutation_rate: float, batch: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """One batch of per-lane event flags (NatureAgent.batch_event_flags
+    stream layout: two uniforms per generation, PC first)."""
+    n_lanes = len(events_rngs)
+    pc_flags = np.empty((n_lanes, batch), dtype=bool)
+    mu_flags = np.empty((n_lanes, batch), dtype=bool)
+    for r in range(n_lanes):
+        draws = events_rngs[r].random(2 * batch)
+        pc_flags[r] = draws[0::2] < pc_rate
+        mu_flags[r] = draws[1::2] < mutation_rate
+    return pc_flags, mu_flags
+
+
+# -- shared deterministic engine path -----------------------------------------
+
+
+def _run_group_shared(
+    configs: list[EvolutionConfig],
+    initial: list[Population | None],
+    batch_size: int,
+) -> tuple[list[EvolutionResult], dict]:
+    """Advance one signature-group of deterministic lanes over the shared
+    engine, generation by generation."""
+    started = time.perf_counter()
+    cfg = configs[0]
+    n_lanes = len(configs)
+    n_ssets = cfg.n_ssets
+    generations = cfg.generations
+    structure = build_structure(cfg.structure, n_ssets)
+    well_mixed = structure.is_well_mixed
+
+    _, events_rngs, pc_rngs, mu_rngs, pops = _lane_setup(configs, initial)
+    # Size for the worst case (every SSet distinct) plus prefetch-pin
+    # headroom up front: growth doubles the dense matrix, so a big ensemble
+    # that barely overflows would pay double the memory.  Memory-one's
+    # strategy space (16 pure tables) caps the pool outright.
+    n_states = 4 ** cfg.memory_steps
+    capacity = n_lanes * n_ssets + 512
+    if n_states < 32:
+        capacity = min(capacity, 2**n_states)
+    engine = EnsembleEngine(
+        cfg.memory_steps,
+        cfg.rounds,
+        cfg.payoff,
+        n_lanes=n_lanes,
+        capacity=capacity,
+    )
+    # Shallow memories (cheap pairs) prefill every pair a window could
+    # read, so the hot loop runs check-free; deep memories (4**n >= 64
+    # states, ~4x the kernel cost per pair) evaluate on demand instead —
+    # there the prefetch's mutant x live overshoot costs more than the
+    # per-generation check-and-fill it avoids.
+    full_cover = n_states <= 16
+    sids = np.empty((n_lanes, n_ssets), dtype=np.int64)
+    for r in range(n_lanes):
+        # Population objects are bystanders during the shared-mode run (the
+        # sid array is the state); drop any stale per-run engine binding so
+        # the final write-back goes through the plain histogram path.
+        pops[r].bind_engine(None)
+        sids[r] = engine.intern_lane(pops[r].strategies())
+    if full_cover:
+        # Initial coverage: every within-lane pair (diagonal included) is
+        # evaluated up front, deduplicated across lanes.  Together with the
+        # window prefetch below this establishes the standing invariant
+        # that every pair a fitness gather can read is valid — a pair's
+        # two members either coexisted at t=0 (covered here) or the
+        # younger entered by mutation with the older live or arriving in
+        # the same window (covered by its window's prefetch), and slots
+        # recycle only when a strategy leaves every lane — so the hot loop
+        # needs no per-query checks.
+        a_init: list[np.ndarray] = []
+        b_init: list[np.ndarray] = []
+        lanes_init: list[np.ndarray] = []
+        for r in range(n_lanes):
+            uniq = np.unique(sids[r])
+            iu, ju = np.triu_indices(uniq.shape[0])
+            a_init.append(uniq[iu])
+            b_init.append(uniq[ju])
+            lanes_init.append(np.full(iu.shape[0], r, dtype=np.int64))
+        engine.fill_missing(
+            np.concatenate(a_init), np.concatenate(b_init),
+            np.concatenate(lanes_init),
+        )
+        del a_init, b_init, lanes_init
+
+    results = [
+        EvolutionResult(config=config, population=population)
+        for config, population in zip(configs, pops)
+    ]
+    for result, population in zip(results, pops):
+        _maybe_snapshot(result, population, 0, force=True)
+
+    every = cfg.record_every
+    next_snap: list[int | None] = [every if every > 0 else None] * n_lanes
+    include_self = cfg.include_self_play
+    downhill = cfg.allow_downhill_learning
+    beta = cfg.beta
+    record_events = cfg.record_events
+    memory = cfg.memory_steps
+
+    # Per-lane decision-stream pre-draw (see repro.ensemble.rawstream):
+    # PC selections and mutations are state-independent, so each batch's
+    # draws happen up front — vectorised straight off the Philox raw
+    # stream when the bounds allow, through the ordinary Generator calls
+    # otherwise — and the event loop just walks cursors.  Graph structures
+    # keep their scalar select_pair draws (learner-then-neighbor order).
+    pc_decoders = (
+        [rawstream.pc_decoder(pc_rngs[r], n_ssets) for r in range(n_lanes)]
+        if well_mixed
+        else None
+    )
+    mu_decoders = [
+        rawstream.mutation_decoder(mu_rngs[r], n_ssets, n_states)
+        for r in range(n_lanes)
+    ]
+
+    # Population state lives in the sid array during the run; SSet-level
+    # bookkeeping is tracked in arrays and written back at the end.
+    adopt_counts = np.zeros((n_lanes, n_ssets), dtype=np.int64)
+    mut_counts = np.zeros((n_lanes, n_ssets), dtype=np.int64)
+    n_pc = [0] * n_lanes
+    n_adopt = [0] * n_lanes
+    n_mut = [0] * n_lanes
+    event_lists = [result.events for result in results]
+    # Reference counts are plain list ops inlined below (engine.recycle
+    # handles the rare zero).  _grow() extends this list in place; only
+    # compact() replaces it, and the alias is refreshed there.
+    refs = engine._refs
+    rows_all = np.arange(n_lanes)
+
+    base = 0
+    remaining = generations
+    while remaining > 0:
+        batch = min(batch_size, remaining)
+        pc_flags, mu_flags = _draw_flags(
+            events_rngs, cfg.pc_rate, cfg.mutation_rate, batch
+        )
+        # Event (generation, lane) pairs sorted by generation; the merged
+        # pointer walk below visits each event generation once.
+        pc_gen_arr, pc_lane_arr = np.nonzero(pc_flags.T)
+        mu_gen_arr, mu_lane_arr = np.nonzero(mu_flags.T)
+        pc_gen = pc_gen_arr.tolist()
+        pc_lane = pc_lane_arr.tolist()
+        mu_gen = mu_gen_arr.tolist()
+        mu_lane = mu_lane_arr.tolist()
+        pi, mi = 0, 0
+        n_pc_ev, n_mu_ev = len(pc_gen), len(mu_gen)
+        window = _fill_window(cfg.mutation_rate)
+
+        # Pre-draw the whole batch's decisions per lane (exact serial
+        # stream consumption; see module docstring of rawstream).
+        mu_counts = np.count_nonzero(mu_flags, axis=1)
+        mu_targets: list[list[int]] = []
+        mu_tables: list[np.ndarray] = []
+        for r in range(n_lanes):
+            targets_r, tables_r = mu_decoders[r].draw(int(mu_counts[r]))
+            mu_targets.append(targets_r)
+            mu_tables.append(tables_r)
+        mu_cur = [0] * n_lanes
+        if pc_decoders is not None:
+            pc_counts = np.count_nonzero(pc_flags, axis=1)
+            pc_teachers: list[list[int]] = []
+            pc_learners: list[list[int]] = []
+            pc_uniforms: list[list[float]] = []
+            for r in range(n_lanes):
+                t_r, l_r, u_r = pc_decoders[r].draw(int(pc_counts[r]))
+                pc_teachers.append(t_r)
+                pc_learners.append(l_r)
+                pc_uniforms.append(u_r)
+            pc_cur = [0] * n_lanes
+        for w_lo in range(0, batch, window):
+            w_hi = min(w_lo + window, batch)
+            p_end = pi
+            while p_end < n_pc_ev and pc_gen[p_end] < w_hi:
+                p_end += 1
+            m_end = mi
+            while m_end < n_mu_ev and mu_gen[m_end] < w_hi:
+                m_end += 1
+            if p_end == pi and m_end == mi:
+                continue
+
+            # The ensemble's initial populations intern thousands of
+            # mostly-distinct random strategies; once selection has thinned
+            # them out, re-pack the matrix so fitness gathers stay hot.
+            # Safe here: no prefetch pins are outstanding.
+            mapping = engine.compact()
+            if mapping is not None:
+                sids = mapping[sids]
+                refs = engine._refs
+
+            # Window prefetch: mutation draws are state-independent (the
+            # mutation stream is consumed only at mutation events, in
+            # generation order — exactly how we walk them here), so the
+            # window's mutants can be drawn, interned, and their payoff
+            # rows filled in ONE batched kernel call instead of one small
+            # fill per generation.  Pinning (an extra reference until the
+            # window ends) keeps their slots — and any dead strategy they
+            # resurrect — from being recycled before their events apply,
+            # which also guarantees no slot is re-tenanted mid-window.
+            prepped: list[tuple[int, Strategy, int]] = []
+            pins: list[int] = []
+            if m_end > mi:
+                lane_mutants: dict[int, list[int]] = {}
+                for idx in range(mi, m_end):
+                    r = mu_lane[idx]
+                    j = mu_cur[r]
+                    mu_cur[r] = j + 1
+                    target = mu_targets[r][j]
+                    strategy = Strategy._trusted(mu_tables[r][j], memory)
+                    sid = engine.acquire(strategy)
+                    pins.append(sid)
+                    prepped.append((target, strategy, sid))
+                    lane_mutants.setdefault(r, []).append(sid)
+                if full_cover:
+                    a_parts: list[np.ndarray] = []
+                    b_parts: list[np.ndarray] = []
+                    lane_parts: list[np.ndarray] = []
+                    for r, mutant_sids in lane_mutants.items():
+                        mutants = np.asarray(mutant_sids, dtype=np.int64)
+                        # Everything a window event can pair a mutant with
+                        # is live now or is itself a window mutant of this
+                        # lane.
+                        union = np.unique(np.concatenate((sids[r], mutants)))
+                        a_parts.append(np.repeat(mutants, union.shape[0]))
+                        b_parts.append(np.tile(union, mutants.shape[0]))
+                        lane_parts.append(
+                            np.full(
+                                mutants.shape[0] * union.shape[0], r,
+                                dtype=np.int64,
+                            )
+                        )
+                    engine.fill_missing(
+                        np.concatenate(a_parts),
+                        np.concatenate(b_parts),
+                        np.concatenate(lane_parts),
+                    )
+            pre_idx = 0
+
+            while pi < p_end or mi < m_end:
+                off_p = pc_gen[pi] if pi < p_end else batch
+                off_m = mu_gen[mi] if mi < m_end else batch
+                off = off_p if off_p <= off_m else off_m
+                gen = base + off
+                pj = pi
+                while pj < p_end and pc_gen[pj] == off:
+                    pj += 1
+                mj = mi
+                while mj < m_end and mu_gen[mj] == off:
+                    mj += 1
+                pc_lanes = pc_lane[pi:pj]
+                pc_lanes_np = pc_lane_arr[pi:pj]
+                mu_lanes = mu_lane[mi:mj]
+                pi, mi = pj, mj
+
+                if every > 0:
+                    # The serial driver snapshots after applying a
+                    # generation's events; per lane, emit pending snapshots
+                    # strictly before this event generation (state is
+                    # unchanged in between).
+                    for r in set(pc_lanes) | set(mu_lanes):
+                        pending = next_snap[r]
+                        while pending is not None and pending < gen:
+                            if pending < generations:
+                                _snapshot_lane(
+                                    results[r], engine, sids[r], pending
+                                )
+                            pending += every
+                        next_snap[r] = pending
+
+                k = len(pc_lanes)
+                if k and well_mixed:
+                    teachers = [0] * k
+                    learners = [0] * k
+                    uniforms = [0.0] * k
+                    for i, r in enumerate(pc_lanes):
+                        j = pc_cur[r]
+                        pc_cur[r] = j + 1
+                        teachers[i] = pc_teachers[r][j]
+                        learners[i] = pc_learners[r][j]
+                        uniforms[i] = pc_uniforms[r][j]
+                    lane_block = sids[pc_lanes_np]
+                    rows = rows_all[:k]
+                    sid_t = lane_block[rows, teachers]
+                    sid_l = lane_block[rows, learners]
+                    if not full_cover:
+                        engine.ensure_rows(
+                            np.concatenate((sid_t, sid_l)),
+                            np.concatenate((lane_block, lane_block)),
+                            np.concatenate((pc_lanes_np, pc_lanes_np)),
+                        )
+                    # (With full_cover every gathered pair is valid by the
+                    # coverage invariant: initial fill + window prefetch.)
+                    fit_t, fit_l = engine.fitness_pc_well_mixed(
+                        lane_block, sid_t, sid_l, include_self
+                    )
+                    for i, r in enumerate(pc_lanes):
+                        ft = fit_t[i]
+                        fl = fit_l[i]
+                        if not downhill and not ft > fl:
+                            adopted = False
+                        else:
+                            adopted = uniforms[i] < fermi_probability(
+                                ft, fl, beta
+                            )
+                        if adopted:
+                            learner = learners[i]
+                            new_sid = int(sid_t[i])
+                            old_sid = int(sid_l[i])
+                            refs[new_sid] += 1
+                            sids[r, learner] = new_sid
+                            left = refs[old_sid] - 1
+                            refs[old_sid] = left
+                            if left == 0:
+                                engine.recycle(old_sid)
+                            adopt_counts[r, learner] += 1
+                        n_pc[r] += 1
+                        n_adopt[r] += adopted
+                        if record_events:
+                            event_lists[r].append(
+                                EventRecord(
+                                    generation=gen,
+                                    kind="pc",
+                                    source=teachers[i],
+                                    target=learners[i],
+                                    applied=adopted,
+                                    teacher_fitness=ft,
+                                    learner_fitness=fl,
+                                )
+                            )
+                elif k:
+                    for r in pc_lanes:
+                        rng = pc_rngs[r]
+                        teacher, learner = structure.select_pair(rng)
+                        uniform = float(rng.random())
+                        lane_sids = sids[r]
+                        sid_t = int(lane_sids[teacher])
+                        sid_l = int(lane_sids[learner])
+                        nbrs_t = lane_sids[structure.neighbors(teacher)]
+                        nbrs_l = lane_sids[structure.neighbors(learner)]
+                        if not full_cover:
+                            lane_one = np.array([r], dtype=np.int64)
+                            engine.ensure_rows(
+                                np.array([sid_t], dtype=np.int64),
+                                nbrs_t[None, :], lane_one,
+                            )
+                            engine.ensure_rows(
+                                np.array([sid_l], dtype=np.int64),
+                                nbrs_l[None, :], lane_one,
+                            )
+                            if include_self:
+                                engine.ensure_pair(r, sid_t, sid_t)
+                                engine.ensure_pair(r, sid_l, sid_l)
+                        # (With full_cover the neighbor gathers and the
+                        # self-play diagonal read within-lane pairs only —
+                        # valid by the coverage invariant.)
+                        ft = engine.fitness_neighbors(
+                            sid_t, nbrs_t, include_self
+                        )
+                        fl = engine.fitness_neighbors(
+                            sid_l, nbrs_l, include_self
+                        )
+                        if not downhill and not ft > fl:
+                            adopted = False
+                        else:
+                            adopted = uniform < fermi_probability(ft, fl, beta)
+                        if adopted:
+                            refs[sid_t] += 1
+                            sids[r, learner] = sid_t
+                            left = refs[sid_l] - 1
+                            refs[sid_l] = left
+                            if left == 0:
+                                engine.recycle(sid_l)
+                            adopt_counts[r, learner] += 1
+                        n_pc[r] += 1
+                        n_adopt[r] += adopted
+                        if record_events:
+                            event_lists[r].append(
+                                EventRecord(
+                                    generation=gen,
+                                    kind="pc",
+                                    source=teacher,
+                                    target=learner,
+                                    applied=adopted,
+                                    teacher_fitness=ft,
+                                    learner_fitness=fl,
+                                )
+                            )
+
+                for r in mu_lanes:
+                    target, strategy, new_sid = prepped[pre_idx]
+                    pre_idx += 1
+                    refs[new_sid] += 1
+                    old_sid = int(sids[r, target])
+                    sids[r, target] = new_sid
+                    left = refs[old_sid] - 1
+                    refs[old_sid] = left
+                    if left == 0:
+                        engine.recycle(old_sid)
+                    mut_counts[r, target] += 1
+                    n_mut[r] += 1
+                    if record_events:
+                        event_lists[r].append(
+                            EventRecord(
+                                generation=gen,
+                                kind="mutation",
+                                source=target,
+                                target=target,
+                                applied=True,
+                            )
+                        )
+
+                if every > 0:
+                    for r in set(pc_lanes) | set(mu_lanes):
+                        if next_snap[r] == gen:
+                            if gen < generations:
+                                _snapshot_lane(
+                                    results[r], engine, sids[r], gen
+                                )
+                            next_snap[r] = gen + every
+
+            for sid in pins:
+                engine.release(sid)
+        base += batch
+        remaining -= batch
+
+    # Snapshots scheduled after each lane's last event.
+    for r in range(n_lanes):
+        pending = next_snap[r]
+        while pending is not None and pending < generations:
+            _snapshot_lane(results[r], engine, sids[r], pending)
+            pending += every
+        next_snap[r] = pending
+
+    elapsed = time.perf_counter() - started
+    for r, result in enumerate(results):
+        population = pops[r]
+        lane_sids = sids[r]
+        for i in range(n_ssets):
+            final = engine.strategy(int(lane_sids[i]))
+            sset = population.ssets[i]
+            if sset.strategy.key() != final.key():
+                population.set_strategy(i, final)
+            sset.adoptions += int(adopt_counts[r, i])
+            sset.mutations += int(mut_counts[r, i])
+        result.n_pc_events = n_pc[r]
+        result.n_adoptions = n_adopt[r]
+        result.n_mutations = n_mut[r]
+        result.generations_run = generations
+        _maybe_snapshot(result, population, generations, force=True)
+        # Mirror the per-run engine's accounting: two dense fitness queries
+        # per PC event; pair evaluations attributed to the lane whose
+        # demand triggered them (cross-lane reuse means the ensemble
+        # evaluates strictly fewer pairs than R serial runs).
+        result.cache_hits = 2 * n_pc[r]
+        result.cache_misses = int(engine.lane_fills[r])
+        # One fused array program: the group's wallclock is indivisible,
+        # so every lane reports it (the backend report carries lane count).
+        result.wallclock_seconds = elapsed
+    meta = {"lanes": n_lanes, "shared_engine": engine.stats()}
+    return results, meta
+
+
+def _snapshot_lane(
+    result: EvolutionResult,
+    engine: EnsembleEngine,
+    lane_sids: np.ndarray,
+    generation: int,
+) -> None:
+    """Serial-equivalent Snapshot straight from the shared-engine state
+    (the strategy raster is a table gather; the dominant share only needs
+    the maximum multiset count, so sid ties don't matter)."""
+    counts = np.bincount(lane_sids)
+    result.snapshots.append(
+        Snapshot(
+            generation=generation,
+            strategy_matrix=engine.tables[lane_sids],
+            dominant_share=int(counts.max()) / lane_sids.shape[0],
+        )
+    )
+
+
+# -- per-lane evaluator path ---------------------------------------------------
+
+
+def _run_group_generic(
+    configs: list[EvolutionConfig],
+    initial: list[Population | None],
+    batch_size: int,
+) -> tuple[list[EvolutionResult], dict]:
+    """Advance one signature-group of lanes with per-lane evaluators (the
+    expected-fitness regime, non-integer payoffs, and ``engine=False``),
+    sharing only the merged event scan."""
+    started = time.perf_counter()
+    cfg = configs[0]
+    n_lanes = len(configs)
+    n_ssets = cfg.n_ssets
+    generations = cfg.generations
+    structure = build_structure(cfg.structure, n_ssets)
+
+    _, events_rngs, pc_rngs, mu_rngs, pops = _lane_setup(configs, initial)
+    evaluators: list[FitnessEngine | PayoffCache] = []
+    for r, config in enumerate(configs):
+        lane_engine = FitnessEngine.from_config(config)
+        pops[r].bind_engine(lane_engine)
+        evaluators.append(
+            lane_engine
+            if lane_engine is not None
+            else PayoffCache(
+                rounds=config.rounds,
+                payoff=config.payoff,
+                noise=config.noise,
+                rng=None,
+                expected=config.expected_fitness,
+            )
+        )
+
+    results = [
+        EvolutionResult(config=config, population=population)
+        for config, population in zip(configs, pops)
+    ]
+    for result, population in zip(results, pops):
+        _maybe_snapshot(result, population, 0, force=True)
+
+    every = cfg.record_every
+    next_snap: list[int | None] = [every if every > 0 else None] * n_lanes
+    include_self = cfg.include_self_play
+    downhill = cfg.allow_downhill_learning
+    beta = cfg.beta
+    record_events = cfg.record_events
+    make_mutant = random_mixed if cfg.mixed_strategies else random_pure
+    memory = cfg.memory_steps
+
+    base = 0
+    remaining = generations
+    while remaining > 0:
+        batch = min(batch_size, remaining)
+        pc_flags, mu_flags = _draw_flags(
+            events_rngs, cfg.pc_rate, cfg.mutation_rate, batch
+        )
+        event_cols = np.nonzero((pc_flags | mu_flags).any(axis=0))[0]
+        for col in event_cols.tolist():
+            gen = base + col
+            pc_lanes = np.flatnonzero(pc_flags[:, col]).tolist()
+            mu_lanes = np.flatnonzero(mu_flags[:, col]).tolist()
+            if every > 0:
+                for r in set(pc_lanes) | set(mu_lanes):
+                    pending = next_snap[r]
+                    while pending is not None and pending < gen:
+                        if pending < generations:
+                            _maybe_snapshot(
+                                results[r], pops[r], pending, force=True
+                            )
+                        pending += every
+                    next_snap[r] = pending
+
+            for r in pc_lanes:
+                rng = pc_rngs[r]
+                teacher, learner = structure.select_pair(rng)
+                uniform = float(rng.random())
+                ft = structure.fitness_of(
+                    pops[r], teacher, evaluators[r], include_self
+                )
+                fl = structure.fitness_of(
+                    pops[r], learner, evaluators[r], include_self
+                )
+                if not downhill and not ft > fl:
+                    adopted = False
+                else:
+                    adopted = uniform < fermi_probability(ft, fl, beta)
+                if adopted:
+                    pops[r].adopt(learner, pops[r][teacher].strategy)
+                result = results[r]
+                result.n_pc_events += 1
+                result.n_adoptions += int(adopted)
+                if record_events:
+                    result.events.append(
+                        EventRecord(
+                            generation=gen,
+                            kind="pc",
+                            source=teacher,
+                            target=learner,
+                            applied=adopted,
+                            teacher_fitness=ft,
+                            learner_fitness=fl,
+                        )
+                    )
+
+            for r in mu_lanes:
+                rng = mu_rngs[r]
+                target = int(rng.integers(n_ssets))
+                strategy = make_mutant(rng, memory)
+                pops[r].mutate(target, strategy)
+                result = results[r]
+                result.n_mutations += 1
+                if record_events:
+                    result.events.append(
+                        EventRecord(
+                            generation=gen,
+                            kind="mutation",
+                            source=target,
+                            target=target,
+                            applied=True,
+                        )
+                    )
+
+            if every > 0:
+                for r in set(pc_lanes) | set(mu_lanes):
+                    if next_snap[r] == gen:
+                        if gen < generations:
+                            _maybe_snapshot(results[r], pops[r], gen, force=True)
+                        next_snap[r] = gen + every
+        base += batch
+        remaining -= batch
+
+    for r in range(n_lanes):
+        pending = next_snap[r]
+        while pending is not None and pending < generations:
+            _maybe_snapshot(results[r], pops[r], pending, force=True)
+            pending += every
+        next_snap[r] = pending
+
+    elapsed = time.perf_counter() - started
+    for r, result in enumerate(results):
+        result.generations_run = generations
+        _maybe_snapshot(result, pops[r], generations, force=True)
+        result.cache_hits = evaluators[r].hits
+        result.cache_misses = evaluators[r].misses
+        result.wallclock_seconds = elapsed
+    meta = {"lanes": n_lanes, "shared_engine": None}
+    return results, meta

@@ -1,0 +1,413 @@
+"""Shared interned-strategy engine for lane-batched ensembles.
+
+One :class:`EnsembleEngine` serves *every* lane (replicate) of a
+deterministic-regime ensemble: a single strategy pool and a single dense
+payoff matrix are shared across lanes, because deterministic cycle-exact
+payoffs are a pure function of the two strategy tables plus ``(rounds,
+payoff)`` — they carry no seed and no population state.  A strategy that
+appears in many lanes (ALLD, the dominant cooperative strategies, every
+memory-1 table) is interned and evaluated **once** for the whole ensemble.
+
+Differences from the per-run :class:`~repro.core.engine.FitnessEngine`:
+
+* **Global reference counts, demand-driven fills.**  The per-run engine
+  eagerly fills a new sid's row/column against its own (single)
+  population.  Here an eager fill against all lanes' live strategies would
+  evaluate ~R times too many pairs, so the matrix is filled *on query*:
+  :meth:`ensure_rows` checks the exact ``(focal row) x (lane sids)`` block
+  a fitness gather is about to read and batch-evaluates only the missing
+  pairs — across all of a generation's event lanes in one
+  :func:`~repro.core.vectorgame.cycle_payoffs_pairs` call.
+
+* **Two-way validity, row-only invalidation.**  A pair ``(a, b)`` is valid
+  iff ``evaluated[a, b] and evaluated[b, a]`` (fills always set both).
+  Recycling a slot therefore only needs to clear its *row* — a contiguous
+  memset — because the stale *column* entries fail the reversed check.
+
+* **Gather fitness.**  Well-mixed fitness is ``paymat[sid, lane_sids].sum()``
+  — a sum over SSets instead of the per-run engine's ``counts @ paymat[sid]``
+  sum over distinct strategies.  Both are sums of the same integer-valued
+  float64 terms, hence bit-equal (the engine refuses non-integer payoff
+  matrices, exactly like the per-run deterministic engine), which is what
+  keeps every lane on the same-seed serial trajectory.  Graph fitness is a
+  per-lane neighbor gather, ``paymat[sid, lane_sids[neighbors]].sum()``.
+
+The expected-fitness regime cannot share a matrix across lanes: its Markov
+kernel is not bitwise perspective-symmetric, so an entry's last-ulp value
+depends on which side evaluated the pair first — a per-lane property.  The
+ensemble driver runs those lanes with per-lane
+:class:`~repro.core.engine.FitnessEngine` instances instead (see
+:mod:`repro.ensemble.driver`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import EvolutionConfig
+from ..core.engine import is_integer_payoff
+from ..core.payoff import PAPER_PAYOFF, PayoffMatrix
+from ..core.states import num_states
+from ..core.strategy import Strategy
+from ..core.vectorgame import cycle_payoffs_pairs
+from ..errors import ConfigurationError, SimulationError, StrategyError
+
+__all__ = ["EnsembleEngine", "supports_shared_engine"]
+
+#: Pairs per cycle_payoffs_pairs call — bounds the kernel's (L, 4**n)
+#: scratch arrays during the big early-coverage fills.
+_MAX_FILL_CHUNK = 1 << 15
+
+
+def supports_shared_engine(config: EvolutionConfig) -> bool:
+    """Whether ``config`` runs on the shared deterministic ensemble engine.
+
+    Mirrors :meth:`repro.core.engine.FitnessEngine.from_config`: the dense
+    shared matrix serves exactly the configurations whose per-run engine
+    would be the eager deterministic one (pure strategies, no noise,
+    integer payoffs, ``engine`` enabled).  Everything else the ensemble
+    driver runs through per-lane evaluators.
+    """
+    if not config.engine or config.is_stochastic:
+        return False
+    if config.expected_fitness and (
+        config.noise > 0.0 or config.mixed_strategies
+    ):
+        return False
+    return is_integer_payoff(config.payoff)
+
+
+class EnsembleEngine:
+    """Dense payoff-matrix fitness shared across the lanes of an ensemble."""
+
+    def __init__(
+        self,
+        memory_steps: int,
+        rounds: int,
+        payoff: PayoffMatrix = PAPER_PAYOFF,
+        n_lanes: int = 1,
+        capacity: int = 64,
+    ):
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        if memory_steps < 1:
+            raise ConfigurationError(
+                f"memory_steps must be >= 1, got {memory_steps}"
+            )
+        if n_lanes < 1:
+            raise ConfigurationError(f"n_lanes must be >= 1, got {n_lanes}")
+        if not is_integer_payoff(payoff):
+            raise ConfigurationError(
+                "the shared ensemble engine is float-exact (hence lane-"
+                "trajectory-identical to the serial engine) only for integer "
+                f"payoff matrices, got {list(payoff.vector)}"
+            )
+        self.memory_steps = memory_steps
+        self.n_states = num_states(memory_steps)
+        self.rounds = rounds
+        self.payoff = payoff
+        self.n_lanes = n_lanes
+        capacity = max(1, capacity)
+        self._tables = np.zeros((capacity, self.n_states), dtype=np.uint8)
+        self._strategies: list[Strategy | None] = [None] * capacity
+        self._ids: dict[bytes, int] = {}
+        #: Total references across all lanes (plain ints: the accounting is
+        #: scalar hot-path work); a slot is recycled at zero.
+        self._refs: list[int] = [0] * capacity
+        self._free = list(range(capacity - 1, -1, -1))
+        # Game totals are integers bounded by rounds * max|payoff|; when
+        # they fit float32's exact-integer range the matrix is stored at
+        # half the footprint (big ensembles intern thousands of strategies)
+        # and summed in float64, which is bit-identical either way.
+        max_total = rounds * max(abs(float(v)) for v in payoff.vector)
+        self._dtype = np.float32 if max_total < 2.0**24 else np.float64
+        self._paymat = np.zeros((capacity, capacity), dtype=self._dtype)
+        self._evaluated = np.zeros((capacity, capacity), dtype=bool)
+        #: Pair evaluations performed, attributed to the demanding lane.
+        self.lane_fills = np.zeros(n_lanes, dtype=np.int64)
+        self.fills = 0
+        self.fill_calls = 0
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._tables.shape[0]
+
+    @property
+    def tables(self) -> np.ndarray:
+        """The stacked strategy tables (live rows valid)."""
+        return self._tables
+
+    @property
+    def paymat(self) -> np.ndarray:
+        """The shared dense payoff matrix (gather only after ensure_rows)."""
+        return self._paymat
+
+    def __len__(self) -> int:
+        """Number of distinct live strategies across all lanes."""
+        return len(self._ids)
+
+    def strategy(self, sid: int) -> Strategy:
+        found = self._strategies[sid]
+        if found is None:
+            raise SimulationError(f"slot {sid} is free (no live strategy)")
+        return found
+
+    def stats(self) -> dict[str, int]:
+        """Shared-engine counters for reports/benchmarks."""
+        return {
+            "lanes": self.n_lanes,
+            "distinct": len(self._ids),
+            "capacity": self.capacity,
+            "fills": int(self.fills),
+            "fill_calls": int(self.fill_calls),
+        }
+
+    # -- interning ------------------------------------------------------------
+
+    def _grow(self) -> None:
+        old = self.capacity
+        new = old * 2
+        tables = np.zeros((new, self.n_states), dtype=np.uint8)
+        tables[:old] = self._tables
+        self._tables = tables
+        paymat = np.zeros((new, new), dtype=self._dtype)
+        paymat[:old, :old] = self._paymat
+        self._paymat = paymat
+        evaluated = np.zeros((new, new), dtype=bool)
+        evaluated[:old, :old] = self._evaluated
+        self._evaluated = evaluated
+        self._strategies.extend([None] * (new - old))
+        self._refs.extend([0] * (new - old))
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def acquire(self, strategy: Strategy) -> int:
+        """Intern one reference to ``strategy`` (any lane's, or a window
+        prefetch pin — references are global; only recycling depends on
+        them)."""
+        if strategy.memory_steps != self.memory_steps:
+            raise StrategyError(
+                f"engine interns memory-{self.memory_steps} strategies, got "
+                f"memory-{strategy.memory_steps}"
+            )
+        if not strategy.is_pure:
+            raise StrategyError(
+                "the shared ensemble engine serves pure strategies only"
+            )
+        key = strategy.key()
+        sid = self._ids.get(key)
+        if sid is None:
+            if not self._free:
+                self._grow()
+            sid = self._free.pop()
+            self._tables[sid] = strategy.table
+            self._strategies[sid] = strategy
+            self._ids[key] = sid
+        self._refs[sid] += 1
+        return sid
+
+    def release(self, sid: int) -> None:
+        """Drop one reference; recycle the slot at zero references."""
+        left = self._refs[sid] - 1
+        if left < 0:
+            raise SimulationError(f"release of sid {sid} with no references")
+        self._refs[sid] = left
+        if left == 0:
+            self.recycle(sid)
+
+    def recycle(self, sid: int) -> None:
+        """Free a zero-reference slot (the driver inlines the refcount
+        decrements on its hot path and calls this on the rare zero).
+
+        Recycling clears the slot's evaluated *row* only (contiguous);
+        stale column entries are caught by the two-way validity check.
+        """
+        strategy = self._strategies[sid]
+        assert strategy is not None
+        del self._ids[strategy.key()]
+        self._strategies[sid] = None
+        self._evaluated[sid, :] = False
+        self._free.append(sid)
+
+    def intern_lane(self, strategies: list[Strategy]) -> np.ndarray:
+        """Bulk-intern one lane's population; returns its sid array."""
+        return np.array(
+            [self.acquire(s) for s in strategies], dtype=np.int64
+        )
+
+    def compact(self, min_capacity: int = 256) -> np.ndarray | None:
+        """Re-pack live slots into a smaller matrix when mostly free.
+
+        The initial populations of a big ensemble intern thousands of
+        mostly-distinct random strategies; once selection concentrates the
+        lanes, the live set is a small fraction of the grown capacity and
+        every fitness gather scatters across a huge, cold matrix.
+        Compacting renumbers the live sids densely (science-neutral: sids
+        carry no meaning, and the surviving matrix entries move verbatim).
+
+        Returns the ``old sid -> new sid`` mapping for the caller to apply
+        to its sid arrays, or ``None`` when compaction isn't worthwhile.
+        Callers must hold no pinned/prefetched sids across this call.
+        """
+        capacity = self.capacity
+        n_live = len(self._ids)
+        # Hysteresis: compact only below 1/8 occupancy, down to 4x headroom,
+        # so the matrix never thrashes between compact() and _grow() as the
+        # mutation churn breathes around the steady-state strategy count.
+        if capacity <= min_capacity or n_live * 8 > capacity:
+            return None
+        live = [sid for sid in range(capacity) if self._refs[sid] > 0]
+        new_cap = max(min_capacity, 1 << (4 * n_live - 1).bit_length())
+        if new_cap >= capacity:
+            return None
+        idx = np.asarray(live, dtype=np.intp)
+        tables = np.zeros((new_cap, self.n_states), dtype=np.uint8)
+        tables[:n_live] = self._tables[idx]
+        paymat = np.zeros((new_cap, new_cap), dtype=self._dtype)
+        paymat[:n_live, :n_live] = self._paymat[np.ix_(idx, idx)]
+        evaluated = np.zeros((new_cap, new_cap), dtype=bool)
+        evaluated[:n_live, :n_live] = self._evaluated[np.ix_(idx, idx)]
+        strategies: list[Strategy | None] = [None] * new_cap
+        refs = [0] * new_cap
+        mapping = np.full(capacity, -1, dtype=np.int64)
+        for new_sid, old_sid in enumerate(live):
+            strategies[new_sid] = self._strategies[old_sid]
+            refs[new_sid] = self._refs[old_sid]
+            mapping[old_sid] = new_sid
+        self._tables = tables
+        self._paymat = paymat
+        self._evaluated = evaluated
+        self._strategies = strategies
+        self._refs = refs
+        self._ids = {
+            s.key(): sid for sid, s in enumerate(strategies) if s is not None
+        }
+        self._free = list(range(new_cap - 1, n_live - 1, -1))
+        return mapping
+
+    # -- fills ----------------------------------------------------------------
+
+    def _fill_pairs(self, a: np.ndarray, b: np.ndarray) -> None:
+        """Evaluate ordered pairs (both directions stored), chunked."""
+        compact = self._dtype == np.float32  # same 2**24 exactness bound
+        for lo in range(0, len(a), _MAX_FILL_CHUNK):
+            a_c = a[lo : lo + _MAX_FILL_CHUNK]
+            b_c = b[lo : lo + _MAX_FILL_CHUNK]
+            pay_a, pay_b = cycle_payoffs_pairs(
+                self._tables, a_c, b_c, self.rounds, self.payoff,
+                compact_sums=compact,
+            )
+            self._paymat[a_c, b_c] = pay_a
+            self._paymat[b_c, a_c] = pay_b
+            self._evaluated[a_c, b_c] = True
+            self._evaluated[b_c, a_c] = True
+            self.fill_calls += 1
+        self.fills += len(a)
+
+    def _fill_unique(
+        self, a: np.ndarray, b: np.ndarray, lanes: np.ndarray
+    ) -> None:
+        """Dedupe known-missing (a[i], b[i]) pairs and evaluate them, with
+        per-lane evaluation attribution."""
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        _, first = np.unique(lo * self.capacity + hi, return_index=True)
+        self._fill_pairs(lo[first], hi[first])
+        np.add.at(self.lane_fills, lanes[first], 1)
+
+    def ensure_rows(
+        self, focal: np.ndarray, blocks: np.ndarray, lanes: np.ndarray
+    ) -> None:
+        """Make the ``(focal[i], blocks[i, :])`` matrix entries valid.
+
+        ``focal`` is (M,) sids about to be gathered as rows, ``blocks`` the
+        (M, N) sid blocks they are gathered against, ``lanes`` the (M,)
+        demanding lanes (evaluation-count attribution only).  Missing pairs
+        across all M queries are deduplicated and evaluated in one batched
+        kernel call.
+        """
+        evaluated = self._evaluated
+        cols = focal[:, None]
+        ok = evaluated[cols, blocks] & evaluated[blocks, cols]
+        if ok.all():
+            return
+        miss_r, miss_c = np.nonzero(~ok)
+        self._fill_unique(
+            focal[miss_r], blocks[miss_r, miss_c], lanes[miss_r]
+        )
+
+    def fill_missing(
+        self, a: np.ndarray, b: np.ndarray, lanes: np.ndarray
+    ) -> None:
+        """Evaluate whichever of the (a[i], b[i]) pairs are not yet valid —
+        the window-prefetch entry point (mutant rows filled ahead of their
+        first fitness query)."""
+        missing = ~(self._evaluated[a, b] & self._evaluated[b, a])
+        if not missing.any():
+            return
+        self._fill_unique(a[missing], b[missing], lanes[missing])
+
+    def ensure_pair(self, lane: int, sid_a: int, sid_b: int) -> None:
+        """Make one matrix entry valid (graph self-play reads the diagonal,
+        which neighbor blocks never cover)."""
+        if self._evaluated[sid_a, sid_b] and self._evaluated[sid_b, sid_a]:
+            return
+        self._fill_pairs(
+            np.array([sid_a], dtype=np.int64), np.array([sid_b], dtype=np.int64)
+        )
+        self.lane_fills[lane] += 1
+
+    # -- fitness --------------------------------------------------------------
+
+    def fitness_pc_well_mixed(
+        self,
+        lane_sids: np.ndarray,
+        teacher_sids: np.ndarray,
+        learner_sids: np.ndarray,
+        include_self_play: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Teacher/learner fitness for many lanes' PC events at once.
+
+        ``lane_sids`` is the ``(k, n_ssets)`` sid block of the k event
+        lanes; fitness is one payoff-matrix gather per side, summed over
+        SSets — bit-equal to the per-run engine's ``counts @ paymat[sid]``
+        because integer payoffs sum exactly in float64 in any order.
+        """
+        paymat = self._paymat
+        # dtype=float64 keeps the accumulation exact (and bit-identical)
+        # when the matrix itself is stored as float32.
+        fit_t = paymat[teacher_sids[:, None], lane_sids].sum(
+            axis=1, dtype=np.float64
+        )
+        fit_l = paymat[learner_sids[:, None], lane_sids].sum(
+            axis=1, dtype=np.float64
+        )
+        if not include_self_play:
+            fit_t -= paymat[teacher_sids, teacher_sids]
+            fit_l -= paymat[learner_sids, learner_sids]
+        return fit_t, fit_l
+
+    def fitness_neighbors(
+        self,
+        sid: int,
+        neighbor_sids: np.ndarray,
+        include_self_play: bool = False,
+    ) -> np.floating:
+        """One lane's graph fitness: a per-lane neighbor gather."""
+        total = self._paymat[sid, neighbor_sids].sum(dtype=np.float64)
+        if include_self_play:
+            total = total + np.float64(self._paymat[sid, sid])
+        return total
+
+    # -- invariants ------------------------------------------------------------
+
+    def check_consistent(self, sids: np.ndarray, strategies: list[Strategy]) -> None:
+        """Verify one lane's sid row maps back to ``strategies`` — test helper."""
+        for i, s in enumerate(strategies):
+            pooled = self.strategy(int(sids[i]))
+            if pooled.key() != s.key():
+                raise SimulationError(
+                    f"sid row desynced at SSet {i}: slot {int(sids[i])} "
+                    "holds a different strategy"
+                )

@@ -1,0 +1,312 @@
+"""Exact vectorised pre-draw of per-lane Nature-Agent decision streams.
+
+The pairwise-comparison and mutation streams are *state-independent*: which
+SSets an event touches and which mutant table it installs depend only on
+the drawn values, never on the population.  A lane's whole batch of
+decisions can therefore be drawn ahead of time — the only requirement is
+that the RNG stream is consumed **exactly** as the serial drivers consume
+it, call for call.
+
+NumPy's ``Generator`` draws these values through a handful of stable
+primitives on the Philox raw uint64 stream:
+
+* ``random()`` — one raw word: ``(raw >> 11) * 2**-53``;
+* ``integers(n)`` with ``n < 2**32`` — Lemire's multiply-shift on 32-bit
+  halves, low half first, with a *persistent* half-word carry between
+  calls: ``value = (u32 * n) >> 32``.  For power-of-two ``n`` the
+  rejection threshold is zero, so every draw consumes exactly one half;
+* ``integers(0, 2, size=S, dtype=uint8)`` — one byte per element
+  (little-endian within each 32-bit half): ``value = byte >> 7``.
+
+This module re-implements those primitives vectorised over a *clone* of
+the bit generator (peek), then advances the real generator by exactly the
+number of raw words consumed (commit).  Decoding is only enabled when
+
+* the bound is a power of two (rejection-free Lemire), and
+* a start-up self-check against the real ``Generator`` API passes —
+  so a future NumPy that changes its bounded-integer algorithm degrades
+  this module to the scalar path instead of silently changing
+  trajectories (the lane-parity tests pin the trajectories regardless).
+
+The scalar fallbacks produce identical arrays through the ordinary
+``Generator`` calls, so callers see one interface either way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pc_decoder",
+    "mutation_decoder",
+    "raw_decoding_supported",
+]
+
+_U32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+_SHIFT11 = np.uint64(11)
+_DOUBLE_SCALE = 1.0 / (1 << 53)
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and n & (n - 1) == 0
+
+
+class _RawPeek:
+    """Read ahead on a cloned Philox; commit consumption at the end."""
+
+    def __init__(self, bit_generator):
+        clone = np.random.Philox()
+        clone.state = bit_generator.state
+        self._clone = clone
+        self._real = bit_generator
+        self._buf = np.empty(0, dtype=np.uint64)
+        self._pos = 0
+        self.consumed = 0
+
+    def take(self, k: int) -> np.ndarray:
+        end = self._pos + k
+        if end > self._buf.shape[0]:
+            keep = self._buf[self._pos :]
+            grab = max(k - keep.shape[0], 128)
+            self._buf = np.concatenate([keep, self._clone.random_raw(grab)])
+            self._pos = 0
+            end = k
+        out = self._buf[self._pos : end]
+        self._pos = end
+        self.consumed += k
+        return out
+
+    def rollback(self, k: int) -> None:
+        self._pos -= k
+        self.consumed -= k
+
+    def commit(self) -> None:
+        """Advance the real bit generator past everything taken."""
+        if self.consumed:
+            self._real.random_raw(self.consumed)
+
+
+class _RawPCDecoder:
+    """Well-mixed PC selections decoded from the raw stream.
+
+    Per event the serial sequence is ``integers(n)`` (teacher),
+    ``integers(n)`` (learner, redrawn while equal), ``random()``
+    (adoption uniform): two half-words plus one full word — two raw words
+    per collision-free event, in one of two stable carry parities.
+    """
+
+    def __init__(self, rng: np.random.Generator, n_ssets: int):
+        self._bitgen = rng.bit_generator
+        self._n = n_ssets
+        self._un = np.uint64(n_ssets)
+        self._half: int | None = None
+
+    def draw(self, m: int) -> tuple[list[int], list[int], list[float]]:
+        if m == 0:
+            return [], [], []
+        peek = _RawPeek(self._bitgen)
+        teachers: list[int] = [0] * m
+        learners: list[int] = [0] * m
+        uniforms: list[float] = [0.0] * m
+        un = self._un
+        i = 0
+        while i < m:
+            todo = m - i
+            raws = peek.take(2 * todo)
+            ev = raws[0::2]
+            od = raws[1::2]
+            if self._half is None:
+                t32 = ev & _U32
+            else:
+                t32 = np.empty(todo, dtype=np.uint64)
+                t32[0] = self._half
+                t32[1:] = ev[:-1] >> _SHIFT32
+            l32 = (ev >> _SHIFT32) if self._half is None else (ev & _U32)
+            t_np = (t32 * un) >> _SHIFT32
+            l_np = (l32 * un) >> _SHIFT32
+            t_arr = t_np.tolist()
+            l_arr = l_np.tolist()
+            u_arr = ((od >> _SHIFT11) * _DOUBLE_SCALE).tolist()
+            collisions = np.nonzero(t_np == l_np)[0]
+            collision = int(collisions[0]) if collisions.size else None
+            good = todo if collision is None else collision
+            teachers[i : i + good] = t_arr[:good]
+            learners[i : i + good] = l_arr[:good]
+            uniforms[i : i + good] = u_arr[:good]
+            if collision is None:
+                if self._half is not None:
+                    self._half = int(ev[-1] >> _SHIFT32)
+                i += todo
+                continue
+            # Rewind the peek to the collision event and replay it with
+            # the scalar redraw loop (collisions are ~1/n rare).
+            peek.rollback(2 * (todo - good))
+            if self._half is not None and good > 0:
+                self._half = int(ev[good - 1] >> _SHIFT32)
+            i += good
+            teacher = self._next_bounded(peek)
+            learner = self._next_bounded(peek)
+            while learner == teacher:
+                learner = self._next_bounded(peek)
+            raw = int(peek.take(1)[0])  # random() draws a full word
+            teachers[i] = teacher
+            learners[i] = learner
+            uniforms[i] = (raw >> 11) * _DOUBLE_SCALE
+            i += 1
+        peek.commit()
+        return teachers, learners, uniforms
+
+    def _next_bounded(self, peek: _RawPeek) -> int:
+        if self._half is not None:
+            u32 = self._half
+            self._half = None
+        else:
+            raw = int(peek.take(1)[0])
+            u32 = raw & 0xFFFFFFFF
+            self._half = raw >> 32
+        return (u32 * self._n) >> 32
+
+
+class _ScalarPCDecoder:
+    """Generator-API fallback with the identical output shape."""
+
+    def __init__(self, rng: np.random.Generator, n_ssets: int):
+        self._rng = rng
+        self._n = n_ssets
+
+    def draw(self, m: int) -> tuple[list[int], list[int], list[float]]:
+        rng = self._rng
+        n = self._n
+        teachers = [0] * m
+        learners = [0] * m
+        uniforms = [0.0] * m
+        for i in range(m):
+            teacher = int(rng.integers(n))
+            learner = int(rng.integers(n))
+            while learner == teacher:
+                learner = int(rng.integers(n))
+            teachers[i] = teacher
+            learners[i] = learner
+            uniforms[i] = float(rng.random())
+        return teachers, learners, uniforms
+
+
+class _RawMutationDecoder:
+    """Mutation targets + pure mutant tables decoded from the raw stream.
+
+    Per event: one half-word (target, Lemire-32) then ``n_states`` bytes
+    (table, one byte per move) — a flat half-word stream with no full-word
+    draws in between, so the whole batch decodes in one pass.
+    """
+
+    def __init__(self, rng: np.random.Generator, n_ssets: int, n_states: int):
+        self._bitgen = rng.bit_generator
+        self._n = np.uint64(n_ssets)
+        self._n_states = n_states
+        self._per_event = 1 + n_states // 4
+        self._half: int | None = None
+
+    def draw(self, m: int) -> tuple[list[int], np.ndarray]:
+        if m == 0:
+            return [], np.empty((0, self._n_states), dtype=np.uint8)
+        peek = _RawPeek(self._bitgen)
+        need = self._per_event * m - (0 if self._half is None else 1)
+        n_raws = (need + 1) // 2
+        raws = peek.take(n_raws)
+        halves = np.empty(2 * n_raws + 1, dtype=np.uint64)
+        offset = 0 if self._half is None else 1
+        if offset:
+            halves[0] = self._half
+        halves[offset : offset + 2 * n_raws : 2] = raws & _U32
+        halves[offset + 1 : offset + 1 + 2 * n_raws : 2] = raws >> _SHIFT32
+        total = offset + 2 * n_raws
+        used = self._per_event * m
+        self._half = int(halves[used]) if total > used else None
+        stream = halves[:used].reshape(m, self._per_event)
+        targets = ((stream[:, 0] * self._n) >> _SHIFT32).tolist()
+        words = np.ascontiguousarray(stream[:, 1:]).astype("<u4")
+        tables = (words.view(np.uint8) >> 7).reshape(m, self._n_states)
+        peek.commit()
+        return targets, tables
+
+
+class _ScalarMutationDecoder:
+    """Generator-API fallback with the identical output shape."""
+
+    def __init__(self, rng: np.random.Generator, n_ssets: int, n_states: int):
+        self._rng = rng
+        self._n = n_ssets
+        self._n_states = n_states
+
+    def draw(self, m: int) -> tuple[list[int], np.ndarray]:
+        rng = self._rng
+        targets = [0] * m
+        tables = np.empty((m, self._n_states), dtype=np.uint8)
+        for i in range(m):
+            targets[i] = int(rng.integers(self._n))
+            # random_pure's table draw, verbatim.
+            tables[i] = rng.integers(
+                0, 2, size=self._n_states, dtype=np.uint8
+            )
+        return targets, tables
+
+
+_RAW_OK: bool | None = None
+
+
+def _self_check() -> bool:
+    """Compare raw decoding against the real Generator API once per process."""
+    try:
+        for seed, n, m in ((12345, 4, 96), (777, 64, 40)):
+            ref = np.random.Generator(np.random.Philox(seed))
+            dec = _RawPCDecoder(np.random.Generator(np.random.Philox(seed)), n)
+            expect = _ScalarPCDecoder(ref, n).draw(m)
+            # Split draws to exercise the cross-call carry state.
+            got_a = dec.draw(m // 2)
+            got_b = dec.draw(m - m // 2)
+            got = tuple(a + b for a, b in zip(got_a, got_b))
+            if got != expect:
+                return False
+        for seed, n, states, m in ((9, 8, 16, 33), (10, 32, 4, 21)):
+            ref = np.random.Generator(np.random.Philox(seed))
+            dec = _RawMutationDecoder(
+                np.random.Generator(np.random.Philox(seed)), n, states
+            )
+            expect_t, expect_tab = _ScalarMutationDecoder(ref, n, states).draw(m)
+            got_t1, got_tab1 = dec.draw(m // 2)
+            got_t2, got_tab2 = dec.draw(m - m // 2)
+            if got_t1 + got_t2 != expect_t:
+                return False
+            if not np.array_equal(
+                np.concatenate([got_tab1, got_tab2]), expect_tab
+            ):
+                return False
+    except Exception:  # pragma: no cover - ultra-defensive
+        return False
+    return True
+
+
+def raw_decoding_supported(n_ssets: int) -> bool:
+    """Whether the raw fast path applies (power-of-two bound + verified
+    NumPy primitives)."""
+    global _RAW_OK
+    if not _is_pow2(n_ssets):
+        return False
+    if _RAW_OK is None:
+        _RAW_OK = _self_check()
+    return _RAW_OK
+
+
+def pc_decoder(rng: np.random.Generator, n_ssets: int):
+    """Well-mixed PC pre-draw decoder for one lane (raw or scalar)."""
+    if raw_decoding_supported(n_ssets):
+        return _RawPCDecoder(rng, n_ssets)
+    return _ScalarPCDecoder(rng, n_ssets)
+
+
+def mutation_decoder(rng: np.random.Generator, n_ssets: int, n_states: int):
+    """Mutation pre-draw decoder for one lane (raw or scalar)."""
+    if raw_decoding_supported(n_ssets) and n_states % 4 == 0:
+        return _RawMutationDecoder(rng, n_ssets, n_states)
+    return _ScalarMutationDecoder(rng, n_ssets, n_states)

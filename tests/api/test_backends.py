@@ -19,7 +19,7 @@ from repro.api.backends import _REGISTRY
 from repro.core import EvolutionConfig, run_serial
 from repro.errors import ConfigurationError
 
-BUILTINS = ["baseline", "des", "event", "multiprocess", "serial"]
+BUILTINS = ["baseline", "des", "ensemble", "event", "multiprocess", "serial"]
 
 
 def tiny_config(**overrides) -> EvolutionConfig:

@@ -1,0 +1,45 @@
+"""Multiprocess backend on the engine's sid arrays (PR 3 follow-on)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import Simulation
+from repro.core import EvolutionConfig
+
+
+def config(**overrides) -> EvolutionConfig:
+    base = dict(memory_steps=2, n_ssets=8, generations=400, rounds=16, seed=3)
+    base.update(overrides)
+    return EvolutionConfig(**base)
+
+
+class TestMultiprocessEngine:
+    def test_engine_path_matches_event(self):
+        """Default (engine on): pooled fills land in the dense matrix and
+        the trajectory — including the engine's hit/miss accounting — is
+        identical to the in-process event backend."""
+        mp = Simulation(config(), backend="multiprocess", workers=2).run()
+        evt = Simulation(config(), backend="event").run()
+        assert mp.events == evt.events
+        assert np.array_equal(
+            mp.population.strategy_matrix(), evt.population.strategy_matrix()
+        )
+        assert (mp.cache_hits, mp.cache_misses) == (
+            evt.cache_hits, evt.cache_misses
+        )
+
+    def test_legacy_cache_path_still_available(self):
+        """engine=False keeps the historical pooled PayoffCache fan-out."""
+        cfg = config(engine=False)
+        mp = Simulation(cfg, backend="multiprocess", workers=2).run()
+        evt = Simulation(cfg, backend="event").run()
+        assert mp.events == evt.events
+        assert np.array_equal(
+            mp.population.strategy_matrix(), evt.population.strategy_matrix()
+        )
+
+    def test_single_worker_inline(self):
+        mp = Simulation(config(), backend="multiprocess", workers=1).run()
+        evt = Simulation(config(), backend="event").run()
+        assert mp.events == evt.events

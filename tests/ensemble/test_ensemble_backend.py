@@ -1,0 +1,136 @@
+"""The registered ``ensemble`` backend and the run_sweep fast path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import EnsembleBackend, Simulation, available_backends, run_sweep
+from repro.core import EvolutionConfig
+from repro.errors import ConfigurationError
+
+
+def sweep_configs(n: int = 6, **overrides) -> list[EvolutionConfig]:
+    base = dict(memory_steps=2, n_ssets=8, generations=400, rounds=16)
+    base.update(overrides)
+    return [EvolutionConfig(seed=300 + i, **base) for i in range(n)]
+
+
+class TestEnsembleBackend:
+    def test_registered(self):
+        assert "ensemble" in available_backends()
+
+    def test_single_run_matches_event(self):
+        config = sweep_configs(1)[0]
+        ens = Simulation(config, backend="ensemble").run()
+        evt = Simulation(config, backend="event").run()
+        assert ens.events == evt.events
+        assert np.array_equal(
+            ens.population.strategy_matrix(),
+            evt.population.strategy_matrix(),
+        )
+
+    def test_report_fields(self):
+        config = sweep_configs(1)[0]
+        report = Simulation(config, backend="ensemble").run().backend_report
+        assert report.backend == "ensemble"
+        assert report.lanes == 1
+        assert report.shared_engine is not None
+        assert report.shared_engine["distinct"] >= 1
+        assert "lanes=1" in report.summary()
+
+    def test_run_many_report_lanes(self):
+        backend = EnsembleBackend()
+        results = backend.run_many(sweep_configs(4))
+        for result in results:
+            assert result.backend_report.lanes == 4
+
+    def test_sampled_stochastic_rejected(self):
+        config = EvolutionConfig(noise=0.2, n_ssets=8, generations=50)
+        with pytest.raises(ConfigurationError, match="sampled-stochastic"):
+            Simulation(config, backend="ensemble").run()
+
+    def test_bad_batch_size_rejected(self):
+        config = sweep_configs(1)[0]
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            Simulation(config, backend="ensemble", batch_size=0).run()
+
+    def test_expected_regime_supported(self):
+        config = sweep_configs(1, noise=0.02, expected_fitness=True,
+                               generations=200)[0]
+        ens = Simulation(config, backend="ensemble").run()
+        evt = Simulation(config, backend="event").run()
+        assert ens.events == evt.events
+        assert ens.backend_report.shared_engine is None
+
+    def test_checkpoint_roundtrip(self, tmp_path):
+        config = sweep_configs(1)[0]
+        path = tmp_path / "pop.npz"
+        first = Simulation(config, backend="ensemble",
+                           checkpoint_path=path).run()
+        assert path.exists()
+        resumed = Simulation(config, backend="ensemble",
+                             checkpoint_path=path, resume=True).run()
+        assert resumed.generations_run == config.generations
+        assert len(resumed.population) == len(first.population)
+
+
+class TestRunSweepEnsemble:
+    def test_matches_event_sweep(self):
+        configs = sweep_configs(6)
+        ens = run_sweep(configs, backend="ensemble")
+        evt = run_sweep(configs, backend="event")
+        assert len(ens) == len(evt) == 6
+        for a, b in zip(ens, evt):
+            assert a.config == b.config
+            assert a.events == b.events
+            assert np.array_equal(
+                a.population.strategy_matrix(),
+                b.population.strategy_matrix(),
+            )
+
+    def test_results_in_config_order(self):
+        configs = sweep_configs(5)
+        results = run_sweep(configs, backend="ensemble")
+        assert [r.config.seed for r in results] == [c.seed for c in configs]
+
+    def test_on_result_order(self):
+        calls: list[int] = []
+        results = run_sweep(
+            sweep_configs(4),
+            backend="ensemble",
+            on_result=lambda i, r: calls.append(i),
+        )
+        assert calls == [0, 1, 2, 3]
+        assert len(results) == 4
+
+    def test_base_seed_derivation(self):
+        configs = [sweep_configs(1)[0]] * 4
+        a = run_sweep(configs, backend="ensemble", base_seed=42)
+        b = run_sweep(configs, backend="event", base_seed=42)
+        for x, y in zip(a, b):
+            assert x.config.seed == y.config.seed
+            assert x.events == y.events
+
+    def test_workers_chunking_matches_serial(self):
+        configs = sweep_configs(4, generations=200)
+        serial = run_sweep(configs, backend="ensemble")
+        pooled = run_sweep(configs, backend="ensemble", workers=2)
+        for a, b in zip(serial, pooled):
+            assert a.events == b.events
+            assert np.array_equal(
+                a.population.strategy_matrix(),
+                b.population.strategy_matrix(),
+            )
+        # chunked groups are smaller
+        assert pooled[0].backend_report.lanes == 2
+
+    def test_empty_sweep(self):
+        assert run_sweep([], backend="ensemble") == []
+
+    def test_mixed_science_sweep(self):
+        configs = sweep_configs(2) + sweep_configs(2, memory_steps=1)
+        ens = run_sweep(configs, backend="ensemble")
+        evt = run_sweep(configs, backend="event")
+        for a, b in zip(ens, evt):
+            assert a.events == b.events

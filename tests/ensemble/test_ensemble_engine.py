@@ -1,0 +1,235 @@
+"""Unit tests for the shared EnsembleEngine and the raw-stream decoders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, PayoffMatrix
+from repro.core.cycle import exact_payoffs
+from repro.core.payoff import PAPER_PAYOFF
+from repro.core.strategy import all_c, all_d, random_pure, tft, wsls
+from repro.ensemble import EnsembleEngine, supports_shared_engine
+from repro.ensemble import rawstream
+from repro.errors import ConfigurationError, SimulationError, StrategyError
+from repro.rng import make_rng
+
+
+def lanes_engine(n_lanes: int = 2, **kw) -> EnsembleEngine:
+    base = dict(memory_steps=1, rounds=16, n_lanes=n_lanes, capacity=8)
+    base.update(kw)
+    return EnsembleEngine(**base)
+
+
+class TestPool:
+    def test_intern_dedupes_across_lanes(self):
+        engine = lanes_engine()
+        a0 = engine.acquire(all_d())
+        a1 = engine.acquire(all_d())
+        assert a0 == a1
+        assert len(engine) == 1
+        assert engine.strategy(a0) == all_d()
+
+    def test_release_recycles_at_zero(self):
+        engine = lanes_engine()
+        sid = engine.acquire(all_d())
+        assert engine.acquire(all_d()) == sid  # second reference
+        engine.release(sid)
+        assert len(engine) == 1
+        engine.release(sid)
+        assert len(engine) == 0
+        with pytest.raises(SimulationError):
+            engine.strategy(sid)
+
+    def test_release_underflow(self):
+        engine = lanes_engine()
+        sid = engine.acquire(all_d())
+        engine.release(sid)
+        with pytest.raises(SimulationError):
+            engine.release(sid)
+
+    def test_growth(self):
+        engine = lanes_engine(capacity=2)
+        rng = make_rng(3)
+        sids = [engine.acquire(random_pure(rng, 1)) for _ in range(10)]
+        assert engine.capacity >= len(set(sids))
+
+    def test_memory_mismatch_rejected(self):
+        engine = lanes_engine()
+        with pytest.raises(StrategyError):
+            engine.acquire(all_d(2))
+
+    def test_mixed_rejected(self):
+        from repro.core.strategy import gtft
+
+        engine = lanes_engine()
+        with pytest.raises(StrategyError):
+            engine.acquire(gtft())
+
+    def test_non_integer_payoff_rejected(self):
+        with pytest.raises(ConfigurationError, match="integer"):
+            lanes_engine(
+                payoff=PayoffMatrix(reward=3.5, sucker=0.0, temptation=4.5,
+                                    punishment=1.0)
+            )
+
+
+class TestFills:
+    def test_fill_missing_matches_exact_payoffs(self):
+        engine = lanes_engine()
+        strategies = [all_c(), all_d(), tft(), wsls()]
+        sids = engine.intern_lane(strategies)
+        iu, ju = np.triu_indices(4)
+        engine.fill_missing(
+            sids[iu], sids[ju], np.zeros(len(iu), dtype=np.int64)
+        )
+        for i, a in enumerate(strategies):
+            for j, b in enumerate(strategies):
+                pay_a, pay_b, _ = exact_payoffs(a, b, 16, PAPER_PAYOFF)
+                assert float(engine.paymat[sids[i], sids[j]]) == pay_a
+                assert float(engine.paymat[sids[j], sids[i]]) == pay_b
+
+    def test_fill_missing_is_idempotent(self):
+        engine = lanes_engine()
+        sids = engine.intern_lane([all_c(), all_d()])
+        lanes = np.zeros(2, dtype=np.int64)
+        engine.fill_missing(sids, sids[::-1], lanes)
+        fills = engine.fills
+        engine.fill_missing(sids, sids[::-1], lanes)
+        assert engine.fills == fills  # everything already valid
+
+    def test_recycled_slot_invalidated_both_directions(self):
+        engine = lanes_engine()
+        keep = engine.acquire(all_c())
+        dead = engine.acquire(all_d())
+        engine.fill_missing(
+            np.array([keep]), np.array([dead]), np.zeros(1, dtype=np.int64)
+        )
+        engine.release(dead)
+        reborn = engine.acquire(tft())
+        assert reborn == dead  # slot reused
+        # The stale (keep, slot) entry must not satisfy the validity check.
+        engine.ensure_rows(
+            np.array([keep]),
+            np.array([[keep, reborn]]),
+            np.zeros(1, dtype=np.int64),
+        )
+        pay_keep, _, _ = exact_payoffs(all_c(), tft(), 16, PAPER_PAYOFF)
+        assert float(engine.paymat[keep, reborn]) == pay_keep
+
+    def test_fitness_well_mixed_matches_manual_sum(self):
+        engine = lanes_engine()
+        strategies = [all_c(), all_d(), tft(), all_c()]
+        sids = engine.intern_lane(strategies)
+        iu, ju = np.triu_indices(4)
+        engine.fill_missing(sids[iu], sids[ju], np.zeros(len(iu), np.int64))
+        lane = sids[None, :]
+        fit_t, fit_l = engine.fitness_pc_well_mixed(
+            lane, sids[:1], sids[1:2], include_self_play=False
+        )
+        expected_t = sum(
+            exact_payoffs(strategies[0], s, 16, PAPER_PAYOFF)[0]
+            for s in strategies
+        ) - exact_payoffs(strategies[0], strategies[0], 16, PAPER_PAYOFF)[0]
+        assert float(fit_t[0]) == expected_t
+
+    def test_compact_preserves_payoffs(self):
+        engine = lanes_engine(capacity=512)
+        rng = make_rng(9)
+        strategies = [random_pure(rng, 1) for _ in range(6)]
+        sids = engine.intern_lane(strategies)
+        iu, ju = np.triu_indices(len(sids))
+        engine.fill_missing(sids[iu], sids[ju], np.zeros(len(iu), np.int64))
+        before = {
+            (i, j): float(engine.paymat[sids[i], sids[j]])
+            for i in range(6)
+            for j in range(6)
+        }
+        mapping = engine.compact()
+        assert mapping is not None
+        new_sids = mapping[sids]
+        assert engine.capacity < 512
+        for i in range(6):
+            assert engine.strategy(int(new_sids[i])) == strategies[i]
+            for j in range(6):
+                assert (
+                    float(engine.paymat[new_sids[i], new_sids[j]])
+                    == before[(i, j)]
+                )
+
+    def test_compact_declines_when_occupied(self):
+        engine = lanes_engine(capacity=8)
+        engine.intern_lane([all_c(), all_d(), tft()])
+        assert engine.compact() is None
+
+    def test_check_consistent(self):
+        engine = lanes_engine()
+        strategies = [all_c(), all_d()]
+        sids = engine.intern_lane(strategies)
+        engine.check_consistent(sids, strategies)
+        with pytest.raises(SimulationError):
+            engine.check_consistent(sids, [all_d(), all_d()])
+
+
+class TestSupportsSharedEngine:
+    def test_deterministic_supported(self):
+        assert supports_shared_engine(EvolutionConfig())
+
+    def test_expected_regime_not_shared(self):
+        assert not supports_shared_engine(
+            EvolutionConfig(noise=0.1, expected_fitness=True)
+        )
+
+    def test_engine_off_not_shared(self):
+        assert not supports_shared_engine(EvolutionConfig(engine=False))
+
+    def test_non_integer_payoff_not_shared(self):
+        payoff = PayoffMatrix(reward=3.5, sucker=0.0, temptation=4.5,
+                              punishment=1.0)
+        assert not supports_shared_engine(EvolutionConfig(payoff=payoff))
+
+
+class TestRawStream:
+    """The decoders must consume the Philox stream exactly like the
+    Generator API — across bounds, carry parities, and call splits."""
+
+    @pytest.mark.parametrize("n", [2, 4, 16, 64, 128])
+    def test_pc_decoder_matches_generator(self, n):
+        for seed in (0, 1, 42):
+            ref = rawstream._ScalarPCDecoder(make_rng(seed), n)
+            raw = rawstream._RawPCDecoder(make_rng(seed), n)
+            for m in (7, 0, 13, 31):
+                assert raw.draw(m) == ref.draw(m)
+
+    @pytest.mark.parametrize("n,states", [(4, 4), (8, 16), (64, 16), (16, 64)])
+    def test_mutation_decoder_matches_generator(self, n, states):
+        for seed in (0, 5):
+            ref = rawstream._ScalarMutationDecoder(make_rng(seed), n, states)
+            raw = rawstream._RawMutationDecoder(make_rng(seed), n, states)
+            for m in (5, 0, 9, 2):
+                ref_t, ref_tab = ref.draw(m)
+                raw_t, raw_tab = raw.draw(m)
+                assert raw_t == ref_t
+                assert np.array_equal(raw_tab, ref_tab)
+
+    def test_stream_state_advances_identically(self):
+        """After decoding, the *same* generator keeps producing the serial
+        stream (the commit advanced it exactly)."""
+        a, b = make_rng(77), make_rng(77)
+        rawstream._RawPCDecoder(a, 16).draw(9)
+        rawstream._ScalarPCDecoder(b, 16).draw(9)
+        assert a.random() == b.random()
+        a2, b2 = make_rng(78), make_rng(78)
+        rawstream._RawMutationDecoder(a2, 16, 16).draw(5)
+        rawstream._ScalarMutationDecoder(b2, 16, 16).draw(5)
+        assert a2.random() == b2.random()
+
+    def test_non_power_of_two_uses_scalar(self):
+        assert not rawstream.raw_decoding_supported(100)
+        assert isinstance(
+            rawstream.pc_decoder(make_rng(0), 100),
+            rawstream._ScalarPCDecoder,
+        )
+
+    def test_supported_passes_self_check(self):
+        assert rawstream.raw_decoding_supported(64)

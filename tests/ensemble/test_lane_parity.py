@@ -1,0 +1,249 @@
+"""Lane-parity suite: every ensemble lane == the same-seed serial event run.
+
+The lane-batched driver's core contract is that batching is *pure
+execution*: for any supported configuration, each lane's trajectory —
+every event record (including the float fitness values the Fermi rule
+consumed), every snapshot, the final population — is bit-identical to
+running that config alone through :func:`repro.core.run_event_driven`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig
+from repro.core.evolution import EvolutionResult, run_event_driven
+from repro.ensemble import lane_signature, run_ensemble, run_ensemble_detailed
+from repro.errors import ConfigurationError
+
+
+def assert_identical(ensemble: EvolutionResult, serial: EvolutionResult) -> None:
+    """Full trajectory + outcome comparison (bitwise on every float)."""
+    assert ensemble.events == serial.events
+    assert ensemble.n_pc_events == serial.n_pc_events
+    assert ensemble.n_adoptions == serial.n_adoptions
+    assert ensemble.n_mutations == serial.n_mutations
+    assert ensemble.generations_run == serial.generations_run
+    assert np.array_equal(
+        ensemble.population.strategy_matrix(),
+        serial.population.strategy_matrix(),
+    )
+    assert [s.adoptions for s in ensemble.population.ssets] == [
+        s.adoptions for s in serial.population.ssets
+    ]
+    assert [s.mutations for s in ensemble.population.ssets] == [
+        s.mutations for s in serial.population.ssets
+    ]
+    assert ensemble.dominant()[1] == serial.dominant()[1]
+    assert len(ensemble.snapshots) == len(serial.snapshots)
+    for a, b in zip(ensemble.snapshots, serial.snapshots):
+        assert a.generation == b.generation
+        assert np.array_equal(a.strategy_matrix, b.strategy_matrix)
+        assert a.dominant_share == b.dominant_share
+
+
+def replicate_configs(n: int = 5, **overrides) -> list[EvolutionConfig]:
+    base = dict(memory_steps=1, n_ssets=8, generations=500, rounds=16)
+    base.update(overrides)
+    return [EvolutionConfig(seed=1000 + i, **base) for i in range(n)]
+
+
+def check_parity(configs: list[EvolutionConfig]) -> None:
+    results = run_ensemble(configs)
+    for config, result in zip(configs, results):
+        assert_identical(result, run_event_driven(config))
+
+
+class TestDeterministicParity:
+    """Shared-engine lanes across memory depths and structures."""
+
+    @pytest.mark.parametrize("memory", [1, 2, 3])
+    def test_well_mixed(self, memory):
+        check_parity(
+            replicate_configs(memory_steps=memory, n_ssets=8, rounds=20)
+        )
+
+    @pytest.mark.parametrize("memory", [1, 2, 3])
+    def test_ring(self, memory):
+        check_parity(
+            replicate_configs(
+                memory_steps=memory, n_ssets=9, rounds=20,
+                structure="ring:k=2",
+            )
+        )
+
+    def test_grid(self):
+        check_parity(
+            replicate_configs(memory_steps=2, n_ssets=9,
+                              structure="grid:rows=3,cols=3")
+        )
+
+    def test_non_power_of_two_population(self):
+        # Exercises the scalar decision-stream fallback.
+        check_parity(replicate_configs(memory_steps=2, n_ssets=10))
+
+    def test_tiny_population(self):
+        check_parity(replicate_configs(n_ssets=2, generations=300, rounds=8))
+
+    def test_include_self_play(self):
+        check_parity(replicate_configs(memory_steps=2, include_self_play=True))
+
+    def test_include_self_play_ring(self):
+        check_parity(
+            replicate_configs(include_self_play=True, structure="ring:k=2")
+        )
+
+    def test_downhill_learning(self):
+        check_parity(replicate_configs(allow_downhill_learning=True))
+
+    def test_snapshots_match(self):
+        check_parity(
+            replicate_configs(
+                memory_steps=2, generations=700, record_every=97
+            )
+        )
+
+    def test_record_events_off_keeps_counters(self):
+        configs = replicate_configs(record_events=False)
+        for config, result in zip(configs, run_ensemble(configs)):
+            serial = run_event_driven(config)
+            assert result.events == [] == serial.events
+            assert result.n_pc_events == serial.n_pc_events
+            assert result.n_adoptions == serial.n_adoptions
+            assert result.n_mutations == serial.n_mutations
+
+    def test_small_batch_size_same_trajectory(self):
+        configs = replicate_configs(n=3)
+        a = run_ensemble(configs)
+        b = run_ensemble(configs, batch_size=64)
+        for x, y in zip(a, b):
+            assert x.events == y.events
+
+    def test_zero_generations(self):
+        configs = replicate_configs(n=2, generations=0)
+        for config, result in zip(configs, run_ensemble(configs)):
+            assert_identical(result, run_event_driven(config))
+
+
+class TestPerLaneEvaluatorParity:
+    """Expected-fitness / legacy regimes run per-lane evaluators."""
+
+    def test_expected_fitness_noise(self):
+        check_parity(
+            replicate_configs(
+                n=4, generations=300, noise=0.02, expected_fitness=True
+            )
+        )
+
+    def test_expected_fitness_mixed(self):
+        check_parity(
+            replicate_configs(
+                n=3, n_ssets=6, generations=200, rounds=12,
+                mixed_strategies=True, expected_fitness=True,
+            )
+        )
+
+    def test_expected_fitness_ring(self):
+        check_parity(
+            replicate_configs(
+                n=3, generations=300, noise=0.02, expected_fitness=True,
+                structure="ring:k=2",
+            )
+        )
+
+    def test_legacy_cache(self):
+        check_parity(replicate_configs(n=4, generations=300, engine=False))
+
+    def test_non_integer_payoff_falls_back(self):
+        from repro.core import PayoffMatrix
+
+        payoff = PayoffMatrix(reward=3.5, sucker=0.0, temptation=4.5,
+                              punishment=1.0)
+        check_parity(replicate_configs(n=3, generations=300, payoff=payoff))
+
+
+class TestDriverInterface:
+    def test_sampled_stochastic_rejected(self):
+        config = EvolutionConfig(noise=0.1, n_ssets=8, generations=100)
+        with pytest.raises(ConfigurationError, match="sampled-stochastic"):
+            run_ensemble([config])
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            run_ensemble(replicate_configs(n=1), batch_size=0)
+
+    def test_population_count_mismatch(self):
+        with pytest.raises(ConfigurationError, match="initial populations"):
+            run_ensemble(replicate_configs(n=2), [None])
+
+    def test_empty(self):
+        assert run_ensemble([]) == []
+
+    def test_initial_populations(self):
+        from repro.core import Population
+        from repro.rng import make_rng
+
+        configs = replicate_configs(n=3)
+        pops = [Population.random(c, make_rng(7 + i))
+                for i, c in enumerate(configs)]
+        import copy
+
+        serial = [
+            run_event_driven(c, copy.deepcopy(p))
+            for c, p in zip(configs, pops)
+        ]
+        ensembled = run_ensemble(configs, [copy.deepcopy(p) for p in pops])
+        for a, b in zip(ensembled, serial):
+            assert_identical(a, b)
+
+    def test_heterogeneous_configs_grouped(self):
+        """Different sciences in one call: grouped by signature, each lane
+        still serial-identical, results in input order."""
+        configs = [
+            EvolutionConfig(memory_steps=1, n_ssets=8, generations=400,
+                            rounds=16, seed=1),
+            EvolutionConfig(memory_steps=2, n_ssets=8, generations=400,
+                            rounds=16, seed=2),
+            EvolutionConfig(memory_steps=1, n_ssets=8, generations=400,
+                            rounds=16, seed=3),
+            EvolutionConfig(memory_steps=1, n_ssets=8, generations=400,
+                            rounds=16, noise=0.05, expected_fitness=True,
+                            seed=4),
+        ]
+        results = run_ensemble(configs)
+        for config, result in zip(configs, results):
+            assert result.config is config
+            assert_identical(result, run_event_driven(config))
+
+    def test_signature_groups_replicates(self):
+        a, b = replicate_configs(n=2)
+        assert lane_signature(a) == lane_signature(b)
+        assert lane_signature(a) != lane_signature(
+            a.with_updates(memory_steps=2)
+        )
+
+    def test_detailed_meta(self):
+        configs = replicate_configs(n=4)
+        results, metas = run_ensemble_detailed(configs)
+        assert len(results) == len(metas) == 4
+        for meta in metas:
+            assert meta["lanes"] == 4
+            assert meta["shared_engine"]["lanes"] == 4
+            assert meta["shared_engine"]["fills"] > 0
+        # expected regime reports no shared engine
+        _, metas = run_ensemble_detailed(
+            replicate_configs(n=2, generations=200, noise=0.02,
+                              expected_fitness=True)
+        )
+        assert metas[0]["shared_engine"] is None
+
+    def test_cache_counters_match_serial_in_per_lane_mode(self):
+        """Per-lane evaluators are the exact serial objects, so even the
+        hit/miss counters agree there."""
+        configs = replicate_configs(n=3, generations=300, noise=0.02,
+                                    expected_fitness=True)
+        for config, result in zip(configs, run_ensemble(configs)):
+            serial = run_event_driven(config)
+            assert result.cache_hits == serial.cache_hits
+            assert result.cache_misses == serial.cache_misses
