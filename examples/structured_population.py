@@ -2,11 +2,20 @@
 """Structured populations: the same dynamics on different interaction graphs.
 
 Evolves one seeded configuration on the paper's well-mixed population and
-on three interaction graphs (ring lattice, 2-D torus grid, random regular
-graph), then compares the spatial order parameters: dominant-strategy
-share, mean per-neighborhood cooperation, and the largest dominant-strategy
-cluster.  Sparse graphs localise pairwise-comparison learning — strategies
-spread through neighborhoods instead of sweeping the whole population.
+on five interaction graphs (ring lattice, 2-D torus grid, random regular,
+Watts–Strogatz small world, Barabási–Albert scale free), then compares the
+spatial order parameters: dominant-strategy share, mean per-neighborhood
+cooperation, and the largest dominant-strategy cluster.  Sparse graphs
+localise pairwise-comparison learning — strategies spread through
+neighborhoods instead of sweeping the whole population.
+
+Then the headline of the graph-native ensemble work: a whole replicate
+sweep of a *small-world* scenario runs lane-batched through
+``run_sweep(backend="ensemble")`` (the library face of
+``repro sweep --backend ensemble --structure smallworld:...``), with every
+lane bit-identical to its same-seed serial ``event`` run — the graph's CSR
+adjacency drives one batched fitness gather per generation across all
+replicates.
 
 Also demonstrates checkpoint/resume carrying the structure spec: a resumed
 run refuses to continue on a different graph than it was saved under.
@@ -15,20 +24,30 @@ Run:  python examples/structured_population.py
 """
 
 import tempfile
+import time
 from pathlib import Path
 
-from repro import EvolutionConfig, Simulation
+from repro import EvolutionConfig, Simulation, run_sweep
 from repro.analysis import (
     largest_cluster_fraction,
     neighborhood_cooperation,
     strategy_richness,
 )
 
-STRUCTURES = ("well-mixed", "ring:k=4", "grid:rows=6,cols=6", "regular:d=4,seed=1")
+STRUCTURES = (
+    "well-mixed",
+    "ring:k=4",
+    "grid:rows=6,cols=6",
+    "regular:d=4,seed=1",
+    "smallworld:k=4,p=0.1,seed=1",
+    "scalefree:m=2,seed=1",
+)
+
+SMALLWORLD = "smallworld:k=4,p=0.1,seed=1"
 
 
 def main() -> None:
-    print(f"{'structure':<20} {'dominant':>9} {'nbhd coop':>10} "
+    print(f"{'structure':<28} {'dominant':>9} {'nbhd coop':>10} "
           f"{'max cluster':>12} {'richness':>9}")
     for structure in STRUCTURES:
         config = EvolutionConfig(
@@ -42,21 +61,45 @@ def main() -> None:
         _, share = result.dominant()
         coop = neighborhood_cooperation(result.population, structure)
         cluster = largest_cluster_fraction(result.population, structure)
-        print(f"{structure:<20} {share:>8.1%} {float(coop.mean()):>9.1%} "
+        print(f"{structure:<28} {share:>8.1%} {float(coop.mean()):>9.1%} "
               f"{cluster:>11.1%} {strategy_richness(result.population):>9}")
+
+    # A small-world replicate ensemble on the lane-batched fast path: the
+    # CLI equivalent is
+    #   repro sweep --backend ensemble --structure smallworld:k=4,p=0.1,seed=1 \
+    #       --memory 2 --runs 32 --ssets 36 --base-seed 7
+    configs = [
+        EvolutionConfig(
+            memory_steps=2,
+            n_ssets=36,
+            generations=20_000,
+            structure=SMALLWORLD,
+            record_events=False,
+        )
+        for _ in range(32)
+    ]
+    started = time.perf_counter()
+    results = run_sweep(configs, backend="ensemble", base_seed=7)
+    elapsed = time.perf_counter() - started
+    shares = sorted(result.dominant()[1] for result in results)
+    report = results[0].backend_report
+    print(f"\n32-lane small-world ensemble (memory 2): {elapsed:.2f}s, "
+          f"dominant share {shares[0]:.0%}..{shares[-1]:.0%} "
+          f"(median {shares[len(shares) // 2]:.0%})")
+    print(f"  backend report: {report.summary()}")
 
     # Checkpoints carry the structure spec: resuming under a different graph
     # is an error, not a silent change of science.
     with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "ring.npz"
+        path = Path(tmp) / "smallworld.npz"
         config = EvolutionConfig(
-            n_ssets=36, generations=10_000, structure="ring:k=4", seed=11
+            n_ssets=36, generations=10_000, structure=SMALLWORLD, seed=11
         )
         Simulation(config, checkpoint_path=path).run()
         resumed = Simulation(
             config.with_updates(seed=12), checkpoint_path=path, resume=True
         ).run()
-        print(f"\nresumed ring run: {resumed.summary()}")
+        print(f"\nresumed small-world run: {resumed.summary()}")
 
 
 if __name__ == "__main__":

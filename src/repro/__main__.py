@@ -4,6 +4,7 @@ Commands
 --------
 ``list``                      list the registered experiments
 ``backends``                  list the registered execution backends
+``structures``                list the registered population-structure families
 ``run <id> [--full]``         regenerate one paper table/figure
 ``run-all [--full]``          regenerate everything
 ``evolve [options]``          run one evolution and print the outcome
@@ -25,6 +26,7 @@ from .analysis import (
 from .api import Simulation, available_backends, get_backend, run_sweep
 from .core import PAPER_MUTATION_RATE, PAPER_PC_RATE, EvolutionConfig
 from .experiments import Scale, all_experiments, get, set_default_backend
+from .structure import structure_families
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -36,6 +38,12 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _cmd_backends(_args: argparse.Namespace) -> int:
     for name in available_backends():
         print(f"{name:<14} {get_backend(name).summary}")
+    return 0
+
+
+def _cmd_structures(_args: argparse.Namespace) -> int:
+    for name, params in structure_families():
+        print(f"{name:<14} {params}")
     return 0
 
 
@@ -194,7 +202,8 @@ def _add_evolution_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--structure", default="well-mixed",
                         help="population structure: well-mixed (default), "
                              "complete, ring:k=4, grid, grid:rows=8,cols=8, "
-                             "or regular:d=4,seed=7")
+                             "regular:d=4,seed=7, smallworld:k=4,p=0.1,seed=7, "
+                             "or scalefree:m=2,seed=7 (see `repro structures`)")
     parser.add_argument("--record-every", type=int, default=0,
                         dest="record_every",
                         help="snapshot the population every N generations")
@@ -238,6 +247,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "backends", help="list registered execution backends"
     ).set_defaults(func=_cmd_backends)
+    sub.add_parser(
+        "structures",
+        help="list registered population-structure families and their "
+             "spec parameters",
+    ).set_defaults(func=_cmd_structures)
 
     run = sub.add_parser("run", help="regenerate one table/figure")
     run.add_argument("experiment", help="experiment id, e.g. table6 or fig4")

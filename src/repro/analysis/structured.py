@@ -13,7 +13,10 @@ These metrics resolve the population onto its interaction graph:
   parameter (size of the biggest dominant-strategy cluster / N).
 
 All three accept either a bound :class:`~repro.structure.InteractionModel`
-or a spec string (``"ring:k=4"``), which they bind to the population size.
+or a spec string (``"ring:k=4"``, ``"smallworld:k=4,p=0.1,seed=7"``, ...),
+which they bind to the population size.  Graph structures are walked
+through their flat CSR adjacency (``indptr``/``indices``), so the cluster
+search is array slicing rather than per-node Python lists.
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ from ..core.cycle import exact_payoffs
 from ..core.markov import expected_payoffs
 from ..core.payoff import PAPER_PAYOFF, PayoffMatrix
 from ..core.population import Population
-from ..structure import InteractionModel, build_structure
+from ..structure import GraphStructure, InteractionModel, build_structure
 
 __all__ = [
     "neighborhood_cooperation",
@@ -94,11 +97,14 @@ def dominant_strategy_clusters(
     model = _bind(structure, population)
     dominant, _ = population.dominant_share()
     key = dominant.key()
-    members = {
-        i for i in range(len(population)) if population[i].strategy.key() == key
-    }
+    member_mask = np.array(
+        [population[i].strategy.key() == key for i in range(len(population))],
+        dtype=bool,
+    )
+    if isinstance(model, GraphStructure):
+        return _csr_cluster_sizes(model, member_mask)
     sizes: list[int] = []
-    unvisited = set(members)
+    unvisited = set(np.flatnonzero(member_mask).tolist())
     while unvisited:
         frontier = [unvisited.pop()]
         size = 0
@@ -110,6 +116,32 @@ def dominant_strategy_clusters(
                 if j in unvisited:
                     unvisited.remove(j)
                     frontier.append(j)
+        sizes.append(size)
+    return sorted(sizes, reverse=True)
+
+
+def _csr_cluster_sizes(model: GraphStructure, member_mask: np.ndarray) -> list[int]:
+    """Connected components of the member-induced subgraph, walked as a
+    frontier sweep over the CSR arrays: each expansion step gathers every
+    frontier node's neighbor slice at once instead of looping Python-side
+    per edge."""
+    indptr, indices = model.indptr, model.indices
+    remaining = member_mask.copy()
+    sizes: list[int] = []
+    while True:
+        seeds = np.flatnonzero(remaining)
+        if seeds.size == 0:
+            break
+        seed = seeds[0]
+        remaining[seed] = False
+        frontier = np.array([seed], dtype=np.int64)
+        size = 0
+        while frontier.size:
+            size += int(frontier.size)
+            flat, _ = model.neighbor_segments(frontier)
+            new = np.unique(flat[remaining[flat]]).astype(np.int64)
+            remaining[new] = False
+            frontier = new
         sizes.append(size)
     return sorted(sizes, reverse=True)
 

@@ -262,11 +262,15 @@ class EnsembleBackend(Backend):
     One run is a one-lane ensemble; the real payoff comes through
     :func:`repro.api.run_sweep`, which hands the *whole* config list to
     :meth:`run_many` so same-science replicates advance together over one
-    shared strategy pool and payoff matrix.  Every lane's trajectory is
-    bit-identical to the same-seed serial ``event`` run (pinned by the
-    lane-parity tests); execution metadata (``cache_hits``/``cache_misses``
-    and the backend report's ``lanes``/``shared_engine``) reflects the
-    shared-engine accounting instead of per-run engines.
+    shared strategy pool and payoff matrix.  Graph-structured lanes ride
+    the same fast path as well-mixed ones: their learner-then-neighbor PC
+    draws decode in bulk off the raw Philox stream and each generation's
+    event fitness is one flat CSR gather across all event lanes.  Every
+    lane's trajectory is bit-identical to the same-seed serial ``event``
+    run (pinned by the lane-parity tests); execution metadata
+    (``cache_hits``/``cache_misses`` and the backend report's
+    ``lanes``/``shared_engine``) reflects the shared-engine accounting
+    instead of per-run engines.
     """
 
     name: ClassVar[str] = "ensemble"

@@ -12,8 +12,9 @@ Two ensemble-scale optimisations live here:
 * **Lane batching** — ``backend="ensemble"`` hands the whole config list to
   :meth:`~repro.api.EnsembleBackend.run_many`, which advances same-science
   replicates together over one shared strategy pool and payoff matrix
-  (:mod:`repro.ensemble`); with ``workers`` the lanes are chunked over the
-  pool, composing the two levels of parallelism.
+  (:mod:`repro.ensemble`) — graph-structured configs included, via the
+  structure layer's CSR adjacency; with ``workers`` the lanes are chunked
+  over the pool, composing the two levels of parallelism.
 
 * **Shared engine pairs** — on the legacy per-run path, deterministic-regime
   runs can share one read-only store of evaluated strategy-pair payoffs

@@ -643,6 +643,51 @@ class FitnessEngine:
 
     # -- fitness kernels ---------------------------------------------------------
 
+    @property
+    def is_eager(self) -> bool:
+        """Whether the matrix is eagerly filled (deterministic regime) —
+        every live row/column is valid by construction, so batched gathers
+        (:meth:`gather_fitness`) can read it without per-pair checks."""
+        return self._evaluated is None
+
+    def gather_fitness(
+        self,
+        structure,
+        sids: np.ndarray,
+        nodes: np.ndarray | None = None,
+        include_self_play: bool = False,
+    ) -> np.ndarray:
+        """Batched graph fitness over the structure's CSR adjacency.
+
+        ``structure`` is a :class:`~repro.structure.graphs.GraphStructure`;
+        the deterministic (eager) regime hands its dense matrix straight to
+        :meth:`~repro.structure.graphs.GraphStructure.gather_fitness` — one
+        flat gather + segment reduction for all ``nodes`` (default: every
+        node), bit-identical to per-node :meth:`fitness_neighbors` calls
+        because integer payoffs sum exactly in float64 in any order.  The
+        lazy expected regime falls back to per-node evaluation to keep the
+        legacy fill-and-accumulation order (and hence bit parity).
+        """
+        sids = np.asarray(sids)
+        if self._evaluated is None:
+            count = structure.n_ssets if nodes is None else len(nodes)
+            self.hits += count
+            return structure.gather_fitness(
+                sids, self._paymat, nodes=nodes, include_self_play=include_self_play
+            )
+        node_list = range(structure.n_ssets) if nodes is None else nodes
+        return np.array(
+            [
+                self.fitness_neighbors(
+                    int(sids[i]),
+                    sids[structure.neighbors(int(i))],
+                    include_self_play,
+                )
+                for i in node_list
+            ],
+            dtype=np.float64,
+        )
+
     def fitness_well_mixed(self, sid: int, include_self_play: bool = False) -> float:
         """Fitness of one SSet holding ``sid`` against the whole pool
         multiset: ``counts @ paymat[sid]`` (minus self-play by default)."""

@@ -211,11 +211,16 @@ def _apply_generation_events(
     config = result.config
     if pc:
         decision = nature.pc_selection(len(population), structure)
-        fit_t = structure.fitness_of(
-            population, decision.teacher, evaluator, config.include_self_play
-        )
-        fit_l = structure.fitness_of(
-            population, decision.learner, evaluator, config.include_self_play
+        # pair_fitness is two fitness_of calls for well-mixed / legacy
+        # evaluators; graph structures with an eager FitnessEngine serve
+        # both sides from one batched CSR payoff-matrix gather (same
+        # values — integer sums are float-exact in any order).
+        fit_t, fit_l = structure.pair_fitness(
+            population,
+            decision.teacher,
+            decision.learner,
+            evaluator,
+            config.include_self_play,
         )
         adopted = nature.decide_learning(decision, fit_t, fit_l)
         if adopted:

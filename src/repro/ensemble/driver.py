@@ -5,9 +5,12 @@ evolutionary dynamics in a single interpreter loop.  Lanes with identical
 science (every config field except the seed) are stacked: their populations
 live in one ``(R, n_ssets)`` strategy-id array over one shared
 :class:`~repro.ensemble.engine.EnsembleEngine` pool/payoff matrix, their
-event flags are scanned together, and well-mixed pairwise-comparison
-fitness is evaluated for all of a generation's event lanes in one batched
-payoff-matrix gather (graphs use per-lane neighbor gathers).  Mutant
+event flags are scanned together, and pairwise-comparison fitness is
+evaluated for all of a generation's event lanes in one batched
+payoff-matrix reduction — ``counts``-style gathers for well-mixed lanes,
+one flat CSR gather + segment reduction over the structure's
+``indptr``/``indices`` adjacency for graph lanes
+(:meth:`~repro.ensemble.engine.EnsembleEngine.fitness_pc_graph`).  Mutant
 payoff rows are prefilled a *window* of generations ahead — mutation draws
 are state-independent, so the window's mutants can be drawn and evaluated
 in one batched kernel call before their events apply.
@@ -18,9 +21,10 @@ of the same-seed serial :func:`~repro.core.evolution.run_event_driven` run
 through exactly the serial call sequence (``batch_event_flags`` layout for
 the events stream, the teacher-then-learner-with-rejection draw of
 :meth:`~repro.structure.WellMixed.select_pair` — or the graph structures'
-learner-then-neighbor draw — plus one adoption uniform for PC, target +
-mutant draws for mutation), Fermi decisions use the same scalar
-``math.exp`` path, and shared-matrix fitness values are float-exact
+learner-then-neighbor draw, both decoded in bulk off the raw Philox
+stream by :mod:`repro.ensemble.rawstream` — plus one adoption uniform for
+PC, target + mutant draws for mutation), Fermi decisions use the same
+scalar ``math.exp`` path, and shared-matrix fitness values are float-exact
 integer sums, hence bitwise equal to the per-run engine's.
 
 Regimes:
@@ -61,7 +65,7 @@ from ..core.population import Population
 from ..core.strategy import Strategy, random_mixed, random_pure
 from ..errors import ConfigurationError
 from ..rng import SeedSequenceTree
-from ..structure import InteractionModel, build_structure
+from ..structure import GraphStructure, InteractionModel, build_structure
 from . import rawstream
 from .engine import EnsembleEngine, supports_shared_engine
 
@@ -164,7 +168,17 @@ def run_ensemble_detailed(
     for indices in groups.values():
         group_configs = [run_configs[i] for i in indices]
         group_initial = [initial[i] for i in indices]
-        if supports_shared_engine(group_configs[0]):
+        # The shared fast path speaks the structure layer's two batched
+        # dialects: well-mixed gathers and GraphStructure's CSR adjacency
+        # (decoders + fitness_pc_graph).  A custom InteractionModel
+        # subclass registered through register_structure implements only
+        # the abstract per-event API, so it runs the per-lane generic
+        # path (exact serial objects and draws) instead.
+        head = group_configs[0]
+        structure = build_structure(head.structure, head.n_ssets)
+        if supports_shared_engine(head) and (
+            structure.is_well_mixed or isinstance(structure, GraphStructure)
+        ):
             outs, meta = _run_group_shared(
                 group_configs, group_initial, batch_size
             )
@@ -244,12 +258,17 @@ def _run_group_shared(
         n_lanes=n_lanes,
         capacity=capacity,
     )
-    # Shallow memories (cheap pairs) prefill every pair a window could
-    # read, so the hot loop runs check-free; deep memories (4**n >= 64
-    # states, ~4x the kernel cost per pair) evaluate on demand instead —
-    # there the prefetch's mutant x live overshoot costs more than the
-    # per-generation check-and-fill it avoids.
-    full_cover = n_states <= 16
+    # Well-mixed shallow memories (cheap pairs) prefill every pair a
+    # window could read, so the hot loop runs check-free; deep memories
+    # (4**n >= 64 states, ~4x the kernel cost per pair) evaluate on demand
+    # instead — there the prefetch's mutant x live overshoot costs more
+    # than the per-generation check-and-fill it avoids.  Graph lanes are
+    # *always* on demand: a fitness gather reads only the 2k event
+    # neighborhoods (O(degree) pairs), a tiny fraction of the mutant x
+    # live-population coverage the invariant would prefill, so the
+    # check-and-fill inside fitness_pc_graph is the cheaper side at every
+    # memory depth (measured: 64-lane ring m1/m2 both faster on demand).
+    full_cover = n_states <= 16 and well_mixed
     sids = np.empty((n_lanes, n_ssets), dtype=np.int64)
     for r in range(n_lanes):
         # Population objects are bystanders during the shared-mode run (the
@@ -300,14 +319,19 @@ def _run_group_shared(
     # Per-lane decision-stream pre-draw (see repro.ensemble.rawstream):
     # PC selections and mutations are state-independent, so each batch's
     # draws happen up front — vectorised straight off the Philox raw
-    # stream when the bounds allow, through the ordinary Generator calls
-    # otherwise — and the event loop just walks cursors.  Graph structures
-    # keep their scalar select_pair draws (learner-then-neighbor order).
-    pc_decoders = (
-        [rawstream.pc_decoder(pc_rngs[r], n_ssets) for r in range(n_lanes)]
-        if well_mixed
-        else None
-    )
+    # stream when the primitives verify, through the ordinary Generator
+    # calls otherwise — and the event loop just walks cursors.  Graph
+    # structures decode their learner-then-neighbor select_pair order
+    # (teacher resolved through the CSR adjacency inside the decoder).
+    if well_mixed:
+        pc_decoders = [
+            rawstream.pc_decoder(pc_rngs[r], n_ssets) for r in range(n_lanes)
+        ]
+    else:
+        pc_decoders = [
+            rawstream.graph_pc_decoder(pc_rngs[r], structure)
+            for r in range(n_lanes)
+        ]
     mu_decoders = [
         rawstream.mutation_decoder(mu_rngs[r], n_ssets, n_states)
         for r in range(n_lanes)
@@ -356,17 +380,16 @@ def _run_group_shared(
             mu_targets.append(targets_r)
             mu_tables.append(tables_r)
         mu_cur = [0] * n_lanes
-        if pc_decoders is not None:
-            pc_counts = np.count_nonzero(pc_flags, axis=1)
-            pc_teachers: list[list[int]] = []
-            pc_learners: list[list[int]] = []
-            pc_uniforms: list[list[float]] = []
-            for r in range(n_lanes):
-                t_r, l_r, u_r = pc_decoders[r].draw(int(pc_counts[r]))
-                pc_teachers.append(t_r)
-                pc_learners.append(l_r)
-                pc_uniforms.append(u_r)
-            pc_cur = [0] * n_lanes
+        pc_counts = np.count_nonzero(pc_flags, axis=1)
+        pc_teachers: list[list[int]] = []
+        pc_learners: list[list[int]] = []
+        pc_uniforms: list[list[float]] = []
+        for r in range(n_lanes):
+            t_r, l_r, u_r = pc_decoders[r].draw(int(pc_counts[r]))
+            pc_teachers.append(t_r)
+            pc_learners.append(l_r)
+            pc_uniforms.append(u_r)
+        pc_cur = [0] * n_lanes
         for w_lo in range(0, batch, window):
             w_hi = min(w_lo + window, batch)
             p_end = pi
@@ -467,7 +490,7 @@ def _run_group_shared(
                         next_snap[r] = pending
 
                 k = len(pc_lanes)
-                if k and well_mixed:
+                if k:
                     teachers = [0] * k
                     learners = [0] * k
                     uniforms = [0.0] * k
@@ -477,21 +500,41 @@ def _run_group_shared(
                         teachers[i] = pc_teachers[r][j]
                         learners[i] = pc_learners[r][j]
                         uniforms[i] = pc_uniforms[r][j]
-                    lane_block = sids[pc_lanes_np]
-                    rows = rows_all[:k]
-                    sid_t = lane_block[rows, teachers]
-                    sid_l = lane_block[rows, learners]
-                    if not full_cover:
-                        engine.ensure_rows(
-                            np.concatenate((sid_t, sid_l)),
-                            np.concatenate((lane_block, lane_block)),
-                            np.concatenate((pc_lanes_np, pc_lanes_np)),
+                    if well_mixed:
+                        lane_block = sids[pc_lanes_np]
+                        rows = rows_all[:k]
+                        sid_t = lane_block[rows, teachers]
+                        sid_l = lane_block[rows, learners]
+                        if not full_cover:
+                            engine.ensure_rows(
+                                np.concatenate((sid_t, sid_l)),
+                                np.concatenate((lane_block, lane_block)),
+                                np.concatenate((pc_lanes_np, pc_lanes_np)),
+                            )
+                        # (With full_cover every gathered pair is valid by
+                        # the coverage invariant: initial fill + window
+                        # prefetch.)
+                        fit_t, fit_l = engine.fitness_pc_well_mixed(
+                            lane_block, sid_t, sid_l, include_self
                         )
-                    # (With full_cover every gathered pair is valid by the
-                    # coverage invariant: initial fill + window prefetch.)
-                    fit_t, fit_l = engine.fitness_pc_well_mixed(
-                        lane_block, sid_t, sid_l, include_self
-                    )
+                    else:
+                        # Graph lanes: the generation's event lanes share
+                        # one flat CSR gather + segment reduction (and, in
+                        # the deep-memory regime, one batched fill of every
+                        # pair the gather will read).
+                        t_nodes = np.asarray(teachers, dtype=np.int64)
+                        l_nodes = np.asarray(learners, dtype=np.int64)
+                        sid_t = sids[pc_lanes_np, t_nodes]
+                        sid_l = sids[pc_lanes_np, l_nodes]
+                        fit_t, fit_l = engine.fitness_pc_graph(
+                            sids,
+                            pc_lanes_np,
+                            t_nodes,
+                            l_nodes,
+                            structure,
+                            include_self,
+                            ensure=not full_cover,
+                        )
                     for i, r in enumerate(pc_lanes):
                         ft = fit_t[i]
                         fl = fit_l[i]
@@ -521,64 +564,6 @@ def _run_group_shared(
                                     kind="pc",
                                     source=teachers[i],
                                     target=learners[i],
-                                    applied=adopted,
-                                    teacher_fitness=ft,
-                                    learner_fitness=fl,
-                                )
-                            )
-                elif k:
-                    for r in pc_lanes:
-                        rng = pc_rngs[r]
-                        teacher, learner = structure.select_pair(rng)
-                        uniform = float(rng.random())
-                        lane_sids = sids[r]
-                        sid_t = int(lane_sids[teacher])
-                        sid_l = int(lane_sids[learner])
-                        nbrs_t = lane_sids[structure.neighbors(teacher)]
-                        nbrs_l = lane_sids[structure.neighbors(learner)]
-                        if not full_cover:
-                            lane_one = np.array([r], dtype=np.int64)
-                            engine.ensure_rows(
-                                np.array([sid_t], dtype=np.int64),
-                                nbrs_t[None, :], lane_one,
-                            )
-                            engine.ensure_rows(
-                                np.array([sid_l], dtype=np.int64),
-                                nbrs_l[None, :], lane_one,
-                            )
-                            if include_self:
-                                engine.ensure_pair(r, sid_t, sid_t)
-                                engine.ensure_pair(r, sid_l, sid_l)
-                        # (With full_cover the neighbor gathers and the
-                        # self-play diagonal read within-lane pairs only —
-                        # valid by the coverage invariant.)
-                        ft = engine.fitness_neighbors(
-                            sid_t, nbrs_t, include_self
-                        )
-                        fl = engine.fitness_neighbors(
-                            sid_l, nbrs_l, include_self
-                        )
-                        if not downhill and not ft > fl:
-                            adopted = False
-                        else:
-                            adopted = uniform < fermi_probability(ft, fl, beta)
-                        if adopted:
-                            refs[sid_t] += 1
-                            sids[r, learner] = sid_t
-                            left = refs[sid_l] - 1
-                            refs[sid_l] = left
-                            if left == 0:
-                                engine.recycle(sid_l)
-                            adopt_counts[r, learner] += 1
-                        n_pc[r] += 1
-                        n_adopt[r] += adopted
-                        if record_events:
-                            event_lists[r].append(
-                                EventRecord(
-                                    generation=gen,
-                                    kind="pc",
-                                    source=teacher,
-                                    target=learner,
                                     applied=adopted,
                                     teacher_fitness=ft,
                                     learner_fitness=fl,
@@ -756,11 +741,8 @@ def _run_group_generic(
                 rng = pc_rngs[r]
                 teacher, learner = structure.select_pair(rng)
                 uniform = float(rng.random())
-                ft = structure.fitness_of(
-                    pops[r], teacher, evaluators[r], include_self
-                )
-                fl = structure.fitness_of(
-                    pops[r], learner, evaluators[r], include_self
+                ft, fl = structure.pair_fitness(
+                    pops[r], teacher, learner, evaluators[r], include_self
                 )
                 if not downhill and not ft > fl:
                     adopted = False

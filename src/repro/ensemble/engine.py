@@ -29,8 +29,11 @@ Differences from the per-run :class:`~repro.core.engine.FitnessEngine`:
   sum over distinct strategies.  Both are sums of the same integer-valued
   float64 terms, hence bit-equal (the engine refuses non-integer payoff
   matrices, exactly like the per-run deterministic engine), which is what
-  keeps every lane on the same-seed serial trajectory.  Graph fitness is a
-  per-lane neighbor gather, ``paymat[sid, lane_sids[neighbors]].sum()``.
+  keeps every lane on the same-seed serial trajectory.  Graph fitness runs
+  the same way at ensemble scale: one flat CSR gather plus a segment
+  reduction across *all* of a generation's event lanes
+  (:meth:`EnsembleEngine.fitness_pc_graph`), with
+  ``paymat[sid, lane_sids[neighbors]].sum()`` as the per-lane scalar view.
 
 The expected-fitness regime cannot share a matrix across lanes: its Markov
 kernel is not bitwise perspective-symmetric, so an entry's last-ulp value
@@ -399,6 +402,60 @@ class EnsembleEngine:
         if include_self_play:
             total = total + np.float64(self._paymat[sid, sid])
         return total
+
+    def fitness_pc_graph(
+        self,
+        sids: np.ndarray,
+        lanes: np.ndarray,
+        teachers: np.ndarray,
+        learners: np.ndarray,
+        structure,
+        include_self_play: bool = False,
+        ensure: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Teacher/learner graph fitness for many lanes' PC events at once.
+
+        ``sids`` is the full ``(R, n_ssets)`` sid array, ``lanes`` the (k,)
+        event lanes of this generation, ``teachers``/``learners`` their
+        selected nodes, ``structure`` the shared
+        :class:`~repro.structure.graphs.GraphStructure`.  All 2k focal
+        neighborhoods are resolved through one CSR segment plan
+        (:meth:`~repro.structure.graphs.GraphStructure.neighbor_segments`)
+        into a single payoff-matrix gather plus one
+        :func:`numpy.add.reduceat` reduction — the graph analogue of
+        :meth:`fitness_pc_well_mixed`, and bit-equal to per-lane
+        :meth:`fitness_neighbors` gathers because integer payoffs sum
+        exactly in float64 in any order.
+
+        With ``ensure`` (the deep-memory on-demand regime) every pair a
+        gather will read — focal x neighbor, plus the self-play diagonal —
+        is validated/filled first through :meth:`fill_missing`.
+        """
+        nodes = np.concatenate((teachers, learners))
+        lanes2 = np.concatenate((lanes, lanes))
+        flat, seg = structure.neighbor_segments(nodes)
+        deg = np.diff(seg)
+        focal_sids = sids[lanes2, nodes]
+        focal_rep = np.repeat(focal_sids, deg)
+        lane_rep = np.repeat(lanes2, deg)
+        nbr_sids = sids[lane_rep, flat]
+        if ensure:
+            if include_self_play:
+                self.fill_missing(
+                    np.concatenate((focal_rep, focal_sids)),
+                    np.concatenate((nbr_sids, focal_sids)),
+                    np.concatenate((lane_rep, lanes2)),
+                )
+            else:
+                self.fill_missing(focal_rep, nbr_sids, lane_rep)
+        vals = self._paymat[focal_rep, nbr_sids]
+        fit = np.add.reduceat(vals.astype(np.float64, copy=False), seg[:-1])
+        if include_self_play:
+            fit = fit + self._paymat[focal_sids, focal_sids].astype(
+                np.float64, copy=False
+            )
+        k = teachers.shape[0]
+        return fit[:k], fit[k:]
 
     # -- invariants ------------------------------------------------------------
 

@@ -11,22 +11,41 @@ NumPy's ``Generator`` draws these values through a handful of stable
 primitives on the Philox raw uint64 stream:
 
 * ``random()`` — one raw word: ``(raw >> 11) * 2**-53``;
-* ``integers(n)`` with ``n < 2**32`` — Lemire's multiply-shift on 32-bit
-  halves, low half first, with a *persistent* half-word carry between
-  calls: ``value = (u32 * n) >> 32``.  For power-of-two ``n`` the
-  rejection threshold is zero, so every draw consumes exactly one half;
+* ``integers(n)`` with ``2 <= n < 2**32`` — Lemire's multiply-shift on
+  32-bit halves, low half first, with a *persistent* half-word carry
+  between calls: ``value = (u32 * n) >> 32``, **rejected and redrawn**
+  while the product's low half falls under ``threshold = 2**32 % n``.
+  For power-of-two ``n`` the threshold is zero, so every draw consumes
+  exactly one half; for other bounds a rejection is a ~``n / 2**32``
+  rarity that this module repairs with a scalar fixup, exactly like the
+  teacher==learner collision path (the ROADMAP's "Lemire-32 rejection is
+  rare and fixup-able" item);
+* ``integers(1)`` — answered from the bound alone, **no stream
+  consumption** (NumPy's ``rng == 0`` special case; graph lanes meet it
+  at degree-1 nodes);
 * ``integers(0, 2, size=S, dtype=uint8)`` — one byte per element
   (little-endian within each 32-bit half): ``value = byte >> 7``.
 
 This module re-implements those primitives vectorised over a *clone* of
 the bit generator (peek), then advances the real generator by exactly the
-number of raw words consumed (commit).  Decoding is only enabled when
+number of raw words consumed (commit).  Decoding is enabled only after a
+start-up self-check against the real ``Generator`` API passes — so a
+future NumPy that changes its bounded-integer algorithm degrades this
+module to the scalar path instead of silently changing trajectories (the
+lane-parity tests pin the trajectories regardless).  The self-check
+includes power-of-two and non-power-of-two bounds, a bound chosen to make
+Lemire rejections frequent, and graph (learner-then-neighbor) draws over
+an irregular CSR adjacency.
 
-* the bound is a power of two (rejection-free Lemire), and
-* a start-up self-check against the real ``Generator`` API passes —
-  so a future NumPy that changes its bounded-integer algorithm degrades
-  this module to the scalar path instead of silently changing
-  trajectories (the lane-parity tests pin the trajectories regardless).
+Three decoders are exposed:
+
+* :func:`pc_decoder` — the well-mixed PC selection stream
+  (teacher, learner-with-rejection, adoption uniform);
+* :func:`graph_pc_decoder` — the graph-structure PC selection stream
+  (learner uniform over the population, teacher uniform over the
+  learner's CSR neighbor row, adoption uniform) — what lifts graph lanes
+  onto the ensemble fast path;
+* :func:`mutation_decoder` — mutation targets + pure mutant tables.
 
 The scalar fallbacks produce identical arrays through the ordinary
 ``Generator`` calls, so callers see one interface either way.
@@ -38,6 +57,7 @@ import numpy as np
 
 __all__ = [
     "pc_decoder",
+    "graph_pc_decoder",
     "mutation_decoder",
     "raw_decoding_supported",
 ]
@@ -48,8 +68,11 @@ _SHIFT11 = np.uint64(11)
 _DOUBLE_SCALE = 1.0 / (1 << 53)
 
 
-def _is_pow2(n: int) -> bool:
-    return n > 0 and n & (n - 1) == 0
+def _lemire_threshold(n: int) -> int:
+    """NumPy's bounded-integer rejection threshold for ``integers(n)``:
+    products whose low 32 bits fall below it are redrawn (zero for
+    power-of-two bounds — ``(2**32 - n) % n == 2**32 % n``)."""
+    return (1 << 32) % n
 
 
 class _RawPeek:
@@ -87,19 +110,39 @@ class _RawPeek:
             self._real.random_raw(self.consumed)
 
 
+def _scalar_bounded(decoder, peek: _RawPeek, n: int, threshold: int) -> int:
+    """One ``integers(n)`` value off the half-word stream, Lemire rejection
+    included, updating the decoder's persistent half-word carry.  Mirrors
+    NumPy's ``buffered_bounded_lemire_uint32`` exactly (``n >= 2``)."""
+    while True:
+        if decoder._half is not None:
+            u32 = decoder._half
+            decoder._half = None
+        else:
+            raw = int(peek.take(1)[0])
+            u32 = raw & 0xFFFFFFFF
+            decoder._half = raw >> 32
+        product = u32 * n
+        if (product & 0xFFFFFFFF) >= threshold:
+            return product >> 32
+
+
 class _RawPCDecoder:
     """Well-mixed PC selections decoded from the raw stream.
 
     Per event the serial sequence is ``integers(n)`` (teacher),
     ``integers(n)`` (learner, redrawn while equal), ``random()``
     (adoption uniform): two half-words plus one full word — two raw words
-    per collision-free event, in one of two stable carry parities.
+    per clean event, in one of two stable carry parities.  Events that
+    collide (teacher == learner) or hit a Lemire rejection consume extra
+    draws; both are rare and replayed through the scalar fixup.
     """
 
     def __init__(self, rng: np.random.Generator, n_ssets: int):
         self._bitgen = rng.bit_generator
         self._n = n_ssets
         self._un = np.uint64(n_ssets)
+        self._thr = np.uint64(_lemire_threshold(n_ssets))
         self._half: int | None = None
 
     def draw(self, m: int) -> tuple[list[int], list[int], list[float]]:
@@ -110,6 +153,7 @@ class _RawPCDecoder:
         learners: list[int] = [0] * m
         uniforms: list[float] = [0.0] * m
         un = self._un
+        thr = self._thr
         i = 0
         while i < m:
             todo = m - i
@@ -118,37 +162,45 @@ class _RawPCDecoder:
             od = raws[1::2]
             if self._half is None:
                 t32 = ev & _U32
+                l32 = ev >> _SHIFT32
             else:
                 t32 = np.empty(todo, dtype=np.uint64)
                 t32[0] = self._half
                 t32[1:] = ev[:-1] >> _SHIFT32
-            l32 = (ev >> _SHIFT32) if self._half is None else (ev & _U32)
-            t_np = (t32 * un) >> _SHIFT32
-            l_np = (l32 * un) >> _SHIFT32
+                l32 = ev & _U32
+            mt = t32 * un
+            ml = l32 * un
+            t_np = mt >> _SHIFT32
+            l_np = ml >> _SHIFT32
             t_arr = t_np.tolist()
             l_arr = l_np.tolist()
             u_arr = ((od >> _SHIFT11) * _DOUBLE_SCALE).tolist()
-            collisions = np.nonzero(t_np == l_np)[0]
-            collision = int(collisions[0]) if collisions.size else None
-            good = todo if collision is None else collision
+            # An event is "bad" — misaligned from here on — when either
+            # bounded draw was Lemire-rejected or the pair collided.
+            bad = (mt & _U32) < thr
+            bad |= (ml & _U32) < thr
+            bad |= t_np == l_np
+            bads = np.nonzero(bad)[0]
+            first_bad = int(bads[0]) if bads.size else None
+            good = todo if first_bad is None else first_bad
             teachers[i : i + good] = t_arr[:good]
             learners[i : i + good] = l_arr[:good]
             uniforms[i : i + good] = u_arr[:good]
-            if collision is None:
+            if first_bad is None:
                 if self._half is not None:
                     self._half = int(ev[-1] >> _SHIFT32)
                 i += todo
                 continue
-            # Rewind the peek to the collision event and replay it with
-            # the scalar redraw loop (collisions are ~1/n rare).
+            # Rewind the peek to the bad event and replay it with the
+            # scalar loop (collisions are ~1/n rare, rejections ~n/2**32).
             peek.rollback(2 * (todo - good))
             if self._half is not None and good > 0:
                 self._half = int(ev[good - 1] >> _SHIFT32)
             i += good
-            teacher = self._next_bounded(peek)
-            learner = self._next_bounded(peek)
+            teacher = _scalar_bounded(self, peek, self._n, int(thr))
+            learner = _scalar_bounded(self, peek, self._n, int(thr))
             while learner == teacher:
-                learner = self._next_bounded(peek)
+                learner = _scalar_bounded(self, peek, self._n, int(thr))
             raw = int(peek.take(1)[0])  # random() draws a full word
             teachers[i] = teacher
             learners[i] = learner
@@ -156,16 +208,6 @@ class _RawPCDecoder:
             i += 1
         peek.commit()
         return teachers, learners, uniforms
-
-    def _next_bounded(self, peek: _RawPeek) -> int:
-        if self._half is not None:
-            u32 = self._half
-            self._half = None
-        else:
-            raw = int(peek.take(1)[0])
-            u32 = raw & 0xFFFFFFFF
-            self._half = raw >> 32
-        return (u32 * self._n) >> 32
 
 
 class _ScalarPCDecoder:
@@ -192,41 +234,208 @@ class _ScalarPCDecoder:
         return teachers, learners, uniforms
 
 
+class _RawGraphPCDecoder:
+    """Graph-structure PC selections decoded from the raw stream.
+
+    Per event the serial sequence (:meth:`GraphStructure.select_pair`) is
+    ``integers(n)`` (learner), ``integers(degree(learner))`` (teacher
+    offset into the learner's CSR neighbor row), ``random()`` (adoption
+    uniform) — the well-mixed two-halves-plus-a-word shape with the roles
+    swapped and a *value-dependent* second bound.  Degree-1 learners are
+    routed through the scalar fixup: NumPy answers ``integers(1)`` from
+    the bound alone without consuming the stream.
+    """
+
+    def __init__(self, rng: np.random.Generator, structure):
+        self._bitgen = rng.bit_generator
+        n = structure.n_ssets
+        self._n = n
+        self._un = np.uint64(n)
+        self._thr_n = np.uint64(_lemire_threshold(n))
+        self._indptr = structure.indptr.astype(np.int64)
+        self._indices = structure.indices
+        self._deg = structure.degrees.astype(np.uint64)
+        self._thr_deg = np.uint64(1 << 32) % self._deg
+        self._half: int | None = None
+
+    def draw(self, m: int) -> tuple[list[int], list[int], list[float]]:
+        if m == 0:
+            return [], [], []
+        peek = _RawPeek(self._bitgen)
+        teachers: list[int] = [0] * m
+        learners: list[int] = [0] * m
+        uniforms: list[float] = [0.0] * m
+        i = 0
+        while i < m:
+            todo = m - i
+            raws = peek.take(2 * todo)
+            ev = raws[0::2]
+            od = raws[1::2]
+            if self._half is None:
+                l32 = ev & _U32
+                t32 = ev >> _SHIFT32
+            else:
+                l32 = np.empty(todo, dtype=np.uint64)
+                l32[0] = self._half
+                l32[1:] = ev[:-1] >> _SHIFT32
+                t32 = ev & _U32
+            ml = l32 * self._un
+            l_np = (ml >> _SHIFT32).astype(np.int64)
+            bounds = self._deg[l_np]
+            mt = t32 * bounds
+            tidx = (mt >> _SHIFT32).astype(np.int64)
+            # Bad events: learner rejected (making the decoded bound
+            # meaningless), teacher offset rejected, or a degree-1 learner
+            # (whose offset draw consumes nothing).
+            bad = (ml & _U32) < self._thr_n
+            bad |= (mt & _U32) < self._thr_deg[l_np]
+            bad |= bounds == 1
+            bads = np.nonzero(bad)[0]
+            first_bad = int(bads[0]) if bads.size else None
+            good = todo if first_bad is None else first_bad
+            if good:
+                l_good = l_np[:good]
+                t_good = self._indices[self._indptr[l_good] + tidx[:good]]
+                learners[i : i + good] = l_good.tolist()
+                teachers[i : i + good] = t_good.tolist()
+                uniforms[i : i + good] = (
+                    (od[:good] >> _SHIFT11) * _DOUBLE_SCALE
+                ).tolist()
+            if first_bad is None:
+                if self._half is not None:
+                    self._half = int(ev[-1] >> _SHIFT32)
+                i += todo
+                continue
+            peek.rollback(2 * (todo - good))
+            if self._half is not None and good > 0:
+                self._half = int(ev[good - 1] >> _SHIFT32)
+            i += good
+            learner = _scalar_bounded(self, peek, self._n, int(self._thr_n))
+            degree = int(self._deg[learner])
+            if degree == 1:
+                offset = 0  # integers(1): no stream consumption
+            else:
+                offset = _scalar_bounded(
+                    self, peek, degree, _lemire_threshold(degree)
+                )
+            raw = int(peek.take(1)[0])
+            learners[i] = learner
+            teachers[i] = int(self._indices[self._indptr[learner] + offset])
+            uniforms[i] = (raw >> 11) * _DOUBLE_SCALE
+            i += 1
+        peek.commit()
+        return teachers, learners, uniforms
+
+
+class _ScalarGraphPCDecoder:
+    """Generator-API fallback: drives the structure's own ``select_pair``
+    so the consumption contract lives in exactly one place."""
+
+    def __init__(self, rng: np.random.Generator, structure):
+        self._rng = rng
+        self._structure = structure
+
+    def draw(self, m: int) -> tuple[list[int], list[int], list[float]]:
+        rng = self._rng
+        select = self._structure.select_pair
+        teachers = [0] * m
+        learners = [0] * m
+        uniforms = [0.0] * m
+        for i in range(m):
+            teacher, learner = select(rng)
+            teachers[i] = teacher
+            learners[i] = learner
+            uniforms[i] = float(rng.random())
+        return teachers, learners, uniforms
+
+
 class _RawMutationDecoder:
     """Mutation targets + pure mutant tables decoded from the raw stream.
 
     Per event: one half-word (target, Lemire-32) then ``n_states`` bytes
     (table, one byte per move) — a flat half-word stream with no full-word
-    draws in between, so the whole batch decodes in one pass.
+    draws in between, so a whole batch decodes in one pass; a rejected
+    target half is repaired through the scalar fixup.
     """
 
     def __init__(self, rng: np.random.Generator, n_ssets: int, n_states: int):
         self._bitgen = rng.bit_generator
-        self._n = np.uint64(n_ssets)
+        self._n = n_ssets
+        self._un = np.uint64(n_ssets)
+        self._thr = np.uint64(_lemire_threshold(n_ssets))
         self._n_states = n_states
         self._per_event = 1 + n_states // 4
         self._half: int | None = None
+
+    def _take_halves(self, peek: _RawPeek, need: int) -> tuple[np.ndarray, int]:
+        """``need`` half-words as one array (carry first when present),
+        plus the raw-word count taken — so the caller can roll back to any
+        half boundary through :meth:`_finish_halves`."""
+        offset = 0 if self._half is None else 1
+        n_raws = (need - offset + 1) // 2 if need > offset else 0
+        raws = peek.take(n_raws)
+        halves = np.empty(offset + 2 * n_raws, dtype=np.uint64)
+        if offset:
+            halves[0] = self._half
+        halves[offset : offset + 2 * n_raws : 2] = raws & _U32
+        halves[offset + 1 : offset + 1 + 2 * n_raws : 2] = raws >> _SHIFT32
+        return halves, n_raws
+
+    def _finish_halves(
+        self, peek: _RawPeek, halves: np.ndarray, used: int, raws_taken: int
+    ) -> None:
+        """Record that only ``used`` of the taken halves were consumed:
+        roll the peek back to the matching raw-word boundary and update
+        the carry (the high half of a split word survives to the next
+        draw)."""
+        offset = 0 if self._half is None else 1
+        from_raws = max(0, used - offset)
+        raws_needed = (from_raws + 1) // 2
+        peek.rollback(raws_taken - raws_needed)
+        if used == 0:
+            return  # nothing consumed: any pre-existing carry survives
+        self._half = int(halves[used]) if from_raws % 2 else None
 
     def draw(self, m: int) -> tuple[list[int], np.ndarray]:
         if m == 0:
             return [], np.empty((0, self._n_states), dtype=np.uint8)
         peek = _RawPeek(self._bitgen)
-        need = self._per_event * m - (0 if self._half is None else 1)
-        n_raws = (need + 1) // 2
-        raws = peek.take(n_raws)
-        halves = np.empty(2 * n_raws + 1, dtype=np.uint64)
-        offset = 0 if self._half is None else 1
-        if offset:
-            halves[0] = self._half
-        halves[offset : offset + 2 * n_raws : 2] = raws & _U32
-        halves[offset + 1 : offset + 1 + 2 * n_raws : 2] = raws >> _SHIFT32
-        total = offset + 2 * n_raws
-        used = self._per_event * m
-        self._half = int(halves[used]) if total > used else None
-        stream = halves[:used].reshape(m, self._per_event)
-        targets = ((stream[:, 0] * self._n) >> _SHIFT32).tolist()
-        words = np.ascontiguousarray(stream[:, 1:]).astype("<u4")
-        tables = (words.view(np.uint8) >> 7).reshape(m, self._n_states)
+        targets: list[int] = [0] * m
+        tables = np.empty((m, self._n_states), dtype=np.uint8)
+        per_event = self._per_event
+        i = 0
+        while i < m:
+            todo = m - i
+            halves, raws_taken = self._take_halves(peek, per_event * todo)
+            stream = halves[: per_event * todo].reshape(todo, per_event)
+            m64 = stream[:, 0] * self._un
+            rejected = np.nonzero((m64 & _U32) < self._thr)[0]
+            good = todo if rejected.size == 0 else int(rejected[0])
+            if good:
+                targets[i : i + good] = (m64[:good] >> _SHIFT32).tolist()
+                words = np.ascontiguousarray(stream[:good, 1:]).astype("<u4")
+                tables[i : i + good] = (words.view(np.uint8) >> 7).reshape(
+                    good, self._n_states
+                )
+            if rejected.size == 0:
+                self._finish_halves(peek, halves, per_event * todo, raws_taken)
+                i += todo
+                continue
+            # Roll back to the rejected event and replay it scalar.
+            self._finish_halves(peek, halves, per_event * good, raws_taken)
+            i += good
+            targets[i] = _scalar_bounded(self, peek, self._n, int(self._thr))
+            word_halves, word_raws = self._take_halves(
+                peek, self._n_states // 4
+            )
+            self._finish_halves(
+                peek, word_halves, self._n_states // 4, word_raws
+            )
+            words = np.ascontiguousarray(
+                word_halves[: self._n_states // 4]
+            ).astype("<u4")
+            tables[i] = words.view(np.uint8) >> 7
+            i += 1
         peek.commit()
         return targets, tables
 
@@ -254,11 +463,56 @@ class _ScalarMutationDecoder:
 
 _RAW_OK: bool | None = None
 
+#: High-rejection self-check bound: 2**32 % n is ~2**31.4, so one draw in
+#: three Lemire-rejects and the fixup path is exercised for real (for
+#: realistic population sizes a rejection is a ~n/2**32 rarity).
+_REJECTION_HEAVY_N = 2863311531
+
+
+class _CheckGraph:
+    """Minimal CSR stand-in for the self-check: irregular degrees
+    (1, 2, 3, 4, 5) including a degree-1 node, symmetric by construction."""
+
+    def __init__(self):
+        adjacency = {
+            0: [1],
+            1: [0, 2],
+            2: [1, 3, 4, 5, 6],
+            3: [2, 4, 6],
+            4: [2, 3, 5, 6],
+            5: [2, 4],
+            6: [2, 3, 4],
+        }
+        self.n_ssets = len(adjacency)
+        self.degrees = np.array(
+            [len(adjacency[i]) for i in range(self.n_ssets)], dtype=np.int32
+        )
+        self.indptr = np.zeros(self.n_ssets + 1, dtype=np.int32)
+        np.cumsum(self.degrees, out=self.indptr[1:])
+        self.indices = np.concatenate(
+            [np.array(adjacency[i], dtype=np.int32) for i in range(self.n_ssets)]
+        )
+
+    def select_pair(self, rng: np.random.Generator) -> tuple[int, int]:
+        # GraphStructure.select_pair's exact consumption, for the scalar
+        # reference side of the self-check.
+        learner = int(rng.integers(self.n_ssets))
+        start = self.indptr[learner]
+        offset = int(rng.integers(int(self.degrees[learner])))
+        return int(self.indices[start + offset]), learner
+
 
 def _self_check() -> bool:
     """Compare raw decoding against the real Generator API once per process."""
     try:
-        for seed, n, m in ((12345, 4, 96), (777, 64, 40)):
+        pc_cases = (
+            (12345, 4, 96),  # power of two (rejection-free)
+            (777, 64, 40),
+            (424, 48, 64),  # non-power-of-two (rare rejections)
+            (99, 100, 64),
+            (5, _REJECTION_HEAVY_N, 64),  # ~1/3 of draws reject
+        )
+        for seed, n, m in pc_cases:
             ref = np.random.Generator(np.random.Philox(seed))
             dec = _RawPCDecoder(np.random.Generator(np.random.Philox(seed)), n)
             expect = _ScalarPCDecoder(ref, n).draw(m)
@@ -268,7 +522,13 @@ def _self_check() -> bool:
             got = tuple(a + b for a, b in zip(got_a, got_b))
             if got != expect:
                 return False
-        for seed, n, states, m in ((9, 8, 16, 33), (10, 32, 4, 21)):
+        mutation_cases = (
+            (9, 8, 16, 33),
+            (10, 32, 4, 21),
+            (11, 48, 16, 33),  # non-power-of-two target bound
+            (12, _REJECTION_HEAVY_N, 4, 48),  # rejection-heavy targets
+        )
+        for seed, n, states, m in mutation_cases:
             ref = np.random.Generator(np.random.Philox(seed))
             dec = _RawMutationDecoder(
                 np.random.Generator(np.random.Philox(seed)), n, states
@@ -282,16 +542,29 @@ def _self_check() -> bool:
                 np.concatenate([got_tab1, got_tab2]), expect_tab
             ):
                 return False
+        graph = _CheckGraph()
+        for seed, m in ((21, 96), (22, 41)):
+            ref = np.random.Generator(np.random.Philox(seed))
+            dec = _RawGraphPCDecoder(
+                np.random.Generator(np.random.Philox(seed)), graph
+            )
+            expect = _ScalarGraphPCDecoder(ref, graph).draw(m)
+            got_a = dec.draw(m // 2)
+            got_b = dec.draw(m - m // 2)
+            got = tuple(a + b for a, b in zip(got_a, got_b))
+            if got != expect:
+                return False
     except Exception:  # pragma: no cover - ultra-defensive
         return False
     return True
 
 
 def raw_decoding_supported(n_ssets: int) -> bool:
-    """Whether the raw fast path applies (power-of-two bound + verified
-    NumPy primitives)."""
+    """Whether the raw fast path applies: any bound below 2**32 (Lemire
+    rejections are decoded with a scalar fixup), gated on the start-up
+    self-check of the NumPy primitives."""
     global _RAW_OK
-    if not _is_pow2(n_ssets):
+    if not 2 <= n_ssets < 1 << 32:
         return False
     if _RAW_OK is None:
         _RAW_OK = _self_check()
@@ -303,6 +576,19 @@ def pc_decoder(rng: np.random.Generator, n_ssets: int):
     if raw_decoding_supported(n_ssets):
         return _RawPCDecoder(rng, n_ssets)
     return _ScalarPCDecoder(rng, n_ssets)
+
+
+def graph_pc_decoder(rng: np.random.Generator, structure):
+    """Graph (learner-then-neighbor) PC pre-draw decoder for one lane.
+
+    ``structure`` is a :class:`~repro.structure.graphs.GraphStructure`
+    (anything exposing CSR ``indptr``/``indices``/``degrees`` plus
+    ``select_pair`` works); the raw path decodes both bounded draws and
+    the adoption uniform straight off the Philox counter stream.
+    """
+    if raw_decoding_supported(structure.n_ssets):
+        return _RawGraphPCDecoder(rng, structure)
+    return _ScalarGraphPCDecoder(rng, structure)
 
 
 def mutation_decoder(rng: np.random.Generator, n_ssets: int, n_states: int):

@@ -30,12 +30,16 @@ from .registry import ExperimentResult, Scale, get_default_backend, register
 __all__ = ["structures"]
 
 #: The sweep's structure axis.  36 SSets: square for the grid (6x6) and
-#: even so every ring/regular parameterisation below is feasible.
+#: even so every ring/regular parameterisation below is feasible.  The
+#: small-world and scale-free rows probe the two classic complex-network
+#: regimes (short paths + clustering; heavy-tailed hub degrees).
 STRUCTURES: tuple[str, ...] = (
     "well-mixed",
     "ring:k=4",
     "grid:rows=6,cols=6",
     "regular:d=4,seed=1",
+    "smallworld:k=4,p=0.1,seed=1",
+    "scalefree:m=2,seed=1",
 )
 
 N_SSETS = 36

@@ -12,10 +12,18 @@ strings carried by :class:`~repro.core.EvolutionConfig`:
 ``ring:k=4``                   cycle, each SSet tied to its k nearest
 ``grid`` / ``grid:rows=8,cols=8``  2-D torus, von-Neumann neighborhoods
 ``regular:d=4,seed=7``         random d-regular graph (own seed)
+``smallworld:k=4,p=0.1,seed=7``  Watts–Strogatz rewired ring (own seed)
+``scalefree:m=2,seed=7``       Barabási–Albert preferential attachment
 =============================  ================================================
 
+Every graph family canonically owns a flat CSR adjacency
+(:attr:`GraphStructure.indptr` / :attr:`GraphStructure.indices`, int32) —
+the representation the batched fitness path gathers from — with the
+per-node adjacency lists kept as a derived view.
+
 Build one with :func:`build_structure(spec, n_ssets)`; register new models
-with :func:`register_structure`.
+with :func:`register_structure`; list the families and their parameters
+with :func:`structure_families` (CLI: ``repro structures``).
 """
 
 from .base import (
@@ -26,9 +34,18 @@ from .base import (
     is_well_mixed_spec,
     parse_structure_spec,
     register_structure,
+    structure_families,
     validate_structure,
 )
-from .graphs import Complete, GraphStructure, Grid2D, RandomRegular, RingLattice
+from .graphs import (
+    Complete,
+    GraphStructure,
+    Grid2D,
+    RandomRegular,
+    RingLattice,
+    ScaleFree,
+    SmallWorld,
+)
 
 __all__ = [
     "InteractionModel",
@@ -38,10 +55,13 @@ __all__ = [
     "RingLattice",
     "Grid2D",
     "RandomRegular",
+    "SmallWorld",
+    "ScaleFree",
     "available_structures",
     "build_structure",
     "is_well_mixed_spec",
     "parse_structure_spec",
     "register_structure",
+    "structure_families",
     "validate_structure",
 ]

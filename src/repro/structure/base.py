@@ -27,14 +27,18 @@ default) follow bit-identical trajectories to the pre-structure drivers —
 pinned by the test suite.
 
 Structure *specs* are plain strings (``"well-mixed"``, ``"ring:k=4"``,
-``"grid:rows=8,cols=8"``, ``"regular:d=4,seed=7"``) so they travel through
-:class:`~repro.core.EvolutionConfig`, checkpoints, and the CLI unchanged;
-:func:`build_structure` turns a spec plus the population size into a bound
-model.
+``"grid:rows=8,cols=8"``, ``"regular:d=4,seed=7"``,
+``"smallworld:k=4,p=0.1,seed=7"``, ``"scalefree:m=2,seed=7"``) so they
+travel through :class:`~repro.core.EvolutionConfig`, checkpoints, and the
+CLI unchanged; :func:`build_structure` turns a spec plus the population
+size into a bound model.  Parameters are integers or floats (the
+small-world rewiring probability); unknown parameter keys are rejected
+with a suggestion, never silently ignored.
 """
 
 from __future__ import annotations
 
+import difflib
 from abc import ABC, abstractmethod
 from functools import lru_cache
 from typing import TYPE_CHECKING, Callable, ClassVar
@@ -56,6 +60,7 @@ __all__ = [
     "validate_structure",
     "is_well_mixed_spec",
     "available_structures",
+    "structure_families",
     "register_structure",
 ]
 
@@ -105,6 +110,28 @@ class InteractionModel(ABC):
     @abstractmethod
     def neighbors(self, sset_id: int) -> np.ndarray:
         """Sorted ids of the SSets that ``sset_id`` interacts with."""
+
+    def pair_fitness(
+        self,
+        population: "Population",
+        sset_a: int,
+        sset_b: int,
+        evaluator: "PayoffCache | FitnessEngine",
+        include_self_play: bool = False,
+    ) -> tuple[float, float]:
+        """Fitness of two SSets (one PC event's teacher and learner).
+
+        The base implementation is two :meth:`fitness_of` calls;
+        :class:`~repro.structure.graphs.GraphStructure` overrides it with
+        one batched CSR payoff-matrix gather when a deterministic
+        :class:`~repro.core.engine.FitnessEngine` is bound — same values
+        (integer payoffs sum exactly in float64 in any order), fewer
+        Python-level loops.
+        """
+        return (
+            self.fitness_of(population, sset_a, evaluator, include_self_play),
+            self.fitness_of(population, sset_b, evaluator, include_self_play),
+        )
 
     # -- helpers -------------------------------------------------------------
 
@@ -169,22 +196,33 @@ class WellMixed(InteractionModel):
 
 # -- spec registry -------------------------------------------------------------
 
-#: name -> factory(params, n_ssets) building a bound model.
-_REGISTRY: dict[str, Callable[[dict[str, int], int], InteractionModel]] = {}
+#: Spec parameter values: integers, or floats for probability-like knobs
+#: (the small-world rewiring probability).
+ParamValue = int | float
+
+#: name -> (factory(params, n_ssets), human-readable parameter summary).
+_REGISTRY: dict[
+    str, tuple[Callable[[dict[str, ParamValue], int], InteractionModel], str]
+] = {}
 
 
 def register_structure(
     name: str,
+    params: str = "",
 ) -> Callable[
-    [Callable[[dict[str, int], int], InteractionModel]],
-    Callable[[dict[str, int], int], InteractionModel],
+    [Callable[[dict[str, ParamValue], int], InteractionModel]],
+    Callable[[dict[str, ParamValue], int], InteractionModel],
 ]:
-    """Register a structure factory under ``name`` (decorator)."""
+    """Register a structure factory under ``name`` (decorator).
 
-    def wrap(factory: Callable[[dict[str, int], int], InteractionModel]):
+    ``params`` is a one-line human summary of the spec parameters the
+    family accepts (shown by the ``repro structures`` CLI command).
+    """
+
+    def wrap(factory: Callable[[dict[str, ParamValue], int], InteractionModel]):
         if name in _REGISTRY:
             raise ConfigurationError(f"duplicate structure name {name!r}")
-        _REGISTRY[name] = factory
+        _REGISTRY[name] = (factory, params)
         return factory
 
     return wrap
@@ -195,11 +233,20 @@ def available_structures() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def parse_structure_spec(spec: str) -> tuple[str, dict[str, int]]:
-    """Split ``"name:k1=v1,k2=v2"`` into ``(name, {k: int})``.
+def structure_families() -> list[tuple[str, str]]:
+    """``(name, parameter summary)`` for every registered family, sorted —
+    the data behind the ``repro structures`` CLI listing."""
+    return [(name, _REGISTRY[name][1]) for name in available_structures()]
 
-    The name is validated against the registry; parameter validation is the
-    factory's job (it knows the population size).
+
+def parse_structure_spec(spec: str) -> tuple[str, dict[str, ParamValue]]:
+    """Split ``"name:k1=v1,k2=v2"`` into ``(name, {k: int | float})``.
+
+    The name is validated against the registry; values parse as integers
+    when possible, floats otherwise (``p=0.1``).  Parameter-*key*
+    validation is the factory's job (it knows which keys it accepts and
+    the population size) — see :func:`_expect_params`, which rejects
+    unknown keys with a suggestion instead of silently ignoring them.
     """
     if not isinstance(spec, str) or not spec.strip():
         raise ConfigurationError(f"structure spec must be a non-empty string, got {spec!r}")
@@ -207,10 +254,12 @@ def parse_structure_spec(spec: str) -> tuple[str, dict[str, int]]:
     name = head.strip()
     if name not in _REGISTRY:
         known = ", ".join(available_structures())
+        close = difflib.get_close_matches(name, available_structures(), n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise ConfigurationError(
-            f"unknown structure {name!r}; registered: {known}"
+            f"unknown structure {name!r}{hint}; registered: {known}"
         )
-    params: dict[str, int] = {}
+    params: dict[str, ParamValue] = {}
     if tail.strip():
         for item in tail.split(","):
             key, eq, value = item.partition("=")
@@ -224,13 +273,17 @@ def parse_structure_spec(spec: str) -> tuple[str, dict[str, int]]:
                 raise ConfigurationError(
                     f"duplicate structure parameter {key!r} in {spec!r}"
                 )
+            text = value.strip()
             try:
-                params[key] = int(value.strip())
+                params[key] = int(text)
             except ValueError:
-                raise ConfigurationError(
-                    f"structure parameter {key!r} in {spec!r} must be an "
-                    f"integer, got {value.strip()!r}"
-                ) from None
+                try:
+                    params[key] = float(text)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"structure parameter {key!r} in {spec!r} must be a "
+                        f"number, got {text!r}"
+                    ) from None
     return name, params
 
 
@@ -242,7 +295,7 @@ def _build_from_spec(spec: str, n_ssets: int) -> InteractionModel:
     Models are immutable after construction, so sharing instances is safe.
     """
     name, params = parse_structure_spec(spec)
-    return _REGISTRY[name](params, n_ssets)
+    return _REGISTRY[name][0](params, n_ssets)
 
 
 def build_structure(spec: "str | InteractionModel", n_ssets: int) -> InteractionModel:
@@ -275,17 +328,45 @@ def is_well_mixed_spec(spec: str) -> bool:
 
 
 def _expect_params(
-    name: str, params: dict[str, int], allowed: set[str]
+    name: str, params: dict[str, ParamValue], allowed: set[str]
 ) -> None:
+    """Reject parameter keys the family doesn't accept, with a
+    nearest-match suggestion — a typo (``ring:K=4``) must fail loudly, not
+    silently run the default graph."""
     unknown = set(params) - allowed
-    if unknown:
-        raise ConfigurationError(
-            f"structure {name!r} does not accept parameters "
-            f"{sorted(unknown)}; allowed: {sorted(allowed)}"
-        )
+    if not unknown:
+        return
+    hints = []
+    lowered = {a.lower(): a for a in allowed}
+    for key in sorted(unknown):
+        close = difflib.get_close_matches(key.lower(), sorted(lowered), n=1)
+        if close:
+            hints.append(f"{key!r} (did you mean {lowered[close[0]]!r}?)")
+        else:
+            hints.append(repr(key))
+    allowed_text = (
+        f"allowed: {sorted(allowed)}" if allowed else "it takes no parameters"
+    )
+    raise ConfigurationError(
+        f"structure {name!r} does not accept parameter(s) "
+        f"{', '.join(hints)}; {allowed_text}"
+    )
 
 
-@register_structure(WellMixed.name)
-def _make_well_mixed(params: dict[str, int], n_ssets: int) -> WellMixed:
+def _int_param(name: str, params: dict[str, ParamValue], key: str, default: int) -> int:
+    """Fetch an integer parameter (floats with integral values pass)."""
+    value = params.get(key, default)
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ConfigurationError(
+                f"structure {name!r} parameter {key!r} must be an integer, "
+                f"got {value!r}"
+            )
+        value = int(value)
+    return value
+
+
+@register_structure(WellMixed.name, params="(no parameters — the paper's population)")
+def _make_well_mixed(params: dict[str, ParamValue], n_ssets: int) -> WellMixed:
     _expect_params(WellMixed.name, params, set())
     return WellMixed(n_ssets)

@@ -1,20 +1,28 @@
-"""Graph-structured interaction models.
+"""Graph-structured interaction models on a flat CSR adjacency core.
 
-Every model here derives from :class:`GraphStructure`, which owns the
-adjacency lists and implements the shared dynamics:
+Every model here derives from :class:`GraphStructure`, which canonically
+owns the graph as **CSR arrays** — :attr:`indptr` / :attr:`indices`
+(int32) plus the derived :attr:`degrees` — and implements the shared
+dynamics on top of them:
 
 * **fitness** — one game against each neighbor.  With a bound
   :class:`~repro.core.engine.FitnessEngine` this is the vectorised dense
-  path, ``paymat[sid, sids[neighbors]].sum()`` — one fancy-indexed gather
-  per event.  With the legacy :class:`~repro.core.payoff_cache.PayoffCache`
-  the neighborhood is grouped by distinct strategy and evaluated through
+  path: a payoff-matrix gather over a CSR slice per event
+  (:meth:`fitness_of` / :meth:`pair_fitness`), or one
+  :func:`numpy.add.reduceat` reduction over the whole flat adjacency for
+  every node at once (:meth:`gather_fitness` — what the lane-batched
+  ensemble driver and the analysis layer consume).  With the legacy
+  :class:`~repro.core.payoff_cache.PayoffCache` the neighborhood is
+  grouped by distinct strategy and evaluated through
   :meth:`~repro.core.payoff_cache.PayoffCache.payoffs_to_many`, so the
   per-event cost is one (usually cached / vectorised) evaluation per
   *distinct* neighboring strategy, not per edge;
 * **PC partner selection** — the learner is drawn uniformly from the
   population, the teacher uniformly from the learner's neighborhood (death-
   birth-flavored pairwise comparison, the convention of the structured-
-  population literature).
+  population literature).  The two bounded draws plus the adoption uniform
+  are exactly what :mod:`repro.ensemble.rawstream` decodes in bulk off the
+  raw Philox stream for ensemble lanes.
 
 Models:
 
@@ -30,6 +38,11 @@ Models:
   deterministic given its own ``seed`` parameter (independent of the
   evolution seed, so the graph is part of the *configuration*);
   ``regular:d=4,seed=7``.
+* :class:`SmallWorld` — Watts–Strogatz rewired ring: start from
+  ``ring:k=``, rewire each edge's far endpoint with probability ``p``;
+  ``smallworld:k=4,p=0.1,seed=7``.
+* :class:`ScaleFree` — Barabási–Albert preferential attachment, ``m``
+  edges per arriving node; ``scalefree:m=2,seed=7``.
 """
 
 from __future__ import annotations
@@ -40,18 +53,39 @@ import numpy as np
 
 from ..errors import ConfigurationError, SimulationError
 from ..machine.topology import TorusTopology, balanced_dims
-from .base import InteractionModel, _expect_params, register_structure
+from .base import (
+    InteractionModel,
+    ParamValue,
+    _expect_params,
+    _int_param,
+    register_structure,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..core.engine import FitnessEngine
     from ..core.payoff_cache import PayoffCache
     from ..core.population import Population
 
-__all__ = ["GraphStructure", "Complete", "RingLattice", "Grid2D", "RandomRegular"]
+__all__ = [
+    "GraphStructure",
+    "Complete",
+    "RingLattice",
+    "Grid2D",
+    "RandomRegular",
+    "SmallWorld",
+    "ScaleFree",
+]
 
 
 class GraphStructure(InteractionModel):
-    """An interaction model backed by explicit adjacency lists."""
+    """An interaction model canonically backed by a flat CSR adjacency.
+
+    Constructed from per-node adjacency lists (the natural generator
+    output), validated, then flattened into :attr:`indptr` /
+    :attr:`indices` int32 arrays — the single source of truth every
+    consumer gathers from.  The per-node list view (:attr:`adjacency`,
+    :meth:`neighbors`) is *derived*: zero-copy slices of :attr:`indices`.
+    """
 
     def __init__(self, n_ssets: int, adjacency: list[np.ndarray]):
         super().__init__(n_ssets)
@@ -59,6 +93,7 @@ class GraphStructure(InteractionModel):
             raise ConfigurationError(
                 f"adjacency has {len(adjacency)} rows for {n_ssets} SSets"
             )
+        rows = []
         for i, nbrs in enumerate(adjacency):
             if len(nbrs) == 0:
                 raise ConfigurationError(
@@ -72,58 +107,162 @@ class GraphStructure(InteractionModel):
                     f"SSet {i} lists a neighbor more than once; interaction "
                     "graphs are simple (no multi-edges)"
                 )
-        self._adjacency = [
-            np.asarray(sorted(int(j) for j in nbrs), dtype=np.int64)
-            for nbrs in adjacency
-        ]
-        # Instances are shared through the build_structure cache, and
-        # neighbors() hands these arrays out directly: freeze them so an
-        # in-place edit by a caller cannot corrupt every later run.
-        for arr in self._adjacency:
-            arr.flags.writeable = False
+            row = np.asarray(sorted(int(j) for j in nbrs), dtype=np.int32)
+            if row[0] < 0 or row[-1] >= n_ssets:
+                raise ConfigurationError(
+                    f"SSet {i} lists a neighbor outside 0..{n_ssets - 1}"
+                )
+            rows.append(row)
+        # CSR flattening: indices holds every row back to back (each row
+        # sorted), indptr the row boundaries, degrees the row lengths.
+        degrees = np.array([len(row) for row in rows], dtype=np.int32)
+        indptr = np.zeros(n_ssets + 1, dtype=np.int32)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.concatenate(rows).astype(np.int32, copy=False)
         # n_edges, edges(), and the cluster metrics all assume an
         # undirected graph, so asymmetric adjacency (possible from custom
-        # register_structure factories) must fail loudly.
-        directed = {
-            (i, int(j)) for i, nbrs in enumerate(self._adjacency) for j in nbrs
-        }
-        for i, j in directed:
-            if (j, i) not in directed:
-                raise ConfigurationError(
-                    f"adjacency is not symmetric: SSet {i} lists {j} as a "
-                    f"neighbor but not vice versa; interaction graphs are "
-                    "undirected"
-                )
+        # register_structure factories) must fail loudly.  Symmetry check
+        # on the flat arrays: the multiset of directed (i, j) edges must
+        # equal the multiset of (j, i) edges.
+        src = np.repeat(np.arange(n_ssets, dtype=np.int64), degrees)
+        dst = indices.astype(np.int64)
+        forward = np.sort(src * n_ssets + dst)
+        backward = np.sort(dst * n_ssets + src)
+        if not np.array_equal(forward, backward):
+            bad = np.setdiff1d(forward, backward, assume_unique=False)[0]
+            i, j = divmod(int(bad), n_ssets)
+            raise ConfigurationError(
+                f"adjacency is not symmetric: SSet {i} lists {j} as a "
+                f"neighbor but not vice versa; interaction graphs are "
+                "undirected"
+            )
+        # Instances are shared through the build_structure cache, and
+        # neighbors() hands out views of these arrays: freeze them so an
+        # in-place edit by a caller cannot corrupt every later run.
+        for arr in (indptr, indices, degrees, src):
+            arr.flags.writeable = False
+        self._indptr = indptr
+        self._indices = indices
+        self._degrees = degrees
+        #: Row id of each flat adjacency slot (``indices[e]`` is a neighbor
+        #: of ``edge_rows[e]``) — the repeat pattern every all-node gather
+        #: needs, built once.
+        self._edge_rows = src
 
     # -- graph views ---------------------------------------------------------
 
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row pointers, shape ``(n_ssets + 1,)``, int32 (frozen)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR flat neighbor ids (each row sorted), int32 (frozen)."""
+        return self._indices
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Per-node neighbor counts, shape ``(n_ssets,)``, int32 (frozen)."""
+        return self._degrees
+
+    @property
+    def adjacency(self) -> list[np.ndarray]:
+        """Derived per-node list view: zero-copy CSR row slices."""
+        indptr = self._indptr
+        return [
+            self._indices[indptr[i] : indptr[i + 1]]
+            for i in range(self.n_ssets)
+        ]
+
     def neighbors(self, sset_id: int) -> np.ndarray:
         self._check_id(sset_id)
-        return self._adjacency[sset_id]
+        return self._indices[self._indptr[sset_id] : self._indptr[sset_id + 1]]
 
     def degree(self, sset_id: int) -> int:
-        return len(self.neighbors(sset_id))
+        self._check_id(sset_id)
+        return int(self._degrees[sset_id])
 
     @property
     def n_edges(self) -> int:
         """Number of undirected edges."""
-        return sum(len(nbrs) for nbrs in self._adjacency) // 2
+        return self._indices.shape[0] // 2
 
     def edges(self) -> list[tuple[int, int]]:
         """All undirected edges as sorted ``(low, high)`` pairs."""
-        return [
-            (i, int(j))
-            for i, nbrs in enumerate(self._adjacency)
-            for j in nbrs
-            if i < j
-        ]
+        src, dst = self._edge_rows, self._indices
+        keep = src < dst
+        return list(zip(src[keep].tolist(), dst[keep].tolist()))
+
+    def neighbor_segments(
+        self, nodes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flat CSR gather plan for a batch of focal ``nodes``.
+
+        Returns ``(flat_neighbors, seg_ptr)`` with
+        ``flat_neighbors[seg_ptr[i]:seg_ptr[i+1]]`` the neighbor ids of
+        ``nodes[i]`` — the shape the batched fitness reductions
+        (:meth:`gather_fitness`,
+        :meth:`repro.ensemble.engine.EnsembleEngine.fitness_pc_graph`)
+        consume.  Duplicate nodes are fine (each gets its own segment).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        deg = self._degrees[nodes].astype(np.int64)
+        seg = np.zeros(nodes.shape[0] + 1, dtype=np.int64)
+        np.cumsum(deg, out=seg[1:])
+        starts = self._indptr[nodes].astype(np.int64)
+        flat = np.repeat(starts - seg[:-1], deg) + np.arange(seg[-1])
+        return self._indices[flat], seg
+
+    # -- batched fitness ------------------------------------------------------
+
+    def gather_fitness(
+        self,
+        sids: np.ndarray,
+        paymat: np.ndarray,
+        nodes: np.ndarray | None = None,
+        include_self_play: bool = False,
+    ) -> np.ndarray:
+        """Batched graph fitness straight off the CSR adjacency.
+
+        ``sids`` maps node -> interned strategy id (a population's sid
+        array) and ``paymat`` is a dense payoff matrix over those sids
+        (:class:`~repro.core.engine.FitnessEngine` /
+        :class:`~repro.ensemble.engine.EnsembleEngine`); entry ``i`` of the
+        result is ``paymat[sids[i], sids[neighbors(i)]].sum()`` — one
+        fancy-indexed gather plus one :func:`numpy.add.reduceat` for all
+        requested ``nodes`` (default: every node).  Sums accumulate in
+        float64; integer-valued payoff matrices therefore produce values
+        bit-identical to the per-node serial gathers regardless of
+        summation order.
+        """
+        sids = np.asarray(sids)
+        if nodes is None:
+            focal = sids[self._edge_rows]
+            vals = paymat[focal, sids[self._indices]]
+            seg_starts = self._indptr[:-1].astype(np.int64)
+            diag_nodes = np.arange(self.n_ssets)
+        else:
+            nodes = np.asarray(nodes, dtype=np.int64)
+            flat, seg = self.neighbor_segments(nodes)
+            deg = self._degrees[nodes].astype(np.int64)
+            focal = np.repeat(sids[nodes], deg)
+            vals = paymat[focal, sids[flat]]
+            seg_starts = seg[:-1]
+            diag_nodes = nodes
+        out = np.add.reduceat(vals.astype(np.float64, copy=False), seg_starts)
+        if include_self_play:
+            diag = sids[diag_nodes]
+            out += paymat[diag, diag].astype(np.float64, copy=False)
+        return out
 
     # -- dynamics ------------------------------------------------------------
 
     def select_pair(self, rng: np.random.Generator) -> tuple[int, int]:
         learner = int(rng.integers(self.n_ssets))
-        nbrs = self._adjacency[learner]
-        teacher = int(nbrs[int(rng.integers(len(nbrs)))])
+        start = self._indptr[learner]
+        offset = int(rng.integers(int(self._degrees[learner])))
+        teacher = int(self._indices[start + offset])
         return teacher, learner
 
     def fitness_of(
@@ -136,14 +275,14 @@ class GraphStructure(InteractionModel):
         """Sum of game payoffs against the neighborhood.
 
         With a bound :class:`~repro.core.engine.FitnessEngine` this is the
-        vectorised dense path: one payoff-matrix gather over the neighbors'
-        interned strategy ids.  The legacy path reuses the shared histogram
-        fitness kernel on a *local* histogram of the neighborhood, so a
-        tight cluster of one strategy costs a single cache probe, exactly
-        like the well-mixed global fast path.  The neighborhood never
-        contains the focal SSet (no self-loops), so the histogram is summed
-        without its self-play exclusion and the optional self game is added
-        separately.
+        vectorised dense path: one payoff-matrix gather over the CSR
+        neighbor slice's interned strategy ids.  The legacy path reuses the
+        shared histogram fitness kernel on a *local* histogram of the
+        neighborhood, so a tight cluster of one strategy costs a single
+        cache probe, exactly like the well-mixed global fast path.  The
+        neighborhood never contains the focal SSet (no self-loops), so the
+        histogram is summed without its self-play exclusion and the
+        optional self game is added separately.
         """
         # Runtime imports: repro.structure is imported by repro.core.config,
         # so a module-level core import here would be circular.
@@ -159,17 +298,51 @@ class GraphStructure(InteractionModel):
                 )
             return evaluator.fitness_neighbors(
                 population.sid_of(sset_id),
-                population.sids[self._adjacency[sset_id]],
+                population.sids[self.neighbors(sset_id)],
                 include_self_play,
             )
         me = population[sset_id].strategy
         hist = StrategyHistogram.from_strategies(
-            [population[int(j)].strategy for j in self._adjacency[sset_id]]
+            [population[int(j)].strategy for j in self.neighbors(sset_id)]
         )
         total = hist.fitness_of(me, evaluator, include_self_play=True)
         if include_self_play:
             total += evaluator.payoff_to(me, me)
         return total
+
+    def pair_fitness(
+        self,
+        population: "Population",
+        sset_a: int,
+        sset_b: int,
+        evaluator: "PayoffCache | FitnessEngine",
+        include_self_play: bool = False,
+    ) -> tuple[float, float]:
+        """Both PC fitness values in one batched CSR gather when a
+        deterministic (eagerly filled) engine is bound; per-node otherwise
+        (the lazy expected regime must keep its legacy accumulation order).
+        """
+        from ..core.engine import FitnessEngine
+
+        if (
+            isinstance(evaluator, FitnessEngine)
+            and evaluator is population.engine
+            and evaluator.is_eager
+        ):
+            self._check_id(sset_a)
+            self._check_id(sset_b)
+            fit = evaluator.gather_fitness(
+                self,
+                population.sids,
+                nodes=np.array([sset_a, sset_b], dtype=np.int64),
+                include_self_play=include_self_play,
+            )
+            # np.float64 scalars, matching fitness_neighbors (the golden
+            # event hashes repr() the recorded fitness values).
+            return fit[0], fit[1]
+        return super().pair_fitness(
+            population, sset_a, sset_b, evaluator, include_self_play
+        )
 
 
 class Complete(GraphStructure):
@@ -191,28 +364,35 @@ class RingLattice(GraphStructure):
     name: ClassVar[str] = "ring"
 
     def __init__(self, n_ssets: int, k: int = 2):
-        if k < 2 or k % 2 != 0:
-            raise ConfigurationError(
-                f"ring lattice k must be a positive even integer, got {k}"
-            )
-        if k >= n_ssets:
-            raise ConfigurationError(
-                f"ring lattice k={k} needs at least k+1={k + 1} SSets, "
-                f"got {n_ssets}"
-            )
+        _check_ring_params(self.name, n_ssets, k)
         self.k = k
-        half = k // 2
-        adjacency = [
-            np.array(
-                sorted({(i + d) % n_ssets for d in range(-half, half + 1)} - {i}),
-                dtype=np.int64,
-            )
-            for i in range(n_ssets)
-        ]
-        super().__init__(n_ssets, adjacency)
+        super().__init__(n_ssets, _ring_adjacency(n_ssets, k))
 
     def spec(self) -> str:
         return f"{self.name}:k={self.k}"
+
+
+def _check_ring_params(name: str, n_ssets: int, k: int) -> None:
+    if k < 2 or k % 2 != 0:
+        raise ConfigurationError(
+            f"{name} lattice k must be a positive even integer, got {k}"
+        )
+    if k >= n_ssets:
+        raise ConfigurationError(
+            f"{name} lattice k={k} needs at least k+1={k + 1} SSets, "
+            f"got {n_ssets}"
+        )
+
+
+def _ring_adjacency(n_ssets: int, k: int) -> list[np.ndarray]:
+    half = k // 2
+    return [
+        np.array(
+            sorted({(i + d) % n_ssets for d in range(-half, half + 1)} - {i}),
+            dtype=np.int64,
+        )
+        for i in range(n_ssets)
+    ]
 
 
 class Grid2D(GraphStructure):
@@ -285,10 +465,7 @@ class RandomRegular(GraphStructure):
                 f"d*n must be even for a d-regular graph, got d={d}, "
                 f"n={n_ssets}"
             )
-        if seed < 0:
-            raise ConfigurationError(
-                f"regular graph seed must be >= 0, got {seed}"
-            )
+        _check_structure_seed(self.name, seed)
         self.d = d
         self.seed = seed
         rng = np.random.default_rng(seed)
@@ -309,11 +486,7 @@ class RandomRegular(GraphStructure):
             edges = set(zip(lo.tolist(), hi.tolist()))
             if len(edges) != len(a):
                 continue  # multi-edge: reject
-            neighbors: list[list[int]] = [[] for _ in range(n)]
-            for x, y in edges:
-                neighbors[x].append(y)
-                neighbors[y].append(x)
-            return [np.array(sorted(ns), dtype=np.int64) for ns in neighbors]
+            return _adjacency_from_edges(n, edges)
         raise ConfigurationError(
             f"failed to generate a {d}-regular graph on {n} nodes after "
             f"{cls._MAX_ATTEMPTS} pairing attempts; try another seed or degree"
@@ -323,27 +496,204 @@ class RandomRegular(GraphStructure):
         return f"{self.name}:d={self.d},seed={self.seed}"
 
 
-@register_structure(Complete.name)
-def _make_complete(params: dict[str, int], n_ssets: int) -> Complete:
+class SmallWorld(GraphStructure):
+    """Watts–Strogatz small-world graph (rewired ring lattice).
+
+    Start from ``ring:k=`` and visit every lattice edge ``(i, i+j)`` (for
+    ``j = 1..k/2``, node by node); with probability ``p`` its far endpoint
+    is rewired to a uniform non-neighbor.  ``p=0`` is exactly the ring,
+    ``p=1`` approaches a random graph, and the interesting small-world
+    regime sits at small ``p`` (short paths, high clustering).  Each node
+    keeps the ``k/2`` edges it *owns*, so every node retains degree >= 1
+    and the graph stays simple.  Like :class:`RandomRegular`, the graph is
+    a pure function of ``(n_ssets, k, p, seed)`` — the seed is part of the
+    configuration, independent of the evolution seed.
+    """
+
+    name: ClassVar[str] = "smallworld"
+
+    def __init__(self, n_ssets: int, k: int = 4, p: float = 0.1, seed: int = 0):
+        _check_ring_params(self.name, n_ssets, k)
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(
+                f"smallworld rewiring probability p must lie in [0, 1], "
+                f"got {p}"
+            )
+        _check_structure_seed(self.name, seed)
+        self.k = k
+        self.p = float(p)
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        adjacency = self._generate(n_ssets, k, self.p, rng)
+        super().__init__(n_ssets, adjacency)
+
+    @staticmethod
+    def _generate(
+        n: int, k: int, p: float, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        neighbors: list[set[int]] = [set() for _ in range(n)]
+        for i in range(n):
+            for j in range(1, k // 2 + 1):
+                neighbors[i].add((i + j) % n)
+                neighbors[(i + j) % n].add(i)
+        for j in range(1, k // 2 + 1):
+            for i in range(n):
+                old = (i + j) % n
+                if rng.random() >= p:
+                    continue
+                if len(neighbors[i]) >= n - 1:
+                    continue  # i already neighbors everyone: nowhere to rewire
+                if old not in neighbors[i]:
+                    continue  # this lattice edge was already rewired away
+                new = int(rng.integers(n))
+                while new == i or new in neighbors[i]:
+                    new = int(rng.integers(n))
+                neighbors[i].discard(old)
+                neighbors[old].discard(i)
+                neighbors[i].add(new)
+                neighbors[new].add(i)
+        return [np.array(sorted(ns), dtype=np.int64) for ns in neighbors]
+
+    def spec(self) -> str:
+        return f"{self.name}:k={self.k},p={self.p!r},seed={self.seed}"
+
+
+class ScaleFree(GraphStructure):
+    """Barabási–Albert scale-free graph (preferential attachment).
+
+    Nodes arrive one at a time and connect ``m`` edges to existing nodes
+    with probability proportional to their current degree (sampling from
+    the repeated-endpoints list, duplicates rejected) — the classic
+    heavy-tailed degree distribution, hubs and leaves in one population.
+    The first ``m + 1`` nodes form a seed clique so every attachment
+    target has positive degree.  Pure function of ``(n_ssets, m, seed)``.
+    """
+
+    name: ClassVar[str] = "scalefree"
+
+    def __init__(self, n_ssets: int, m: int = 2, seed: int = 0):
+        if m < 1:
+            raise ConfigurationError(
+                f"scalefree attachment count m must be >= 1, got {m}"
+            )
+        if m + 1 >= n_ssets:
+            raise ConfigurationError(
+                f"scalefree m={m} needs at least m+2={m + 2} SSets "
+                f"(an {m + 1}-clique seed plus one arrival), got {n_ssets}"
+            )
+        _check_structure_seed(self.name, seed)
+        self.m = m
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        adjacency = self._generate(n_ssets, m, rng)
+        super().__init__(n_ssets, adjacency)
+
+    @staticmethod
+    def _generate(n: int, m: int, rng: np.random.Generator) -> list[np.ndarray]:
+        edges: set[tuple[int, int]] = set()
+        #: One entry per edge endpoint — drawing uniformly from this list
+        #: is drawing a node with probability proportional to its degree.
+        repeated: list[int] = []
+        for a in range(m + 1):
+            for b in range(a + 1, m + 1):
+                edges.add((a, b))
+                repeated.append(a)
+                repeated.append(b)
+        for new in range(m + 1, n):
+            targets: set[int] = set()
+            while len(targets) < m:
+                targets.add(repeated[int(rng.integers(len(repeated)))])
+            for t in sorted(targets):
+                edges.add((t, new))
+                repeated.append(t)
+                repeated.append(new)
+        return _adjacency_from_edges(n, edges)
+
+    def spec(self) -> str:
+        return f"{self.name}:m={self.m},seed={self.seed}"
+
+
+def _check_structure_seed(name: str, seed: int) -> None:
+    if seed < 0:
+        raise ConfigurationError(
+            f"{name} graph seed must be >= 0, got {seed}"
+        )
+
+
+def _adjacency_from_edges(
+    n: int, edges: set[tuple[int, int]]
+) -> list[np.ndarray]:
+    neighbors: list[list[int]] = [[] for _ in range(n)]
+    for x, y in edges:
+        neighbors[x].append(y)
+        neighbors[y].append(x)
+    return [np.array(sorted(ns), dtype=np.int64) for ns in neighbors]
+
+
+@register_structure(Complete.name, params="(no parameters — all-to-all)")
+def _make_complete(params: dict[str, ParamValue], n_ssets: int) -> Complete:
     _expect_params(Complete.name, params, set())
     return Complete(n_ssets)
 
 
-@register_structure(RingLattice.name)
-def _make_ring(params: dict[str, int], n_ssets: int) -> RingLattice:
+@register_structure(RingLattice.name, params="k= (even degree, default 2)")
+def _make_ring(params: dict[str, ParamValue], n_ssets: int) -> RingLattice:
     _expect_params(RingLattice.name, params, {"k"})
-    return RingLattice(n_ssets, k=params.get("k", 2))
+    return RingLattice(n_ssets, k=_int_param(RingLattice.name, params, "k", 2))
 
 
-@register_structure(Grid2D.name)
-def _make_grid(params: dict[str, int], n_ssets: int) -> Grid2D:
+@register_structure(
+    Grid2D.name,
+    params="rows=, cols= (2-D torus dims; omit both for the balanced split)",
+)
+def _make_grid(params: dict[str, ParamValue], n_ssets: int) -> Grid2D:
     _expect_params(Grid2D.name, params, {"rows", "cols"})
-    return Grid2D(n_ssets, rows=params.get("rows"), cols=params.get("cols"))
+    rows = params.get("rows")
+    cols = params.get("cols")
+    return Grid2D(
+        n_ssets,
+        rows=None if rows is None else _int_param(Grid2D.name, params, "rows", 0),
+        cols=None if cols is None else _int_param(Grid2D.name, params, "cols", 0),
+    )
 
 
-@register_structure(RandomRegular.name)
-def _make_regular(params: dict[str, int], n_ssets: int) -> RandomRegular:
+@register_structure(
+    RandomRegular.name,
+    params="d= (degree, default 4), seed= (graph seed, default 0)",
+)
+def _make_regular(params: dict[str, ParamValue], n_ssets: int) -> RandomRegular:
     _expect_params(RandomRegular.name, params, {"d", "seed"})
     return RandomRegular(
-        n_ssets, d=params.get("d", 4), seed=params.get("seed", 0)
+        n_ssets,
+        d=_int_param(RandomRegular.name, params, "d", 4),
+        seed=_int_param(RandomRegular.name, params, "seed", 0),
+    )
+
+
+@register_structure(
+    SmallWorld.name,
+    params="k= (ring degree, default 4), p= (rewiring prob, default 0.1), "
+           "seed= (graph seed, default 0)",
+)
+def _make_smallworld(params: dict[str, ParamValue], n_ssets: int) -> SmallWorld:
+    _expect_params(SmallWorld.name, params, {"k", "p", "seed"})
+    p = params.get("p", 0.1)
+    return SmallWorld(
+        n_ssets,
+        k=_int_param(SmallWorld.name, params, "k", 4),
+        p=float(p),
+        seed=_int_param(SmallWorld.name, params, "seed", 0),
+    )
+
+
+@register_structure(
+    ScaleFree.name,
+    params="m= (edges per arrival, default 2), seed= (graph seed, default 0)",
+)
+def _make_scalefree(params: dict[str, ParamValue], n_ssets: int) -> ScaleFree:
+    _expect_params(ScaleFree.name, params, {"m", "seed"})
+    return ScaleFree(
+        n_ssets,
+        m=_int_param(ScaleFree.name, params, "m", 2),
+        seed=_int_param(ScaleFree.name, params, "seed", 0),
     )

@@ -193,7 +193,14 @@ class TestRawStream:
     """The decoders must consume the Philox stream exactly like the
     Generator API — across bounds, carry parities, and call splits."""
 
-    @pytest.mark.parametrize("n", [2, 4, 16, 64, 128])
+    #: Bound with a ~1/3 Lemire rejection rate (2**32 % n is huge), so the
+    #: fixup path actually runs in-test instead of at its real-world
+    #: ~n/2**32 rarity.
+    REJECTION_HEAVY = rawstream._REJECTION_HEAVY_N
+
+    @pytest.mark.parametrize(
+        "n", [2, 3, 4, 10, 16, 48, 64, 100, 128, REJECTION_HEAVY]
+    )
     def test_pc_decoder_matches_generator(self, n):
         for seed in (0, 1, 42):
             ref = rawstream._ScalarPCDecoder(make_rng(seed), n)
@@ -201,7 +208,11 @@ class TestRawStream:
             for m in (7, 0, 13, 31):
                 assert raw.draw(m) == ref.draw(m)
 
-    @pytest.mark.parametrize("n,states", [(4, 4), (8, 16), (64, 16), (16, 64)])
+    @pytest.mark.parametrize(
+        "n,states",
+        [(4, 4), (8, 16), (64, 16), (16, 64), (10, 16), (48, 4), (100, 64),
+         (REJECTION_HEAVY, 16)],
+    )
     def test_mutation_decoder_matches_generator(self, n, states):
         for seed in (0, 5):
             ref = rawstream._ScalarMutationDecoder(make_rng(seed), n, states)
@@ -211,6 +222,38 @@ class TestRawStream:
                 raw_t, raw_tab = raw.draw(m)
                 assert raw_t == ref_t
                 assert np.array_equal(raw_tab, ref_tab)
+
+    @pytest.mark.parametrize(
+        "spec,n",
+        [
+            ("ring:k=2", 9),
+            ("ring:k=4", 16),
+            ("grid:rows=3,cols=3", 9),
+            ("regular:d=3,seed=2", 10),
+            ("smallworld:k=2,p=0.5,seed=3", 17),
+            ("scalefree:m=1,seed=4", 20),  # has degree-1 leaves
+            ("scalefree:m=3,seed=1", 50),
+        ],
+    )
+    def test_graph_decoder_matches_select_pair(self, spec, n):
+        from repro.structure import build_structure
+
+        structure = build_structure(spec, n)
+        for seed in (0, 7, 901):
+            ref = rawstream._ScalarGraphPCDecoder(make_rng(seed), structure)
+            raw = rawstream._RawGraphPCDecoder(make_rng(seed), structure)
+            for m in (17, 0, 9, 40):
+                assert raw.draw(m) == ref.draw(m)
+
+    def test_graph_decoder_teachers_are_neighbors(self):
+        from repro.structure import build_structure
+
+        structure = build_structure("smallworld:k=4,p=0.3,seed=1", 12)
+        dec = rawstream.graph_pc_decoder(make_rng(3), structure)
+        teachers, learners, uniforms = dec.draw(200)
+        for t, l, u in zip(teachers, learners, uniforms):
+            assert t in structure.neighbors(l).tolist()
+            assert 0.0 <= u < 1.0
 
     def test_stream_state_advances_identically(self):
         """After decoding, the *same* generator keeps producing the serial
@@ -223,13 +266,91 @@ class TestRawStream:
         rawstream._RawMutationDecoder(a2, 16, 16).draw(5)
         rawstream._ScalarMutationDecoder(b2, 16, 16).draw(5)
         assert a2.random() == b2.random()
+        from repro.structure import build_structure
 
-    def test_non_power_of_two_uses_scalar(self):
-        assert not rawstream.raw_decoding_supported(100)
+        structure = build_structure("scalefree:m=1,seed=4", 20)
+        a3, b3 = make_rng(79), make_rng(79)
+        rawstream._RawGraphPCDecoder(a3, structure).draw(25)
+        rawstream._ScalarGraphPCDecoder(b3, structure).draw(25)
+        assert a3.random() == b3.random()
+        # Non-pow2 bound: the rejection bookkeeping must commit exactly too.
+        a4, b4 = make_rng(80), make_rng(80)
+        rawstream._RawPCDecoder(a4, TestRawStream.REJECTION_HEAVY).draw(40)
+        rawstream._ScalarPCDecoder(b4, TestRawStream.REJECTION_HEAVY).draw(40)
+        assert a4.random() == b4.random()
+
+    def test_non_power_of_two_decodes_raw(self):
+        """Lemire rejections are fixed up, so non-pow2 bounds stay on the
+        raw fast path (ROADMAP item landed)."""
+        assert rawstream.raw_decoding_supported(100)
         assert isinstance(
             rawstream.pc_decoder(make_rng(0), 100),
-            rawstream._ScalarPCDecoder,
+            rawstream._RawPCDecoder,
         )
+
+    def test_out_of_range_bounds_fall_back(self):
+        assert not rawstream.raw_decoding_supported(1)
+        assert not rawstream.raw_decoding_supported(1 << 32)
 
     def test_supported_passes_self_check(self):
         assert rawstream.raw_decoding_supported(64)
+
+
+class TestFitnessPCGraph:
+    """The cross-lane CSR gather equals per-lane fitness_neighbors."""
+
+    def _setup(self, spec, n, n_lanes=3, memory=1, seed=0):
+        from repro.structure import build_structure
+
+        structure = build_structure(spec, n)
+        engine = EnsembleEngine(memory, rounds=20, n_lanes=n_lanes)
+        rng = make_rng(seed)
+        sids = np.empty((n_lanes, n), dtype=np.int64)
+        for r in range(n_lanes):
+            sids[r] = engine.intern_lane(
+                [random_pure(rng, memory) for _ in range(n)]
+            )
+        return structure, engine, sids
+
+    @pytest.mark.parametrize(
+        "spec,n",
+        [("ring:k=2", 9), ("smallworld:k=4,p=0.4,seed=2", 12),
+         ("scalefree:m=2,seed=3", 12)],
+    )
+    @pytest.mark.parametrize("include_self", [False, True])
+    def test_matches_per_lane_gathers(self, spec, n, include_self):
+        structure, engine, sids = self._setup(spec, n)
+        lanes = np.array([0, 2, 1, 2], dtype=np.int64)
+        teachers = np.array([0, 3, n - 1, 0], dtype=np.int64)
+        learners = np.array([1, 5, 0, n - 1], dtype=np.int64)
+        fit_t, fit_l = engine.fitness_pc_graph(
+            sids, lanes, teachers, learners, structure, include_self,
+            ensure=True,
+        )
+        for i in range(len(lanes)):
+            r = int(lanes[i])
+            for node, got in ((int(teachers[i]), fit_t[i]),
+                              (int(learners[i]), fit_l[i])):
+                expected = engine.fitness_neighbors(
+                    int(sids[r, node]),
+                    sids[r][structure.neighbors(node)],
+                    include_self,
+                )
+                assert got == expected
+
+    def test_ensure_fills_exactly_what_is_read(self):
+        structure, engine, sids = self._setup("ring:k=2", 9, memory=2)
+        lanes = np.array([1], dtype=np.int64)
+        teachers = np.array([4], dtype=np.int64)
+        learners = np.array([7], dtype=np.int64)
+        before = engine.fills
+        fit_t, fit_l = engine.fitness_pc_graph(
+            sids, lanes, teachers, learners, structure, ensure=True
+        )
+        assert engine.fills > before
+        # A second identical query is fully served from the matrix.
+        again = engine.fills
+        engine.fitness_pc_graph(
+            sids, lanes, teachers, learners, structure, ensure=True
+        )
+        assert engine.fills == again

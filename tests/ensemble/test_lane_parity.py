@@ -79,9 +79,52 @@ class TestDeterministicParity:
                               structure="grid:rows=3,cols=3")
         )
 
+    def test_regular(self):
+        check_parity(
+            replicate_configs(memory_steps=2, n_ssets=10,
+                              structure="regular:d=3,seed=4")
+        )
+
+    @pytest.mark.parametrize("memory", [1, 2, 3])
+    def test_smallworld(self, memory):
+        check_parity(
+            replicate_configs(
+                memory_steps=memory, n_ssets=12, rounds=20,
+                structure="smallworld:k=4,p=0.3,seed=2",
+            )
+        )
+
+    def test_scalefree(self):
+        check_parity(
+            replicate_configs(memory_steps=2, n_ssets=12,
+                              structure="scalefree:m=2,seed=5")
+        )
+
+    def test_scalefree_degree_one_nodes(self):
+        # m=1 trees have leaves: integers(1) consumes no stream, which the
+        # graph raw decoder must mirror (NumPy's rng == 0 special case).
+        from repro.structure import build_structure
+
+        assert int(build_structure("scalefree:m=1,seed=2", 10).degrees.min()) == 1
+        check_parity(
+            replicate_configs(memory_steps=1, n_ssets=10,
+                              structure="scalefree:m=1,seed=2")
+        )
+
     def test_non_power_of_two_population(self):
-        # Exercises the scalar decision-stream fallback.
+        # Exercises the Lemire rejection fixup path of the raw decoders.
         check_parity(replicate_configs(memory_steps=2, n_ssets=10))
+
+    def test_non_power_of_two_graph(self):
+        check_parity(
+            replicate_configs(memory_steps=2, n_ssets=15,
+                              structure="smallworld:k=2,p=0.5,seed=1")
+        )
+
+    def test_complete_graph(self):
+        check_parity(
+            replicate_configs(memory_steps=1, n_ssets=8, structure="complete")
+        )
 
     def test_tiny_population(self):
         check_parity(replicate_configs(n_ssets=2, generations=300, rounds=8))
@@ -92,6 +135,16 @@ class TestDeterministicParity:
     def test_include_self_play_ring(self):
         check_parity(
             replicate_configs(include_self_play=True, structure="ring:k=2")
+        )
+
+    def test_include_self_play_deep_memory_graph(self):
+        # memory-3 graphs take the on-demand ensure path incl. the
+        # self-play diagonal.
+        check_parity(
+            replicate_configs(
+                n=3, memory_steps=3, n_ssets=9, generations=300,
+                include_self_play=True, structure="ring:k=2",
+            )
         )
 
     def test_downhill_learning(self):
@@ -154,6 +207,58 @@ class TestPerLaneEvaluatorParity:
 
     def test_legacy_cache(self):
         check_parity(replicate_configs(n=4, generations=300, engine=False))
+
+    def test_custom_interaction_model_falls_back(self):
+        """A hand-rolled InteractionModel subclass (no CSR adjacency)
+        cannot ride the shared graph fast path; the driver must route it
+        through the per-lane generic path and stay serial-identical."""
+        from repro.structure import InteractionModel
+
+        class Star(InteractionModel):
+            # Hub-and-spokes implemented straight on the abstract API.
+            name = "star-test"
+
+            def spec(self):
+                return self.name
+
+            def neighbors(self, sset_id):
+                self._check_id(sset_id)
+                if sset_id == 0:
+                    return np.arange(1, self.n_ssets, dtype=np.int64)
+                return np.array([0], dtype=np.int64)
+
+            def select_pair(self, rng):
+                learner = int(rng.integers(self.n_ssets))
+                nbrs = self.neighbors(learner)
+                teacher = int(nbrs[int(rng.integers(len(nbrs)))])
+                return teacher, learner
+
+            def fitness_of(self, population, sset_id, evaluator,
+                           include_self_play=False):
+                from repro.core.engine import FitnessEngine
+
+                if isinstance(evaluator, FitnessEngine):
+                    return evaluator.fitness_neighbors(
+                        population.sid_of(sset_id),
+                        population.sids[self.neighbors(sset_id)],
+                        include_self_play,
+                    )
+                me = population[sset_id].strategy
+                total = sum(
+                    evaluator.payoff_to(me, population[int(j)].strategy)
+                    for j in self.neighbors(sset_id)
+                )
+                if include_self_play:
+                    total += evaluator.payoff_to(me, me)
+                return total
+
+        star = Star(8)
+        configs = [
+            EvolutionConfig(memory_steps=1, n_ssets=8, generations=400,
+                            rounds=16, structure=star, seed=1000 + i)
+            for i in range(3)
+        ]
+        check_parity(configs)
 
     def test_non_integer_payoff_falls_back(self):
         from repro.core import PayoffMatrix

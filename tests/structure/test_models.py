@@ -12,12 +12,15 @@ from repro.structure import (
     InteractionModel,
     RandomRegular,
     RingLattice,
+    ScaleFree,
+    SmallWorld,
     WellMixed,
     available_structures,
     build_structure,
     is_well_mixed_spec,
     parse_structure_spec,
     register_structure,
+    structure_families,
 )
 
 
@@ -29,6 +32,8 @@ class TestSpecParsing:
             "ring",
             "grid",
             "regular",
+            "smallworld",
+            "scalefree",
         }
 
     def test_bare_name(self):
@@ -63,6 +68,9 @@ class TestSpecParsing:
             ("ring:k=4", 10),
             ("grid:rows=3,cols=4", 12),
             ("regular:d=3,seed=5", 10),
+            ("smallworld:k=4,p=0.25,seed=5", 12),
+            ("smallworld:k=2,p=0,seed=1", 10),
+            ("scalefree:m=2,seed=5", 12),
         ]:
             model = build_structure(spec, n)
             rebuilt = build_structure(model.spec(), n)
@@ -251,3 +259,280 @@ class TestGraphFitness:
         model = build_structure("ring:k=2", 6)
         with pytest.raises(ValueError):
             model.neighbors(0)[0] = 3
+
+
+ALL_GRAPH_SPECS = [
+    ("complete", 12),
+    ("ring:k=4", 12),
+    ("grid:rows=3,cols=4", 12),
+    ("regular:d=3,seed=5", 12),
+    ("smallworld:k=4,p=0.3,seed=5", 12),
+    ("scalefree:m=2,seed=5", 12),
+]
+
+
+class TestCSRCore:
+    """The CSR arrays are the canonical adjacency; every derived view and
+    batched gather must agree with them."""
+
+    @pytest.mark.parametrize("spec,n", ALL_GRAPH_SPECS)
+    def test_csr_consistent_with_neighbors(self, spec, n):
+        model = build_structure(spec, n)
+        assert model.indptr.dtype == np.int32
+        assert model.indices.dtype == np.int32
+        assert model.indptr.shape == (n + 1,)
+        assert model.indptr[0] == 0
+        assert model.indptr[-1] == model.indices.shape[0]
+        assert np.array_equal(np.diff(model.indptr), model.degrees)
+        adjacency = model.adjacency
+        for i in range(n):
+            row = model.indices[model.indptr[i] : model.indptr[i + 1]]
+            assert np.array_equal(model.neighbors(i), row)
+            assert np.array_equal(adjacency[i], row)
+            assert np.array_equal(np.sort(row), row)  # rows sorted
+            assert model.degree(i) == len(row)
+
+    @pytest.mark.parametrize("spec,n", ALL_GRAPH_SPECS)
+    def test_csr_arrays_frozen(self, spec, n):
+        model = build_structure(spec, n)
+        for arr in (model.indptr, model.indices, model.degrees):
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+    def test_neighbor_segments(self):
+        model = build_structure("scalefree:m=2,seed=5", 12)
+        nodes = np.array([3, 0, 3, 11])
+        flat, seg = model.neighbor_segments(nodes)
+        assert seg[0] == 0
+        for i, node in enumerate(nodes):
+            assert np.array_equal(
+                flat[seg[i] : seg[i + 1]], model.neighbors(int(node))
+            )
+
+    def test_edges_match_csr(self):
+        model = build_structure("smallworld:k=4,p=0.5,seed=2", 14)
+        edges = model.edges()
+        assert len(edges) == model.n_edges
+        assert len(set(edges)) == len(edges)
+        rebuilt = {(min(a, b), max(a, b)) for a, b in edges}
+        direct = {
+            (min(i, int(j)), max(i, int(j)))
+            for i in range(14)
+            for j in model.neighbors(i)
+        }
+        assert rebuilt == direct
+
+
+class TestGatherFitness:
+    """gather_fitness == the legacy per-node fitness_of on every family."""
+
+    @pytest.mark.parametrize("spec,n", ALL_GRAPH_SPECS)
+    @pytest.mark.parametrize("include_self", [False, True])
+    def test_matches_fitness_of(self, spec, n, include_self):
+        from repro.core.engine import FitnessEngine
+
+        config = EvolutionConfig(
+            memory_steps=2, n_ssets=n, generations=1, rounds=20, seed=3,
+            structure=spec,
+        )
+        population = Population.random(config, make_rng(7))
+        model = build_structure(spec, n)
+        engine = FitnessEngine.from_config(config)
+        population.bind_engine(engine)
+        batched = model.gather_fitness(
+            population.sids, engine.paymat, include_self_play=include_self
+        )
+        for i in range(n):
+            assert batched[i] == model.fitness_of(
+                population, i, engine, include_self
+            )
+
+    def test_matches_legacy_cache_values(self):
+        """Same values as the engine-off PayoffCache path (float-exact)."""
+        spec, n = "smallworld:k=4,p=0.3,seed=5", 12
+        config = EvolutionConfig(
+            memory_steps=2, n_ssets=n, generations=1, rounds=20, seed=3,
+            structure=spec,
+        )
+        population = Population.random(config, make_rng(7))
+        model = build_structure(spec, n)
+        from repro.core.engine import FitnessEngine
+
+        engine = FitnessEngine.from_config(config)
+        population.bind_engine(engine)
+        batched = model.gather_fitness(population.sids, engine.paymat)
+        legacy_pop = Population.random(config, make_rng(7))
+        cache = PayoffCache(rounds=20)
+        for i in range(n):
+            assert batched[i] == model.fitness_of(legacy_pop, i, cache)
+
+    def test_nodes_subset(self):
+        spec, n = "scalefree:m=2,seed=5", 12
+        config = EvolutionConfig(
+            memory_steps=1, n_ssets=n, generations=1, rounds=16, seed=3,
+            structure=spec,
+        )
+        from repro.core.engine import FitnessEngine
+
+        population = Population.random(config, make_rng(1))
+        model = build_structure(spec, n)
+        engine = FitnessEngine.from_config(config)
+        population.bind_engine(engine)
+        full = model.gather_fitness(population.sids, engine.paymat)
+        nodes = np.array([5, 5, 0, 11])
+        sub = model.gather_fitness(population.sids, engine.paymat, nodes=nodes)
+        assert np.array_equal(sub, full[nodes])
+
+    @pytest.mark.parametrize("spec,n", ALL_GRAPH_SPECS)
+    def test_engine_gather_fitness_wrapper(self, spec, n):
+        """FitnessEngine.gather_fitness (the driver/analysis entry point)
+        agrees with per-node fitness_neighbors in the eager regime."""
+        from repro.core.engine import FitnessEngine
+
+        config = EvolutionConfig(
+            memory_steps=2, n_ssets=n, generations=1, rounds=20, seed=5,
+            structure=spec,
+        )
+        population = Population.random(config, make_rng(11))
+        model = build_structure(spec, n)
+        engine = FitnessEngine.from_config(config)
+        assert engine.is_eager
+        population.bind_engine(engine)
+        hits_before = engine.hits
+        batched = engine.gather_fitness(model, population.sids)
+        assert engine.hits == hits_before + n
+        for i in range(n):
+            assert batched[i] == engine.fitness_neighbors(
+                population.sid_of(i), population.sids[model.neighbors(i)]
+            )
+
+    def test_pair_fitness_matches_fitness_of(self):
+        from repro.core.engine import FitnessEngine
+
+        spec, n = "smallworld:k=4,p=0.3,seed=5", 12
+        config = EvolutionConfig(
+            memory_steps=2, n_ssets=n, generations=1, rounds=20, seed=5,
+            structure=spec,
+        )
+        population = Population.random(config, make_rng(11))
+        model = build_structure(spec, n)
+        engine = FitnessEngine.from_config(config)
+        population.bind_engine(engine)
+        for a, b in [(0, 1), (3, 8), (11, 0)]:
+            ft, fl = model.pair_fitness(population, a, b, engine)
+            assert ft == model.fitness_of(population, a, engine)
+            assert fl == model.fitness_of(population, b, engine)
+
+
+class TestSmallWorld:
+    def test_p_zero_is_the_ring(self):
+        sw = build_structure("smallworld:k=4,p=0,seed=9", 16)
+        ring = build_structure("ring:k=4", 16)
+        for i in range(16):
+            assert np.array_equal(sw.neighbors(i), ring.neighbors(i))
+
+    def test_edge_count_preserved(self):
+        # Rewiring moves endpoints, never adds or removes edges.
+        for p in (0.0, 0.3, 1.0):
+            sw = build_structure(f"smallworld:k=4,p={p},seed=2", 20)
+            assert sw.n_edges == 20 * 4 // 2
+
+    def test_deterministic_per_seed(self):
+        a = build_structure("smallworld:k=4,p=0.5,seed=3", 20)
+        b = SmallWorld(20, k=4, p=0.5, seed=3)
+        for i in range(20):
+            assert np.array_equal(a.neighbors(i), b.neighbors(i))
+        c = SmallWorld(20, k=4, p=0.5, seed=4)
+        assert any(
+            not np.array_equal(b.neighbors(i), c.neighbors(i))
+            for i in range(20)
+        )
+
+    def test_every_node_keeps_a_neighbor(self):
+        # Each node owns k/2 lattice edges that never detach from it.
+        sw = build_structure("smallworld:k=2,p=1,seed=0", 30)
+        assert int(sw.degrees.min()) >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 3},  # odd
+            {"k": 0},
+            {"k": 20},  # k >= n
+            {"p": -0.1},
+            {"p": 1.5},
+            {"seed": -1},
+        ],
+    )
+    def test_bad_params(self, kwargs):
+        params = {"k": 4, "p": 0.1, "seed": 0}
+        params.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            SmallWorld(16, **params)
+
+    def test_float_p_spec_roundtrip(self):
+        model = build_structure("smallworld:k=4,p=0.05,seed=2", 12)
+        assert model.spec() == "smallworld:k=4,p=0.05,seed=2"
+        assert build_structure(model.spec(), 12).p == 0.05
+
+
+class TestScaleFree:
+    def test_edge_count(self):
+        # (m+1)-clique seed + m edges per later arrival.
+        n, m = 30, 2
+        model = build_structure(f"scalefree:m={m},seed=7", n)
+        assert model.n_edges == (m + 1) * m // 2 + (n - m - 1) * m
+
+    def test_min_degree_at_least_m(self):
+        model = build_structure("scalefree:m=2,seed=7", 40)
+        assert int(model.degrees.min()) >= 2
+
+    def test_hubs_emerge(self):
+        model = build_structure("scalefree:m=2,seed=7", 60)
+        assert int(model.degrees.max()) >= 8  # heavy tail
+
+    def test_deterministic_per_seed(self):
+        a = build_structure("scalefree:m=2,seed=3", 25)
+        b = ScaleFree(25, m=2, seed=3)
+        for i in range(25):
+            assert np.array_equal(a.neighbors(i), b.neighbors(i))
+
+    @pytest.mark.parametrize("kwargs", [{"m": 0}, {"m": 15}, {"seed": -2}])
+    def test_bad_params(self, kwargs):
+        params = {"m": 2, "seed": 0}
+        params.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            ScaleFree(16, **params)
+
+
+class TestSpecValidation:
+    def test_unknown_key_suggests_closest(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'k'"):
+            build_structure("ring:K=4", 12)
+        with pytest.raises(ConfigurationError, match="did you mean 'p'"):
+            build_structure("smallworld:k=4,P=0.1", 12)
+
+    def test_unknown_name_suggests_closest(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'smallworld'"):
+            build_structure("smallwrld:k=4", 12)
+
+    def test_unknown_key_no_params_family(self):
+        with pytest.raises(ConfigurationError, match="no parameters"):
+            build_structure("complete:k=4", 12)
+
+    def test_float_rejected_for_integer_params(self):
+        with pytest.raises(ConfigurationError, match="integer"):
+            build_structure("ring:k=2.5", 12)
+        with pytest.raises(ConfigurationError, match="integer"):
+            build_structure("scalefree:m=1.5,seed=0", 12)
+
+    def test_integral_float_accepted(self):
+        model = build_structure("ring:k=4.0", 12)
+        assert model.spec() == "ring:k=4"
+
+    def test_structure_families_listing(self):
+        families = dict(structure_families())
+        assert "smallworld" in families
+        assert "p=" in families["smallworld"]
+        assert "scalefree" in families
+        assert set(families) == set(available_structures())

@@ -107,7 +107,14 @@ class TestWellMixedGolden:
         assert population_hash(a) == population_hash(b)
 
 
-STRUCTURES = ["ring:k=4", "grid:rows=6,cols=6", "regular:d=4,seed=1", "complete"]
+STRUCTURES = [
+    "ring:k=4",
+    "grid:rows=6,cols=6",
+    "regular:d=4,seed=1",
+    "complete",
+    "smallworld:k=4,p=0.1,seed=1",
+    "scalefree:m=2,seed=1",
+]
 
 
 class TestStructuredRuns:
@@ -283,6 +290,35 @@ class TestStructuredCheckpoint:
         resumed.population.check_invariants()
         # The resumed run really started from the saved population: its
         # initial snapshot is the first leg's final state.
+        import numpy as np
+
+        assert np.array_equal(
+            resumed.snapshots[0].strategy_matrix,
+            first.population.strategy_matrix(),
+        )
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["smallworld:k=4,p=0.25,seed=3", "scalefree:m=2,seed=3"],
+    )
+    def test_new_family_roundtrip_resume(self, spec, tmp_path):
+        """parse -> spec() -> checkpoint -> resume survives for the new
+        graph families (the float rewiring probability included)."""
+        path = tmp_path / "graph.npz"
+        config = EvolutionConfig(
+            n_ssets=12, generations=600, seed=21, structure=spec
+        )
+        first = Simulation(config, checkpoint_path=path).run()
+        assert first.backend_report.structure == config.canonical_structure()
+        from repro.io.checkpoint import load_checkpoint
+
+        _, saved = load_checkpoint(path)
+        assert saved == config.canonical_structure()
+        resumed = Simulation(
+            config.with_updates(seed=22), checkpoint_path=path, resume=True
+        ).run()
+        assert resumed.generations_run == 600
+        resumed.population.check_invariants()
         import numpy as np
 
         assert np.array_equal(

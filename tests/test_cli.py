@@ -65,6 +65,32 @@ class TestBackendsCommand:
             assert name in out
 
 
+class TestStructuresCommand:
+    def test_lists_all_families_with_params(self, capsys):
+        assert main(["structures"]) == 0
+        out = capsys.readouterr().out
+        for name in ("well-mixed", "complete", "ring", "grid", "regular",
+                     "smallworld", "scalefree"):
+            assert name in out
+        assert "p=" in out  # parameter summaries are shown
+        assert "rewiring" in out
+
+    def test_evolve_new_family(self, capsys):
+        assert main(
+            ["evolve", *SMALL, "--structure", "smallworld:k=2,p=0.2,seed=1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "structure=smallworld:k=2,p=0.2,seed=1" in out
+        assert "neighborhood cooperation" in out
+
+    def test_unknown_structure_key_errors_helpfully(self, capsys):
+        from repro.__main__ import cli
+
+        assert cli(["evolve", *SMALL, "--structure", "ring:K=4"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'k'" in err
+
+
 class TestEvolveBackends:
     def test_serial_and_event_agree(self, capsys):
         assert main(["evolve", *SMALL, "--backend", "serial"]) == 0
