@@ -1,0 +1,245 @@
+#!/usr/bin/env python
+"""Sweep-service latency harness: cold vs. cache-hit, warm pools, jobs/sec.
+
+Writes ``BENCH_service.json`` with one record per scenario, measured
+through the real HTTP front door (an in-process
+:class:`~repro.service.SweepServer` on a loopback port — the full
+submit/queue/execute/cache path, network stack included).
+
+Three questions, one record each:
+
+* ``cold-vs-hit`` — the acceptance scenario: a 16-replicate well-mixed
+  memory-2 ensemble sweep submitted cold, then resubmitted bit-identically.
+  The duplicate must be served from the result cache at >= 50x lower
+  latency, with a byte-identical result payload (both asserted in-bench).
+* ``warm-pool`` — two distinct-seed memory-one sweeps back to back: the
+  second runs against the server-lifetime warm engine-pair store and its
+  latency is reported alongside the first's.
+* ``throughput`` — a burst of small distinct jobs, reported as sustained
+  jobs/sec through submit -> execute -> done.
+
+CI runs ``--smoke`` (short horizon) so the harness cannot rot; developers
+run it bare and commit the JSON.
+
+Usage::
+
+    python benchmarks/service_bench.py                  # full horizon
+    python benchmarks/service_bench.py --smoke          # CI anti-rot
+    python benchmarks/service_bench.py --out my.json --generations 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # runnable without installation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import EvolutionConfig, __version__  # noqa: E402
+from repro.service import (  # noqa: E402
+    JobQueue,
+    JobSpec,
+    ResultStore,
+    SweepClient,
+    SweepServer,
+    WarmEnginePool,
+)
+
+ACCEPTANCE_REPLICATES = 16
+DEFAULT_GENERATIONS = 10_000
+SMOKE_GENERATIONS = 2_000
+MIN_CACHE_SPEEDUP = 50.0
+
+
+def make_spec(
+    *, memory_steps: int, generations: int, replicates: int, seed0: int
+) -> JobSpec:
+    return JobSpec(
+        configs=tuple(
+            EvolutionConfig(
+                memory_steps=memory_steps,
+                n_ssets=16,
+                generations=generations,
+                structure="well-mixed",
+                seed=seed0 + i,
+                record_events=False,
+            )
+            for i in range(replicates)
+        ),
+    )
+
+
+def submit_and_wait(client: SweepClient, spec: JobSpec) -> tuple[float, dict]:
+    """Submit through HTTP and block to completion; returns (seconds, status)."""
+    started = time.perf_counter()
+    status = client.submit(spec)
+    if status["state"] != "done":
+        status = client.wait(status["job_id"], timeout=3600, poll_interval=0.01)
+    elapsed = time.perf_counter() - started
+    if status["state"] != "done":
+        raise AssertionError(f"job did not finish: {status}")
+    return elapsed, status
+
+
+def bench_cold_vs_hit(client: SweepClient, generations: int) -> dict:
+    spec = make_spec(
+        memory_steps=2,
+        generations=generations,
+        replicates=ACCEPTANCE_REPLICATES,
+        seed0=2013,
+    )
+    cold_seconds, cold_status = submit_and_wait(client, spec)
+    assert not cold_status["cache_hit"], "first submission must execute"
+
+    # Resubmit the bit-identical spec: served from cache, measured through
+    # the same HTTP path (several passes; keep the fastest, standard noise
+    # mitigation for a ~ms-scale measurement).
+    hit_seconds = float("inf")
+    for _ in range(5):
+        elapsed, hit_status = submit_and_wait(client, spec)
+        assert hit_status["cache_hit"], "duplicate must be a cache hit"
+        hit_seconds = min(hit_seconds, elapsed)
+
+    cold_payload = client.result(cold_status["job_id"])
+    hit_payload = client.result(hit_status["job_id"])
+    if cold_payload["results"] != hit_payload["results"]:
+        raise AssertionError("cache hit returned a different result payload")
+
+    speedup = cold_seconds / hit_seconds
+    if speedup < MIN_CACHE_SPEEDUP:
+        raise AssertionError(
+            f"cache-hit speedup x{speedup:.1f} is below the "
+            f"x{MIN_CACHE_SPEEDUP:.0f} acceptance bar "
+            f"(cold {cold_seconds:.3f}s, hit {hit_seconds * 1e3:.1f}ms)"
+        )
+    return {
+        "scenario": "cold-vs-hit",
+        "replicates": ACCEPTANCE_REPLICATES,
+        "memory_steps": 2,
+        "generations": generations,
+        "cold_seconds": round(cold_seconds, 4),
+        "cache_hit_seconds": round(hit_seconds, 6),
+        "cache_hit_ms": round(hit_seconds * 1e3, 3),
+        "speedup": round(speedup, 1),
+        "payload_bit_identical": True,
+    }
+
+
+def bench_warm_pool(client: SweepClient, generations: int) -> dict:
+    # Memory-one sweeps share deterministic pair evaluations; the second
+    # job starts from the server's warm store (distinct seeds, so it is a
+    # genuine execution, not a cache hit).
+    first = make_spec(
+        memory_steps=1, generations=generations, replicates=8, seed0=5000
+    )
+    second = make_spec(
+        memory_steps=1, generations=generations, replicates=8, seed0=6000
+    )
+    first_seconds, first_status = submit_and_wait(client, first)
+    second_seconds, second_status = submit_and_wait(client, second)
+    assert not second_status["cache_hit"]
+    return {
+        "scenario": "warm-pool",
+        "replicates": 8,
+        "memory_steps": 1,
+        "generations": generations,
+        "cold_pool_seconds": round(first_seconds, 4),
+        "warm_pool_seconds": round(second_seconds, 4),
+        "warm_over_cold": round(second_seconds / first_seconds, 3),
+    }
+
+
+def bench_throughput(client: SweepClient, generations: int, jobs: int) -> dict:
+    specs = [
+        make_spec(
+            memory_steps=1,
+            generations=generations,
+            replicates=1,
+            seed0=9000 + i,
+        )
+        for i in range(jobs)
+    ]
+    started = time.perf_counter()
+    submitted = [client.submit(s) for s in specs]
+    finals = [
+        s
+        if s["state"] == "done"
+        else client.wait(s["job_id"], timeout=3600, poll_interval=0.01)
+        for s in submitted
+    ]
+    elapsed = time.perf_counter() - started
+    assert all(s["state"] == "done" for s in finals)
+    return {
+        "scenario": "throughput",
+        "jobs": jobs,
+        "replicates_per_job": 1,
+        "generations": generations,
+        "total_seconds": round(elapsed, 4),
+        "jobs_per_sec": round(jobs / elapsed, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="short horizon (CI anti-rot)")
+    parser.add_argument("--generations", type=int, default=None,
+                        help=f"generations per replicate (default "
+                             f"{DEFAULT_GENERATIONS:,}; smoke "
+                             f"{SMOKE_GENERATIONS:,})")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="burst size for the throughput scenario "
+                             "(default 32; smoke 8)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_service.json"),
+                        metavar="PATH", help="output JSON path")
+    args = parser.parse_args(argv)
+
+    generations = (
+        args.generations
+        if args.generations is not None
+        else (SMOKE_GENERATIONS if args.smoke else DEFAULT_GENERATIONS)
+    )
+    jobs = args.jobs if args.jobs is not None else (8 if args.smoke else 32)
+
+    queue = JobQueue(workers=2, store=ResultStore(), pool=WarmEnginePool())
+    results = []
+    with SweepServer(port=0, queue=queue) as server:
+        client = SweepClient(server.url, timeout=120)
+        for record in (
+            bench_cold_vs_hit(client, generations),
+            bench_warm_pool(client, generations),
+            bench_throughput(client, generations, jobs),
+        ):
+            results.append(record)
+            extras = {
+                k: v
+                for k, v in record.items()
+                if k.endswith(("seconds", "ms", "speedup", "per_sec"))
+            }
+            line = "   ".join(f"{k}={v}" for k, v in extras.items())
+            print(f"{record['scenario']:<12} {line}")
+    queue.close()
+
+    payload = {
+        "benchmark": "service",
+        "created_unix": int(time.time()),
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repro_version": __version__,
+        "results": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out} ({len(results)} scenarios)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Sweep service: submit ensembles to a long-lived server and reuse results.
+
+Starts an in-process sweep server (the same thing ``repro serve`` runs),
+then walks through the service workflow:
+
+1. submit a replicate ensemble through the HTTP front door;
+2. poll its live progress while the lanes advance;
+3. resubmit the *identical* science and get the cached result back in
+   milliseconds — bit-identical payload, no re-execution;
+4. submit an ``interactive``-priority job and watch it jump the batch
+   queue.
+
+Everything below also works against a separate server process — start one
+with ``repro serve`` and point ``SweepClient`` at its URL.
+
+Run:  python examples/sweep_service.py
+"""
+
+import time
+
+from repro import EvolutionConfig
+from repro.service import (
+    JobQueue,
+    JobSpec,
+    SweepClient,
+    SweepServer,
+    WarmEnginePool,
+)
+
+REPLICATES = 8
+MASTER_SEED = 20130521  # the paper's conference date
+
+
+def spec_for(seed0: int, priority: str = "batch", label: str = "") -> JobSpec:
+    return JobSpec(
+        configs=tuple(
+            EvolutionConfig(
+                memory_steps=2, n_ssets=16, generations=20_000, rounds=200,
+                seed=seed0 + i, record_events=False,
+            )
+            for i in range(REPLICATES)
+        ),
+        priority=priority,
+        label=label,
+    )
+
+
+def main() -> None:
+    queue = JobQueue(workers=2, pool=WarmEnginePool())
+    with SweepServer(port=0, queue=queue) as server:
+        client = SweepClient(server.url)
+        print(f"server up at {server.url}\n")
+
+        # 1. Submit a batch ensemble.
+        job = client.submit(spec_for(MASTER_SEED, label="demo-ensemble"))
+        print(f"submitted {job['job_id']} "
+              f"({REPLICATES} replicates, state={job['state']})")
+
+        # 2. Poll progress while it runs.
+        while True:
+            status = client.job(job["job_id"])
+            progress = status["progress"]
+            print(f"  {status['state']:<8} "
+                  f"runs {progress['runs_done']}/{progress['runs_total']}  "
+                  f"ticks {progress['ticks_seen']}")
+            if status["state"] in ("done", "failed"):
+                break
+            time.sleep(0.2)
+
+        # 3. Resubmit the identical science: a cache hit, no re-execution.
+        started = time.perf_counter()
+        duplicate = client.submit(spec_for(MASTER_SEED))
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        print(f"\nduplicate submission: state={duplicate['state']} "
+              f"cache_hit={duplicate['cache_hit']} in {elapsed_ms:.1f} ms")
+        original = client.result(job["job_id"], population=False)
+        cached = client.result(duplicate["job_id"], population=False)
+        print(f"payloads bit-identical: "
+              f"{original['results'] == cached['results']}")
+
+        # 4. Interactive jobs jump the batch queue.
+        batch = client.submit(spec_for(MASTER_SEED + 1000, "batch"))
+        urgent = client.submit(
+            spec_for(MASTER_SEED + 2000, "interactive", label="urgent")
+        )
+        client.wait(urgent["job_id"], timeout=300)
+        client.wait(batch["job_id"], timeout=300)
+        stats = client.stats()
+        print(f"\nqueue: {stats['queue']['submitted_total']} submitted, "
+              f"{stats['queue']['cache_hit_total']} cache hits; "
+              f"store: {stats['store']['entries']} entries; "
+              f"warm pool: {stats['pool']}")
+
+        for i, run in enumerate(original["results"][:3]):
+            dominant = run["dominant"]
+            print(f"[run={i}] dominant {dominant['bits']} "
+                  f"at {dominant['share']:.1%}")
+    queue.close()
+
+
+if __name__ == "__main__":
+    main()

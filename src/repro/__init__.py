@@ -32,7 +32,9 @@ Package map
 ``repro.runtime``     real multiprocessing execution of the science runs
 ``repro.analysis``    k-means, strategy classification, metrics, heatmaps
 ``repro.experiments`` regenerates every table and figure of the paper
-``repro.io``          generation recorder and checkpoints
+``repro.io``          generation recorder, checkpoints, result artifacts
+``repro.service``     sweep-as-a-service: job queue, result cache, HTTP
+                      front door (import explicitly: ``repro.service``)
 """
 
 from .api import (

@@ -9,6 +9,10 @@ Commands
 ``run-all [--full]``          regenerate everything
 ``evolve [options]``          run one evolution and print the outcome
 ``sweep [options]``           run an ensemble of evolutions (process pool)
+``serve [options]``           start the sweep service (JSON over HTTP)
+``submit [options]``          submit a sweep to a running service
+``jobs --url URL``            list a running service's jobs
+``result <job-id> --url URL`` fetch a finished job's results
 """
 
 from __future__ import annotations
@@ -180,6 +184,105 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import JobQueue, ResultStore, SweepServer, WarmEnginePool
+
+    store = ResultStore(
+        max_entries=args.cache_entries, artifact_dir=args.artifact_dir
+    )
+    pool = WarmEnginePool() if args.warm_pool else None
+    queue = JobQueue(
+        workers=args.workers if args.workers is not None else 2,
+        max_queued=args.max_queued,
+        store=store,
+        pool=pool,
+    )
+    server = SweepServer(
+        host=args.host, port=args.port, queue=queue, verbose=args.verbose
+    )
+    print(f"sweep service listening on {server.url} "
+          f"(workers={queue.workers}, max_queued={queue.max_queued}, "
+          f"warm_pool={'on' if pool is not None else 'off'}, "
+          f"artifacts={args.artifact_dir or 'off'})")
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    finally:
+        queue.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import SweepClient
+
+    client = SweepClient(args.url)
+    status = client.submit_sweep(
+        _evolution_config(args, args.memory),
+        n_runs=args.runs,
+        base_seed=args.base_seed,
+        backend=args.backend,
+        priority=args.priority,
+        label=args.label,
+    )
+    job_id = status["job_id"]
+    print(f"{job_id} state={status['state']} "
+          f"cache_hit={status['cache_hit']} "
+          f"fingerprint={status['fingerprint'][:16]}…")
+    if not args.wait:
+        return 0
+    final = client.wait(job_id, timeout=args.timeout)
+    if final["state"] == "failed":
+        print(f"repro: error: job failed: {final['error']}", file=sys.stderr)
+        return 2
+    payload = client.result(job_id, population=False)
+    for i, run in enumerate(payload["results"]):
+        dominant = run["dominant"]
+        print(f"[run={i} seed={run['config']['seed']}] "
+              f"dominant: {dominant['bits']} at {dominant['share']:.1%} "
+              f"after {run['generations_run']:,} generations")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from .service import SweepClient
+
+    for status in SweepClient(args.url).jobs():
+        progress = status["progress"]
+        print(f"{status['job_id']:<12} {status['state']:<8} "
+              f"{status['priority']:<12} "
+              f"runs={progress['runs_done']}/{progress['runs_total']} "
+              f"cache_hit={status['cache_hit']} "
+              f"label={status['label'] or '-'}")
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    from .service import SweepClient
+
+    payload = SweepClient(args.url).result(
+        args.job_id, population=not args.no_population, events=args.events
+    )
+    if payload.get("state") != "done":
+        print(f"repro: job {args.job_id} is {payload.get('state')!r}; "
+              f"poll again later", file=sys.stderr)
+        return 1
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(payload, indent=2))
+        return 0
+    print(f"{payload['job_id']} cache_hit={payload['cache_hit']} "
+          f"runs={len(payload['results'])}")
+    for i, run in enumerate(payload["results"]):
+        dominant = run["dominant"]
+        print(f"[run={i} seed={run['config']['seed']}] "
+              f"dominant: {dominant['bits']} at {dominant['share']:.1%} "
+              f"after {run['generations_run']:,} generations "
+              f"({run['n_pc_events']} PC events, "
+              f"{run['n_mutations']} mutations)")
+    return 0
+
+
 def _add_evolution_arguments(parser: argparse.ArgumentParser) -> None:
     """Science flags shared by ``evolve`` and ``sweep``."""
     parser.add_argument("--ssets", type=int, default=128,
@@ -301,6 +404,80 @@ def build_parser() -> argparse.ArgumentParser:
                        default="event")
     _add_evolution_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the sweep service: JSON-over-HTTP job queue with "
+             "result caching and warm engine pools",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 = let the OS pick; default 8642)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="concurrently executing jobs (default 2)")
+    serve.add_argument("--max-queued", type=int, default=64,
+                       dest="max_queued",
+                       help="waiting-job bound before submissions are "
+                            "rejected with 429 (default 64)")
+    serve.add_argument("--cache-entries", type=int, default=256,
+                       dest="cache_entries",
+                       help="in-memory result-cache LRU size (default 256)")
+    serve.add_argument("--artifact-dir", default=None, dest="artifact_dir",
+                       metavar="DIR",
+                       help="also persist results under DIR/<fingerprint>/ "
+                            "so cache hits survive restarts")
+    serve.add_argument("--warm-pool", action=argparse.BooleanOptionalAction,
+                       default=True, dest="warm_pool",
+                       help="keep deterministic pair evaluations warm "
+                            "across jobs (default on)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a sweep to a running service"
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8642",
+                        help="service base URL")
+    submit.add_argument("--memory", type=int, default=1,
+                        help="memory steps n of the strategy model")
+    submit.add_argument("--runs", type=int, default=4,
+                        help="replicates (seeds derive client-side from "
+                             "--base-seed / --seed)")
+    submit.add_argument("--base-seed", type=int, default=None,
+                        dest="base_seed",
+                        help="master seed for replicate derivation "
+                             "(default: --seed)")
+    submit.add_argument("--backend", choices=available_backends(),
+                        default="ensemble")
+    submit.add_argument("--priority", choices=["interactive", "batch"],
+                        default="batch")
+    submit.add_argument("--label", default="", help="free-form job tag")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes and print each "
+                             "run's outcome")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait timeout in seconds (default 600)")
+    _add_evolution_arguments(submit)
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs = sub.add_parser("jobs", help="list a running service's jobs")
+    jobs.add_argument("--url", default="http://127.0.0.1:8642")
+    jobs.set_defaults(func=_cmd_jobs)
+
+    result = sub.add_parser(
+        "result", help="fetch a finished job's results"
+    )
+    result.add_argument("job_id", metavar="JOB_ID")
+    result.add_argument("--url", default="http://127.0.0.1:8642")
+    result.add_argument("--events", action="store_true",
+                        help="include per-event records in the payload")
+    result.add_argument("--no-population", action="store_true",
+                        dest="no_population",
+                        help="skip final population matrices")
+    result.add_argument("--json", action="store_true",
+                        help="dump the raw JSON payload")
+    result.set_defaults(func=_cmd_result)
     return parser
 
 

@@ -37,6 +37,7 @@ N-replicate ensemble from one master seed.
 
 from __future__ import annotations
 
+import json
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
 from typing import Callable, Iterable, Sequence
@@ -46,6 +47,7 @@ import numpy as np
 from ..core.config import EvolutionConfig
 from ..core.engine import enable_engine_pair_sharing, shared_engine_pairs
 from ..core.evolution import EvolutionResult
+from ..core.progress import progress_callback, progress_scope
 from ..errors import ConfigurationError
 from ..rng import SeedSequenceTree
 from .backends import Backend, EnsembleBackend, resolve_backend
@@ -119,6 +121,16 @@ def _run_sweep_ensemble(
     return results
 
 
+def _dedupe_key(config: EvolutionConfig) -> str:
+    """Canonical identity of one run: the full config dict, seed included.
+
+    Uses :meth:`EvolutionConfig.to_dict` so structure instances collapse to
+    their canonical spec string — two configs collide iff they describe the
+    bit-identical run.
+    """
+    return json.dumps(config.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
 def _auto_share(configs: Sequence[EvolutionConfig]) -> bool:
     """Default sharing rule: on iff every run is memory-one (16 pure
     strategies — every sweep revisits the same pairs, so reuse is
@@ -134,6 +146,7 @@ def run_sweep(
     on_result: Callable[[int, EvolutionResult], None] | None = None,
     base_seed: int | None = None,
     share_engine: bool | None = None,
+    dedupe: bool = True,
     **backend_opts: object,
 ) -> list[EvolutionResult]:
     """Run every config and return the results in config order.
@@ -163,6 +176,15 @@ def run_sweep(
         Share deterministic pair evaluations across the sweep's runs (see
         the module docstring).  ``None`` (default) auto-enables for
         memory-one sweeps only; ``True``/``False`` force it.
+    dedupe:
+        Execute bit-identical ``(config, seed)`` entries once and fan the
+        *same* result object out to every duplicate position (default on —
+        every run is deterministic given its config, so re-executing a
+        duplicate can only reproduce the identical trajectory).  When
+        duplicates are collapsed, ``on_result`` fires once per sweep
+        position — duplicates included — in config order after the unique
+        runs finish.  ``dedupe=False`` restores independent execution
+        (distinct result objects per position, e.g. for timing studies).
     **backend_opts:
         Forwarded to the backend class (as in :class:`~repro.api.Simulation`).
         A backend option named ``workers`` (the multiprocess backend's pool
@@ -178,6 +200,32 @@ def run_sweep(
             c.with_updates(seed=s) for c, s in zip(run_configs, seeds)
         ]
 
+    if dedupe and len(run_configs) > 1:
+        keys = [_dedupe_key(c) for c in run_configs]
+        first_index: dict[str, int] = {}
+        unique: list[EvolutionConfig] = []
+        index_map: list[int] = []
+        for config, key in zip(run_configs, keys):
+            position = first_index.get(key)
+            if position is None:
+                position = len(unique)
+                first_index[key] = position
+                unique.append(config)
+            index_map.append(position)
+        if len(unique) < len(run_configs):
+            unique_results = run_sweep(
+                unique,
+                resolved,
+                workers=workers,
+                share_engine=share_engine,
+                dedupe=False,
+            )
+            results = [unique_results[j] for j in index_map]
+            if on_result is not None:
+                for i, result in enumerate(results):
+                    on_result(i, result)
+            return results
+
     if isinstance(resolved, EnsembleBackend):
         return _run_sweep_ensemble(run_configs, resolved, workers, on_result)
 
@@ -186,10 +234,23 @@ def run_sweep(
     if workers is None or workers <= 1 or len(run_configs) <= 1:
         # In-process path: successive deterministic runs share evaluated
         # payoff pairs instead of re-deriving identical matrix entries.
+        # Single-run drivers stamp ticks with run_index 0, so an installed
+        # progress scope gets each run's ticks remapped to its sweep index
+        # (the ensemble driver does the equivalent for its lanes).
+        outer_progress = progress_callback()
         context = shared_engine_pairs() if share else nullcontext()
         with context:
             for i, config in enumerate(run_configs):
-                result = _run_one(config, resolved)
+                if outer_progress is not None:
+                    scope = progress_scope(
+                        lambda tick, _i=i, _cb=outer_progress: _cb(
+                            tick.with_run_index(_i)
+                        )
+                    )
+                else:
+                    scope = nullcontext()
+                with scope:
+                    result = _run_one(config, resolved)
                 if on_result is not None:
                     on_result(i, result)
                 results.append(result)

@@ -29,6 +29,7 @@ from .nature import GenerationEvents, MutationDecision, NatureAgent, PCDecision
 from .payoff import COOPERATE, DEFECT, PAPER_PAYOFF, PayoffMatrix
 from .payoff_cache import PayoffCache, StrategyHistogram
 from .population import Population
+from .progress import ProgressTick, progress_callback, progress_scope
 from .sset import SSet
 from .states import (
     MAX_MEMORY_STEPS,
@@ -95,4 +96,6 @@ __all__ = [
     "EvolutionConfig", "PAPER_PC_RATE", "PAPER_MUTATION_RATE",
     "EvolutionResult", "EventRecord", "Snapshot",
     "run_serial", "run_event_driven", "run_baseline",
+    # progress hooks
+    "ProgressTick", "progress_scope", "progress_callback",
 ]

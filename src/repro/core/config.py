@@ -7,8 +7,8 @@ mu = 0.05, pure strategies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
 
 from ..errors import ConfigurationError
 from ..structure import InteractionModel, build_structure, validate_structure
@@ -227,3 +227,163 @@ class EvolutionConfig:
     def with_updates(self, **changes: Any) -> "EvolutionConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    # -- dict / JSON round-trip -----------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible dict of every field (``from_dict`` inverts it).
+
+        The payoff matrix becomes a plain dict of its four values (plus
+        ``require_dilemma``) and the structure its canonical spec string —
+        including hand-constructed :class:`~repro.structure.InteractionModel`
+        instances, which serialise as their ``spec()``.  The dict is the
+        canonical wire form used by job specs
+        (:mod:`repro.service.jobspec`) and result artifacts.
+        """
+        data: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "payoff":
+                value = {
+                    "reward": value.reward,
+                    "sucker": value.sucker,
+                    "temptation": value.temptation,
+                    "punishment": value.punishment,
+                    "require_dilemma": value.require_dilemma,
+                }
+            elif f.name == "structure":
+                value = self.canonical_structure()
+            data[f.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EvolutionConfig":
+        """Build a config from :meth:`to_dict` output (strict validation).
+
+        Unknown keys and wrong-typed values are rejected with a
+        :class:`~repro.errors.ConfigurationError` that names the offending
+        field; omitted fields take their defaults, so hand-written partial
+        dicts (``{"memory_steps": 2, "seed": 7}``) work too.  ``payoff``
+        accepts the :meth:`to_dict` mapping or a 4-item ``[R, S, T, P]``
+        list; ``structure`` must be a spec string (instances do not
+        round-trip through JSON).
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"EvolutionConfig.from_dict needs a mapping, got "
+                f"{type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown EvolutionConfig field(s): {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        kwargs: dict[str, Any] = {}
+        for name, value in data.items():
+            if name in _INT_FIELDS:
+                kwargs[name] = _coerce_int(name, value)
+            elif name in _FLOAT_FIELDS:
+                kwargs[name] = _coerce_float(name, value)
+            elif name in _BOOL_FIELDS:
+                kwargs[name] = _coerce_bool(name, value)
+            elif name == "payoff":
+                kwargs[name] = _coerce_payoff(value)
+            elif name == "structure":
+                if not isinstance(value, str):
+                    raise ConfigurationError(
+                        f"field 'structure': expected a spec string (e.g. "
+                        f"'well-mixed', 'ring:k=4'), got "
+                        f"{type(value).__name__}; InteractionModel "
+                        "instances do not round-trip through dicts"
+                    )
+                kwargs[name] = value
+        # Range/consistency validation (values in [0,1], structure spec
+        # parse, ...) happens in __post_init__ as usual and already names
+        # the offending field in its messages.
+        return cls(**kwargs)
+
+
+#: Field classification for :meth:`EvolutionConfig.from_dict` coercion.
+_INT_FIELDS = frozenset({
+    "memory_steps", "n_ssets", "generations", "agents_per_sset", "rounds",
+    "seed", "record_every", "engine_pool_cap",
+})
+_FLOAT_FIELDS = frozenset({"pc_rate", "mutation_rate", "beta", "noise"})
+_BOOL_FIELDS = frozenset({
+    "mixed_strategies", "include_self_play", "allow_downhill_learning",
+    "expected_fitness", "engine", "record_events",
+})
+# A future EvolutionConfig field that is not classified above (and is not
+# one of the two structured fields) would silently fall out of the dict
+# round-trip; fail at import instead.
+_UNCLASSIFIED = (
+    {f.name for f in fields(EvolutionConfig)}
+    - _INT_FIELDS - _FLOAT_FIELDS - _BOOL_FIELDS - {"payoff", "structure"}
+)
+if _UNCLASSIFIED:  # pragma: no cover - tripwire for future fields
+    raise TypeError(
+        f"EvolutionConfig fields missing from_dict classification: "
+        f"{sorted(_UNCLASSIFIED)}"
+    )
+
+
+def _coerce_int(name: str, value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"field {name!r}: expected an integer, got {value!r}"
+        )
+    return value
+
+
+def _coerce_float(name: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"field {name!r}: expected a number, got {value!r}"
+        )
+    return float(value)
+
+
+def _coerce_bool(name: str, value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise ConfigurationError(
+            f"field {name!r}: expected a boolean, got {value!r}"
+        )
+    return value
+
+
+def _coerce_payoff(value: Any) -> PayoffMatrix:
+    if isinstance(value, PayoffMatrix):
+        return value
+    if isinstance(value, (list, tuple)):
+        if len(value) != 4:
+            raise ConfigurationError(
+                f"field 'payoff': a payoff list needs exactly 4 values "
+                f"[R, S, T, P], got {len(value)}"
+            )
+        r, s, t, p = (
+            _coerce_float(f"payoff[{i}]", v) for i, v in enumerate(value)
+        )
+        return PayoffMatrix(reward=r, sucker=s, temptation=t, punishment=p)
+    if isinstance(value, Mapping):
+        allowed = {
+            "reward", "sucker", "temptation", "punishment", "require_dilemma"
+        }
+        unknown = sorted(set(value) - allowed)
+        if unknown:
+            raise ConfigurationError(
+                f"field 'payoff': unknown key(s) {', '.join(unknown)}; "
+                f"allowed: {', '.join(sorted(allowed))}"
+            )
+        kwargs: dict[str, Any] = {}
+        for key, v in value.items():
+            if key == "require_dilemma":
+                kwargs[key] = _coerce_bool(f"payoff.{key}", v)
+            else:
+                kwargs[key] = _coerce_float(f"payoff.{key}", v)
+        return PayoffMatrix(**kwargs)
+    raise ConfigurationError(
+        f"field 'payoff': expected a mapping, 4-item list, or "
+        f"PayoffMatrix, got {type(value).__name__}"
+    )

@@ -48,6 +48,7 @@ from .engine import FitnessEngine
 from .nature import NatureAgent
 from .payoff_cache import PayoffCache
 from .population import Population
+from .progress import ProgressTick, progress_callback
 from .strategy import Strategy
 
 #: Either fitness evaluator the drivers thread through the structure layer.
@@ -206,8 +207,14 @@ def _apply_generation_events(
     evaluator: Evaluator,
     result: EvolutionResult,
     structure: InteractionModel,
+    progress=None,
 ) -> None:
-    """Apply one generation's events in the paper's order (PC, then mutation)."""
+    """Apply one generation's events in the paper's order (PC, then mutation).
+
+    ``progress`` is the thread's :func:`~repro.core.progress.progress_scope`
+    callback (or ``None``): one :class:`ProgressTick` per event generation,
+    after the generation's events applied.
+    """
     config = result.config
     if pc:
         decision = nature.pc_selection(len(population), structure)
@@ -255,6 +262,17 @@ def _apply_generation_events(
                     applied=True,
                 )
             )
+    if progress is not None:
+        progress(
+            ProgressTick(
+                run_index=0,
+                generation=generation,
+                generations=config.generations,
+                n_pc_events=result.n_pc_events,
+                n_adoptions=result.n_adoptions,
+                n_mutations=result.n_mutations,
+            )
+        )
 
 
 def _finalise(
@@ -297,6 +315,7 @@ def run_serial(
     evaluator = _resolve_evaluator(config, nature, population, cache, evaluator)
     result = EvolutionResult(config=config, population=population)
     _maybe_snapshot(result, population, 0, force=True)
+    progress = progress_callback()
 
     for generation in range(config.generations):
         events = nature.generation_events()
@@ -310,6 +329,7 @@ def run_serial(
                 evaluator,
                 result,
                 structure,
+                progress,
             )
         if config.record_every > 0 and generation > 0:
             _maybe_snapshot(result, population, generation, force=False)
@@ -340,6 +360,7 @@ def run_event_driven(
     evaluator = _resolve_evaluator(config, nature, population, cache, evaluator)
     result = EvolutionResult(config=config, population=population)
     _maybe_snapshot(result, population, 0, force=True)
+    progress = progress_callback()
 
     every = config.record_every
     next_snapshot = every if every > 0 else None
@@ -368,6 +389,7 @@ def run_event_driven(
                 evaluator,
                 result,
                 structure,
+                progress,
             )
             if next_snapshot is not None and next_snapshot == gen:
                 if gen < config.generations:

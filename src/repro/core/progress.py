@@ -1,0 +1,101 @@
+"""In-run progress hooks: observe a run's trajectory while it executes.
+
+Long runs were previously opaque until they returned.  The sweep service
+(:mod:`repro.service`) needs a per-job generation counter and partial
+metrics *while* a job runs, so the drivers emit lightweight
+:class:`ProgressTick` records at every event generation — the same
+granularity as the :class:`~repro.core.evolution.EventRecord` stream the
+recorder persists, so tick counts match event-generation counts exactly
+across backends (pinned by the ensemble-hook tests).
+
+The hook is installed per thread with :func:`progress_scope` rather than
+threaded through every driver signature: backends, ``run_sweep``, and the
+ensemble driver all stay call-compatible, and a service worker thread
+observes only its own job.  Emission costs one thread-local read at driver
+start plus one callback per event generation — nothing on the no-listener
+path, and never inside the vectorised batch scans.
+
+Usage::
+
+    from repro.core.progress import progress_scope
+
+    def watch(tick):
+        print(f"run {tick.run_index}: generation {tick.generation}")
+
+    with progress_scope(watch):
+        run_sweep(configs, backend="ensemble")
+
+Scopes nest; the innermost callback wins (the ensemble driver uses this to
+remap lane-local run indices to sweep-level config indices).  Callbacks
+must not raise — an exception would abort the run mid-trajectory.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+__all__ = ["ProgressTick", "progress_scope", "progress_callback"]
+
+
+@dataclass(frozen=True)
+class ProgressTick:
+    """Partial metrics of one run at one event generation.
+
+    ``run_index`` identifies the run within the batch that is executing:
+    ``0`` for a single :class:`~repro.api.Simulation` run, the config index
+    for a lane-batched ensemble (remapped from lane-local to sweep-level by
+    :func:`repro.ensemble.run_ensemble_detailed`).
+    """
+
+    run_index: int
+    generation: int
+    #: Total generations the run is configured for (progress denominator).
+    generations: int
+    n_pc_events: int
+    n_adoptions: int
+    n_mutations: int
+
+    @property
+    def fraction(self) -> float:
+        """Completed fraction of the run (0.0 when generations == 0)."""
+        if self.generations <= 0:
+            return 1.0
+        return min(1.0, self.generation / self.generations)
+
+    def with_run_index(self, run_index: int) -> "ProgressTick":
+        return replace(self, run_index=run_index)
+
+
+#: Per-thread listener stack (a list so scopes nest).
+_LOCAL = threading.local()
+
+ProgressCallback = Callable[[ProgressTick], None]
+
+
+def progress_callback() -> ProgressCallback | None:
+    """The innermost active callback of this thread, or ``None``.
+
+    Drivers read this once at run start — installing a scope mid-run has no
+    effect on runs already executing, by design.
+    """
+    stack = getattr(_LOCAL, "stack", None)
+    if not stack:
+        return None
+    return stack[-1]
+
+
+@contextmanager
+def progress_scope(callback: ProgressCallback) -> Iterator[ProgressCallback]:
+    """Install ``callback`` as this thread's progress listener for the block."""
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = []
+        _LOCAL.stack = stack
+    stack.append(callback)
+    try:
+        yield callback
+    finally:
+        stack.pop()

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from contextlib import nullcontext
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -62,6 +63,7 @@ from ..core.evolution import (
 from ..core.fermi import fermi_probability
 from ..core.payoff_cache import PayoffCache
 from ..core.population import Population
+from ..core.progress import ProgressTick, progress_callback, progress_scope
 from ..core.strategy import Strategy, random_mixed, random_pure
 from ..errors import ConfigurationError
 from ..rng import SeedSequenceTree
@@ -165,9 +167,22 @@ def run_ensemble_detailed(
 
     results: list[EvolutionResult | None] = [None] * len(run_configs)
     metas: list[dict | None] = [None] * len(run_configs)
+    # Progress listeners (repro.core.progress) see sweep-level config
+    # indices, not lane-local ones: each group's driver emits ticks with
+    # its own lane numbering, remapped here through a nested scope.
+    outer_progress = progress_callback()
     for indices in groups.values():
         group_configs = [run_configs[i] for i in indices]
         group_initial = [initial[i] for i in indices]
+        if outer_progress is not None:
+            remap = list(indices)
+            scope = progress_scope(
+                lambda tick, _remap=remap, _cb=outer_progress: _cb(
+                    tick.with_run_index(_remap[tick.run_index])
+                )
+            )
+        else:
+            scope = nullcontext()
         # The shared fast path speaks the structure layer's two batched
         # dialects: well-mixed gathers and GraphStructure's CSR adjacency
         # (decoders + fitness_pc_graph).  A custom InteractionModel
@@ -176,16 +191,17 @@ def run_ensemble_detailed(
         # path (exact serial objects and draws) instead.
         head = group_configs[0]
         structure = build_structure(head.structure, head.n_ssets)
-        if supports_shared_engine(head) and (
-            structure.is_well_mixed or isinstance(structure, GraphStructure)
-        ):
-            outs, meta = _run_group_shared(
-                group_configs, group_initial, batch_size
-            )
-        else:
-            outs, meta = _run_group_generic(
-                group_configs, group_initial, batch_size
-            )
+        with scope:
+            if supports_shared_engine(head) and (
+                structure.is_well_mixed or isinstance(structure, GraphStructure)
+            ):
+                outs, meta = _run_group_shared(
+                    group_configs, group_initial, batch_size
+                )
+            else:
+                outs, meta = _run_group_generic(
+                    group_configs, group_initial, batch_size
+                )
         for i, out in zip(indices, outs):
             results[i] = out
             metas[i] = meta
@@ -315,6 +331,7 @@ def _run_group_shared(
     beta = cfg.beta
     record_events = cfg.record_events
     memory = cfg.memory_steps
+    progress = progress_callback()
 
     # Per-lane decision-stream pre-draw (see repro.ensemble.rawstream):
     # PC selections and mutations are state-independent, so each batch's
@@ -593,6 +610,22 @@ def _run_group_shared(
                             )
                         )
 
+                if progress is not None:
+                    # One tick per (lane, event generation) — the serial
+                    # drivers' cadence, so tick streams match across
+                    # backends (pinned by the ensemble-hook tests).
+                    for r in sorted(set(pc_lanes) | set(mu_lanes)):
+                        progress(
+                            ProgressTick(
+                                run_index=r,
+                                generation=gen,
+                                generations=generations,
+                                n_pc_events=n_pc[r],
+                                n_adoptions=n_adopt[r],
+                                n_mutations=n_mut[r],
+                            )
+                        )
+
                 if every > 0:
                     for r in set(pc_lanes) | set(mu_lanes):
                         if next_snap[r] == gen:
@@ -713,6 +746,7 @@ def _run_group_generic(
     record_events = cfg.record_events
     make_mutant = random_mixed if cfg.mixed_strategies else random_pure
     memory = cfg.memory_steps
+    progress = progress_callback()
 
     base = 0
     remaining = generations
@@ -781,6 +815,20 @@ def _run_group_generic(
                             source=target,
                             target=target,
                             applied=True,
+                        )
+                    )
+
+            if progress is not None:
+                for r in sorted(set(pc_lanes) | set(mu_lanes)):
+                    result = results[r]
+                    progress(
+                        ProgressTick(
+                            run_index=r,
+                            generation=gen,
+                            generations=generations,
+                            n_pc_events=result.n_pc_events,
+                            n_adoptions=result.n_adoptions,
+                            n_mutations=result.n_mutations,
                         )
                     )
 

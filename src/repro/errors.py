@@ -18,6 +18,9 @@ __all__ = [
     "MemoryCapacityError",
     "CalibrationError",
     "CheckpointError",
+    "ServiceError",
+    "QueueFullError",
+    "JobNotFoundError",
 ]
 
 
@@ -59,3 +62,15 @@ class CalibrationError(ReproError, RuntimeError):
 
 class CheckpointError(ReproError, RuntimeError):
     """Checkpoint file is missing fields or is incompatible with this version."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The sweep service rejected a request or hit a server-side failure."""
+
+
+class QueueFullError(ServiceError):
+    """Job queue at capacity — backpressure rejection (HTTP 429)."""
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the requested id (HTTP 404)."""

@@ -2,6 +2,12 @@
 
 from .checkpoint import load_checkpoint, load_population, save_population
 from .recorder import GenerationRecorder, read_records
+from .results_writer import (
+    RESULT_FORMAT_VERSION,
+    load_result,
+    result_to_dict,
+    save_result,
+)
 
 __all__ = [
     "load_checkpoint",
@@ -9,4 +15,8 @@ __all__ = [
     "save_population",
     "GenerationRecorder",
     "read_records",
+    "RESULT_FORMAT_VERSION",
+    "result_to_dict",
+    "save_result",
+    "load_result",
 ]

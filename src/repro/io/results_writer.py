@@ -1,0 +1,179 @@
+"""Whole-result persistence: an :class:`EvolutionResult` as an artifact.
+
+The checkpoint module persists *populations* and the recorder persists
+*event streams*; services and batch pipelines need both plus the config and
+counters as one self-describing unit.  :func:`save_result` lays a result
+down as a small artifact directory reusing those two writers —
+
+``meta.json``
+    format version, the config's :meth:`~repro.core.EvolutionConfig.to_dict`
+    round-trip, counters, and the dominant-strategy summary.
+``population.npz``
+    the final population through :func:`~repro.io.checkpoint.save_population`
+    (structure spec included, so it resumes like any checkpoint).
+``events.jsonl``
+    the run's event stream through :class:`~repro.io.recorder.GenerationRecorder`
+    (header + events + final summary, the recorder's standard layout).
+
+— and :func:`load_result` re-assembles an :class:`EvolutionResult` from it.
+Snapshots and the live ``backend_report`` are *not* persisted (the report's
+backend name survives in ``meta.json``); a loaded result is science-complete
+(config, population, events, counters) but carries no execution envelope.
+
+:func:`result_to_dict` is the JSON-body form the sweep service returns over
+HTTP: the same information as the artifact, inline, with the population
+matrix and event list optional so status polls stay small.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..core.config import EvolutionConfig
+from ..core.evolution import EventRecord, EvolutionResult
+from ..errors import CheckpointError
+from .checkpoint import load_population, save_population
+from .recorder import GenerationRecorder, read_records
+
+__all__ = [
+    "RESULT_FORMAT_VERSION",
+    "result_to_dict",
+    "save_result",
+    "load_result",
+]
+
+RESULT_FORMAT_VERSION = 1
+
+_META = "meta.json"
+_POPULATION = "population.npz"
+_EVENTS = "events.jsonl"
+
+
+def result_to_dict(
+    result: EvolutionResult,
+    *,
+    include_population: bool = True,
+    include_events: bool = False,
+) -> dict[str, Any]:
+    """JSON-compatible view of a result (the sweep service's wire form).
+
+    ``include_population`` inlines the final strategy matrix (row per SSet);
+    ``include_events`` inlines the full event stream — float fitness values
+    survive the JSON round-trip bit-exactly (shortest-repr float64), which
+    the service's cache-parity tests rely on.
+    """
+    strategy, share = result.dominant()
+    data: dict[str, Any] = {
+        "config": result.config.to_dict(),
+        "generations_run": result.generations_run,
+        "n_pc_events": result.n_pc_events,
+        "n_adoptions": result.n_adoptions,
+        "n_mutations": result.n_mutations,
+        "cache_hits": result.cache_hits,
+        "cache_misses": result.cache_misses,
+        "wallclock_seconds": result.wallclock_seconds,
+        "dominant": {
+            "bits": strategy.bits() if strategy.is_pure else None,
+            "share": share,
+        },
+        "backend": (
+            result.backend_report.backend
+            if result.backend_report is not None
+            else None
+        ),
+        "n_events": len(result.events),
+        "n_snapshots": len(result.snapshots),
+    }
+    if include_population:
+        matrix = result.population.strategy_matrix()
+        data["population"] = {
+            "memory_steps": result.population.memory_steps,
+            "is_pure": matrix.dtype == np.uint8,
+            "strategy_matrix": matrix.tolist(),
+        }
+    if include_events:
+        data["events"] = [
+            {
+                "generation": e.generation,
+                "kind": e.kind,
+                "source": e.source,
+                "target": e.target,
+                "applied": e.applied,
+                "teacher_fitness": e.teacher_fitness,
+                "learner_fitness": e.learner_fitness,
+            }
+            for e in result.events
+        ]
+    return data
+
+
+def save_result(result: EvolutionResult, directory: str | Path) -> Path:
+    """Persist ``result`` as an artifact directory; returns the directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = result_to_dict(result, include_population=False)
+    meta["version"] = RESULT_FORMAT_VERSION
+    (directory / _META).write_text(
+        json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    save_population(
+        result.population,
+        directory / _POPULATION,
+        structure=result.config.canonical_structure(),
+    )
+    with GenerationRecorder(directory / _EVENTS) as recorder:
+        recorder.record_result(result)
+    return directory
+
+
+def load_result(directory: str | Path) -> EvolutionResult:
+    """Re-assemble the :class:`EvolutionResult` saved by :func:`save_result`.
+
+    The loaded result carries the saved config, population, events and
+    counters; snapshots and the backend report are not persisted (see the
+    module docstring).
+    """
+    directory = Path(directory)
+    meta_path = directory / _META
+    if not meta_path.exists():
+        raise CheckpointError(f"no result artifact at {directory}")
+    try:
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as err:
+        raise CheckpointError(
+            f"corrupt result meta at {meta_path}: {err}"
+        ) from err
+    version = meta.get("version")
+    if version != RESULT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"result artifact {directory} has version {version!r}, "
+            f"expected {RESULT_FORMAT_VERSION}"
+        )
+    config = EvolutionConfig.from_dict(meta["config"])
+    population = load_population(directory / _POPULATION)
+    events = [
+        EventRecord(
+            generation=int(record["generation"]),
+            kind=str(record["kind"]),
+            source=int(record["source"]),
+            target=int(record["target"]),
+            applied=bool(record["applied"]),
+            teacher_fitness=float(record["teacher_fitness"]),
+            learner_fitness=float(record["learner_fitness"]),
+        )
+        for record in read_records(directory / _EVENTS)
+        if record.get("type") == "event"
+    ]
+    result = EvolutionResult(config=config, population=population, events=events)
+    result.n_pc_events = int(meta["n_pc_events"])
+    result.n_adoptions = int(meta["n_adoptions"])
+    result.n_mutations = int(meta["n_mutations"])
+    result.cache_hits = int(meta["cache_hits"])
+    result.cache_misses = int(meta["cache_misses"])
+    result.generations_run = int(meta["generations_run"])
+    result.wallclock_seconds = float(meta["wallclock_seconds"])
+    return result

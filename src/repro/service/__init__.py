@@ -1,0 +1,39 @@
+"""Sweep-as-a-service: job specs, queue, result cache, HTTP server, client.
+
+This package turns the library's :func:`~repro.api.run_sweep` into a
+long-lived service (the paper's "production-scale screening" posture):
+
+* :class:`JobSpec` — canonical, fingerprinted description of a sweep
+  (:mod:`repro.service.jobspec`);
+* :class:`JobQueue` — asyncio priority queue with bounded workers,
+  backpressure, coalescing, and live progress
+  (:mod:`repro.service.queue`);
+* :class:`ResultStore` — fingerprint-keyed LRU + optional disk artifacts
+  (:mod:`repro.service.store`);
+* :class:`WarmEnginePool` — server-lifetime deterministic pair cache
+  (:mod:`repro.service.pools`);
+* :class:`SweepServer` / :class:`SweepClient` — stdlib JSON-over-HTTP
+  front door and client (:mod:`repro.service.server` / ``.client``).
+
+Everything is stdlib + numpy; no new dependencies.
+"""
+
+from .client import SweepClient
+from .jobspec import PRIORITIES, SPEC_FORMAT_VERSION, JobSpec
+from .pools import WarmEnginePool
+from .queue import Job, JobQueue, JobState
+from .server import SweepServer
+from .store import ResultStore
+
+__all__ = [
+    "JobSpec",
+    "PRIORITIES",
+    "SPEC_FORMAT_VERSION",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "ResultStore",
+    "WarmEnginePool",
+    "SweepServer",
+    "SweepClient",
+]

@@ -1,0 +1,172 @@
+"""Programmatic client for the sweep service (urllib only, no deps).
+
+:class:`SweepClient` speaks the :mod:`repro.service.server` wire protocol
+and converts its error envelope back into the library's exception types:
+``429`` -> :class:`~repro.errors.QueueFullError`, ``404`` on a job route ->
+:class:`~repro.errors.JobNotFoundError`, ``400`` ->
+:class:`~repro.errors.ConfigurationError`, anything else ->
+:class:`~repro.errors.ServiceError` — so service callers handle failures
+exactly like local :func:`~repro.api.run_sweep` callers do.
+
+Typical use::
+
+    from repro.service import SweepClient
+
+    client = SweepClient("http://127.0.0.1:8642")
+    job = client.submit_sweep(base_config, n_runs=16, base_seed=7)
+    status = client.wait(job["job_id"])
+    payload = client.result(job["job_id"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+from ..api.sweep import derive_sweep_seeds
+from ..core.config import EvolutionConfig
+from ..errors import (
+    ConfigurationError,
+    JobNotFoundError,
+    QueueFullError,
+    ServiceError,
+)
+from .jobspec import JobSpec
+
+__all__ = ["SweepClient"]
+
+
+class SweepClient:
+    """Thin JSON/HTTP client for a running :class:`SweepServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as err:
+            raise self._to_exception(err) from None
+        except urllib.error.URLError as err:
+            raise ServiceError(
+                f"cannot reach sweep service at {self.base_url}: {err.reason}"
+            ) from None
+
+    @staticmethod
+    def _to_exception(err: urllib.error.HTTPError) -> ServiceError:
+        try:
+            body = json.loads(err.read().decode("utf-8"))
+            detail = body.get("detail", "") or body.get("error", "")
+        except Exception:
+            detail = err.reason
+        message = f"HTTP {err.code}: {detail}"
+        if err.code == 429:
+            return QueueFullError(message)
+        if err.code == 404:
+            return JobNotFoundError(message)
+        if err.code == 400:
+            return ConfigurationError(message)
+        return ServiceError(message)
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, spec: JobSpec | Mapping[str, Any]) -> dict[str, Any]:
+        """Submit a job spec; returns the server's job-status dict.
+
+        A cache hit comes back already ``done`` with ``cache_hit`` true.
+        """
+        payload = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+        return self._request("POST", "/jobs", payload)
+
+    def submit_sweep(
+        self,
+        config: EvolutionConfig,
+        n_runs: int = 1,
+        *,
+        base_seed: int | None = None,
+        backend: str = "ensemble",
+        priority: str = "batch",
+        label: str = "",
+    ) -> dict[str, Any]:
+        """Replicate ``config`` ``n_runs`` times and submit in one call.
+
+        Seeds derive client-side via
+        :func:`~repro.api.derive_sweep_seeds`, so the submitted spec is
+        explicit about every run's seed (and fingerprints accordingly).
+        """
+        seeds = derive_sweep_seeds(
+            config.seed if base_seed is None else base_seed, n_runs
+        )
+        configs = tuple(config.with_updates(seed=s) for s in seeds)
+        spec = JobSpec(
+            configs=configs, backend=backend, priority=priority, label=label
+        )
+        return self.submit(spec)
+
+    # -- queries ---------------------------------------------------------------
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """One job's status (including live progress while running)."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """All job statuses the server remembers, oldest first."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def result(
+        self,
+        job_id: str,
+        *,
+        population: bool = True,
+        events: bool = False,
+    ) -> dict[str, Any]:
+        """A finished job's result payload.
+
+        Raises :class:`ServiceError` for a failed job; a still-running job
+        returns a ``state != "done"`` body (use :meth:`wait` first).
+        """
+        flags = f"?population={int(population)}&events={int(events)}"
+        return self._request("GET", f"/jobs/{job_id}/result{flags}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_interval: float = 0.05,
+    ) -> dict[str, Any]:
+        """Poll until the job finishes; returns its final status dict."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self._request("GET", f"/jobs/{job_id}")
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:.0f}s waiting for {job_id} "
+                    f"(state={status['state']!r})"
+                )
+            time.sleep(poll_interval)
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")

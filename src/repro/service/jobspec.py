@@ -1,0 +1,202 @@
+"""Canonical sweep-job specification with a content-hash fingerprint.
+
+A :class:`JobSpec` is the deterministic description of one
+:func:`~repro.api.run_sweep` invocation: the fully-resolved config list
+(seeds final — clients derive replicate seeds *before* submitting, so the
+spec is explicit about the science it asks for) plus execution options.
+It round-trips through plain dicts/JSON — the service's wire form — and
+hashes to a stable :meth:`fingerprint` that keys the result cache.
+
+The fingerprint covers the **science only**: the ordered config dicts.
+Execution options (backend, workers, priority, engine sharing) are
+deliberately excluded — every backend follows the bit-identical trajectory
+for a given config and seed (pinned by the repo's parity suites), so an
+``ensemble``-executed result is a valid cache hit for an ``event``-backend
+request.  Two submissions collide iff they ask for the same runs in the
+same order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..core.config import EvolutionConfig
+from ..errors import ConfigurationError
+
+__all__ = ["JobSpec", "PRIORITIES", "SPEC_FORMAT_VERSION"]
+
+#: Scheduling classes, highest urgency first.  ``interactive`` jobs jump
+#: every queued ``batch`` job; within a class the queue is FIFO.
+PRIORITIES = ("interactive", "batch")
+
+#: Version stamped into the hashed payload — bump to invalidate every
+#: cached fingerprint when the canonical form changes incompatibly.
+SPEC_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One sweep submission: the runs plus how to execute them.
+
+    Parameters
+    ----------
+    configs:
+        The runs, in result order.  Seeds are taken as-is (derive replicate
+        seeds with :func:`~repro.api.derive_sweep_seeds` first).
+    backend:
+        Backend name for :func:`~repro.api.run_sweep` (default
+        ``ensemble`` — the lane-batched fast path is the service's bread
+        and butter).  Validated against the registry at submit time.
+    workers:
+        ``run_sweep`` process-pool size (``None`` = in-process, the
+        default: service jobs already share a worker pool, and in-process
+        execution is what lets progress ticks stream to the job status).
+    share_engine:
+        Per-job override of ``run_sweep``'s deterministic pair sharing
+        (``None`` = the auto rule).  The server keeps the share store warm
+        across jobs (:class:`~repro.service.pools.WarmEnginePool`).
+    priority:
+        ``"interactive"`` or ``"batch"`` (scheduling only — not part of
+        the fingerprint).
+    label:
+        Free-form caller tag echoed in job listings.
+    """
+
+    configs: tuple[EvolutionConfig, ...]
+    backend: str = "ensemble"
+    workers: int | None = None
+    share_engine: bool | None = None
+    priority: str = "batch"
+    label: str = ""
+    #: Cached fingerprint (computed lazily; excluded from equality).
+    _fingerprint: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.configs, tuple):
+            object.__setattr__(self, "configs", tuple(self.configs))
+        if not self.configs:
+            raise ConfigurationError("a job spec needs at least one config")
+        for i, config in enumerate(self.configs):
+            if not isinstance(config, EvolutionConfig):
+                raise ConfigurationError(
+                    f"configs[{i}]: expected an EvolutionConfig, got "
+                    f"{type(config).__name__}"
+                )
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ConfigurationError(
+                f"field 'backend': expected a backend name, got "
+                f"{self.backend!r}"
+            )
+        if self.workers is not None and (
+            isinstance(self.workers, bool) or not isinstance(self.workers, int)
+        ):
+            raise ConfigurationError(
+                f"field 'workers': expected an integer or null, got "
+                f"{self.workers!r}"
+            )
+        if self.priority not in PRIORITIES:
+            raise ConfigurationError(
+                f"field 'priority': expected one of {PRIORITIES}, got "
+                f"{self.priority!r}"
+            )
+        if not isinstance(self.label, str):
+            raise ConfigurationError(
+                f"field 'label': expected a string, got {self.label!r}"
+            )
+
+    # -- identity --------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the science (see module docstring)."""
+        cached = self._fingerprint
+        if cached is None:
+            payload = {
+                "format": SPEC_FORMAT_VERSION,
+                "configs": [c.to_dict() for c in self.configs],
+            }
+            canonical = json.dumps(
+                payload, sort_keys=True, separators=(",", ":")
+            )
+            cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+    # -- dict / JSON round-trip -----------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible wire form (``from_dict`` inverts it)."""
+        return {
+            "version": SPEC_FORMAT_VERSION,
+            "configs": [c.to_dict() for c in self.configs],
+            "backend": self.backend,
+            "workers": self.workers,
+            "share_engine": self.share_engine,
+            "priority": self.priority,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        """Build a spec from :meth:`to_dict` output (strict validation)."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"JobSpec.from_dict needs a mapping, got {type(data).__name__}"
+            )
+        known = {
+            "version", "configs", "backend", "workers", "share_engine",
+            "priority", "label",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown JobSpec field(s): {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        version = data.get("version", SPEC_FORMAT_VERSION)
+        if version != SPEC_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"job spec version {version!r} is not supported "
+                f"(this server speaks version {SPEC_FORMAT_VERSION})"
+            )
+        raw_configs = data.get("configs")
+        if not isinstance(raw_configs, Sequence) or isinstance(
+            raw_configs, (str, bytes)
+        ):
+            raise ConfigurationError(
+                "field 'configs': expected a list of config dicts"
+            )
+        configs = []
+        for i, raw in enumerate(raw_configs):
+            try:
+                configs.append(EvolutionConfig.from_dict(raw))
+            except ConfigurationError as err:
+                raise ConfigurationError(f"configs[{i}]: {err}") from err
+        share = data.get("share_engine")
+        if share is not None and not isinstance(share, bool):
+            raise ConfigurationError(
+                f"field 'share_engine': expected a boolean or null, got "
+                f"{share!r}"
+            )
+        return cls(
+            configs=tuple(configs),
+            backend=data.get("backend", "ensemble"),
+            workers=data.get("workers"),
+            share_engine=share,
+            priority=data.get("priority", "batch"),
+            label=data.get("label", ""),
+        )
+
+    def summary(self) -> str:
+        """One-line human description for listings and logs."""
+        head = self.configs[0]
+        return (
+            f"{len(self.configs)} run(s) x {head.generations:,} gen "
+            f"[{head.summary()}] backend={self.backend} "
+            f"priority={self.priority}"
+            + (f" label={self.label!r}" if self.label else "")
+        )

@@ -1,0 +1,103 @@
+"""Warm engine pools: cross-job reuse of deterministic pair evaluations.
+
+Without a service, every ``run_sweep`` call pays its own payoff-matrix
+fills.  The server keeps the existing
+:func:`~repro.core.engine.shared_engine_pairs` store open for its whole
+lifetime, so consecutive same-science jobs start from a warm matrix:
+deterministic pair payoffs are pure functions of the two strategy tables
+plus ``(rounds, payoff)`` — no seed, no population state — which is
+exactly why the store may outlive any single job without touching
+trajectories (only the ``cache_misses`` evaluation counters shrink).
+
+Per-job policy follows :func:`~repro.api.run_sweep`'s ``share_engine``
+semantics: ``None`` (the default) auto-enables for memory-one sweeps,
+where the 16-strategy space guarantees reuse; a job spec can force it
+either way.  ``run_sweep`` opens its own nested ``shared_engine_pairs()``
+block per job — nesting keeps the outermost (server-lifetime) store, so
+the pool composes with the existing machinery instead of duplicating it.
+
+The store grows with every distinct strategy pair it sees; the pool trims
+it (coarsely — a full clear, since entries are valued equally and cheap to
+re-derive) once it crosses ``max_pairs``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import ExitStack
+
+from ..core.engine import shared_engine_pairs
+
+__all__ = ["WarmEnginePool"]
+
+
+class WarmEnginePool:
+    """Server-lifetime deterministic pair store (see module docstring).
+
+    Use as a context manager (the server does), or call :meth:`open` /
+    :meth:`close` explicitly.  While open, any ``run_sweep(share_engine=...)``
+    executed in this process reads and publishes through the shared store.
+    """
+
+    def __init__(self, max_pairs: int = 4_000_000) -> None:
+        self.max_pairs = max_pairs
+        self._lock = threading.Lock()
+        self._stack: ExitStack | None = None
+        self._store: dict | None = None
+        self.trims = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def open(self) -> "WarmEnginePool":
+        with self._lock:
+            if self._stack is None:
+                stack = ExitStack()
+                self._store = stack.enter_context(shared_engine_pairs())
+                self._stack = stack
+        return self
+
+    def close(self) -> None:
+        with self._lock:
+            if self._stack is not None:
+                self._stack.close()
+                self._stack = None
+                self._store = None
+
+    def __enter__(self) -> "WarmEnginePool":
+        return self.open()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def is_open(self) -> bool:
+        return self._stack is not None
+
+    # -- accounting ------------------------------------------------------------
+
+    def pairs_held(self) -> int:
+        """Distinct evaluated pairs currently warm (all engine signatures)."""
+        with self._lock:
+            store = self._store
+            if store is None:
+                return 0
+            return sum(len(pairs) for pairs in store.values())
+
+    def after_job(self) -> None:
+        """Bound the store after a job completes (coarse clear past the cap)."""
+        with self._lock:
+            store = self._store
+            if store is None:
+                return
+            held = sum(len(pairs) for pairs in store.values())
+            if held > self.max_pairs:
+                store.clear()
+                self.trims += 1
+
+    def stats(self) -> dict:
+        return {
+            "open": self.is_open,
+            "pairs_held": self.pairs_held(),
+            "max_pairs": self.max_pairs,
+            "trims": self.trims,
+        }

@@ -1,0 +1,465 @@
+"""Async job queue: priority scheduling, backpressure, coalescing, progress.
+
+The queue is the service's execution heart.  An :mod:`asyncio` event loop
+(own daemon thread) runs one scheduler coroutine that admits jobs into a
+bounded worker pool:
+
+* **priority classes** — ``interactive`` jobs jump every queued ``batch``
+  job (FIFO within a class): a million small queries coexist with big
+  ensembles without head-of-line blocking.
+* **backpressure** — at most ``max_queued`` jobs wait; past that,
+  :meth:`submit` raises :class:`~repro.errors.QueueFullError`, which the
+  HTTP front door maps to ``429`` so callers can retry with backoff
+  instead of piling work onto a drowning server.
+* **result caching** — a submission whose fingerprint is already in the
+  :class:`~repro.service.store.ResultStore` completes instantly
+  (``cache_hit``), returning the stored — bit-identical — results.
+* **coalescing** — a submission whose fingerprint matches a job currently
+  queued or running attaches to it instead of executing twice; followers
+  resolve the moment the leader finishes.
+* **streaming progress** — each run's generation counter and partial
+  event counters are updated live through
+  :func:`~repro.core.progress.progress_scope` (the driver-level hooks),
+  pollable via :meth:`Job.status_dict` while the job runs.
+
+Jobs execute through :func:`repro.api.run_sweep` in executor threads —
+the actual science path is exactly the library one, warm engine pools
+(:mod:`repro.service.pools`) included.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import threading
+import time
+import traceback
+from collections import OrderedDict
+from typing import Any, Callable
+
+from ..api.backends import get_backend
+from ..api.sweep import run_sweep
+from ..core.evolution import EvolutionResult
+from ..core.progress import ProgressTick, progress_scope
+from ..errors import (
+    ConfigurationError,
+    JobNotFoundError,
+    QueueFullError,
+    ServiceError,
+)
+from .jobspec import PRIORITIES, JobSpec
+from .pools import WarmEnginePool
+from .store import ResultStore
+
+__all__ = ["Job", "JobQueue", "JobState"]
+
+
+class JobState:
+    """Job lifecycle states (plain strings on the wire)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class Job:
+    """One submission's lifecycle, status, and (eventually) results."""
+
+    def __init__(self, job_id: str, spec: JobSpec, fingerprint: str) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self.fingerprint = fingerprint
+        self.state = JobState.QUEUED
+        self.submitted_unix = time.time()
+        self.started_unix: float | None = None
+        self.finished_unix: float | None = None
+        self.cache_hit = False
+        #: Leader job id when this submission coalesced onto an in-flight
+        #: duplicate instead of executing.
+        self.coalesced_with: str | None = None
+        self.error: str | None = None
+        self.results: list[EvolutionResult] | None = None
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._runs_done = 0
+        self._ticks_seen = 0
+        self._latest_ticks: dict[int, ProgressTick] = {}
+
+    # -- progress plumbing (called from the executing worker thread) ----------
+
+    def _on_tick(self, tick: ProgressTick) -> None:
+        with self._lock:
+            self._ticks_seen += 1
+            self._latest_ticks[tick.run_index] = tick
+
+    def _on_run_complete(self, index: int, result: EvolutionResult) -> None:
+        with self._lock:
+            self._runs_done += 1
+
+    # -- state transitions -----------------------------------------------------
+
+    def _mark_running(self) -> None:
+        with self._lock:
+            self.state = JobState.RUNNING
+            self.started_unix = time.time()
+
+    def _mark_done(
+        self,
+        results: list[EvolutionResult],
+        *,
+        cache_hit: bool,
+        coalesced_with: str | None = None,
+    ) -> None:
+        with self._lock:
+            self.results = results
+            self.cache_hit = cache_hit
+            self.coalesced_with = coalesced_with
+            self.state = JobState.DONE
+            self.finished_unix = time.time()
+            self._runs_done = len(results)
+        self._done.set()
+
+    def _mark_failed(
+        self, error: str, *, coalesced_with: str | None = None
+    ) -> None:
+        with self._lock:
+            self.error = error
+            self.coalesced_with = coalesced_with
+            self.state = JobState.FAILED
+            self.finished_unix = time.time()
+        self._done.set()
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job finishes (done or failed); True on finish."""
+        return self._done.wait(timeout)
+
+    def status_dict(self) -> dict[str, Any]:
+        """JSON-compatible status snapshot (the ``GET /jobs/<id>`` body)."""
+        with self._lock:
+            ticks = {
+                str(i): {
+                    "generation": t.generation,
+                    "generations": t.generations,
+                    "fraction": round(t.fraction, 6),
+                    "n_pc_events": t.n_pc_events,
+                    "n_adoptions": t.n_adoptions,
+                    "n_mutations": t.n_mutations,
+                }
+                for i, t in sorted(self._latest_ticks.items())
+            }
+            return {
+                "job_id": self.job_id,
+                "state": self.state,
+                "fingerprint": self.fingerprint,
+                "backend": self.spec.backend,
+                "priority": self.spec.priority,
+                "label": self.spec.label,
+                "n_configs": len(self.spec.configs),
+                "submitted_unix": self.submitted_unix,
+                "started_unix": self.started_unix,
+                "finished_unix": self.finished_unix,
+                "cache_hit": self.cache_hit,
+                "coalesced_with": self.coalesced_with,
+                "error": self.error,
+                "progress": {
+                    "runs_total": len(self.spec.configs),
+                    "runs_done": self._runs_done,
+                    "ticks_seen": self._ticks_seen,
+                    "runs": ticks,
+                },
+            }
+
+
+class JobQueue:
+    """Bounded async job queue over ``run_sweep`` (see module docstring).
+
+    Parameters
+    ----------
+    workers:
+        Executor threads (= concurrently running jobs).
+    max_queued:
+        Waiting-job bound; submissions past it raise
+        :class:`~repro.errors.QueueFullError` (coalesced followers and
+        instant cache hits never occupy a slot).
+    store:
+        Result cache (a fresh in-memory :class:`ResultStore` by default).
+    pool:
+        Warm engine pool to keep open for the queue's lifetime (optional).
+    coalesce:
+        Attach duplicate in-flight submissions to the running leader
+        instead of executing them twice (default on).
+    history:
+        Finished jobs retained for ``GET /jobs`` listings.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_queued: int = 64,
+        store: ResultStore | None = None,
+        pool: WarmEnginePool | None = None,
+        coalesce: bool = True,
+        history: int = 1024,
+        _run_sweep: Callable[..., list[EvolutionResult]] = run_sweep,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if max_queued < 1:
+            raise ConfigurationError(
+                f"max_queued must be >= 1, got {max_queued}"
+            )
+        self.workers = workers
+        self.max_queued = max_queued
+        self.store = store if store is not None else ResultStore()
+        self.pool = pool
+        self.coalesce = coalesce
+        self.history = history
+        self._run_sweep = _run_sweep
+
+        self._lock = threading.Lock()
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._ids = itertools.count(1)
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._active: dict[str, Job] = {}
+        self._followers: dict[str, list[Job]] = {}
+        self._closing = False
+        self.submitted_total = 0
+        self.cache_hit_total = 0
+        self.coalesced_total = 0
+        self.rejected_total = 0
+
+        if self.pool is not None:
+            self.pool.open()
+
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="sweep-job"
+        )
+        self._loop = asyncio.new_event_loop()
+        self._wake: asyncio.Event | None = None
+        self._scheduler_done = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="sweep-queue", daemon=True
+        )
+        self._started = threading.Event()
+        self._thread.start()
+        self._started.wait()
+
+    # -- event loop ------------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._wake = asyncio.Event()
+        self._slots = asyncio.Semaphore(self.workers)
+        self._loop.call_soon(self._started.set)
+        self._loop.create_task(self._scheduler())
+        self._loop.run_forever()
+        # Drain cancelled callbacks so the loop closes cleanly.
+        self._loop.close()
+
+    async def _scheduler(self) -> None:
+        """Admit the highest-priority queued job whenever a slot frees up."""
+        assert self._wake is not None
+        try:
+            while True:
+                await self._slots.acquire()
+                job: Job | None = None
+                while job is None:
+                    if self._closing:
+                        self._slots.release()
+                        return
+                    self._wake.clear()
+                    job = self._pop_next()
+                    if job is None:
+                        await self._wake.wait()
+                asyncio.ensure_future(self._run_job(job))
+        finally:
+            self._scheduler_done.set()
+
+    async def _run_job(self, job: Job) -> None:
+        try:
+            await self._loop.run_in_executor(
+                self._executor, self._execute, job
+            )
+        finally:
+            self._slots.release()
+
+    def _pop_next(self) -> Job | None:
+        with self._lock:
+            if not self._heap:
+                return None
+            _, _, job = heapq.heappop(self._heap)
+            return job
+
+    def _notify(self) -> None:
+        """Wake the scheduler from any thread."""
+        def _set() -> None:
+            assert self._wake is not None
+            self._wake.set()
+
+        self._loop.call_soon_threadsafe(_set)
+
+    # -- execution (worker thread) --------------------------------------------
+
+    def _execute(self, job: Job) -> None:
+        job._mark_running()
+        spec = job.spec
+        try:
+            with progress_scope(job._on_tick):
+                results = self._run_sweep(
+                    list(spec.configs),
+                    backend=spec.backend,
+                    workers=spec.workers,
+                    share_engine=spec.share_engine,
+                    on_result=job._on_run_complete,
+                )
+            self.store.put(job.fingerprint, results)
+            job._mark_done(results, cache_hit=False)
+            failure: str | None = None
+        except Exception as err:
+            failure = f"{type(err).__name__}: {err}"
+            job._mark_failed(
+                failure + "\n" + traceback.format_exc(limit=8)
+            )
+        finally:
+            with self._lock:
+                followers = self._followers.pop(job.fingerprint, [])
+                self._active.pop(job.fingerprint, None)
+            if self.pool is not None:
+                self.pool.after_job()
+        for follower in followers:
+            if failure is None:
+                assert job.results is not None
+                follower._mark_done(
+                    job.results, cache_hit=True, coalesced_with=job.job_id
+                )
+            else:
+                follower._mark_failed(failure, coalesced_with=job.job_id)
+
+    # -- submission / lookup ---------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit a job: cache hit, coalesce, enqueue, or reject (429).
+
+        Raises :class:`~repro.errors.ConfigurationError` for an unknown
+        backend (a 400 at the front door) and
+        :class:`~repro.errors.QueueFullError` past ``max_queued``.
+        """
+        get_backend(spec.backend)  # unknown names fail fast, pre-queue
+        fingerprint = spec.fingerprint()
+        with self._lock:
+            if self._closing:
+                raise ServiceError("the job queue is shutting down")
+            self.submitted_total += 1
+            job = Job(f"job-{next(self._ids):06d}", spec, fingerprint)
+            cached = self.store.get(fingerprint)
+            if cached is not None:
+                self.cache_hit_total += 1
+                self._register(job)
+                hit = True
+            elif self.coalesce and fingerprint in self._active:
+                leader = self._active[fingerprint]
+                self._followers.setdefault(fingerprint, []).append(job)
+                job.coalesced_with = leader.job_id
+                self.coalesced_total += 1
+                self._register(job)
+                return job
+            else:
+                if len(self._heap) >= self.max_queued:
+                    self.rejected_total += 1
+                    raise QueueFullError(
+                        f"job queue is full ({self.max_queued} waiting); "
+                        "retry later or lower submission rate"
+                    )
+                rank = PRIORITIES.index(spec.priority)
+                heapq.heappush(self._heap, (rank, next(self._seq), job))
+                self._active[fingerprint] = job
+                self._register(job)
+                hit = False
+        if hit:
+            job._mark_done(cached, cache_hit=True)
+        else:
+            self._notify()
+        return job
+
+    def _register(self, job: Job) -> None:
+        """Record the job for listings, trimming finished history (locked)."""
+        self._jobs[job.job_id] = job
+        while len(self._jobs) > self.history:
+            for job_id, old in self._jobs.items():
+                if old.finished:
+                    del self._jobs[job_id]
+                    break
+            else:
+                break  # everything live — let the registry grow
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise JobNotFoundError(f"no job {job_id!r}") from None
+
+    def jobs(self) -> list[Job]:
+        """All known jobs, submission order (oldest first)."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            states = {"queued": 0, "running": 0, "done": 0, "failed": 0}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "workers": self.workers,
+                "max_queued": self.max_queued,
+                "waiting": len(self._heap),
+                "states": states,
+                "submitted_total": self.submitted_total,
+                "cache_hit_total": self.cache_hit_total,
+                "coalesced_total": self.coalesced_total,
+                "rejected_total": self.rejected_total,
+            }
+
+    # -- shutdown --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting, fail queued jobs, wait for running ones, shut down."""
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            abandoned = [job for _, _, job in self._heap]
+            self._heap.clear()
+            for job in abandoned:
+                self._active.pop(job.fingerprint, None)
+        for job in abandoned:
+            followers = self._followers.pop(job.fingerprint, [])
+            job._mark_failed("server shutting down")
+            for follower in followers:
+                follower._mark_failed(
+                    "server shutting down", coalesced_with=job.job_id
+                )
+        self._notify()
+        self._scheduler_done.wait(timeout=10)
+        self._executor.shutdown(wait=True)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

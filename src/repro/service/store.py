@@ -1,0 +1,170 @@
+"""Fingerprint-keyed result cache: in-memory LRU plus optional disk tier.
+
+The store maps a :meth:`~repro.service.jobspec.JobSpec.fingerprint` to the
+job's full ``list[EvolutionResult]``.  Hits return the *same* result
+objects the original execution produced, so a duplicate submission's
+payload is bit-identical to the first run's — the service's core promise.
+
+Two tiers:
+
+* **memory** — an LRU of the last ``max_entries`` jobs (thread-safe; the
+  HTTP handler threads and queue workers all touch it).
+* **disk** (optional) — every stored job is also laid down under
+  ``artifact_dir/<fingerprint>/run-NNNN/`` through
+  :func:`repro.io.save_result`, and a memory miss falls back to
+  :func:`repro.io.load_result`, so cache hits survive server restarts.
+  Disk-loaded results are science-complete but carry no snapshots or
+  backend report (see :mod:`repro.io.results_writer`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from ..core.evolution import EvolutionResult
+from ..errors import CheckpointError, ConfigurationError
+from ..io.results_writer import load_result, save_result
+
+__all__ = ["ResultStore"]
+
+_MANIFEST = "manifest.json"
+
+
+class ResultStore:
+    """LRU result cache keyed by job-spec fingerprint (see module docstring)."""
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        artifact_dir: str | Path | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.artifact_dir = (
+            Path(artifact_dir) if artifact_dir is not None else None
+        )
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[str, list[EvolutionResult]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> list[EvolutionResult] | None:
+        """Cached results for ``fingerprint``, or ``None`` on a miss."""
+        with self._lock:
+            cached = self._memory.get(fingerprint)
+            if cached is not None:
+                self._memory.move_to_end(fingerprint)
+                self.hits += 1
+                return cached
+        loaded = self._load_from_disk(fingerprint)
+        with self._lock:
+            if loaded is not None:
+                # Another thread may have raced the same fingerprint in;
+                # keep whichever landed first so hits stay object-stable.
+                existing = self._memory.get(fingerprint)
+                if existing is not None:
+                    self._memory.move_to_end(fingerprint)
+                    self.hits += 1
+                    return existing
+                self._insert(fingerprint, loaded)
+                self.hits += 1
+                self.disk_hits += 1
+                return loaded
+            self.misses += 1
+            return None
+
+    def put(self, fingerprint: str, results: list[EvolutionResult]) -> None:
+        """Store a finished job's results (memory, and disk when configured)."""
+        with self._lock:
+            self._insert(fingerprint, list(results))
+            self.stores += 1
+        if self.artifact_dir is not None:
+            self._save_to_disk(fingerprint, results)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._memory
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop the memory tier (disk artifacts are left in place)."""
+        with self._lock:
+            self._memory.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._memory),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "artifact_dir": (
+                    str(self.artifact_dir)
+                    if self.artifact_dir is not None
+                    else None
+                ),
+            }
+
+    # -- internals -------------------------------------------------------------
+
+    def _insert(self, fingerprint: str, results: list[EvolutionResult]) -> None:
+        """Insert under the lock, evicting the least-recently-used overflow."""
+        self._memory[fingerprint] = results
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+
+    def _job_dir(self, fingerprint: str) -> Path:
+        assert self.artifact_dir is not None
+        return self.artifact_dir / fingerprint
+
+    def _save_to_disk(
+        self, fingerprint: str, results: list[EvolutionResult]
+    ) -> None:
+        job_dir = self._job_dir(fingerprint)
+        job_dir.mkdir(parents=True, exist_ok=True)
+        for i, result in enumerate(results):
+            save_result(result, job_dir / f"run-{i:04d}")
+        # Manifest last: its presence marks the artifact complete, so a
+        # crash mid-write can never be mistaken for a valid cache entry.
+        (job_dir / _MANIFEST).write_text(
+            json.dumps({"runs": len(results)}) + "\n", encoding="utf-8"
+        )
+
+    def _load_from_disk(
+        self, fingerprint: str
+    ) -> list[EvolutionResult] | None:
+        if self.artifact_dir is None:
+            return None
+        job_dir = self._job_dir(fingerprint)
+        manifest_path = job_dir / _MANIFEST
+        if not manifest_path.exists():
+            return None
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            runs = int(manifest["runs"])
+            return [
+                load_result(job_dir / f"run-{i:04d}") for i in range(runs)
+            ]
+        except (CheckpointError, json.JSONDecodeError, KeyError, ValueError):
+            # A torn or incompatible artifact is a miss, not an error —
+            # the job simply re-executes and overwrites it.
+            return None

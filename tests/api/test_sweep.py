@@ -85,3 +85,67 @@ class TestRunSweep:
 
     def test_empty_sweep(self):
         assert run_sweep([]) == []
+
+
+class TestDedupe:
+    def test_duplicates_share_one_result_object(self):
+        a, b = sweep_configs(2)
+        results = run_sweep([a, b, a])
+        assert results[0] is results[2]
+        assert results[0] is not results[1]
+
+    def test_on_result_fires_per_position_in_order(self):
+        a, b = sweep_configs(2)
+        calls: list[int] = []
+        results = run_sweep(
+            [a, b, a, b], on_result=lambda i, r: calls.append(i)
+        )
+        assert calls == [0, 1, 2, 3]
+        assert results[1] is results[3]
+
+    def test_escape_hatch_runs_independently(self):
+        a, _ = sweep_configs(2)
+        results = run_sweep([a, a], dedupe=False)
+        assert results[0] is not results[1]
+        # Still bit-identical trajectories — dedupe only changed identity.
+        assert results[0].events == results[1].events
+        assert np.array_equal(
+            results[0].population.strategy_matrix(),
+            results[1].population.strategy_matrix(),
+        )
+
+    def test_dedupe_matches_independent_execution(self):
+        a, b = sweep_configs(2)
+        deduped = run_sweep([a, b, a])
+        independent = run_sweep([a, b, a], dedupe=False)
+        for x, y in zip(deduped, independent):
+            assert x.events == y.events
+            assert np.array_equal(
+                x.population.strategy_matrix(),
+                y.population.strategy_matrix(),
+            )
+
+    def test_ensemble_fast_path_dedupes(self):
+        a, b = sweep_configs(2)
+        results = run_sweep([a, a, b], backend="ensemble")
+        assert results[0] is results[1]
+        assert results[0] is not results[2]
+
+    def test_structure_instance_and_spec_collide(self):
+        from repro.structure import build_structure
+
+        spec_config = EvolutionConfig(
+            n_ssets=8, generations=200, rounds=16, structure="ring:k=2",
+            seed=42,
+        )
+        instance_config = spec_config.with_updates(
+            structure=build_structure("ring:k=2", 8)
+        )
+        results = run_sweep([spec_config, instance_config])
+        assert results[0] is results[1]
+
+    def test_base_seed_defeats_duplicates(self):
+        a, _ = sweep_configs(2)
+        results = run_sweep([a, a], base_seed=9)
+        assert results[0] is not results[1]
+        assert results[0].config.seed != results[1].config.seed

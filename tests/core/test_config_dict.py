@@ -1,0 +1,119 @@
+"""Tests for EvolutionConfig.to_dict / from_dict round-tripping."""
+
+import json
+
+import pytest
+
+from repro.core import EvolutionConfig, PayoffMatrix
+from repro.errors import ConfigurationError
+from repro.structure import build_structure
+
+
+class TestRoundTrip:
+    def test_default_config(self):
+        config = EvolutionConfig()
+        assert EvolutionConfig.from_dict(config.to_dict()) == config
+
+    def test_json_round_trip(self):
+        config = EvolutionConfig(
+            memory_steps=2,
+            n_ssets=32,
+            generations=5_000,
+            rounds=100,
+            pc_rate=0.2,
+            mutation_rate=0.01,
+            noise=0.05,
+            expected_fitness=True,
+            seed=424242,
+        )
+        wire = json.loads(json.dumps(config.to_dict()))
+        assert EvolutionConfig.from_dict(wire) == config
+
+    def test_structure_spec_round_trip(self):
+        config = EvolutionConfig(structure="ring:k=4", n_ssets=16)
+        restored = EvolutionConfig.from_dict(config.to_dict())
+        assert restored.structure == config.canonical_structure()
+        assert restored == config.with_updates(
+            structure=config.canonical_structure()
+        )
+
+    def test_graph_structure_spec_round_trip(self):
+        for spec in ("grid:rows=4,cols=4", "smallworld:k=4,p=0.1,seed=7"):
+            config = EvolutionConfig(structure=spec, n_ssets=16)
+            restored = EvolutionConfig.from_dict(config.to_dict())
+            # Same adjacency: build both and compare canonical forms.
+            assert restored.canonical_structure() == config.canonical_structure()
+
+    def test_custom_payoff_round_trip(self):
+        payoff = PayoffMatrix(
+            reward=4.0, sucker=0.5, temptation=5.5, punishment=1.5
+        )
+        config = EvolutionConfig(payoff=payoff)
+        restored = EvolutionConfig.from_dict(config.to_dict())
+        assert restored.payoff == payoff
+
+    def test_to_dict_is_json_compatible(self):
+        data = EvolutionConfig(structure="grid").to_dict()
+        json.dumps(data)  # must not raise
+        assert all(isinstance(k, str) for k in data)
+
+    def test_payoff_as_list(self):
+        data = EvolutionConfig().to_dict()
+        data["payoff"] = [3.0, 0.0, 5.0, 1.0]
+        config = EvolutionConfig.from_dict(data)
+        assert config.payoff.reward == 3.0
+        assert config.payoff.punishment == 1.0
+
+
+class TestValidation:
+    def test_unknown_field_named(self):
+        data = EvolutionConfig().to_dict()
+        data["typo_field"] = 1
+        with pytest.raises(ConfigurationError, match="typo_field"):
+            EvolutionConfig.from_dict(data)
+
+    def test_bad_int_named(self):
+        data = EvolutionConfig().to_dict()
+        data["generations"] = "many"
+        with pytest.raises(ConfigurationError, match="generations"):
+            EvolutionConfig.from_dict(data)
+
+    def test_bool_rejected_for_int_field(self):
+        data = EvolutionConfig().to_dict()
+        data["n_ssets"] = True
+        with pytest.raises(ConfigurationError, match="n_ssets"):
+            EvolutionConfig.from_dict(data)
+
+    def test_bad_float_named(self):
+        data = EvolutionConfig().to_dict()
+        data["pc_rate"] = "fast"
+        with pytest.raises(ConfigurationError, match="pc_rate"):
+            EvolutionConfig.from_dict(data)
+
+    def test_bad_bool_named(self):
+        data = EvolutionConfig().to_dict()
+        data["expected_fitness"] = "yes"
+        with pytest.raises(ConfigurationError, match="expected_fitness"):
+            EvolutionConfig.from_dict(data)
+
+    def test_bad_payoff_key_named(self):
+        data = EvolutionConfig().to_dict()
+        data["payoff"] = {"reward": 3.0, "bogus": 1.0}
+        with pytest.raises(ConfigurationError, match="bogus"):
+            EvolutionConfig.from_dict(data)
+
+    def test_structure_instance_rejected(self):
+        data = EvolutionConfig().to_dict()
+        data["structure"] = build_structure("well-mixed", 8)
+        with pytest.raises(ConfigurationError, match="structure"):
+            EvolutionConfig.from_dict(data)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError, match="mapping"):
+            EvolutionConfig.from_dict([1, 2, 3])
+
+    def test_semantic_validation_still_applies(self):
+        data = EvolutionConfig().to_dict()
+        data["n_ssets"] = -4
+        with pytest.raises(ConfigurationError):
+            EvolutionConfig.from_dict(data)

@@ -1,0 +1,88 @@
+"""Tests for whole-result persistence (save_result / load_result)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, run_event_driven
+from repro.errors import CheckpointError
+from repro.io import (
+    RESULT_FORMAT_VERSION,
+    load_result,
+    result_to_dict,
+    save_result,
+)
+
+
+@pytest.fixture
+def result():
+    return run_event_driven(
+        EvolutionConfig(n_ssets=8, generations=800, rounds=16, seed=13)
+    )
+
+
+class TestResultToDict:
+    def test_science_fields(self, result):
+        data = result_to_dict(result)
+        assert data["config"] == result.config.to_dict()
+        assert data["generations_run"] == result.generations_run
+        assert data["n_pc_events"] == result.n_pc_events
+        assert data["n_events"] == len(result.events)
+        strategy, share = result.dominant()
+        assert data["dominant"] == {"bits": strategy.bits(), "share": share}
+
+    def test_population_flag(self, result):
+        with_pop = result_to_dict(result, include_population=True)
+        matrix = np.asarray(with_pop["population"]["strategy_matrix"])
+        assert matrix.shape == result.population.strategy_matrix().shape
+        assert "population" not in result_to_dict(
+            result, include_population=False
+        )
+
+    def test_events_flag(self, result):
+        data = result_to_dict(result, include_events=True)
+        assert len(data["events"]) == len(result.events)
+        first = data["events"][0]
+        assert first["generation"] == result.events[0].generation
+        assert first["kind"] == result.events[0].kind
+
+    def test_json_compatible(self, result):
+        json.dumps(result_to_dict(result, include_events=True))
+
+
+class TestArtifactRoundTrip:
+    def test_round_trip(self, tmp_path, result):
+        directory = save_result(result, tmp_path / "artifact")
+        loaded = load_result(directory)
+        assert loaded.config == result.config.with_updates(
+            structure=result.config.canonical_structure()
+        )
+        np.testing.assert_array_equal(
+            loaded.population.strategy_matrix(),
+            result.population.strategy_matrix(),
+        )
+        assert len(loaded.events) == len(result.events)
+        assert loaded.events[-1].generation == result.events[-1].generation
+        assert loaded.n_pc_events == result.n_pc_events
+        assert loaded.n_adoptions == result.n_adoptions
+        assert loaded.n_mutations == result.n_mutations
+        assert loaded.generations_run == result.generations_run
+
+    def test_missing_artifact(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no result artifact"):
+            load_result(tmp_path / "absent")
+
+    def test_version_mismatch(self, tmp_path, result):
+        directory = save_result(result, tmp_path / "artifact")
+        meta = json.loads((directory / "meta.json").read_text())
+        meta["version"] = RESULT_FORMAT_VERSION + 99
+        (directory / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(CheckpointError, match="version"):
+            load_result(directory)
+
+    def test_corrupt_meta(self, tmp_path, result):
+        directory = save_result(result, tmp_path / "artifact")
+        (directory / "meta.json").write_text("{not json")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_result(directory)

@@ -1,0 +1,99 @@
+"""Tests for the fingerprint-keyed result store (LRU + disk tier)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, run_event_driven
+from repro.errors import ConfigurationError
+from repro.service import ResultStore
+
+
+@pytest.fixture(scope="module")
+def results():
+    return [
+        run_event_driven(
+            EvolutionConfig(n_ssets=8, generations=400, rounds=16, seed=s)
+        )
+        for s in (21, 22)
+    ]
+
+
+class TestMemoryTier:
+    def test_miss_then_hit_same_objects(self, results):
+        store = ResultStore()
+        assert store.get("fp-a") is None
+        store.put("fp-a", results)
+        hit = store.get("fp-a")
+        assert hit is not None
+        assert hit[0] is results[0]  # the same result objects, not copies
+
+    def test_lru_eviction(self, results):
+        store = ResultStore(max_entries=2)
+        store.put("a", results[:1])
+        store.put("b", results[:1])
+        store.get("a")  # refresh a; b is now least recent
+        store.put("c", results[:1])
+        assert "a" in store
+        assert "b" not in store
+        assert store.stats()["evictions"] == 1
+
+    def test_counters(self, results):
+        store = ResultStore()
+        store.get("x")
+        store.put("x", results)
+        store.get("x")
+        stats = store.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+
+    def test_bad_max_entries(self):
+        with pytest.raises(ConfigurationError):
+            ResultStore(max_entries=0)
+
+
+class TestDiskTier:
+    def test_survives_memory_clear(self, tmp_path, results):
+        store = ResultStore(artifact_dir=tmp_path)
+        store.put("fp", results)
+        store.clear()
+        loaded = store.get("fp")
+        assert loaded is not None
+        assert len(loaded) == len(results)
+        for mem, disk in zip(results, loaded):
+            np.testing.assert_array_equal(
+                disk.population.strategy_matrix(),
+                mem.population.strategy_matrix(),
+            )
+            assert disk.events == mem.events
+        assert store.stats()["disk_hits"] == 1
+
+    def test_fresh_store_reads_old_artifacts(self, tmp_path, results):
+        ResultStore(artifact_dir=tmp_path).put("fp", results)
+        fresh = ResultStore(artifact_dir=tmp_path)
+        assert fresh.get("fp") is not None  # cache hits survive restarts
+
+    def test_torn_artifact_is_a_miss(self, tmp_path, results):
+        store = ResultStore(artifact_dir=tmp_path)
+        store.put("fp", results)
+        store.clear()
+        (tmp_path / "fp" / "manifest.json").unlink()  # simulated crash
+        assert store.get("fp") is None
+
+    def test_corrupt_manifest_is_a_miss(self, tmp_path, results):
+        store = ResultStore(artifact_dir=tmp_path)
+        store.put("fp", results)
+        store.clear()
+        (tmp_path / "fp" / "manifest.json").write_text("{torn")
+        assert store.get("fp") is None
+
+    def test_layout(self, tmp_path, results):
+        ResultStore(artifact_dir=tmp_path).put("fp", results)
+        job_dir = tmp_path / "fp"
+        manifest = json.loads((job_dir / "manifest.json").read_text())
+        assert manifest["runs"] == len(results)
+        for i in range(len(results)):
+            assert (job_dir / f"run-{i:04d}" / "meta.json").exists()
+            assert (job_dir / f"run-{i:04d}" / "population.npz").exists()
