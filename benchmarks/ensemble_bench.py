@@ -29,26 +29,28 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 import time
-from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-if str(REPO_ROOT / "src") not in sys.path:  # runnable without installation
-    sys.path.insert(0, str(REPO_ROOT / "src"))
+from common import REPO_ROOT, build_payload, write_payload  # bootstraps sys.path
 
-from repro import EvolutionConfig, __version__, run_sweep  # noqa: E402
+from repro import EvolutionConfig, run_sweep  # noqa: E402
+from repro.xp import KNOWN_BACKENDS, get_array_backend  # noqa: E402
 
-#: (label, structure, memory_steps, n_ssets) — wm-m2-n16 is the acceptance
-#: scenario; the rest map the scaling surface.
+#: (label, structure, memory_steps, n_ssets, paymat_block) — wm-m2-n16 is
+#: the acceptance scenario; the rest map the scaling surface.  The ``-b16``
+#: rows rerun a scenario with the shared engine's pair matrix in on-demand
+#: 16x16 blocks (distinct labels, so ``bench_gate.py`` tracks blocked and
+#: dense rows as separate series); their ``shared_engine`` stats carry the
+#: resident/peak paymat bytes the blocked store is bounded by.
 SCENARIOS = (
-    ("wm-m2-n16", "well-mixed", 2, 16),
-    ("wm-m2-n32", "well-mixed", 2, 32),
-    ("wm-m2-n64", "well-mixed", 2, 64),
-    ("wm-m1-n64", "well-mixed", 1, 64),
-    ("ring-m2-n16", "ring:k=4", 2, 16),
+    ("wm-m2-n16", "well-mixed", 2, 16, 0),
+    ("wm-m2-n16-b16", "well-mixed", 2, 16, 16),
+    ("wm-m2-n32", "well-mixed", 2, 32, 0),
+    ("wm-m2-n64", "well-mixed", 2, 64, 0),
+    ("wm-m1-n64", "well-mixed", 1, 64, 0),
+    ("ring-m2-n16", "ring:k=4", 2, 16, 0),
+    ("ring-m2-n16-b16", "ring:k=4", 2, 16, 16),
 )
 DEFAULT_REPLICATES = 64
 DEFAULT_GENERATIONS = 10_000
@@ -73,8 +75,17 @@ def bench_scenario(
     n_ssets: int,
     replicates: int,
     generations: int,
+    paymat_block: int = 0,
+    array_backend: str = "numpy",
 ) -> dict:
-    """Time one seeded replicate ensemble on both paths."""
+    """Time one seeded replicate ensemble on both paths.
+
+    ``paymat_block``/``array_backend`` ride in on the configs, so *both*
+    paths run under them — the serial event reference is the parity oracle
+    for exactly the mode being measured, and the scenario label stays
+    unchanged so ``bench_gate.py`` lines blocked rows up against dense
+    baselines.
+    """
     configs = [
         EvolutionConfig(
             memory_steps=memory_steps,
@@ -83,6 +94,8 @@ def bench_scenario(
             structure=structure,
             seed=2013 + i,
             record_events=False,
+            paymat_block=paymat_block,
+            array_backend=array_backend,
         )
         for i in range(replicates)
     ]
@@ -93,6 +106,7 @@ def bench_scenario(
         "n_ssets": n_ssets,
         "replicates": replicates,
         "generations": generations,
+        "paymat_block": paymat_block,
     }
     total_generations = replicates * generations
 
@@ -136,6 +150,8 @@ def bench_scenario(
     report = ensemble[0].backend_report
     if report is not None and report.shared_engine is not None:
         record["shared_engine"] = dict(report.shared_engine)
+    if report is not None and report.array_backend is not None:
+        record["array_backend"] = report.array_backend
     return record
 
 
@@ -151,6 +167,18 @@ def main(argv: list[str] | None = None) -> int:
                         help=f"generations per replicate (default "
                              f"{DEFAULT_GENERATIONS:,}; smoke "
                              f"{SMOKE_GENERATIONS:,})")
+    parser.add_argument("--paymat-block", type=int, default=None,
+                        dest="paymat_block", metavar="B",
+                        help="override paymat_block on every scenario "
+                             "(power of two >= 4; 0 = dense) — labels stay "
+                             "unchanged so bench_gate.py lines the rows up "
+                             "against a dense baseline")
+    parser.add_argument("--array-backend", default="numpy",
+                        dest="array_backend",
+                        choices=list(KNOWN_BACKENDS),
+                        help="array namespace for the shared-engine hot path "
+                             "(falls back to numpy with a note if the "
+                             "requested stack is unavailable)")
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_ensemble.json"),
                         metavar="PATH", help="output JSON path")
     args = parser.parse_args(argv)
@@ -168,9 +196,13 @@ def main(argv: list[str] | None = None) -> int:
     scenarios = SCENARIOS[:1] if args.smoke else SCENARIOS
 
     results = []
-    for label, structure, memory, n_ssets in scenarios:
+    for label, structure, memory, n_ssets, block in scenarios:
+        if args.paymat_block is not None:
+            block = args.paymat_block
         record = bench_scenario(
-            label, structure, memory, n_ssets, replicates, generations
+            label, structure, memory, n_ssets, replicates, generations,
+            paymat_block=block,
+            array_backend=args.array_backend,
         )
         results.append(record)
         print(f"{label:<12} event "
@@ -178,18 +210,14 @@ def main(argv: list[str] | None = None) -> int:
               f"ensemble {record['ensemble_generations_per_sec']:>11,.1f} "
               f"gen/s   x{record['speedup']}")
 
-    payload = {
-        "benchmark": "ensemble",
-        "created_unix": int(time.time()),
-        "mode": "smoke" if args.smoke else "full",
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "repro_version": __version__,
-        "results": results,
-    }
-    out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {out} ({len(results)} scenarios)")
+    payload = build_payload(
+        "ensemble",
+        smoke=args.smoke,
+        results=results,
+        array_backend=get_array_backend(args.array_backend).describe(),
+        paymat_block=args.paymat_block if args.paymat_block is not None else 0,
+    )
+    write_payload(args.out, payload, label="scenarios")
     return 0
 
 

@@ -31,17 +31,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 import time
-from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-if str(REPO_ROOT / "src") not in sys.path:  # runnable without installation
-    sys.path.insert(0, str(REPO_ROOT / "src"))
+from common import REPO_ROOT, build_payload, write_payload  # bootstraps sys.path
 
-from repro import EvolutionConfig, __version__  # noqa: E402
+from repro import EvolutionConfig  # noqa: E402
 from repro.service import (  # noqa: E402
     JobQueue,
     JobSpec,
@@ -226,18 +221,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{record['scenario']:<12} {line}")
     queue.close()
 
-    payload = {
-        "benchmark": "service",
-        "created_unix": int(time.time()),
-        "mode": "smoke" if args.smoke else "full",
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "repro_version": __version__,
-        "results": results,
-    }
-    out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {out} ({len(results)} scenarios)")
+    payload = build_payload("service", smoke=args.smoke, results=results)
+    write_payload(args.out, payload, label="scenarios")
     return 0
 
 

@@ -23,17 +23,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 import time
-from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-if str(REPO_ROOT / "src") not in sys.path:  # runnable without installation
-    sys.path.insert(0, str(REPO_ROOT / "src"))
+from common import REPO_ROOT, build_payload, write_payload  # bootstraps sys.path
 
-from repro import EvolutionConfig, Simulation, __version__  # noqa: E402
+from repro import EvolutionConfig, Simulation  # noqa: E402
 from repro.api import run_sweep  # noqa: E402
 
 N_SSETS = 64
@@ -44,12 +39,17 @@ SMOKE_GENERATIONS = 5_000
 
 #: Lane-batched ensemble scenarios: (scenario key, structure, memory,
 #: replicates, generations-divisor vs the serial cells — ensembles run R
-#: lanes, so a shorter per-lane horizon keeps the wallclock comparable).
+#: lanes, so a shorter per-lane horizon keeps the wallclock comparable —
+#: and paymat_block).  ``ring-ens-r64-b16`` is the blocked-paymat graph
+#: row: same workload as ``ring-ens-r64`` but the shared engine backs the
+#: pair matrix with on-demand 16x16 blocks, so its ``shared_engine`` stats
+#: record how far resident paymat bytes drop on a sparse-touch topology.
 ENSEMBLE_SCENARIOS = (
-    ("ring-ens-r64", "ring:k=4", 2, 64, 5),
-    ("smallworld-ens-r64", "smallworld:k=4,p=0.1,seed=1", 2, 64, 5),
+    ("ring-ens-r64", "ring:k=4", 2, 64, 5, 0),
+    ("ring-ens-r64-b16", "ring:k=4", 2, 64, 5, 16),
+    ("smallworld-ens-r64", "smallworld:k=4,p=0.1,seed=1", 2, 64, 5, 0),
 )
-SMOKE_ENSEMBLE_SCENARIOS = (("ring-ens-r8", "ring:k=4", 2, 8, 5),)
+SMOKE_ENSEMBLE_SCENARIOS = (("ring-ens-r8", "ring:k=4", 2, 8, 5, 0),)
 
 
 def bench_one(structure: str, memory_steps: int, generations: int) -> dict:
@@ -84,6 +84,7 @@ def bench_ensemble(
     memory_steps: int,
     replicates: int,
     generations: int,
+    paymat_block: int = 0,
 ) -> dict:
     """Time one graph-structured replicate sweep lane-batched vs serial.
 
@@ -91,6 +92,8 @@ def bench_ensemble(
     generations / seconds) — the figure the bench gate tracks;
     ``speedup_vs_event`` is the headline acceptance ratio.  Lane parity is
     asserted on the final populations while both result sets are in hand.
+    ``paymat_block`` rides in on the configs so the serial event reference
+    is the parity oracle for exactly the mode being measured.
     """
     configs = [
         EvolutionConfig(
@@ -100,6 +103,7 @@ def bench_ensemble(
             structure=structure,
             record_events=False,
             seed=2013 + i,
+            paymat_block=paymat_block,
         )
         for i in range(replicates)
     ]
@@ -120,19 +124,24 @@ def bench_ensemble(
                 "from the serial event run"
             )
     total = replicates * generations
-    return {
+    record = {
         "scenario": scenario,
         "structure": structure,
         "memory_steps": memory_steps,
         "n_ssets": N_SSETS,
         "replicates": replicates,
         "generations": generations,
+        "paymat_block": paymat_block,
         "seconds": round(ens_elapsed, 4),
         "event_seconds": round(event_elapsed, 4),
         "ensemble_generations_per_sec": round(total / ens_elapsed, 1),
         "event_generations_per_sec": round(total / event_elapsed, 1),
         "speedup_vs_event": round(event_elapsed / ens_elapsed, 2),
     }
+    report = ensemble[0].backend_report
+    if report is not None and report.shared_engine is not None:
+        record["shared_engine"] = dict(report.shared_engine)
+    return record
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -145,6 +154,12 @@ def main(argv: list[str] | None = None) -> int:
                              f"{DEFAULT_GENERATIONS:,}; smoke "
                              f"{SMOKE_GENERATIONS:,}; ensemble rows run a "
                              "fraction of this per lane)")
+    parser.add_argument("--paymat-block", type=int, default=None,
+                        dest="paymat_block", metavar="B",
+                        help="override paymat_block on every ensemble row "
+                             "(power of two >= 4; 0 = dense) — scenario "
+                             "labels stay unchanged so bench_gate.py lines "
+                             "the rows up against a dense baseline")
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_structured.json"),
                         metavar="PATH", help="output JSON path")
     args = parser.parse_args(argv)
@@ -168,10 +183,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{structure:<18} memory={memory}  "
               f"{record['generations_per_sec']:>12,.1f} gen/s  "
               f"({record['seconds']:.2f}s)")
-    for scenario, structure, memory, replicates, divisor in scenarios:
+    for scenario, structure, memory, replicates, divisor, block in scenarios:
+        if args.paymat_block is not None:
+            block = args.paymat_block
         record = bench_ensemble(
             scenario, structure, memory, replicates,
             max(1000, generations // divisor),
+            paymat_block=block,
         )
         results.append(record)
         print(f"{scenario:<18} memory={memory}  "
@@ -179,19 +197,10 @@ def main(argv: list[str] | None = None) -> int:
               f"({record['seconds']:.2f}s, x{record['speedup_vs_event']:.2f} "
               f"vs event)")
 
-    payload = {
-        "benchmark": "structured",
-        "created_unix": int(time.time()),
-        "mode": "smoke" if args.smoke else "full",
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "repro_version": __version__,
-        "backend": "event",
-        "results": results,
-    }
-    out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {out} ({len(results)} cells)")
+    payload = build_payload(
+        "structured", smoke=args.smoke, results=results, backend="event"
+    )
+    write_payload(args.out, payload, label="cells")
     return 0
 
 

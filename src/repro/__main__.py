@@ -31,6 +31,7 @@ from .api import Simulation, available_backends, get_backend, run_sweep
 from .core import PAPER_MUTATION_RATE, PAPER_PC_RATE, EvolutionConfig
 from .experiments import Scale, all_experiments, get, set_default_backend
 from .structure import structure_families
+from .xp import KNOWN_BACKENDS
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -86,6 +87,8 @@ def _evolution_config(args: argparse.Namespace, memory: int) -> EvolutionConfig:
         engine=args.engine,
         record_events=args.record_events,
         engine_pool_cap=args.engine_pool_cap,
+        paymat_block=args.paymat_block,
+        array_backend=args.array_backend,
     )
 
 
@@ -326,7 +329,25 @@ def _add_evolution_arguments(parser: argparse.ArgumentParser) -> None:
                         help="bound the expected-fitness engine's strategy "
                              "pool: once live+retired strategies reach the "
                              "cap, the oldest retired slot is recycled "
-                             "(0 = unbounded, the legacy-mirroring default)")
+                             "(0 = unbounded, the legacy-mirroring default). "
+                             "Under --paymat-block it instead bounds the "
+                             "resident payoff blocks (LRU eviction, "
+                             "trajectory unchanged)")
+    parser.add_argument("--paymat-block", type=int, default=0,
+                        dest="paymat_block",
+                        help="shard the payoff matrix into NxN blocks "
+                             "allocated on demand (power of two >= 4; "
+                             "0 = one dense allocation, the default). "
+                             "Deterministic regime only; trajectories are "
+                             "bit-identical to the dense layout")
+    parser.add_argument("--array-backend", choices=list(KNOWN_BACKENDS),
+                        default="numpy", dest="array_backend",
+                        help="array namespace for hot-path payoff storage "
+                             "and fitness gathers (default numpy); an "
+                             "unavailable cupy/jax stack falls back to "
+                             "numpy and the report records what ran. RNG "
+                             "decoding stays on host, so trajectories are "
+                             "backend-independent")
     parser.add_argument("--seed", type=int, default=2013)
     parser.add_argument("--workers", type=int, default=None,
                         help="process-pool size (multiprocess backend / "

@@ -40,8 +40,16 @@ class BackendReport:
         this run's lane-batched group (1 = the run was its own group).
     shared_engine:
         Shared-engine counters of the lane-batched group (distinct
-        strategies, pool capacity, pair evaluations and kernel calls) —
-        ``None`` when the group ran on per-lane evaluators.
+        strategies, pool capacity, pair evaluations and kernel calls, plus
+        the paymat memory accounting: ``paymat_bytes`` /
+        ``peak_paymat_bytes`` / ``paymat_block`` / ``blocks_resident`` /
+        ``blocks_evicted`` / ``block_fills``) — ``None`` when the group ran
+        on per-lane evaluators.
+    array_backend:
+        Array-namespace provenance of the lane-batched group
+        (:meth:`repro.xp.ArrayBackend.describe`): ``"numpy"``, ``"cupy"``,
+        ``"jax"``, or ``"numpy (<requested> unavailable: ...)"`` after a
+        clean fallback.  ``None`` for paths that never touch the seam.
     n_ranks:
         Simulated MPI ranks (DES backend; includes the Nature Agent).
     ssets_per_worker:
@@ -62,6 +70,7 @@ class BackendReport:
     workers: int | None = None
     lanes: int | None = None
     shared_engine: dict[str, int] | None = None
+    array_backend: str | None = None
     n_ranks: int | None = None
     ssets_per_worker: float | None = None
     makespan_seconds: float | None = None
@@ -82,6 +91,8 @@ class BackendReport:
                 f"shared-engine={self.shared_engine.get('distinct', 0)} "
                 "distinct"
             )
+        if self.array_backend is not None and self.array_backend != "numpy":
+            parts.append(f"array-backend={self.array_backend}")
         if self.n_ranks is not None:
             parts.append(f"ranks={self.n_ranks}")
         if self.makespan_seconds is not None:

@@ -12,6 +12,7 @@ from typing import Any, Mapping
 
 from ..errors import ConfigurationError
 from ..structure import InteractionModel, build_structure, validate_structure
+from ..xp import KNOWN_BACKENDS
 from .fermi import PAPER_BETA
 from .payoff import PAPER_PAYOFF, PayoffMatrix
 
@@ -108,7 +109,26 @@ class EvolutionConfig:
         are bit-identical to uncapped runs; runs that do exceed it may
         re-evaluate reappearing pairs from a different perspective and
         drift by ulps — which is why the cap is opt-in.  Deterministic-regime
-        pools recycle at zero references already and ignore the cap.
+        pools recycle at zero references already and ignore the cap —
+        except under a blocked paymat (``paymat_block``), where the cap
+        bounds the number of *resident payoff blocks* instead (LRU
+        eviction; deterministic refills are bit-exact, so capped runs stay
+        on the uncapped trajectory).
+    paymat_block:
+        0 (default) keeps the payoff matrix as one dense ``K x K``
+        allocation.  A power of two >= 4 shards it into
+        ``paymat_block x paymat_block`` blocks allocated on first write
+        (:class:`~repro.core.paymat.BlockedPairStore`), so very large
+        ``R x n_ssets`` ensembles stop paying O(K²) memory up front.
+        Deterministic-regime only (the expected regime's matrix must never
+        drop entries); trajectories are bit-identical to the dense layout.
+    array_backend:
+        Array namespace for the hot-path payoff storage and fitness
+        gathers: ``"numpy"`` (default), ``"cupy"``, or ``"jax"``
+        (:mod:`repro.xp`).  A requested accelerator stack that is not
+        importable falls back to NumPy, recorded in the backend report.
+        RNG decoding stays on host either way, so every lane remains
+        bit-identical to its same-seed serial ``event`` run.
     """
 
     memory_steps: int = 1
@@ -131,6 +151,8 @@ class EvolutionConfig:
     engine: bool = True
     record_events: bool = True
     engine_pool_cap: int = 0
+    paymat_block: int = 0
+    array_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.memory_steps < 1:
@@ -169,6 +191,22 @@ class EvolutionConfig:
                 f"engine_pool_cap must be >= 0 (0 = unbounded), got "
                 f"{self.engine_pool_cap}"
             )
+        if self.paymat_block < 0 or (
+            self.paymat_block
+            and (
+                self.paymat_block < 4
+                or self.paymat_block & (self.paymat_block - 1)
+            )
+        ):
+            raise ConfigurationError(
+                f"paymat_block must be 0 (dense) or a power of two >= 4, "
+                f"got {self.paymat_block}"
+            )
+        if self.array_backend not in KNOWN_BACKENDS:
+            raise ConfigurationError(
+                f"unknown array_backend {self.array_backend!r}; known: "
+                f"{', '.join(KNOWN_BACKENDS)}"
+            )
         # Parse + bind eagerly so a bad spec (or one incompatible with
         # n_ssets) fails at construction, not mid-run.
         validate_structure(self.structure, self.n_ssets)
@@ -206,6 +244,10 @@ class EvolutionConfig:
             parts.append("legacy-cache")
         if self.engine_pool_cap:
             parts.append(f"pool-cap={self.engine_pool_cap}")
+        if self.paymat_block:
+            parts.append(f"paymat-block={self.paymat_block}")
+        if self.array_backend != "numpy":
+            parts.append(f"array-backend={self.array_backend}")
         return " ".join(parts)
 
     @property
@@ -288,6 +330,8 @@ class EvolutionConfig:
                 kwargs[name] = _coerce_float(name, value)
             elif name in _BOOL_FIELDS:
                 kwargs[name] = _coerce_bool(name, value)
+            elif name in _STR_FIELDS:
+                kwargs[name] = _coerce_str(name, value)
             elif name == "payoff":
                 kwargs[name] = _coerce_payoff(value)
             elif name == "structure":
@@ -308,19 +352,21 @@ class EvolutionConfig:
 #: Field classification for :meth:`EvolutionConfig.from_dict` coercion.
 _INT_FIELDS = frozenset({
     "memory_steps", "n_ssets", "generations", "agents_per_sset", "rounds",
-    "seed", "record_every", "engine_pool_cap",
+    "seed", "record_every", "engine_pool_cap", "paymat_block",
 })
 _FLOAT_FIELDS = frozenset({"pc_rate", "mutation_rate", "beta", "noise"})
 _BOOL_FIELDS = frozenset({
     "mixed_strategies", "include_self_play", "allow_downhill_learning",
     "expected_fitness", "engine", "record_events",
 })
+_STR_FIELDS = frozenset({"array_backend"})
 # A future EvolutionConfig field that is not classified above (and is not
 # one of the two structured fields) would silently fall out of the dict
 # round-trip; fail at import instead.
 _UNCLASSIFIED = (
     {f.name for f in fields(EvolutionConfig)}
-    - _INT_FIELDS - _FLOAT_FIELDS - _BOOL_FIELDS - {"payoff", "structure"}
+    - _INT_FIELDS - _FLOAT_FIELDS - _BOOL_FIELDS - _STR_FIELDS
+    - {"payoff", "structure"}
 )
 if _UNCLASSIFIED:  # pragma: no cover - tripwire for future fields
     raise TypeError(
@@ -343,6 +389,14 @@ def _coerce_float(name: str, value: Any) -> float:
             f"field {name!r}: expected a number, got {value!r}"
         )
     return float(value)
+
+
+def _coerce_str(name: str, value: Any) -> str:
+    if not isinstance(value, str):
+        raise ConfigurationError(
+            f"field {name!r}: expected a string, got {value!r}"
+        )
+    return value
 
 
 def _coerce_bool(name: str, value: Any) -> bool:

@@ -61,9 +61,11 @@ from typing import Callable, Iterator
 import numpy as np
 
 from ..errors import ConfigurationError, SimulationError, StrategyError
+from ..xp import get_array_backend
 from .config import EvolutionConfig
 from .cycle import exact_payoffs
 from .markov import expected_payoffs, expected_payoffs_many
+from .paymat import BlockedPairStore, validate_paymat_block
 from .payoff import PAPER_PAYOFF, PayoffMatrix
 from .states import num_states
 from .strategy import Strategy
@@ -355,6 +357,17 @@ class StrategyPool:
         if self.on_evict is not None:
             self.on_evict(sid)
 
+    def stats(self) -> dict[str, int]:
+        """Pool occupancy + memory accounting for reports/benchmarks."""
+        return {
+            "live": len(self._order),
+            "retired": len(self._retired),
+            "tracked": self.tracked,
+            "capacity": self.capacity,
+            "tables_bytes": int(self._tables.nbytes)
+            + int(self._refcounts.nbytes),
+        }
+
 
 class FitnessEngine:
     """Dense payoff-matrix fitness over interned strategies.
@@ -381,6 +394,8 @@ class FitnessEngine:
         mixed: bool = False,
         capacity: int = 64,
         pool_cap: int = 0,
+        paymat_block: int = 0,
+        array_backend: str | None = None,
     ):
         if rounds < 1:
             raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
@@ -421,7 +436,37 @@ class FitnessEngine:
             on_evict=self._on_slot_evicted,
         )
         capacity = self.pool.capacity
-        self._paymat = np.zeros((capacity, capacity), dtype=np.float64)
+        # The per-run engine's fitness path is scalar and event-driven, so
+        # its matrix always lives on host (the ensemble engine is the
+        # accelerator path); a requested accelerator backend is recorded
+        # for provenance but storage stays NumPy.
+        requested = get_array_backend(array_backend)
+        self.array_backend = (
+            requested.describe()
+            if requested.is_numpy
+            else f"numpy ({requested.resolved} requested; "
+            "per-run engine runs on host)"
+        )
+        validate_paymat_block(paymat_block)
+        if paymat_block and expected:
+            raise ConfigurationError(
+                "paymat_block serves the deterministic regime only: the "
+                "expected regime's matrix must keep every evaluated entry "
+                "(re-evaluation drifts by ulps)"
+            )
+        #: Dense ``capacity x capacity`` float64 matrix, or a
+        #: :class:`~repro.core.paymat.BlockedPairStore` speaking the same
+        #: indexing dialect when ``paymat_block`` shards it.
+        if paymat_block:
+            self._paymat: "np.ndarray | BlockedPairStore" = BlockedPairStore(
+                capacity,
+                paymat_block,
+                np.float64,
+                get_array_backend(),
+                track_evaluated=False,
+            )
+        else:
+            self._paymat = np.zeros((capacity, capacity), dtype=np.float64)
         #: Lazy-regime fill mask; the eager deterministic regime keeps every
         #: live row/column filled by construction and leaves this ``None``.
         self._evaluated: np.ndarray | None = (
@@ -466,18 +511,24 @@ class FitnessEngine:
             mixed=config.mixed_strategies,
             capacity=max(64, config.n_ssets + 2),
             pool_cap=config.engine_pool_cap,
+            paymat_block=0 if expected else config.paymat_block,
+            array_backend=config.array_backend,
         )
 
     # -- matrix maintenance ----------------------------------------------------
 
     @property
-    def paymat(self) -> np.ndarray:
-        """The dense payoff matrix (rows/columns beyond live sids stale)."""
+    def paymat(self):
+        """The payoff matrix (rows/columns beyond live sids stale): a dense
+        ndarray, or the blocked store speaking the same gather dialect."""
         return self._paymat
 
     def _sync_capacity(self) -> None:
         capacity = self.pool.capacity
         if self._paymat.shape[0] == capacity:
+            return
+        if isinstance(self._paymat, BlockedPairStore):
+            self._paymat.grow(capacity)
             return
         paymat = np.zeros((capacity, capacity), dtype=np.float64)
         old = self._paymat.shape[0]
@@ -754,13 +805,22 @@ class FitnessEngine:
         return float(self._paymat[sid_a, sid_b])
 
     def stats(self) -> dict[str, int]:
-        """Counters for reports/benchmarks."""
-        return {
+        """Counters + memory accounting for reports/benchmarks."""
+        stats = {
             "distinct": len(self.pool),
             "capacity": self.pool.capacity,
             "hits": self.hits,
             "misses": self.misses,
         }
+        if isinstance(self._paymat, BlockedPairStore):
+            stats.update(self._paymat.stats())
+        else:
+            paymat_bytes = int(self._paymat.nbytes)
+            if self._evaluated is not None:
+                paymat_bytes += int(self._evaluated.nbytes)
+            stats["paymat_bytes"] = paymat_bytes
+        stats["pool"] = self.pool.stats()
+        return stats
 
     def check_consistent(self, strategies: list[Strategy]) -> None:
         """Verify the pool matches a recount of ``strategies`` exactly

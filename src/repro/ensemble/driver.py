@@ -128,10 +128,12 @@ def run_ensemble(
     populations: Sequence[Population | None] | None = None,
     *,
     batch_size: int = 1 << 16,
+    array_backend: str | None = None,
 ) -> list[EvolutionResult]:
     """Run every config lane-batched; results come back in config order."""
     results, _ = run_ensemble_detailed(
-        configs, populations, batch_size=batch_size
+        configs, populations, batch_size=batch_size,
+        array_backend=array_backend,
     )
     return results
 
@@ -141,9 +143,16 @@ def run_ensemble_detailed(
     populations: Sequence[Population | None] | None = None,
     *,
     batch_size: int = 1 << 16,
+    array_backend: str | None = None,
 ) -> tuple[list[EvolutionResult], list[dict]]:
     """:func:`run_ensemble` plus one per-result execution-metadata dict
-    (``lanes``, ``shared_engine`` stats) for the backend report."""
+    (``lanes``, ``shared_engine`` stats, ``array_backend`` provenance) for
+    the backend report.
+
+    ``array_backend`` overrides every config's ``array_backend`` field for
+    the shared-engine groups (the backend-option precedence of
+    :class:`~repro.api.backends.EnsembleBackend`).
+    """
     run_configs = list(configs)
     if batch_size < 1:
         raise ConfigurationError(
@@ -196,7 +205,8 @@ def run_ensemble_detailed(
                 structure.is_well_mixed or isinstance(structure, GraphStructure)
             ):
                 outs, meta = _run_group_shared(
-                    group_configs, group_initial, batch_size
+                    group_configs, group_initial, batch_size,
+                    array_backend=array_backend,
                 )
             else:
                 outs, meta = _run_group_generic(
@@ -247,6 +257,7 @@ def _run_group_shared(
     configs: list[EvolutionConfig],
     initial: list[Population | None],
     batch_size: int,
+    array_backend: str | None = None,
 ) -> tuple[list[EvolutionResult], dict]:
     """Advance one signature-group of deterministic lanes over the shared
     engine, generation by generation."""
@@ -273,6 +284,9 @@ def _run_group_shared(
         cfg.payoff,
         n_lanes=n_lanes,
         capacity=capacity,
+        paymat_block=cfg.paymat_block,
+        block_cap=cfg.engine_pool_cap if cfg.paymat_block else 0,
+        array_backend=array_backend or cfg.array_backend,
     )
     # Well-mixed shallow memories (cheap pairs) prefill every pair a
     # window could read, so the hot loop runs check-free; deep memories
@@ -284,7 +298,11 @@ def _run_group_shared(
     # live-population coverage the invariant would prefill, so the
     # check-and-fill inside fitness_pc_graph is the cheaper side at every
     # memory depth (measured: 64-lane ring m1/m2 both faster on demand).
-    full_cover = n_states <= 16 and well_mixed
+    # An LRU-capped blocked paymat can evict filled blocks mid-run, which
+    # breaks the fill-once coverage invariant — those runs always take the
+    # on-demand check-and-fill path (refills are bit-exact, so the
+    # trajectory is unchanged; only fill counts differ).
+    full_cover = n_states <= 16 and well_mixed and not engine.evictable
     sids = np.empty((n_lanes, n_ssets), dtype=np.int64)
     for r in range(n_lanes):
         # Population objects are bystanders during the shared-mode run (the
@@ -673,7 +691,11 @@ def _run_group_shared(
         # One fused array program: the group's wallclock is indivisible,
         # so every lane reports it (the backend report carries lane count).
         result.wallclock_seconds = elapsed
-    meta = {"lanes": n_lanes, "shared_engine": engine.stats()}
+    meta = {
+        "lanes": n_lanes,
+        "shared_engine": engine.stats(),
+        "array_backend": engine.xb.describe(),
+    }
     return results, meta
 
 
@@ -855,5 +877,5 @@ def _run_group_generic(
         result.cache_hits = evaluators[r].hits
         result.cache_misses = evaluators[r].misses
         result.wallclock_seconds = elapsed
-    meta = {"lanes": n_lanes, "shared_engine": None}
+    meta = {"lanes": n_lanes, "shared_engine": None, "array_backend": None}
     return results, meta

@@ -49,11 +49,13 @@ import numpy as np
 
 from ..core.config import EvolutionConfig
 from ..core.engine import is_integer_payoff
+from ..core.paymat import BlockedPairStore, DensePairStore
 from ..core.payoff import PAPER_PAYOFF, PayoffMatrix
 from ..core.states import num_states
 from ..core.strategy import Strategy
 from ..core.vectorgame import cycle_payoffs_pairs
 from ..errors import ConfigurationError, SimulationError, StrategyError
+from ..xp import get_array_backend
 
 __all__ = ["EnsembleEngine", "supports_shared_engine"]
 
@@ -90,6 +92,9 @@ class EnsembleEngine:
         payoff: PayoffMatrix = PAPER_PAYOFF,
         n_lanes: int = 1,
         capacity: int = 64,
+        paymat_block: int = 0,
+        block_cap: int = 0,
+        array_backend: str | None = None,
     ):
         if rounds < 1:
             raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
@@ -124,8 +129,18 @@ class EnsembleEngine:
         # and summed in float64, which is bit-identical either way.
         max_total = rounds * max(abs(float(v)) for v in payoff.vector)
         self._dtype = np.float32 if max_total < 2.0**24 else np.float64
-        self._paymat = np.zeros((capacity, capacity), dtype=self._dtype)
-        self._evaluated = np.zeros((capacity, capacity), dtype=bool)
+        self.xb = get_array_backend(array_backend)
+        if paymat_block:
+            self._store: DensePairStore | BlockedPairStore = BlockedPairStore(
+                capacity,
+                paymat_block,
+                self._dtype,
+                self.xb,
+                track_evaluated=True,
+                block_cap=block_cap,
+            )
+        else:
+            self._store = DensePairStore(capacity, self._dtype, self.xb)
         #: Pair evaluations performed, attributed to the demanding lane.
         self.lane_fills = np.zeros(n_lanes, dtype=np.int64)
         self.fills = 0
@@ -143,9 +158,20 @@ class EnsembleEngine:
         return self._tables
 
     @property
-    def paymat(self) -> np.ndarray:
-        """The shared dense payoff matrix (gather only after ensure_rows)."""
-        return self._paymat
+    def paymat(self):
+        """The shared payoff matrix view (gather only after ensure_rows).
+
+        Dense stores expose the raw ndarray; blocked stores expose the
+        store itself, which speaks the same ``paymat[rows, cols]`` gather
+        dialect (host arrays out).
+        """
+        return self._store.paymat
+
+    @property
+    def evictable(self) -> bool:
+        """Whether payoff blocks can be evicted mid-run (LRU-capped blocked
+        store).  Drivers must not rely on fill-once full coverage then."""
+        return self._store.evictable
 
     def __len__(self) -> int:
         """Number of distinct live strategies across all lanes."""
@@ -158,14 +184,16 @@ class EnsembleEngine:
         return found
 
     def stats(self) -> dict[str, int]:
-        """Shared-engine counters for reports/benchmarks."""
-        return {
+        """Shared-engine counters + memory accounting for reports/benchmarks."""
+        stats = {
             "lanes": self.n_lanes,
             "distinct": len(self._ids),
             "capacity": self.capacity,
             "fills": int(self.fills),
             "fill_calls": int(self.fill_calls),
         }
+        stats.update(self._store.stats())
+        return stats
 
     # -- interning ------------------------------------------------------------
 
@@ -175,12 +203,7 @@ class EnsembleEngine:
         tables = np.zeros((new, self.n_states), dtype=np.uint8)
         tables[:old] = self._tables
         self._tables = tables
-        paymat = np.zeros((new, new), dtype=self._dtype)
-        paymat[:old, :old] = self._paymat
-        self._paymat = paymat
-        evaluated = np.zeros((new, new), dtype=bool)
-        evaluated[:old, :old] = self._evaluated
-        self._evaluated = evaluated
+        self._store.grow(new)
         self._strategies.extend([None] * (new - old))
         self._refs.extend([0] * (new - old))
         self._free.extend(range(new - 1, old - 1, -1))
@@ -223,14 +246,16 @@ class EnsembleEngine:
         """Free a zero-reference slot (the driver inlines the refcount
         decrements on its hot path and calls this on the rare zero).
 
-        Recycling clears the slot's evaluated *row* only (contiguous);
-        stale column entries are caught by the two-way validity check.
+        Recycling invalidates the slot's row in one store call; column
+        direction staleness is the store's problem (the dense store
+        checks validity two-way, the blocked store's epoch-sum stamps
+        go stale in both directions at once).
         """
         strategy = self._strategies[sid]
         assert strategy is not None
         del self._ids[strategy.key()]
         self._strategies[sid] = None
-        self._evaluated[sid, :] = False
+        self._store.invalidate_row(sid)
         self._free.append(sid)
 
     def intern_lane(self, strategies: list[Strategy]) -> np.ndarray:
@@ -267,10 +292,7 @@ class EnsembleEngine:
         idx = np.asarray(live, dtype=np.intp)
         tables = np.zeros((new_cap, self.n_states), dtype=np.uint8)
         tables[:n_live] = self._tables[idx]
-        paymat = np.zeros((new_cap, new_cap), dtype=self._dtype)
-        paymat[:n_live, :n_live] = self._paymat[np.ix_(idx, idx)]
-        evaluated = np.zeros((new_cap, new_cap), dtype=bool)
-        evaluated[:n_live, :n_live] = self._evaluated[np.ix_(idx, idx)]
+        store = self._store.rebuild(idx, new_cap)
         strategies: list[Strategy | None] = [None] * new_cap
         refs = [0] * new_cap
         mapping = np.full(capacity, -1, dtype=np.int64)
@@ -279,8 +301,7 @@ class EnsembleEngine:
             refs[new_sid] = self._refs[old_sid]
             mapping[old_sid] = new_sid
         self._tables = tables
-        self._paymat = paymat
-        self._evaluated = evaluated
+        self._store = store
         self._strategies = strategies
         self._refs = refs
         self._ids = {
@@ -301,10 +322,7 @@ class EnsembleEngine:
                 self._tables, a_c, b_c, self.rounds, self.payoff,
                 compact_sums=compact,
             )
-            self._paymat[a_c, b_c] = pay_a
-            self._paymat[b_c, a_c] = pay_b
-            self._evaluated[a_c, b_c] = True
-            self._evaluated[b_c, a_c] = True
+            self._store.write_pairs(a_c, b_c, pay_a, pay_b)
             self.fill_calls += 1
         self.fills += len(a)
 
@@ -330,9 +348,8 @@ class EnsembleEngine:
         across all M queries are deduplicated and evaluated in one batched
         kernel call.
         """
-        evaluated = self._evaluated
-        cols = focal[:, None]
-        ok = evaluated[cols, blocks] & evaluated[blocks, cols]
+        self._store.tick()
+        ok = self.xb.to_host(self._store.pair_valid(focal[:, None], blocks))
         if ok.all():
             return
         miss_r, miss_c = np.nonzero(~ok)
@@ -346,7 +363,8 @@ class EnsembleEngine:
         """Evaluate whichever of the (a[i], b[i]) pairs are not yet valid —
         the window-prefetch entry point (mutant rows filled ahead of their
         first fitness query)."""
-        missing = ~(self._evaluated[a, b] & self._evaluated[b, a])
+        self._store.tick()
+        missing = ~self.xb.to_host(self._store.pair_valid(a, b))
         if not missing.any():
             return
         self._fill_unique(a[missing], b[missing], lanes[missing])
@@ -354,7 +372,8 @@ class EnsembleEngine:
     def ensure_pair(self, lane: int, sid_a: int, sid_b: int) -> None:
         """Make one matrix entry valid (graph self-play reads the diagonal,
         which neighbor blocks never cover)."""
-        if self._evaluated[sid_a, sid_b] and self._evaluated[sid_b, sid_a]:
+        self._store.tick()
+        if bool(self.xb.to_host(self._store.pair_valid(sid_a, sid_b))):
             return
         self._fill_pairs(
             np.array([sid_a], dtype=np.int64), np.array([sid_b], dtype=np.int64)
@@ -377,19 +396,20 @@ class EnsembleEngine:
         SSets — bit-equal to the per-run engine's ``counts @ paymat[sid]``
         because integer payoffs sum exactly in float64 in any order.
         """
-        paymat = self._paymat
+        store = self._store
+        # One stacked (2, k, n) gather covers both sides — per-call index
+        # arithmetic is the blocked store's overhead, so halving the call
+        # count matters more than the (identical) element count.
+        focal = np.stack((teacher_sids, learner_sids))
         # dtype=float64 keeps the accumulation exact (and bit-identical)
         # when the matrix itself is stored as float32.
-        fit_t = paymat[teacher_sids[:, None], lane_sids].sum(
-            axis=1, dtype=np.float64
-        )
-        fit_l = paymat[learner_sids[:, None], lane_sids].sum(
-            axis=1, dtype=np.float64
+        fit = store.take(focal[:, :, None], lane_sids[None, :, :]).sum(
+            axis=2, dtype=np.float64
         )
         if not include_self_play:
-            fit_t -= paymat[teacher_sids, teacher_sids]
-            fit_l -= paymat[learner_sids, learner_sids]
-        return fit_t, fit_l
+            fit = fit - store.take(focal, focal)
+        fit = self.xb.to_host(fit)
+        return fit[0], fit[1]
 
     def fitness_neighbors(
         self,
@@ -398,10 +418,12 @@ class EnsembleEngine:
         include_self_play: bool = False,
     ) -> np.floating:
         """One lane's graph fitness: a per-lane neighbor gather."""
-        total = self._paymat[sid, neighbor_sids].sum(dtype=np.float64)
+        total = self._store.take(sid, neighbor_sids).sum(dtype=np.float64)
         if include_self_play:
-            total = total + np.float64(self._paymat[sid, sid])
-        return total
+            total = total + np.float64(
+                self.xb.to_host(self._store.take(sid, sid))
+            )
+        return self.xb.to_host(total)
 
     def fitness_pc_graph(
         self,
@@ -448,13 +470,14 @@ class EnsembleEngine:
                 )
             else:
                 self.fill_missing(focal_rep, nbr_sids, lane_rep)
-        vals = self._paymat[focal_rep, nbr_sids]
-        fit = np.add.reduceat(vals.astype(np.float64, copy=False), seg[:-1])
+        vals = self._store.take(focal_rep, nbr_sids)
+        fit = self.xb.segment_reduce(vals, seg)
         if include_self_play:
-            fit = fit + self._paymat[focal_sids, focal_sids].astype(
+            fit = fit + self._store.take(focal_sids, focal_sids).astype(
                 np.float64, copy=False
             )
         k = teachers.shape[0]
+        fit = self.xb.to_host(fit)
         return fit[:k], fit[k:]
 
     # -- invariants ------------------------------------------------------------

@@ -236,6 +236,12 @@ class JobQueue:
         self.cache_hit_total = 0
         self.coalesced_total = 0
         self.rejected_total = 0
+        #: Shared-engine memory accounting aggregated from finished jobs'
+        #: backend reports: the largest ``peak_paymat_bytes`` any job's
+        #: lane-batched group reached, plus the most recent group's stats
+        #: verbatim (``GET /stats`` surfaces both).
+        self.engine_peak_paymat_bytes = 0
+        self.last_shared_engine: dict[str, int] | None = None
 
         if self.pool is not None:
             self.pool.open()
@@ -324,6 +330,7 @@ class JobQueue:
                     on_result=job._on_run_complete,
                 )
             self.store.put(job.fingerprint, results)
+            self._note_engine_stats(results)
             job._mark_done(results, cache_hit=False)
             failure: str | None = None
         except Exception as err:
@@ -345,6 +352,24 @@ class JobQueue:
                 )
             else:
                 follower._mark_failed(failure, coalesced_with=job.job_id)
+
+    def _note_engine_stats(self, results: list) -> None:
+        """Fold a finished job's shared-engine memory stats into the queue
+        aggregates (results without shared-engine reports are skipped)."""
+        with self._lock:
+            for result in results:
+                report = getattr(result, "backend_report", None)
+                if report is None or report.shared_engine is None:
+                    continue
+                stats = report.shared_engine
+                peak = int(
+                    stats.get(
+                        "peak_paymat_bytes", stats.get("paymat_bytes", 0)
+                    )
+                )
+                if peak > self.engine_peak_paymat_bytes:
+                    self.engine_peak_paymat_bytes = peak
+                self.last_shared_engine = dict(stats)
 
     # -- submission / lookup ---------------------------------------------------
 
@@ -429,6 +454,10 @@ class JobQueue:
                 "cache_hit_total": self.cache_hit_total,
                 "coalesced_total": self.coalesced_total,
                 "rejected_total": self.rejected_total,
+                "engine": {
+                    "peak_paymat_bytes": self.engine_peak_paymat_bytes,
+                    "last_shared_engine": self.last_shared_engine,
+                },
             }
 
     # -- shutdown --------------------------------------------------------------

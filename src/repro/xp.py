@@ -1,0 +1,171 @@
+"""Array-namespace seam: NumPy by default, CuPy/JAX when available.
+
+The ensemble fast path (PR 4/5) already has the shape of an accelerator
+program — ``(R, n_ssets)`` sid arrays, dense payoff-matrix gathers, CSR
+segment reductions — but every array op was spelled ``np.*``.  This module
+is the seam that lets the hot-path containers live on a device namespace
+while everything that guards bit parity stays on host:
+
+* :func:`get_array_backend` resolves a requested backend name
+  (``"numpy"``, ``"cupy"``, ``"jax"``) to an :class:`ArrayBackend` — the
+  namespace module plus the handful of capabilities the engines need
+  (``to_device``/``to_host`` transfers and a ``segment_reduce`` that is
+  ``np.add.reduceat`` on NumPy and a cumsum-difference on namespaces
+  without ``reduceat``).
+* A backend whose import fails resolves to the NumPy backend with a
+  ``note`` recording why — callers report what was *actually* used
+  (:class:`~repro.api.report.BackendReport.array_backend`) instead of
+  silently running on host.
+* Unknown names raise :class:`~repro.errors.ConfigurationError` — a typo
+  should fail, only a missing accelerator stack should fall back.
+
+**Host-side RNG invariant.**  Only payoff storage and fitness gathers go
+through the seam.  The Philox raw-stream decoding
+(:mod:`repro.ensemble.rawstream`), strategy interning, Fermi decisions and
+event bookkeeping stay host NumPy/Python, so every lane consumes the exact
+serial RNG stream and stays bit-identical to its same-seed serial ``event``
+run regardless of where the matrix lives.  On the NumPy backend the seam
+is the identity: the same arrays, the same ops, the same bits — which is
+why the golden + lane-parity suites pin it unmodified.
+
+The cumsum-difference ``segment_reduce`` fallback is summation-order
+exact for the engines' use because deterministic payoffs are
+integer-valued and well under 2**53 in aggregate; non-NumPy backends are
+only ever engaged for that integer-exact regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = ["ArrayBackend", "KNOWN_BACKENDS", "get_array_backend"]
+
+#: Backend names :func:`get_array_backend` accepts.
+KNOWN_BACKENDS = ("numpy", "cupy", "jax")
+
+
+class ArrayBackend:
+    """One resolved array namespace plus the capabilities the engines use.
+
+    Attributes
+    ----------
+    requested:
+        The name the caller asked for (``config.array_backend`` / the
+        ``--array-backend`` flag / the backend option).
+    resolved:
+        The namespace actually in use — ``requested`` when its import
+        succeeded, ``"numpy"`` after a clean fallback.
+    xp:
+        The array-API-style module (``numpy``, ``cupy`` or ``jax.numpy``).
+    note:
+        Why ``resolved`` differs from ``requested`` (``None`` when they
+        match) — surfaced through reports so a run that silently landed on
+        host is visible.
+    """
+
+    __slots__ = ("requested", "resolved", "xp", "note")
+
+    def __init__(self, requested: str, resolved: str, xp, note: str | None):
+        self.requested = requested
+        self.resolved = resolved
+        self.xp = xp
+        self.note = note
+
+    @property
+    def is_numpy(self) -> bool:
+        return self.resolved == "numpy"
+
+    def describe(self) -> str:
+        """``"numpy"``, or ``"numpy (cupy unavailable: ...)"`` after a
+        fallback — the provenance string reports and benchmarks carry."""
+        if self.note is None:
+            return self.resolved
+        return f"{self.resolved} ({self.note})"
+
+    # -- transfers -------------------------------------------------------------
+
+    def to_device(self, array: np.ndarray):
+        """Host array -> backend namespace (identity on NumPy)."""
+        if self.is_numpy:
+            return array
+        return self.xp.asarray(array)
+
+    def to_host(self, array) -> np.ndarray:
+        """Backend array -> host ``np.ndarray`` (identity on NumPy)."""
+        if self.is_numpy:
+            return array
+        if hasattr(array, "get"):  # CuPy
+            return array.get()
+        return np.asarray(array)  # JAX (and anything array-API coercible)
+
+    # -- capabilities ----------------------------------------------------------
+
+    def zeros(self, shape, dtype):
+        return self.xp.zeros(shape, dtype=dtype)
+
+    def segment_reduce(self, values, seg: np.ndarray):
+        """Per-segment sums of ``values`` under CSR offsets ``seg``.
+
+        ``seg`` is the ``(n_segments + 1,)`` host offset array of
+        :meth:`~repro.structure.graphs.GraphStructure.neighbor_segments`.
+        On NumPy this is exactly the engines' historical
+        ``np.add.reduceat(values.astype(np.float64, copy=False), seg[:-1])``
+        (bit-identical, reduceat quirks included — the engines never build
+        empty segments).  Namespaces without ``reduceat`` use an inclusive
+        cumsum difference, exact for the integer-valued payoffs this seam
+        serves.
+        """
+        if self.is_numpy:
+            return np.add.reduceat(
+                values.astype(np.float64, copy=False), seg[:-1]
+            )
+        xp = self.xp
+        csum = xp.cumsum(values.astype(np.float64), axis=0)
+        csum = xp.concatenate((xp.zeros(1, dtype=np.float64), csum))
+        offsets = self.to_device(np.asarray(seg, dtype=np.int64))
+        return csum[offsets[1:]] - csum[offsets[:-1]]
+
+
+def _resolve(requested: str) -> ArrayBackend:
+    if requested == "numpy":
+        return ArrayBackend("numpy", "numpy", np, None)
+    if requested == "cupy":
+        try:
+            import cupy  # noqa: F401 - optional accelerator namespace
+
+            cupy.zeros(1)  # fail here, not mid-run, when no device is usable
+            return ArrayBackend("cupy", "cupy", cupy, None)
+        except Exception as err:  # ImportError or CUDA runtime failure
+            return ArrayBackend(
+                "cupy", "numpy", np, f"cupy unavailable: {err}"
+            )
+    if requested == "jax":
+        try:
+            import jax.numpy as jnp  # noqa: F401 - optional namespace
+
+            return ArrayBackend("jax", "jax", jnp, None)
+        except Exception as err:
+            return ArrayBackend("jax", "numpy", np, f"jax unavailable: {err}")
+    raise ConfigurationError(
+        f"unknown array backend {requested!r}; known: "
+        f"{', '.join(KNOWN_BACKENDS)}"
+    )
+
+
+_CACHE: dict[str, ArrayBackend] = {}
+
+
+def get_array_backend(name: str | None = None) -> ArrayBackend:
+    """Resolve ``name`` (default ``"numpy"``) to an :class:`ArrayBackend`.
+
+    Resolution is cached per name: the fallback probe (importing an absent
+    CuPy/JAX stack) is paid once per process, not once per engine.
+    """
+    requested = name or "numpy"
+    found = _CACHE.get(requested)
+    if found is None:
+        found = _resolve(requested)
+        _CACHE[requested] = found
+    return found
