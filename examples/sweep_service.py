@@ -9,7 +9,11 @@ then walks through the service workflow:
 3. resubmit the *identical* science and get the cached result back in
    milliseconds — bit-identical payload, no re-execution;
 4. submit an ``interactive``-priority job and watch it jump the batch
-   queue.
+   queue;
+5. cancel a runaway job — it stops cooperatively at tick cadence;
+6. the fault-tolerance finale: ``kill -9`` a real ``repro serve``
+   process mid-queue, restart it on the same ``--journal``, and watch
+   every admitted job replay to completion.
 
 Everything below also works against a separate server process — start one
 with ``repro serve`` and point ``SweepClient`` at its URL.
@@ -17,8 +21,15 @@ with ``repro serve`` and point ``SweepClient`` at its URL.
 Run:  python examples/sweep_service.py
 """
 
+import os
+import re
+import subprocess
+import sys
+import tempfile
 import time
+from pathlib import Path
 
+import repro
 from repro import EvolutionConfig
 from repro.service import (
     JobQueue,
@@ -96,8 +107,75 @@ def main() -> None:
             dominant = run["dominant"]
             print(f"[run={i}] dominant {dominant['bits']} "
                   f"at {dominant['share']:.1%}")
+
+        # 5. Cancel a runaway job: DELETE /jobs/<id> interrupts the
+        # running execution cooperatively at progress-tick cadence.
+        runaway = client.submit(JobSpec(
+            configs=(EvolutionConfig(
+                memory_steps=2, n_ssets=16, generations=100_000_000,
+                seed=MASTER_SEED + 9000, record_events=False,
+            ),),
+            label="runaway",
+        ))
+        time.sleep(0.3)  # let it reach the worker
+        client.cancel(runaway["job_id"])
+        final = client.wait(runaway["job_id"], timeout=60)
+        print(f"\nrunaway job {final['job_id']}: state={final['state']} "
+              f"({final['error']})")
     queue.close()
+
+
+def kill_and_recover() -> None:
+    """Durable journal: SIGKILL a live server mid-queue, lose nothing."""
+    state = Path(tempfile.mkdtemp(prefix="sweep-service-demo-"))
+    command = [
+        sys.executable, "-m", "repro", "serve", "--port", "0",
+        "--workers", "1", "--journal", str(state / "jobs.wal"),
+        "--artifact-dir", str(state / "results"),
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(Path(repro.__file__).resolve().parents[1])
+        + os.pathsep + env.get("PYTHONPATH", "")
+    )
+
+    def start():
+        process = subprocess.Popen(
+            command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        banner = process.stdout.readline()
+        url = re.search(r"listening on (http://[0-9.:]+)", banner).group(1)
+        return process, SweepClient(url)
+
+    process, client = start()
+    admitted = [
+        client.submit(spec_for(MASTER_SEED + 3000 + i * 100))["job_id"]
+        for i in range(2)
+    ]
+    # The crash: no drain, no shutdown hooks.  Both jobs were journaled
+    # before their submissions were acknowledged, so the WAL has them.
+    process.kill()
+    process.wait()
+    print(f"\nkilled -9 with {len(admitted)} jobs admitted: {admitted}")
+
+    process, client = start()
+    try:
+        print(process.stdout.readline().strip())  # "journal replayed ..."
+        while any(
+            status["state"] not in ("done", "failed", "cancelled")
+            for status in client.jobs()
+        ):
+            time.sleep(0.2)
+        for status in client.jobs():
+            print(f"  {status['job_id']} "
+                  f"(was {status['recovered_from']} before the crash) "
+                  f"-> {status['state']}")
+    finally:
+        process.terminate()  # SIGTERM: graceful drain, clean exit
+        process.wait(timeout=30)
 
 
 if __name__ == "__main__":
     main()
+    kill_and_recover()

@@ -35,6 +35,8 @@ Package map
 ``repro.io``          generation recorder, checkpoints, result artifacts
 ``repro.service``     sweep-as-a-service: job queue, result cache, HTTP
                       front door (import explicitly: ``repro.service``)
+``repro.faults``      deterministic fault-injection harness (import
+                      explicitly: ``from repro import faults``)
 """
 
 from .api import (

@@ -13,6 +13,15 @@ Commands
 ``submit [options]``          submit a sweep to a running service
 ``jobs --url URL``            list a running service's jobs
 ``result <job-id> --url URL`` fetch a finished job's results
+``cancel <job-id> --url URL`` cancel a queued or running job
+
+``serve`` is restart-safe with ``--journal``: admitted jobs are written to
+an fsync'd write-ahead log and replayed on the next start, and ``SIGTERM``
+triggers a graceful drain (stop admitting, finish running jobs up to
+``--drain-timeout``, journal the rest, exit clean).  ``--faults`` (or the
+``REPRO_FAULTS`` environment variable) arms a deterministic
+fault-injection plan — see :mod:`repro.faults` — which is how the chaos
+tests prove all of the above.
 """
 
 from __future__ import annotations
@@ -188,8 +197,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from . import faults
     from .service import JobQueue, ResultStore, SweepServer, WarmEnginePool
 
+    plan = (
+        faults.FaultPlan.from_json(args.faults)
+        if args.faults
+        else faults.FaultPlan.from_env()
+    )
+    if plan is not None:
+        faults.arm(plan)
     store = ResultStore(
         max_entries=args.cache_entries, artifact_dir=args.artifact_dir
     )
@@ -199,19 +219,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queued=args.max_queued,
         store=store,
         pool=pool,
+        journal=args.journal,
     )
     server = SweepServer(
         host=args.host, port=args.port, queue=queue, verbose=args.verbose
     )
+
+    draining = threading.Event()
+
+    def _on_sigterm(signum: int, frame: object) -> None:
+        # The handler interrupts serve_forever's own thread, so the drain
+        # must run elsewhere: shutting the listener down from in here
+        # would deadlock on the very loop this handler suspended.
+        if draining.is_set():
+            return
+        draining.set()
+        threading.Thread(
+            target=server.drain,
+            args=(args.drain_timeout,),
+            name="sweep-drain",
+            daemon=True,
+        ).start()
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
     print(f"sweep service listening on {server.url} "
           f"(workers={queue.workers}, max_queued={queue.max_queued}, "
           f"warm_pool={'on' if pool is not None else 'off'}, "
-          f"artifacts={args.artifact_dir or 'off'})")
+          f"artifacts={args.artifact_dir or 'off'}, "
+          f"journal={args.journal or 'off'})")
+    if queue.recovered_total:
+        print(f"journal replayed {queue.recovered_total} pending job(s)"
+              + (f" ({queue.recovery_errors} unreadable)"
+                 if queue.recovery_errors else ""))
+    if plan is not None:
+        print(f"fault plan armed: {len(plan.specs)} fault spec(s), "
+              f"seed={plan.seed}")
     sys.stdout.flush()
     try:
         server.serve_forever()
     finally:
         queue.close()
+    if draining.is_set():
+        print("drained cleanly; journaled jobs will replay on restart")
     return 0
 
 
@@ -257,6 +306,20 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
               f"cache_hit={status['cache_hit']} "
               f"label={status['label'] or '-'}")
     return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from .service import SweepClient
+
+    response = SweepClient(args.url).cancel(args.job_id)
+    if response["cancelled"]:
+        print(f"{response['job_id']} cancel requested "
+              f"(state={response['state']})")
+        return 0
+    print(f"repro: {response['job_id']} already finished "
+          f"(state={response['state']}); nothing to cancel",
+          file=sys.stderr)
+    return 1
 
 
 def _cmd_result(args: argparse.Namespace) -> int:
@@ -451,6 +514,20 @@ def build_parser() -> argparse.ArgumentParser:
                        default=True, dest="warm_pool",
                        help="keep deterministic pair evaluations warm "
                             "across jobs (default on)")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="durable job journal (fsync'd JSONL WAL): "
+                            "admitted jobs survive crashes and restarts — "
+                            "pending work replays from PATH on start")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       dest="drain_timeout",
+                       help="seconds SIGTERM lets running jobs finish "
+                            "before they are cancelled back to the journal "
+                            "(default 30)")
+    serve.add_argument("--faults", default=None, metavar="PLAN",
+                       help="arm a deterministic fault-injection plan: "
+                            "inline JSON or @path (also honored from the "
+                            "REPRO_FAULTS environment variable); testing "
+                            "only — see repro.faults")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
     serve.set_defaults(func=_cmd_serve)
@@ -485,6 +562,13 @@ def build_parser() -> argparse.ArgumentParser:
     jobs = sub.add_parser("jobs", help="list a running service's jobs")
     jobs.add_argument("--url", default="http://127.0.0.1:8642")
     jobs.set_defaults(func=_cmd_jobs)
+
+    cancel = sub.add_parser(
+        "cancel", help="cancel a queued or running job"
+    )
+    cancel.add_argument("job_id", metavar="JOB_ID")
+    cancel.add_argument("--url", default="http://127.0.0.1:8642")
+    cancel.set_defaults(func=_cmd_cancel)
 
     result = sub.add_parser(
         "result", help="fetch a finished job's results"

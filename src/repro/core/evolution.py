@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .. import faults
 from ..errors import ConfigurationError
 from ..rng import SeedSequenceTree
 from ..structure import InteractionModel, build_structure
@@ -48,7 +49,7 @@ from .engine import FitnessEngine
 from .nature import NatureAgent
 from .payoff_cache import PayoffCache
 from .population import Population
-from .progress import ProgressTick, progress_callback
+from .progress import ProgressTick, cancel_token, progress_callback
 from .strategy import Strategy
 
 #: Either fitness evaluator the drivers thread through the structure layer.
@@ -208,13 +209,24 @@ def _apply_generation_events(
     result: EvolutionResult,
     structure: InteractionModel,
     progress=None,
+    cancel=None,
+    fault=None,
 ) -> None:
     """Apply one generation's events in the paper's order (PC, then mutation).
 
     ``progress`` is the thread's :func:`~repro.core.progress.progress_scope`
     callback (or ``None``): one :class:`ProgressTick` per event generation,
-    after the generation's events applied.
+    after the generation's events applied.  ``cancel`` is the thread's
+    :class:`~repro.core.progress.CancelToken` (or ``None``), checked before
+    the generation's events so a cancelled or timed-out run aborts at tick
+    cadence with the population untouched by the aborted generation.
+    ``fault`` is the armed :func:`repro.faults.hook` for the
+    ``"driver.generation"`` site (or ``None``, the production case).
     """
+    if cancel is not None:
+        cancel.check()
+    if fault is not None:
+        fault(generation=generation)
     config = result.config
     if pc:
         decision = nature.pc_selection(len(population), structure)
@@ -316,6 +328,8 @@ def run_serial(
     result = EvolutionResult(config=config, population=population)
     _maybe_snapshot(result, population, 0, force=True)
     progress = progress_callback()
+    cancel = cancel_token()
+    fault = faults.hook("driver.generation")
 
     for generation in range(config.generations):
         events = nature.generation_events()
@@ -330,6 +344,8 @@ def run_serial(
                 result,
                 structure,
                 progress,
+                cancel,
+                fault,
             )
         if config.record_every > 0 and generation > 0:
             _maybe_snapshot(result, population, generation, force=False)
@@ -361,6 +377,8 @@ def run_event_driven(
     result = EvolutionResult(config=config, population=population)
     _maybe_snapshot(result, population, 0, force=True)
     progress = progress_callback()
+    cancel = cancel_token()
+    fault = faults.hook("driver.generation")
 
     every = config.record_every
     next_snapshot = every if every > 0 else None
@@ -390,6 +408,8 @@ def run_event_driven(
                 result,
                 structure,
                 progress,
+                cancel,
+                fault,
             )
             if next_snapshot is not None and next_snapshot == gen:
                 if gen < config.generations:

@@ -28,16 +28,35 @@ Usage::
 Scopes nest; the innermost callback wins (the ensemble driver uses this to
 remap lane-local run indices to sweep-level config indices).  Callbacks
 must not raise — an exception would abort the run mid-trajectory.
+
+Cooperative cancellation rides the same cadence: a :class:`CancelToken`
+installed with :func:`cancel_scope` is checked by every driver at each
+event generation — the granularity progress ticks already use — so a
+cancelled or timed-out run aborts within one event generation without any
+polling thread reaching into driver internals.  The sweep service uses
+this for job timeouts, ``DELETE /jobs/<id>``, and drain deadlines; the
+check costs one thread-local read per run plus one comparison per event
+generation, and nothing at all when no token is installed.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Callable, Iterator
 
-__all__ = ["ProgressTick", "progress_scope", "progress_callback"]
+from ..errors import JobCancelledError, JobTimeoutError
+
+__all__ = [
+    "ProgressTick",
+    "progress_scope",
+    "progress_callback",
+    "CancelToken",
+    "cancel_scope",
+    "cancel_token",
+]
 
 
 @dataclass(frozen=True)
@@ -97,5 +116,80 @@ def progress_scope(callback: ProgressCallback) -> Iterator[ProgressCallback]:
     stack.append(callback)
     try:
         yield callback
+    finally:
+        stack.pop()
+
+
+# -- cooperative cancellation --------------------------------------------------
+
+
+class CancelToken:
+    """A cancel request and/or wall-clock deadline a run checks cooperatively.
+
+    Thread-safe: any thread may :meth:`cancel`; the executing thread calls
+    :meth:`check` at event-generation cadence and the run aborts with
+    :class:`~repro.errors.JobCancelledError` (or
+    :class:`~repro.errors.JobTimeoutError` past the deadline).  ``deadline``
+    is a :func:`time.monotonic` instant; ``None`` means no timeout.
+    """
+
+    def __init__(self, deadline: float | None = None) -> None:
+        self.deadline = deadline
+        self._cancelled = threading.Event()
+        self.reason = ""
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self.reason = reason or "cancelled"
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    def wait(self, timeout: float) -> bool:
+        """Block up to ``timeout`` seconds; True if cancelled meanwhile
+        (retry backoffs sleep through this so cancels cut them short)."""
+        return self._cancelled.wait(timeout)
+
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def check(self) -> None:
+        """Raise if this token was cancelled or its deadline passed."""
+        if self._cancelled.is_set():
+            raise JobCancelledError(self.reason)
+        if self.expired():
+            raise JobTimeoutError(
+                "run exceeded its wall-clock timeout and was cancelled "
+                "cooperatively"
+            )
+
+
+#: Per-thread token stack, exactly like the progress-listener stack.
+_CANCEL_LOCAL = threading.local()
+
+
+def cancel_token() -> CancelToken | None:
+    """The innermost active token of this thread, or ``None``.
+
+    Drivers read this once at run start — like :func:`progress_callback`,
+    installing a scope mid-run has no effect on runs already executing.
+    """
+    stack = getattr(_CANCEL_LOCAL, "stack", None)
+    if not stack:
+        return None
+    return stack[-1]
+
+
+@contextmanager
+def cancel_scope(token: CancelToken) -> Iterator[CancelToken]:
+    """Install ``token`` as this thread's cancellation token for the block."""
+    stack = getattr(_CANCEL_LOCAL, "stack", None)
+    if stack is None:
+        stack = []
+        _CANCEL_LOCAL.stack = stack
+    stack.append(token)
+    try:
+        yield token
     finally:
         stack.pop()

@@ -63,7 +63,13 @@ from ..core.evolution import (
 from ..core.fermi import fermi_probability
 from ..core.payoff_cache import PayoffCache
 from ..core.population import Population
-from ..core.progress import ProgressTick, progress_callback, progress_scope
+from .. import faults
+from ..core.progress import (
+    ProgressTick,
+    cancel_token,
+    progress_callback,
+    progress_scope,
+)
 from ..core.strategy import Strategy, random_mixed, random_pure
 from ..errors import ConfigurationError
 from ..rng import SeedSequenceTree
@@ -350,6 +356,8 @@ def _run_group_shared(
     record_events = cfg.record_events
     memory = cfg.memory_steps
     progress = progress_callback()
+    cancel = cancel_token()
+    fault = faults.hook("driver.generation")
 
     # Per-lane decision-stream pre-draw (see repro.ensemble.rawstream):
     # PC selections and mutations are state-independent, so each batch's
@@ -508,6 +516,15 @@ def _run_group_shared(
                 pc_lanes_np = pc_lane_arr[pi:pj]
                 mu_lanes = mu_lane[mi:mj]
                 pi, mi = pj, mj
+
+                # Tick-cadence cancellation: a cancelled/timed-out group
+                # aborts before this generation's events apply (the group's
+                # results are discarded wholesale, so mid-window engine
+                # state needs no unwinding).
+                if cancel is not None:
+                    cancel.check()
+                if fault is not None:
+                    fault(generation=gen)
 
                 if every > 0:
                     # The serial driver snapshots after applying a
@@ -769,6 +786,8 @@ def _run_group_generic(
     make_mutant = random_mixed if cfg.mixed_strategies else random_pure
     memory = cfg.memory_steps
     progress = progress_callback()
+    cancel = cancel_token()
+    fault = faults.hook("driver.generation")
 
     base = 0
     remaining = generations
@@ -780,6 +799,10 @@ def _run_group_generic(
         event_cols = np.nonzero((pc_flags | mu_flags).any(axis=0))[0]
         for col in event_cols.tolist():
             gen = base + col
+            if cancel is not None:
+                cancel.check()
+            if fault is not None:
+                fault(generation=gen)
             pc_lanes = np.flatnonzero(pc_flags[:, col]).tolist()
             mu_lanes = np.flatnonzero(mu_flags[:, col]).tolist()
             if every > 0:

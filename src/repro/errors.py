@@ -21,6 +21,11 @@ __all__ = [
     "ServiceError",
     "QueueFullError",
     "JobNotFoundError",
+    "TransientError",
+    "JobCancelledError",
+    "JobTimeoutError",
+    "DrainingError",
+    "FaultInjected",
 ]
 
 
@@ -74,3 +79,29 @@ class QueueFullError(ServiceError):
 
 class JobNotFoundError(ServiceError):
     """No job with the requested id (HTTP 404)."""
+
+
+class TransientError(ReproError, RuntimeError):
+    """A failure expected to clear on retry (worker hiccup, flaky backend).
+
+    The sweep service's default :class:`~repro.service.retry.RetryPolicy`
+    classifies this class — alongside ``OSError``/``TimeoutError``/
+    ``ConnectionError`` — as retryable; raise it from custom backends (or
+    inject it through :mod:`repro.faults`) to request another attempt.
+    """
+
+
+class JobCancelledError(ServiceError):
+    """A job was cancelled cooperatively (client cancel, drain, or fault)."""
+
+
+class JobTimeoutError(JobCancelledError):
+    """A job exceeded its wall-clock timeout and was cancelled."""
+
+
+class DrainingError(ServiceError):
+    """The service is draining and no longer admits work (HTTP 503)."""
+
+
+class FaultInjected(ReproError, RuntimeError):
+    """Default exception raised by an armed fault-injection site."""

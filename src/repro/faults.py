@@ -1,0 +1,415 @@
+"""Deterministic fault injection: prove failure paths without real failures.
+
+Production hardening is only trustworthy when every failure path is
+exercised on purpose.  This module is a seeded, process-wide fault-plan
+registry: a :class:`FaultPlan` names *injection sites* (plain strings such
+as ``"service.execute"`` or ``"io.save_result"``) that are compiled into
+the sweep service, the drivers, and the results writer.  Arming a plan
+makes the chosen site deterministically misbehave on its Nth hit —
+
+``raise``
+    raise a chosen exception class (default
+    :class:`~repro.errors.FaultInjected`; any :mod:`repro.errors` name or
+    builtin exception name resolves);
+``delay``
+    sleep ``delay`` seconds before continuing (hang simulation — pair with
+    job timeouts);
+``cancel``
+    raise :class:`~repro.errors.JobCancelledError`, killing the in-flight
+    job the way a cooperative cancel does;
+``corrupt``
+    truncate or bit-flip bytes of a just-written file (only honoured by
+    :func:`corrupt_file` sites, e.g. the results writer's artifacts).
+
+Sites match on their name plus optional context equality (``match={"name":
+"meta.json"}`` hits only the meta write; ``match={"attempt": 1}`` fails
+only a job's first attempt).  Hit counting is per spec and thread-safe;
+``after`` skips the first N matching hits and ``times`` bounds how many
+trigger (``None`` = every one).  Everything a spec does is a pure function
+of the plan (plus its ``seed``, which drives corruption offsets when
+``at`` is omitted), so an injected failure reproduces exactly — the test
+suites rely on this.
+
+**Zero overhead when disarmed**: the process-wide plan is one module
+global; :func:`check` returns after a single ``None`` test, and hot loops
+can lift even that out with :func:`hook` (returns ``None`` unless an armed
+plan names the site, mirroring the progress-callback seam).
+
+Arming::
+
+    from repro import faults
+
+    plan = faults.FaultPlan.from_dict({
+        "seed": 7,
+        "faults": [
+            {"site": "service.execute", "action": "raise",
+             "exception": "TransientError", "match": {"attempt": 1}},
+        ],
+    })
+    with faults.armed(plan):
+        ...
+
+or, for subprocesses (``repro serve`` reads this at startup), export
+``REPRO_FAULTS`` with the same JSON (or ``@/path/to/plan.json``).
+"""
+
+from __future__ import annotations
+
+import builtins
+import hashlib
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from . import errors
+from .errors import ConfigurationError, FaultInjected, JobCancelledError
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "ACTIONS",
+    "arm",
+    "disarm",
+    "armed",
+    "active",
+    "check",
+    "hook",
+    "corrupt_file",
+    "ENV_VAR",
+]
+
+ACTIONS = ("raise", "delay", "cancel", "corrupt")
+_CORRUPT_MODES = ("truncate", "flip")
+
+#: Environment variable ``repro serve`` (and anything else that calls
+#: :func:`arm_from_env`) reads a plan from: inline JSON, or ``@path``.
+ENV_VAR = "REPRO_FAULTS"
+
+
+def _resolve_exception(name: str) -> type[BaseException]:
+    """Map an exception name to a class: :mod:`repro.errors` first, then
+    builtins — so plans written as JSON can raise anything tests need."""
+    cls = getattr(errors, name, None)
+    if cls is None:
+        cls = getattr(builtins, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, BaseException)):
+        raise ConfigurationError(
+            f"fault exception {name!r} is not a repro.errors or builtin "
+            "exception class"
+        )
+    return cls
+
+
+class FaultSpec:
+    """One injection rule: where, what, and on which hits (see module doc)."""
+
+    def __init__(
+        self,
+        site: str,
+        action: str = "raise",
+        *,
+        exception: str = "FaultInjected",
+        message: str = "",
+        delay: float = 0.0,
+        mode: str = "truncate",
+        at: int | None = None,
+        after: int = 0,
+        times: int | None = 1,
+        match: Mapping[str, Any] | None = None,
+    ) -> None:
+        if not isinstance(site, str) or not site:
+            raise ConfigurationError(f"fault site must be a string, got {site!r}")
+        if action not in ACTIONS:
+            raise ConfigurationError(
+                f"fault action {action!r} not in {ACTIONS}"
+            )
+        if action == "corrupt" and mode not in _CORRUPT_MODES:
+            raise ConfigurationError(
+                f"corrupt mode {mode!r} not in {_CORRUPT_MODES}"
+            )
+        if after < 0:
+            raise ConfigurationError(f"after must be >= 0, got {after}")
+        if times is not None and times < 1:
+            raise ConfigurationError(
+                f"times must be >= 1 or null (unlimited), got {times}"
+            )
+        _resolve_exception(exception)  # fail fast on unknown names
+        self.site = site
+        self.action = action
+        self.exception = exception
+        self.message = message
+        self.delay = float(delay)
+        self.mode = mode
+        self.at = at
+        self.after = after
+        self.times = times
+        self.match = dict(match or {})
+        # Hit accounting (mutated under the owning plan's lock).
+        self.hits = 0
+        self.triggered = 0
+
+    def matches(self, context: Mapping[str, Any]) -> bool:
+        return all(context.get(k) == v for k, v in self.match.items())
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"site": self.site, "action": self.action}
+        if self.action == "raise":
+            data["exception"] = self.exception
+        if self.message:
+            data["message"] = self.message
+        if self.action == "delay":
+            data["delay"] = self.delay
+        if self.action == "corrupt":
+            data["mode"] = self.mode
+            if self.at is not None:
+                data["at"] = self.at
+        if self.after:
+            data["after"] = self.after
+        if self.times != 1:
+            data["times"] = self.times
+        if self.match:
+            data["match"] = dict(self.match)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"fault spec must be a mapping, got {type(data).__name__}"
+            )
+        known = {
+            "site", "action", "exception", "message", "delay", "mode",
+            "at", "after", "times", "match",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault spec field(s): {', '.join(unknown)}"
+            )
+        return cls(
+            data.get("site", ""),
+            data.get("action", "raise"),
+            exception=data.get("exception", "FaultInjected"),
+            message=data.get("message", ""),
+            delay=data.get("delay", 0.0),
+            mode=data.get("mode", "truncate"),
+            at=data.get("at"),
+            after=data.get("after", 0),
+            times=data.get("times", 1),
+            match=data.get("match"),
+        )
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec` rules plus their hit counters."""
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0) -> None:
+        self.specs = list(specs)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._sites = {spec.site for spec in self.specs}
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"fault plan must be a mapping, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"seed", "faults"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault plan field(s): {', '.join(unknown)}"
+            )
+        raw = data.get("faults", [])
+        if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+            raise ConfigurationError("fault plan 'faults' must be a list")
+        return cls(
+            [FaultSpec.from_dict(d) for d in raw], seed=data.get("seed", 0)
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from inline JSON, or ``@path`` / a file path."""
+        text = text.strip()
+        if text.startswith("@"):
+            text = Path(text[1:]).read_text(encoding="utf-8")
+        elif not text.startswith("{"):
+            text = Path(text).read_text(encoding="utf-8")
+        try:
+            return cls.from_dict(json.loads(text))
+        except json.JSONDecodeError as err:
+            raise ConfigurationError(f"fault plan is not valid JSON: {err}")
+
+    @classmethod
+    def from_env(cls, name: str = ENV_VAR) -> "FaultPlan | None":
+        """The plan named by environment variable ``name``, or ``None``."""
+        raw = os.environ.get(name, "").strip()
+        if not raw:
+            return None
+        return cls.from_json(raw)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.specs],
+        }
+
+    # -- matching --------------------------------------------------------------
+
+    def names_site(self, site: str) -> bool:
+        return site in self._sites
+
+    def _fire(
+        self, site: str, context: Mapping[str, Any], want_corrupt: bool
+    ) -> FaultSpec | None:
+        """Count a hit at ``site`` and return the spec that triggers, if any.
+
+        ``want_corrupt`` selects between :func:`check` semantics (corrupt
+        specs never trigger — they need a file) and :func:`corrupt_file`
+        semantics (only corrupt specs trigger).
+        """
+        with self._lock:
+            for spec in self.specs:
+                if spec.site != site or not spec.matches(context):
+                    continue
+                if (spec.action == "corrupt") != want_corrupt:
+                    continue
+                spec.hits += 1
+                order = spec.hits  # 1-based index among matching hits
+                if order <= spec.after:
+                    continue
+                if spec.times is not None and (
+                    order > spec.after + spec.times
+                ):
+                    continue
+                spec.triggered += 1
+                return spec
+        return None
+
+    def corrupt_offset(self, spec: FaultSpec, size: int) -> int:
+        """Deterministic byte offset for a corrupt spec: explicit ``at``
+        when given, else seeded from (plan seed, site, trigger ordinal)."""
+        if size <= 0:
+            return 0
+        if spec.at is not None:
+            return min(max(spec.at, 0), size - 1 if spec.mode == "flip" else size)
+        digest = hashlib.sha256(
+            f"{self.seed}:{spec.site}:{spec.triggered}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % size
+
+    def stats(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [
+                {
+                    "site": spec.site,
+                    "action": spec.action,
+                    "hits": spec.hits,
+                    "triggered": spec.triggered,
+                }
+                for spec in self.specs
+            ]
+
+
+#: The process-wide armed plan (None = fault injection fully disabled).
+_PLAN: FaultPlan | None = None
+
+
+def arm(plan: FaultPlan) -> FaultPlan:
+    """Arm ``plan`` process-wide (replacing any armed plan); returns it."""
+    global _PLAN
+    _PLAN = plan
+    return plan
+
+
+def disarm() -> None:
+    global _PLAN
+    _PLAN = None
+
+
+def active() -> FaultPlan | None:
+    return _PLAN
+
+
+@contextmanager
+def armed(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Arm ``plan`` for the block, restoring the previous plan after."""
+    global _PLAN
+    previous = _PLAN
+    _PLAN = plan
+    try:
+        yield plan
+    finally:
+        _PLAN = previous
+
+
+def _execute(spec: FaultSpec, site: str) -> None:
+    message = spec.message or f"injected fault at {site!r}"
+    if spec.action == "delay":
+        time.sleep(spec.delay)
+        return
+    if spec.action == "cancel":
+        raise JobCancelledError(message)
+    raise _resolve_exception(spec.exception)(message)
+
+
+def check(site: str, **context: Any) -> None:
+    """Injection point: no-op unless an armed plan triggers at ``site``.
+
+    Raises the spec's exception (``raise``/``cancel``) or sleeps
+    (``delay``).  The disarmed cost is one global read.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    spec = plan._fire(site, context, want_corrupt=False)
+    if spec is not None:
+        _execute(spec, site)
+
+
+def hook(site: str) -> Callable[..., None] | None:
+    """A bound check for hot loops: ``None`` unless an armed plan names
+    ``site`` — drivers lift the disarmed test out of their event loops
+    exactly like the progress-callback seam."""
+    plan = _PLAN
+    if plan is None or not plan.names_site(site):
+        return None
+
+    def bound_check(**context: Any) -> None:
+        spec = plan._fire(site, context, want_corrupt=False)
+        if spec is not None:
+            _execute(spec, site)
+
+    return bound_check
+
+
+def corrupt_file(site: str, path: str | Path, **context: Any) -> None:
+    """Corruption point: truncate or bit-flip ``path`` when a corrupt spec
+    triggers at ``site`` (writers call this right after laying a file down,
+    so tests can tear artifacts at chosen byte boundaries)."""
+    plan = _PLAN
+    if plan is None:
+        return
+    spec = plan._fire(site, context, want_corrupt=True)
+    if spec is None:
+        return
+    path = Path(path)
+    size = path.stat().st_size
+    offset = plan.corrupt_offset(spec, size)
+    if spec.mode == "truncate":
+        with path.open("rb+") as fh:
+            fh.truncate(offset)
+    else:  # flip
+        if size == 0:
+            return
+        with path.open("rb+") as fh:
+            fh.seek(offset)
+            byte = fh.read(1)
+            fh.seek(offset)
+            fh.write(bytes([byte[0] ^ 0xFF]))

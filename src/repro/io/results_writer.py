@@ -20,6 +20,19 @@ Snapshots and the live ``backend_report`` are *not* persisted (the report's
 backend name survives in ``meta.json``); a loaded result is science-complete
 (config, population, events, counters) but carries no execution envelope.
 
+**Crash safety and integrity** (format version 2): the data files are
+written and fsync'd *first* and ``meta.json`` — which carries their sha256
+checksums — is written, fsync'd, and laid down *last*, so its presence
+marks the artifact complete: a crash mid-save leaves no ``meta.json`` and
+reads as a clean miss, never a partial result.  :func:`load_result`
+verifies every checksum before parsing; a truncated or bit-flipped file
+raises :class:`~repro.errors.CheckpointError`, and with
+``quarantine=True`` (how the service's :class:`~repro.service.store.ResultStore`
+calls it) the damaged artifact directory is renamed ``<name>.corrupt``
+first so it can never be served and the job simply re-executes.  The
+writes double as :mod:`repro.faults` injection sites (``"io.save_result"``)
+so the crash-safety tests can tear files at chosen byte boundaries.
+
 :func:`result_to_dict` is the JSON-body form the sweep service returns over
 HTTP: the same information as the artifact, inline, with the population
 matrix and event list optional so status polls stay small.
@@ -27,12 +40,15 @@ matrix and event list optional so status polls stay small.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+from .. import faults
 from ..core.config import EvolutionConfig
 from ..core.evolution import EventRecord, EvolutionResult
 from ..errors import CheckpointError
@@ -46,11 +62,29 @@ __all__ = [
     "load_result",
 ]
 
-RESULT_FORMAT_VERSION = 1
+RESULT_FORMAT_VERSION = 2
 
 _META = "meta.json"
 _POPULATION = "population.npz"
 _EVENTS = "events.jsonl"
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _fsync_file(path: Path) -> None:
+    """Force ``path``'s bytes to stable storage (write ordering is what
+    makes the meta-last completeness marker trustworthy)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def result_to_dict(
@@ -112,26 +146,75 @@ def result_to_dict(
 
 
 def save_result(result: EvolutionResult, directory: str | Path) -> Path:
-    """Persist ``result`` as an artifact directory; returns the directory."""
+    """Persist ``result`` as an artifact directory; returns the directory.
+
+    Data files first (fsync'd), checksummed ``meta.json`` last — the
+    completeness marker (see the module docstring).
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    meta = result_to_dict(result, include_population=False)
-    meta["version"] = RESULT_FORMAT_VERSION
-    (directory / _META).write_text(
-        json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    # A re-save over an older artifact must pass through an incomplete
+    # state, or a crash between the old meta and the new data files could
+    # leave a "complete" artifact with mismatched contents.
+    meta_path = directory / _META
+    meta_path.unlink(missing_ok=True)
+
+    faults.check("io.save_result", stage="start")
     save_population(
         result.population,
         directory / _POPULATION,
         structure=result.config.canonical_structure(),
     )
+    _fsync_file(directory / _POPULATION)
+    faults.check("io.save_result", stage="population")
     with GenerationRecorder(directory / _EVENTS) as recorder:
         recorder.record_result(result)
+    _fsync_file(directory / _EVENTS)
+    faults.check("io.save_result", stage="events")
+
+    meta = result_to_dict(result, include_population=False)
+    meta["version"] = RESULT_FORMAT_VERSION
+    meta["checksums"] = {
+        _POPULATION: _sha256_file(directory / _POPULATION),
+        _EVENTS: _sha256_file(directory / _EVENTS),
+    }
+    with meta_path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    # Corruption points last, after the checksums were taken from the
+    # pristine bytes: a corrupt spec here simulates a tear that lands
+    # *after* the writer finished (torn disk, partial flush at power
+    # loss), which is exactly what the checksums exist to catch.
+    faults.corrupt_file("io.save_result", directory / _POPULATION,
+                        name=_POPULATION)
+    faults.corrupt_file("io.save_result", directory / _EVENTS, name=_EVENTS)
+    faults.corrupt_file("io.save_result", meta_path, name=_META)
     return directory
 
 
-def load_result(directory: str | Path) -> EvolutionResult:
+def _quarantine(directory: Path) -> Path:
+    """Rename a damaged artifact out of the load path (``<name>.corrupt``,
+    uniquified) so it can never be served; returns the new location."""
+    target = directory.with_name(directory.name + ".corrupt")
+    n = 1
+    while target.exists():
+        target = directory.with_name(f"{directory.name}.corrupt-{n}")
+        n += 1
+    directory.rename(target)
+    return target
+
+
+def load_result(
+    directory: str | Path, *, quarantine: bool = False
+) -> EvolutionResult:
     """Re-assemble the :class:`EvolutionResult` saved by :func:`save_result`.
+
+    Every data file's sha256 is verified against ``meta.json`` before
+    parsing; corruption raises :class:`~repro.errors.CheckpointError`, and
+    with ``quarantine=True`` the damaged artifact is first renamed
+    ``<name>.corrupt`` (the sweep service then treats it as a cache miss
+    and re-executes instead of crashing or serving a partial result).
 
     The loaded result carries the saved config, population, events and
     counters; snapshots and the backend report are not persisted (see the
@@ -140,40 +223,71 @@ def load_result(directory: str | Path) -> EvolutionResult:
     directory = Path(directory)
     meta_path = directory / _META
     if not meta_path.exists():
+        # Meta is written last: its absence is an *incomplete* artifact
+        # (clean miss), not a corrupt one — nothing to quarantine.
         raise CheckpointError(f"no result artifact at {directory}")
+
+    def corrupt(detail: str) -> CheckpointError:
+        if quarantine:
+            moved = _quarantine(directory)
+            detail += f" (artifact quarantined at {moved})"
+        return CheckpointError(f"corrupt result artifact at {directory}: {detail}")
+
     try:
         meta = json.loads(meta_path.read_text(encoding="utf-8"))
-    except json.JSONDecodeError as err:
-        raise CheckpointError(
-            f"corrupt result meta at {meta_path}: {err}"
-        ) from err
+    except (json.JSONDecodeError, UnicodeDecodeError) as err:
+        raise corrupt(f"unreadable meta.json: {err}") from err
     version = meta.get("version")
     if version != RESULT_FORMAT_VERSION:
         raise CheckpointError(
             f"result artifact {directory} has version {version!r}, "
             f"expected {RESULT_FORMAT_VERSION}"
         )
-    config = EvolutionConfig.from_dict(meta["config"])
-    population = load_population(directory / _POPULATION)
-    events = [
-        EventRecord(
-            generation=int(record["generation"]),
-            kind=str(record["kind"]),
-            source=int(record["source"]),
-            target=int(record["target"]),
-            applied=bool(record["applied"]),
-            teacher_fitness=float(record["teacher_fitness"]),
-            learner_fitness=float(record["learner_fitness"]),
-        )
-        for record in read_records(directory / _EVENTS)
-        if record.get("type") == "event"
-    ]
+    checksums = meta.get("checksums")
+    if not isinstance(checksums, dict):
+        raise corrupt("meta.json carries no checksums")
+    for name in (_POPULATION, _EVENTS):
+        path = directory / name
+        if not path.exists():
+            raise corrupt(f"missing {name}")
+        expected = checksums.get(name)
+        actual = _sha256_file(path)
+        if actual != expected:
+            raise corrupt(
+                f"{name} sha256 mismatch: expected {expected}, got {actual}"
+            )
+    try:
+        config = EvolutionConfig.from_dict(meta["config"])
+        population = load_population(directory / _POPULATION)
+        events = [
+            EventRecord(
+                generation=int(record["generation"]),
+                kind=str(record["kind"]),
+                source=int(record["source"]),
+                target=int(record["target"]),
+                applied=bool(record["applied"]),
+                teacher_fitness=float(record["teacher_fitness"]),
+                learner_fitness=float(record["learner_fitness"]),
+            )
+            for record in read_records(directory / _EVENTS)
+            if record.get("type") == "event"
+        ]
+    except CheckpointError:
+        raise
+    except Exception as err:
+        # Checksums passed but parsing still failed — a writer bug or an
+        # incompatible artifact; surface it as corruption so the service
+        # path degrades to a miss instead of a 500.
+        raise corrupt(f"unparseable artifact: {err}") from err
     result = EvolutionResult(config=config, population=population, events=events)
-    result.n_pc_events = int(meta["n_pc_events"])
-    result.n_adoptions = int(meta["n_adoptions"])
-    result.n_mutations = int(meta["n_mutations"])
-    result.cache_hits = int(meta["cache_hits"])
-    result.cache_misses = int(meta["cache_misses"])
-    result.generations_run = int(meta["generations_run"])
-    result.wallclock_seconds = float(meta["wallclock_seconds"])
+    try:
+        result.n_pc_events = int(meta["n_pc_events"])
+        result.n_adoptions = int(meta["n_adoptions"])
+        result.n_mutations = int(meta["n_mutations"])
+        result.cache_hits = int(meta["cache_hits"])
+        result.cache_misses = int(meta["cache_misses"])
+        result.generations_run = int(meta["generations_run"])
+        result.wallclock_seconds = float(meta["wallclock_seconds"])
+    except (KeyError, TypeError, ValueError) as err:
+        raise corrupt(f"meta.json is missing counters: {err}") from err
     return result

@@ -6,8 +6,13 @@ long-lived service (the paper's "production-scale screening" posture):
 * :class:`JobSpec` — canonical, fingerprinted description of a sweep
   (:mod:`repro.service.jobspec`);
 * :class:`JobQueue` — asyncio priority queue with bounded workers,
-  backpressure, coalescing, and live progress
-  (:mod:`repro.service.queue`);
+  backpressure, coalescing, live progress, retries, timeouts,
+  cancellation, and graceful drain (:mod:`repro.service.queue`);
+* :class:`JobJournal` — fsync'd JSONL write-ahead log of admissions; a
+  restarted queue replays pending jobs (:mod:`repro.service.journal`);
+* :class:`RetryPolicy` — per-job transient-failure retries with
+  exponential backoff and deterministic jitter
+  (:mod:`repro.service.retry`);
 * :class:`ResultStore` — fingerprint-keyed LRU + optional disk artifacts
   (:mod:`repro.service.store`);
 * :class:`WarmEnginePool` — server-lifetime deterministic pair cache
@@ -20,8 +25,10 @@ Everything is stdlib + numpy; no new dependencies.
 
 from .client import SweepClient
 from .jobspec import PRIORITIES, SPEC_FORMAT_VERSION, JobSpec
+from .journal import JobJournal
 from .pools import WarmEnginePool
 from .queue import Job, JobQueue, JobState
+from .retry import RetryPolicy
 from .server import SweepServer
 from .store import ResultStore
 
@@ -30,9 +37,11 @@ __all__ = [
     "PRIORITIES",
     "SPEC_FORMAT_VERSION",
     "Job",
+    "JobJournal",
     "JobQueue",
     "JobState",
     "ResultStore",
+    "RetryPolicy",
     "WarmEnginePool",
     "SweepServer",
     "SweepClient",

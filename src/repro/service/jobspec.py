@@ -25,6 +25,7 @@ from typing import Any, Mapping, Sequence
 
 from ..core.config import EvolutionConfig
 from ..errors import ConfigurationError
+from .retry import RetryPolicy
 
 __all__ = ["JobSpec", "PRIORITIES", "SPEC_FORMAT_VERSION"]
 
@@ -63,6 +64,13 @@ class JobSpec:
         the fingerprint).
     label:
         Free-form caller tag echoed in job listings.
+    retry:
+        :class:`~repro.service.retry.RetryPolicy` for transient failures
+        (``None`` = the single-attempt default).  Execution envelope only
+        — like every option below ``configs``, never fingerprinted.
+    timeout:
+        Wall-clock seconds the job may run before it is cancelled
+        cooperatively at progress-tick cadence (``None`` = no timeout).
     """
 
     configs: tuple[EvolutionConfig, ...]
@@ -71,6 +79,8 @@ class JobSpec:
     share_engine: bool | None = None
     priority: str = "batch"
     label: str = ""
+    retry: RetryPolicy | None = None
+    timeout: float | None = None
     #: Cached fingerprint (computed lazily; excluded from equality).
     _fingerprint: str | None = field(
         default=None, init=False, repr=False, compare=False
@@ -108,6 +118,23 @@ class JobSpec:
             raise ConfigurationError(
                 f"field 'label': expected a string, got {self.label!r}"
             )
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise ConfigurationError(
+                f"field 'retry': expected a RetryPolicy or None, got "
+                f"{type(self.retry).__name__}"
+            )
+        if self.timeout is not None:
+            if isinstance(self.timeout, bool) or not isinstance(
+                self.timeout, (int, float)
+            ):
+                raise ConfigurationError(
+                    f"field 'timeout': expected a number or null, got "
+                    f"{self.timeout!r}"
+                )
+            if self.timeout <= 0:
+                raise ConfigurationError(
+                    f"field 'timeout': must be > 0 seconds, got {self.timeout}"
+                )
 
     # -- identity --------------------------------------------------------------
 
@@ -138,6 +165,8 @@ class JobSpec:
             "share_engine": self.share_engine,
             "priority": self.priority,
             "label": self.label,
+            "retry": self.retry.to_dict() if self.retry is not None else None,
+            "timeout": self.timeout,
         }
 
     @classmethod
@@ -149,7 +178,7 @@ class JobSpec:
             )
         known = {
             "version", "configs", "backend", "workers", "share_engine",
-            "priority", "label",
+            "priority", "label", "retry", "timeout",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -182,6 +211,10 @@ class JobSpec:
                 f"field 'share_engine': expected a boolean or null, got "
                 f"{share!r}"
             )
+        raw_retry = data.get("retry")
+        retry = (
+            RetryPolicy.from_dict(raw_retry) if raw_retry is not None else None
+        )
         return cls(
             configs=tuple(configs),
             backend=data.get("backend", "ensemble"),
@@ -189,6 +222,8 @@ class JobSpec:
             share_engine=share,
             priority=data.get("priority", "batch"),
             label=data.get("label", ""),
+            retry=retry,
+            timeout=data.get("timeout"),
         )
 
     def summary(self) -> str:

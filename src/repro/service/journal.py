@@ -1,0 +1,140 @@
+"""Durable job journal: an append-only JSONL write-ahead log for the queue.
+
+PR 6's queue kept every admitted job in memory only — one process restart
+lost the whole backlog.  :class:`JobJournal` makes admission durable the
+same way :mod:`repro.io.results_writer` makes artifacts durable: small
+fsync'd JSONL records, with completeness decided by *what is present*
+rather than by in-place mutation.
+
+One line per lifecycle transition::
+
+    {"type": "submitted", "job_id": ..., "fingerprint": ..., "spec": {...}}
+    {"type": "started",   "job_id": ..., "attempt": 1}
+    {"type": "done",      "job_id": ...}
+    {"type": "failed",    "job_id": ..., "error": "..."}
+    {"type": "cancelled", "job_id": ..., "reason": "..."}
+
+A job is *pending* iff its ``submitted`` record has no terminal record
+(``done`` / ``failed`` / ``cancelled``) after it — in-flight jobs crash
+back to pending, which is exactly right: every run is deterministic given
+its spec (fingerprints pin the science), so re-executing an interrupted
+job reproduces the bit-identical result, and finished jobs whose artifacts
+live in the disk store replay straight into cache hits.
+
+:meth:`replay` tolerates a torn final line (the crash happened mid-append)
+and unknown record types (forward compatibility).  On restart the queue
+replays pending jobs, then :meth:`reset` compacts the journal — an atomic
+tmp-write-fsync-rename, manifest-last style — before journaling the
+re-admissions afresh, so the log never grows across restart cycles.
+
+Every append is a :mod:`repro.faults` site (``"service.journal"``), so the
+durability tests can kill writes at chosen records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import IO, Any
+
+from .. import faults
+from ..errors import ServiceError
+
+__all__ = ["JobJournal", "JOURNAL_FORMAT_VERSION", "TERMINAL_TYPES"]
+
+JOURNAL_FORMAT_VERSION = 1
+
+#: Record types that end a job's journal lifecycle.
+TERMINAL_TYPES = ("done", "failed", "cancelled")
+
+
+class JobJournal:
+    """Append-only fsync'd JSONL WAL of job admissions (see module doc)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._fh: IO[str] | None = None
+        self.records_written = 0
+
+    # -- appending -------------------------------------------------------------
+
+    def _handle(self) -> IO[str]:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        return self._fh
+
+    def record(self, type: str, job_id: str, **fields: Any) -> None:
+        """Append one record and force it to stable storage."""
+        payload = {"type": type, "job_id": job_id, **fields}
+        line = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            faults.check("service.journal", type=type, job_id=job_id)
+            fh = self._handle()
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+            self.records_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # -- recovery --------------------------------------------------------------
+
+    @staticmethod
+    def replay(path: str | Path) -> list[dict[str, Any]]:
+        """Pending ``submitted`` records of the journal at ``path``.
+
+        Returns them in admission order; an absent journal is an empty
+        backlog.  A torn trailing line (crash mid-append) is skipped; a
+        torn line anywhere else raises :class:`~repro.errors.ServiceError`
+        — that journal was tampered with, not crash-truncated, and silently
+        dropping admitted jobs is the one thing a WAL must never do.
+        """
+        path = Path(path)
+        if not path.exists():
+            return []
+        pending: dict[str, dict[str, Any]] = {}
+        raw = path.read_text(encoding="utf-8")
+        lines = raw.split("\n")
+        # A complete journal ends with "\n": the final split element is "".
+        last_index = len(lines) - 1
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                if i == last_index:
+                    break  # torn tail — the crash interrupted this append
+                raise ServiceError(
+                    f"job journal {path} is corrupt at line {i + 1}: {err}"
+                ) from err
+            rtype = record.get("type")
+            job_id = record.get("job_id")
+            if not isinstance(job_id, str):
+                continue
+            if rtype == "submitted":
+                pending[job_id] = record
+            elif rtype in TERMINAL_TYPES:
+                pending.pop(job_id, None)
+        return list(pending.values())
+
+    def reset(self) -> None:
+        """Atomically truncate the journal (the post-replay compaction)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            with tmp.open("w", encoding="utf-8") as fh:
+                fh.flush()
+                os.fsync(fh.fileno())
+            tmp.replace(self.path)

@@ -10,10 +10,15 @@ method      path                           meaning
 ``POST``    ``/jobs``                      submit a :class:`JobSpec` dict ->
                                            ``200`` cache hit, ``202`` accepted,
                                            ``400`` bad spec, ``429`` queue full
+                                           (with ``Retry-After``), ``503``
+                                           draining (with ``Retry-After``)
 ``GET``     ``/jobs``                      list job statuses
 ``GET``     ``/jobs/<id>``                 one job's status (incl. live progress)
 ``GET``     ``/jobs/<id>/result``          results -> ``200`` done, ``202`` still
                                            running, ``404`` unknown, ``500`` failed
+``DELETE``  ``/jobs/<id>``                 cancel a queued or running job ->
+                                           ``200`` (``cancelled`` says whether it
+                                           was still cancellable), ``404`` unknown
 ``GET``     ``/stats``                     queue / store / pool counters
 ``GET``     ``/healthz``                   liveness probe
 ==========  =============================  =======================================
@@ -37,6 +42,7 @@ from urllib.parse import parse_qs, urlparse
 from .. import __version__
 from ..errors import (
     ConfigurationError,
+    DrainingError,
     JobNotFoundError,
     QueueFullError,
     ReproError,
@@ -63,16 +69,29 @@ class _Handler(BaseHTTPRequestHandler):
         if self.service.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, error: str, detail: str) -> None:
-        self._send_json(status, {"error": error, "detail": detail})
+    def _send_error_json(
+        self,
+        status: int,
+        error: str,
+        detail: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self._send_json(status, {"error": error, "detail": detail}, headers)
 
     def _read_json_body(self) -> Any:
         length = int(self.headers.get("Content-Length", 0))
@@ -101,13 +120,43 @@ class _Handler(BaseHTTPRequestHandler):
             spec = JobSpec.from_dict(payload)
             job = self.service.queue.submit(spec)
         except QueueFullError as err:
-            self._send_error_json(429, "queue_full", str(err))
+            # Retry-After lets well-behaved clients back off instead of
+            # hammering a full queue (SweepClient honors it).
+            self._send_error_json(
+                429, "queue_full", str(err), {"Retry-After": "1"}
+            )
+            return
+        except DrainingError as err:
+            self._send_error_json(
+                503, "draining", str(err), {"Retry-After": "5"}
+            )
             return
         except (ConfigurationError, ReproError) as err:
             self._send_error_json(400, "bad_request", str(err))
             return
         status = 200 if job.cache_hit else 202
         self._send_json(status, job.status_dict())
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        if len(parts) != 2 or parts[0] != "jobs":
+            self._send_error_json(404, "not_found", f"no route {self.path!r}")
+            return
+        try:
+            cancelled = self.service.queue.cancel(parts[1])
+        except JobNotFoundError as err:
+            self._send_error_json(404, "job_not_found", str(err))
+            return
+        job = self.service.queue.get(parts[1])
+        self._send_json(
+            200,
+            {
+                "job_id": job.job_id,
+                "cancelled": cancelled,
+                "state": job.state,
+            },
+        )
 
     def do_GET(self) -> None:  # noqa: N802
         parsed = urlparse(self.path)
@@ -255,6 +304,19 @@ class SweepServer:
             pass
         finally:
             self.stop()
+
+    def drain(self, timeout: float = 30.0) -> dict[str, int]:
+        """Graceful shutdown: 503 new submissions, settle running jobs,
+        journal the backlog, then stop serving (the SIGTERM path).
+
+        The HTTP front door stays up *during* the drain so in-flight
+        clients can keep polling their jobs (submissions get ``503`` +
+        ``Retry-After`` from the first moment); it closes only once the
+        queue has settled.  Returns the queue's drain counters.
+        """
+        summary = self.queue.drain(timeout)
+        self.stop()
+        return summary
 
     def stop(self) -> None:
         self._httpd.shutdown()

@@ -20,10 +20,12 @@ Two tiers:
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import OrderedDict
 from pathlib import Path
 
+from .. import faults
 from ..core.evolution import EvolutionResult
 from ..errors import CheckpointError, ConfigurationError
 from ..io.results_writer import load_result, save_result
@@ -141,12 +143,20 @@ class ResultStore:
     ) -> None:
         job_dir = self._job_dir(fingerprint)
         job_dir.mkdir(parents=True, exist_ok=True)
+        # A rewrite must pass back through the incomplete state first (see
+        # save_result's identical dance with meta.json).
+        manifest_path = job_dir / _MANIFEST
+        manifest_path.unlink(missing_ok=True)
         for i, result in enumerate(results):
             save_result(result, job_dir / f"run-{i:04d}")
         # Manifest last: its presence marks the artifact complete, so a
         # crash mid-write can never be mistaken for a valid cache entry.
-        (job_dir / _MANIFEST).write_text(
-            json.dumps({"runs": len(results)}) + "\n", encoding="utf-8"
+        with manifest_path.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"runs": len(results)}) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        faults.corrupt_file(
+            "service.store.save", manifest_path, name=_MANIFEST
         )
 
     def _load_from_disk(
@@ -161,8 +171,13 @@ class ResultStore:
         try:
             manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
             runs = int(manifest["runs"])
+            # quarantine=True: a checksum-mismatched run directory is
+            # renamed `.corrupt` before the error surfaces, so the torn
+            # artifact can never be served later and re-execution lays a
+            # fresh one down in its place.
             return [
-                load_result(job_dir / f"run-{i:04d}") for i in range(runs)
+                load_result(job_dir / f"run-{i:04d}", quarantine=True)
+                for i in range(runs)
             ]
         except (CheckpointError, json.JSONDecodeError, KeyError, ValueError):
             # A torn or incompatible artifact is a miss, not an error —

@@ -1,0 +1,208 @@
+"""Crash-safety sweep: artifacts torn at every byte must never lie.
+
+The contract under test (ISSUE PR 8, satellite 4): a result artifact
+truncated at *any* byte boundary — a crash mid-write, a torn disk — must
+either load bit-identically (truncation was a no-op) or fail as a clean,
+typed miss (:class:`~repro.errors.CheckpointError`), never load wrong
+data and never escape as an unrelated exception.  All tearing goes
+through the :mod:`repro.faults` corrupt machinery (explicit ``at``
+offsets), the same harness the chaos suites arm against a live server.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.api import run_sweep
+from repro.core import EvolutionConfig
+from repro.errors import CheckpointError
+from repro.io.results_writer import load_result, save_result
+from repro.service import ResultStore
+
+CONFIG = EvolutionConfig(n_ssets=8, generations=60, rounds=8, seed=911)
+
+ARTIFACT_FILES = ("population.npz", "events.jsonl", "meta.json")
+
+
+@pytest.fixture(scope="module")
+def pristine(tmp_path_factory):
+    """One saved artifact plus its parsed form and raw bytes per file."""
+    directory = tmp_path_factory.mktemp("pristine") / "run"
+    result = run_sweep([CONFIG], backend="ensemble")[0]
+    save_result(result, directory)
+    raw = {
+        name: (directory / name).read_bytes() for name in ARTIFACT_FILES
+    }
+    return directory, result, raw
+
+
+def truncate_via_harness(path, offset: int) -> None:
+    """Tear ``path`` at ``offset`` through the fault-injection machinery —
+    the same corrupt path the armed chaos plans drive in a live server."""
+    plan = faults.FaultPlan.from_dict({"faults": [
+        {"site": "test.tear", "action": "corrupt", "at": offset},
+    ]})
+    with faults.armed(plan):
+        faults.corrupt_file("test.tear", path)
+    assert plan.stats()[0]["triggered"] == 1
+
+
+def assert_bit_identical(loaded, reference) -> None:
+    assert np.array_equal(
+        loaded.population.strategy_matrix(),
+        reference.population.strategy_matrix(),
+    )
+    assert loaded.n_pc_events == reference.n_pc_events
+    assert loaded.n_adoptions == reference.n_adoptions
+    assert loaded.n_mutations == reference.n_mutations
+    assert loaded.generations_run == reference.generations_run
+    assert len(loaded.events) == len(reference.events)
+
+
+@pytest.mark.parametrize("name", ARTIFACT_FILES)
+def test_every_byte_truncation_loads_identically_or_misses_cleanly(
+    name, pristine
+):
+    directory, result, raw = pristine
+    path = directory / name
+    size = len(raw[name])
+    clean_loads = 0
+    for offset in range(size + 1):
+        truncate_via_harness(path, offset)
+        try:
+            loaded = load_result(directory)
+        except CheckpointError:
+            pass  # a typed, clean miss — the acceptable failure mode
+        else:
+            # Anything that loads must be the full, bit-identical result.
+            assert_bit_identical(loaded, result)
+            clean_loads += 1
+        finally:
+            path.write_bytes(raw[name])  # restore for the next offset
+    # Data files are checksummed: only the no-op tear (offset == size)
+    # may load.  meta.json is its own completeness marker, so tears that
+    # leave semantically complete JSON (e.g. a lost trailing newline) may
+    # also load — bit-identically, as asserted above.
+    if name == "meta.json":
+        assert clean_loads >= 1
+    else:
+        assert clean_loads == 1
+    assert_bit_identical(load_result(directory), result)  # restored intact
+
+
+def test_missing_meta_is_a_clean_miss_not_corruption(pristine, tmp_path):
+    directory, result, raw = pristine
+    (directory / "meta.json").unlink()
+    try:
+        with pytest.raises(CheckpointError, match="no result artifact"):
+            load_result(directory, quarantine=True)
+        # quarantine=True must NOT quarantine an incomplete artifact: the
+        # crash simply happened before meta, and a re-save completes it.
+        assert directory.exists()
+    finally:
+        (directory / "meta.json").write_bytes(raw["meta.json"])
+    assert_bit_identical(load_result(directory), result)
+
+
+class TestCrashMidSave:
+    """Raise faults between the writer's stages: every interruption point
+    leaves either no meta (clean miss) or a fully verifiable artifact."""
+
+    @pytest.mark.parametrize("stage", ["start", "population", "events"])
+    def test_interrupted_save_then_resave_recovers(self, stage, tmp_path):
+        result = run_sweep([CONFIG], backend="ensemble")[0]
+        directory = tmp_path / "run"
+        plan = faults.FaultPlan.from_dict({"faults": [
+            {"site": "io.save_result", "match": {"stage": stage}},
+        ]})
+        with faults.armed(plan):
+            with pytest.raises(Exception):
+                save_result(result, directory)
+        # meta.json is written last: the interrupted save never produced
+        # one, so the load is a clean miss, not a lie.
+        with pytest.raises(CheckpointError, match="no result artifact"):
+            load_result(directory)
+        save_result(result, directory)  # the crash-then-rewrite path
+        assert_bit_identical(load_result(directory), result)
+
+    @pytest.mark.parametrize("offset_fraction", [0.0, 0.3, 0.7, 1.0])
+    @pytest.mark.parametrize("name", ARTIFACT_FILES)
+    def test_fault_injected_save_tears_are_caught(
+        self, name, offset_fraction, tmp_path
+    ):
+        """End-to-end: the corrupt spec fires *inside* save_result."""
+        result = run_sweep([CONFIG], backend="ensemble")[0]
+        clean = tmp_path / "clean"
+        save_result(result, clean)
+        size = (clean / name).stat().st_size
+        offset = int(size * offset_fraction)
+        directory = tmp_path / "torn"
+        plan = faults.FaultPlan.from_dict({"faults": [
+            {"site": "io.save_result", "action": "corrupt", "at": offset,
+             "match": {"name": name}},
+        ]})
+        with faults.armed(plan):
+            save_result(result, directory)
+        if offset == size:
+            assert_bit_identical(load_result(directory), result)
+        else:
+            with pytest.raises(CheckpointError):
+                load_result(directory)
+            save_result(result, directory)
+            assert_bit_identical(load_result(directory), result)
+
+
+class TestStoreManifest:
+    def test_every_byte_manifest_truncation_is_miss_or_identical(
+        self, tmp_path
+    ):
+        store = ResultStore(artifact_dir=tmp_path)
+        result = run_sweep([CONFIG], backend="ensemble")[0]
+        fingerprint = "f" * 64
+        store.put(fingerprint, [result])
+        manifest = tmp_path / fingerprint / "manifest.json"
+        raw = manifest.read_bytes()
+        hits = 0
+        for offset in range(len(raw) + 1):
+            store.clear()  # force the disk path
+            truncate_via_harness(manifest, offset)
+            loaded = store.get(fingerprint)
+            if loaded is not None:
+                assert_bit_identical(loaded[0], result)
+                hits += 1
+            manifest.write_bytes(raw)
+        # Tears that leave complete JSON (the no-op tear, a lost trailing
+        # newline) load bit-identically — asserted above; everything
+        # shorter was a clean miss.
+        assert hits >= 1
+
+    def test_quarantined_run_is_a_miss_and_resave_recovers(self, tmp_path):
+        store = ResultStore(artifact_dir=tmp_path)
+        result = run_sweep([CONFIG], backend="ensemble")[0]
+        fingerprint = "a" * 64
+        store.put(fingerprint, [result])
+        run_dir = tmp_path / fingerprint / "run-0000"
+        events = run_dir / "events.jsonl"
+        truncate_via_harness(events, events.stat().st_size // 2)
+        store.clear()
+        assert store.get(fingerprint) is None  # miss, not a crash
+        # The damaged run directory was quarantined out of the load path.
+        assert not run_dir.exists()
+        assert (tmp_path / fingerprint / "run-0000.corrupt").exists()
+        # Re-execution stores afresh over the quarantine remnants.
+        store.put(fingerprint, [result])
+        store.clear()
+        loaded = store.get(fingerprint)
+        assert loaded is not None
+        assert_bit_identical(loaded[0], result)
+
+
+def test_save_result_checksums_cover_all_data_files(pristine):
+    directory, _, raw = pristine
+    meta = json.loads(raw["meta.json"])
+    assert set(meta["checksums"]) == {"population.npz", "events.jsonl"}
+    assert meta["version"] == 2

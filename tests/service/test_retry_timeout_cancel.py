@@ -1,0 +1,361 @@
+"""Tests for job retries, wall-clock timeouts, cancellation, and drain."""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.api import run_sweep
+from repro.core import EvolutionConfig
+from repro.errors import (
+    ConfigurationError,
+    DrainingError,
+    QueueFullError,
+    ServiceError,
+)
+from repro.service import (
+    JobQueue,
+    JobSpec,
+    JobState,
+    RetryPolicy,
+    SweepClient,
+    SweepServer,
+)
+
+from test_queue import GatedRunner, spec_for
+
+
+class TestRetryPolicy:
+    def test_defaults_are_single_attempt(self):
+        assert RetryPolicy().max_attempts == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError, match="NoSuchError"):
+            RetryPolicy(transient=("NoSuchError",))
+        with pytest.raises(ConfigurationError, match="unknown"):
+            RetryPolicy.from_dict({"max_attempts": 2, "bogus": 1})
+
+    def test_classification(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.is_transient(OSError("disk hiccup"))
+        assert policy.is_transient(TimeoutError())
+        assert not policy.is_transient(ValueError("bad config"))
+        custom = RetryPolicy(max_attempts=3, transient=("KeyError",))
+        assert custom.is_transient(KeyError("x"))
+        assert not custom.is_transient(OSError())
+
+    def test_backoff_is_deterministic_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=9, base_delay=0.1, max_delay=1.0, factor=2.0
+        )
+        first = policy.backoff_delay(1, key="fp")
+        assert first == policy.backoff_delay(1, key="fp")  # pure function
+        assert first != policy.backoff_delay(1, key="other")  # decorrelated
+        assert policy.backoff_delay(9, key="fp") <= 1.0  # capped
+        exact = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+        assert exact.backoff_delay(2) == pytest.approx(0.2)
+
+    def test_dict_roundtrip_via_jobspec(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01)
+        spec = spec_for(seed=400, retry=policy, timeout=5.0)
+        clone = JobSpec.from_dict(spec.to_dict())
+        assert clone.retry == policy
+        assert clone.timeout == 5.0
+        # Execution envelope only: retry/timeout never shift the science.
+        assert clone.fingerprint() == spec_for(seed=400).fingerprint()
+
+
+class TestRetries:
+    def test_transient_failure_succeeds_on_retry_bit_identically(self):
+        plan = faults.FaultPlan.from_dict({"faults": [
+            {"site": "service.execute", "exception": "TransientError",
+             "match": {"attempt": 1}},
+        ]})
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01)
+        with faults.armed(plan), JobQueue(workers=1) as queue:
+            job = queue.submit(spec_for(seed=410, retry=policy))
+            assert job.wait(timeout=60)
+            assert job.state == JobState.DONE
+            assert job.attempts == 2
+            assert job.retries == 1
+            assert "TransientError" in job.last_failure
+            assert queue.stats()["retries_total"] == 1
+        direct = run_sweep(
+            [EvolutionConfig(n_ssets=8, generations=300, rounds=16,
+                             seed=410)],
+            backend="ensemble",
+        )[0]
+        retried = job.results[0]
+        assert (
+            retried.population.strategy_matrix()
+            == direct.population.strategy_matrix()
+        ).all()
+        assert retried.n_pc_events == direct.n_pc_events
+        assert retried.n_mutations == direct.n_mutations
+
+    def test_permanent_failure_fails_fast(self):
+        plan = faults.FaultPlan.from_dict({"faults": [
+            {"site": "service.execute", "exception": "ValueError",
+             "times": None},
+        ]})
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01)
+        with faults.armed(plan), JobQueue(workers=1) as queue:
+            job = queue.submit(spec_for(seed=420, retry=policy))
+            assert job.wait(timeout=30)
+            assert job.state == JobState.FAILED
+            assert job.attempts == 1  # ValueError is not transient
+            assert "ValueError" in job.error
+
+    def test_retries_exhausted(self):
+        plan = faults.FaultPlan.from_dict({"faults": [
+            {"site": "service.execute", "exception": "TransientError",
+             "times": None},
+        ]})
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01)
+        with faults.armed(plan), JobQueue(workers=1) as queue:
+            job = queue.submit(spec_for(seed=430, retry=policy))
+            assert job.wait(timeout=30)
+            assert job.state == JobState.FAILED
+            assert job.attempts == 3
+            assert job.retries == 2
+
+    def test_no_policy_means_no_retry(self):
+        plan = faults.FaultPlan.from_dict({"faults": [
+            {"site": "service.execute", "exception": "TransientError"},
+        ]})
+        with faults.armed(plan), JobQueue(workers=1) as queue:
+            job = queue.submit(spec_for(seed=440))
+            assert job.wait(timeout=30)
+            assert job.state == JobState.FAILED
+            assert job.attempts == 1
+
+
+class TestTimeout:
+    def test_hung_job_times_out_and_frees_its_slot(self):
+        # The delay fault hangs attempt 1 past the job's deadline; the
+        # driver's first cooperative check then raises JobTimeoutError.
+        plan = faults.FaultPlan.from_dict({"faults": [
+            {"site": "service.execute", "action": "delay", "delay": 0.6},
+        ]})
+        with faults.armed(plan), JobQueue(workers=1) as queue:
+            hung = queue.submit(spec_for(seed=450, timeout=0.2))
+            assert hung.wait(timeout=30)
+            assert hung.state == JobState.FAILED
+            assert "timeout" in hung.error
+            assert "cooperatively" in hung.error
+            assert queue.stats()["timeout_total"] == 1
+            # The worker slot is free again: an ordinary job runs to done.
+            follow_up = queue.submit(spec_for(seed=451))
+            assert follow_up.wait(timeout=60)
+            assert follow_up.state == JobState.DONE
+
+    def test_timeout_is_not_retried(self):
+        plan = faults.FaultPlan.from_dict({"faults": [
+            {"site": "service.execute", "action": "delay", "delay": 0.6},
+        ]})
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01)
+        with faults.armed(plan), JobQueue(workers=1) as queue:
+            job = queue.submit(
+                spec_for(seed=455, timeout=0.2, retry=policy)
+            )
+            assert job.wait(timeout=30)
+            assert job.state == JobState.FAILED
+            assert job.attempts == 1  # the deadline covers the whole job
+
+
+class TestCancel:
+    def test_cancel_queued_job(self):
+        runner = GatedRunner()
+        with JobQueue(workers=1, _run_sweep=runner) as queue:
+            running = queue.submit(spec_for(seed=460))
+            assert runner.started.wait(timeout=10)
+            waiting = queue.submit(spec_for(seed=461))
+            assert queue.cancel(waiting.job_id, "operator said so")
+            assert waiting.state == JobState.CANCELLED
+            assert waiting.error == "operator said so"
+            assert queue.stats()["cancelled_total"] == 1
+            runner.gate.set()
+            assert running.wait(timeout=30)
+            assert running.state == JobState.DONE  # untouched by the cancel
+
+    def test_cancel_running_job_cooperatively(self):
+        long_spec = JobSpec(configs=(
+            EvolutionConfig(n_ssets=16, generations=50_000_000, rounds=16,
+                            seed=470),
+        ), backend="event")
+        with JobQueue(workers=1) as queue:
+            job = queue.submit(long_spec)
+            deadline = time.monotonic() + 10
+            while job.state != JobState.RUNNING:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            assert queue.cancel(job.job_id)
+            assert job.wait(timeout=30)  # aborts within one generation
+            assert job.state == JobState.CANCELLED
+
+    def test_cancel_finished_job_is_a_noop(self):
+        with JobQueue(workers=1) as queue:
+            job = queue.submit(spec_for(seed=480))
+            assert job.wait(timeout=60)
+            assert queue.cancel(job.job_id) is False
+            assert job.state == JobState.DONE
+
+    def test_cancel_cuts_retry_backoff_short(self):
+        plan = faults.FaultPlan.from_dict({"faults": [
+            {"site": "service.execute", "exception": "TransientError",
+             "times": None},
+        ]})
+        # A 60s backoff would stall the test; the cancel must cut it.
+        policy = RetryPolicy(max_attempts=5, base_delay=60.0, jitter=0.0)
+        with faults.armed(plan), JobQueue(workers=1) as queue:
+            job = queue.submit(spec_for(seed=485, retry=policy))
+            deadline = time.monotonic() + 10
+            while job.retries < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            start = time.monotonic()
+            assert queue.cancel(job.job_id)
+            assert job.wait(timeout=10)
+            assert time.monotonic() - start < 5.0
+            assert job.state == JobState.CANCELLED
+
+
+class TestDrain:
+    def test_draining_queue_rejects_submissions(self):
+        runner = GatedRunner()
+        queue = JobQueue(workers=1, _run_sweep=runner)
+        running = queue.submit(spec_for(seed=490))
+        assert runner.started.wait(timeout=10)
+        drainer = threading.Thread(target=queue.drain, args=(5.0,))
+        drainer.start()
+        deadline = time.monotonic() + 10
+        while not queue.draining:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        with pytest.raises(DrainingError, match="draining"):
+            queue.submit(spec_for(seed=491))
+        assert queue.stats()["draining"]
+        runner.gate.set()  # the running job finishes inside the deadline
+        drainer.join(timeout=30)
+        assert not drainer.is_alive()
+        assert running.state == JobState.DONE
+        queue.close()
+
+
+class TestCloseLeak:
+    def test_close_raises_when_worker_is_wedged(self):
+        runner = GatedRunner()
+        queue = JobQueue(workers=1, _run_sweep=runner)
+        queue._JOIN_TIMEOUT = 0.5  # keep the leak detection fast
+        job = queue.submit(spec_for(seed=500))
+        assert runner.started.wait(timeout=10)
+        # The runner never releases: the worker is wedged, the scheduler
+        # can never stop, and close() must say so instead of leaking the
+        # threads silently.
+        with pytest.raises(ServiceError, match="leaked threads"):
+            queue.close()
+        runner.gate.set()  # let the orphaned worker exit
+        assert job.wait(timeout=30)
+
+
+class TestHTTPSurface:
+    @pytest.fixture
+    def gated_service(self):
+        runner = GatedRunner()
+        queue = JobQueue(workers=1, max_queued=1, _run_sweep=runner)
+        with SweepServer(port=0, queue=queue) as server:
+            yield runner, queue, SweepClient(
+                server.url, rng=random.Random(7)
+            )
+        runner.gate.set()
+        queue.close()
+
+    def test_delete_route_cancels(self, gated_service):
+        runner, queue, client = gated_service
+        running = client.submit(spec_for(seed=510))
+        assert runner.started.wait(timeout=10)
+        waiting = client.submit(spec_for(seed=511))
+        response = client.cancel(waiting["job_id"])
+        assert response["cancelled"]
+        assert response["state"] == "cancelled"
+        # wait() resolves on the cancelled state, not just done/failed.
+        final = client.wait(waiting["job_id"], timeout=10)
+        assert final["state"] == "cancelled"
+        assert client.cancel(waiting["job_id"])["cancelled"] is False
+        runner.gate.set()
+        assert client.wait(running["job_id"], timeout=30)["state"] == "done"
+
+    def test_429_carries_retry_after(self, gated_service):
+        runner, queue, client = gated_service
+        client.submit(spec_for(seed=520))
+        assert runner.started.wait(timeout=10)
+        client.submit(spec_for(seed=521))  # fills max_queued=1
+        with pytest.raises(QueueFullError) as excinfo:
+            client.submit(spec_for(seed=522))
+        assert excinfo.value.retry_after == 1.0
+
+    def test_submit_retries_until_queue_frees_up(self, gated_service):
+        runner, queue, client = gated_service
+        client.submit(spec_for(seed=530))
+        assert runner.started.wait(timeout=10)
+        client.submit(spec_for(seed=531))  # fills max_queued=1
+        releaser = threading.Timer(0.5, runner.gate.set)
+        releaser.start()
+        try:
+            # Rejected with 429 at first; honors Retry-After and lands
+            # once the gate releases the head of the queue.
+            status = client.submit(spec_for(seed=532), retries=30)
+            assert status["state"] in ("queued", "running")
+            final = client.wait(status["job_id"], timeout=60)
+            assert final["state"] == "done"
+        finally:
+            releaser.cancel()
+
+    def test_503_while_draining(self, gated_service):
+        runner, queue, client = gated_service
+        running = client.submit(spec_for(seed=540))
+        assert runner.started.wait(timeout=10)
+        drainer = threading.Thread(target=queue.drain, args=(5.0,))
+        drainer.start()
+        deadline = time.monotonic() + 10
+        while not queue.draining:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        with pytest.raises(DrainingError) as excinfo:
+            client.submit(spec_for(seed=541))
+        assert excinfo.value.retry_after == 5.0
+        runner.gate.set()
+        drainer.join(timeout=30)
+        assert not drainer.is_alive()
+        assert client.job(running["job_id"])["state"] == "done"
+
+
+class TestClientBackoff:
+    def test_wait_backs_off_with_decorrelated_jitter(self):
+        observed = []
+
+        class FakeRng:
+            def uniform(self, low, high):
+                observed.append((low, high))
+                return high  # always take the top of the window
+
+        client = SweepClient("http://invalid.example", rng=FakeRng())
+        delay = 0.05
+        delays = []
+        for _ in range(6):
+            delay = client._jittered(delay, 0.05, 2.0)
+            delays.append(delay)
+        # Grows toward the cap and never past it.
+        assert delays == sorted(delays)
+        assert delays[-1] == 2.0
+        assert all(low == 0.05 for low, _ in observed)
