@@ -93,6 +93,27 @@ def build_payload(
     return payload
 
 
+def checkpoint_provenance(results: list) -> dict:
+    """Resume provenance of a result list, for bench records.
+
+    Folds each run's ``BackendReport.resumed_from_generation`` into one
+    dict — how many runs were restored from a mid-run snapshot and the
+    deepest restore point — so an artifact row states whether its timings
+    cover full executions or resumed tails.
+    """
+    resumed = [
+        r.backend_report.resumed_from_generation
+        for r in results
+        if r.backend_report is not None
+        and r.backend_report.resumed_from_generation is not None
+    ]
+    return {
+        "runs": len(results),
+        "resumed_runs": len(resumed),
+        "max_resumed_from_generation": max(resumed) if resumed else None,
+    }
+
+
 def write_payload(out: str | Path, payload: dict, *, label: str) -> Path:
     """Write the artifact and print the one-line receipt every harness ends on."""
     out = Path(out)

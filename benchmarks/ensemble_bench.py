@@ -32,7 +32,12 @@ import argparse
 import sys
 import time
 
-from common import REPO_ROOT, build_payload, write_payload  # bootstraps sys.path
+from common import (  # bootstraps sys.path
+    REPO_ROOT,
+    build_payload,
+    checkpoint_provenance,
+    write_payload,
+)
 
 from repro import EvolutionConfig, run_sweep  # noqa: E402
 from repro.xp import KNOWN_BACKENDS, get_array_backend  # noqa: E402
@@ -155,6 +160,90 @@ def bench_scenario(
     return record
 
 
+def bench_checkpoint_cadence(
+    replicates: int, generations: int, array_backend: str = "numpy"
+) -> dict:
+    """Time the acceptance ensemble with mid-run checkpointing on vs off.
+
+    Measures what ``checkpoint_every`` costs on the lane-batched fast
+    path: the same seeded replicates run once without a sink and once
+    snapshotting 4 times over the horizon into a throwaway directory
+    (fresh per pass, so no pass resumes another's snapshots).  The
+    trajectories must stay bit-identical — checkpointing is provenance,
+    not science.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.runstate import checkpoint_scope
+    from repro.io.run_checkpoint import RunCheckpointer
+
+    cadence = max(1, generations // 4)
+    configs = [
+        EvolutionConfig(
+            memory_steps=2,
+            n_ssets=16,
+            generations=generations,
+            seed=2013 + i,
+            record_events=False,
+            array_backend=array_backend,
+        )
+        for i in range(replicates)
+    ]
+    ckpt_configs = [
+        c.with_updates(checkpoint_every=cadence) for c in configs
+    ]
+    total_generations = replicates * generations
+
+    warm = [c.with_updates(generations=min(1000, generations or 1))
+            for c in configs[: min(4, replicates)]]
+    run_sweep(warm, backend="ensemble")
+
+    off_seconds = float("inf")
+    on_seconds = float("inf")
+    baseline = checkpointed = None
+    for _ in range(2):
+        started = time.perf_counter()
+        baseline = run_sweep(configs, backend="ensemble")
+        off_seconds = min(off_seconds, time.perf_counter() - started)
+        root = tempfile.mkdtemp(prefix="bench-ckpt-")
+        try:
+            with checkpoint_scope(RunCheckpointer(root)):
+                started = time.perf_counter()
+                checkpointed = run_sweep(ckpt_configs, backend="ensemble")
+                on_seconds = min(
+                    on_seconds, time.perf_counter() - started
+                )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    for a, b in zip(baseline, checkpointed):
+        if fingerprint(a) != fingerprint(b):
+            raise AssertionError(
+                f"checkpoint cadence changed the science "
+                f"({fingerprint(a)} vs {fingerprint(b)}, seed "
+                f"{a.config.seed})"
+            )
+
+    return {
+        "scenario": "wm-m2-n16-ckpt",
+        "structure": "well-mixed",
+        "memory_steps": 2,
+        "n_ssets": 16,
+        "replicates": replicates,
+        "generations": generations,
+        "checkpoint_every": cadence,
+        "off_seconds": round(off_seconds, 4),
+        "off_generations_per_sec": round(
+            total_generations / off_seconds, 1
+        ),
+        "on_seconds": round(on_seconds, 4),
+        "on_generations_per_sec": round(total_generations / on_seconds, 1),
+        "checkpoint_overhead": round(on_seconds / off_seconds, 3),
+        "checkpoints": checkpoint_provenance(checkpointed),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -209,6 +298,15 @@ def main(argv: list[str] | None = None) -> int:
               f"{record['event_generations_per_sec']:>11,.1f} gen/s   "
               f"ensemble {record['ensemble_generations_per_sec']:>11,.1f} "
               f"gen/s   x{record['speedup']}")
+
+    ckpt = bench_checkpoint_cadence(
+        replicates, generations, array_backend=args.array_backend
+    )
+    results.append(ckpt)
+    print(f"{ckpt['scenario']:<12} off   "
+          f"{ckpt['off_generations_per_sec']:>11,.1f} gen/s   "
+          f"on       {ckpt['on_generations_per_sec']:>11,.1f} gen/s   "
+          f"overhead x{ckpt['checkpoint_overhead']}")
 
     payload = build_payload(
         "ensemble",

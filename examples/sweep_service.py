@@ -13,7 +13,11 @@ then walks through the service workflow:
 5. cancel a runaway job — it stops cooperatively at tick cadence;
 6. the fault-tolerance finale: ``kill -9`` a real ``repro serve``
    process mid-queue, restart it on the same ``--journal``, and watch
-   every admitted job replay to completion.
+   every admitted job replay to completion;
+7. the durability finale: ``kill -9`` a server mid-*run* and watch the
+   restart resume the job from its newest mid-run snapshot
+   (``--checkpoint-dir``) instead of recomputing from generation zero —
+   with a bit-identical result.
 
 Everything below also works against a separate server process — start one
 with ``repro serve`` and point ``SweepClient`` at its URL.
@@ -176,6 +180,81 @@ def kill_and_recover() -> None:
         process.wait(timeout=30)
 
 
+def kill_and_resume_midrun() -> None:
+    """Mid-run checkpointing: SIGKILL a server mid-*run*, resume, finish.
+
+    The job's configs set ``checkpoint_every``, the server a
+    ``--checkpoint-dir`` — together they snapshot the full run state
+    (arrays, RNG stream positions, event log) at that cadence.  After the
+    kill, the restart replays the journaled job and resumes it from the
+    newest snapshot; the finished payload is bit-identical to an
+    uninterrupted run.  ``--no-warm-pool`` because cross-job pair sharing
+    is the one deterministic mode that refuses mid-run snapshots.
+    """
+    state = Path(tempfile.mkdtemp(prefix="sweep-service-demo-"))
+    command = [
+        sys.executable, "-m", "repro", "serve", "--port", "0",
+        "--workers", "1", "--no-warm-pool",
+        "--journal", str(state / "jobs.wal"),
+        "--checkpoint-dir", str(state / "checkpoints"),
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(Path(repro.__file__).resolve().parents[1])
+        + os.pathsep + env.get("PYTHONPATH", "")
+    )
+
+    def start():
+        process = subprocess.Popen(
+            command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        banner = process.stdout.readline()
+        url = re.search(r"listening on (http://[0-9.:]+)", banner).group(1)
+        return process, SweepClient(url)
+
+    # One long run, snapshotting every 20k generations.
+    spec = JobSpec(
+        configs=(EvolutionConfig(
+            memory_steps=2, n_ssets=16, generations=200_000, rounds=200,
+            seed=MASTER_SEED + 5000, record_events=False,
+            checkpoint_every=20_000,
+        ),),
+        share_engine=False,
+        label="long-checkpointed-run",
+    )
+
+    process, client = start()
+    job_id = client.submit(spec)["job_id"]
+    while client.stats()["queue"]["checkpoints"]["written_total"] < 2:
+        time.sleep(0.05)
+    process.kill()
+    process.wait()
+    print(f"\nkilled -9 mid-run with snapshots on disk for {job_id}")
+
+    process, client = start()
+    try:
+        print(process.stdout.readline().strip())  # "journal replayed ..."
+        while any(
+            status["state"] not in ("done", "failed", "cancelled")
+            for status in client.jobs()
+        ):
+            time.sleep(0.2)
+        (status,) = client.jobs()
+        checkpoints = client.stats()["queue"]["checkpoints"]
+        generations = spec.configs[0].generations
+        print(f"  {status['job_id']} "
+              f"(was {status['recovered_from']}) -> {status['state']}; "
+              f"resumed {checkpoints['resumed_total']} run(s); the "
+              f"{status['progress']['ticks_seen']} progress ticks cover "
+              f"only the resumed tail of the {generations}-generation "
+              f"horizon")
+    finally:
+        process.terminate()
+        process.wait(timeout=30)
+
+
 if __name__ == "__main__":
     main()
     kill_and_recover()
+    kill_and_resume_midrun()

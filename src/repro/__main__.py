@@ -8,6 +8,7 @@ Commands
 ``run <id> [--full]``         regenerate one paper table/figure
 ``run-all [--full]``          regenerate everything
 ``evolve [options]``          run one evolution and print the outcome
+``resume <artifact>``         finish an interrupted run from a mid-run snapshot
 ``sweep [options]``           run an ensemble of evolutions (process pool)
 ``serve [options]``           start the sweep service (JSON over HTTP)
 ``submit [options]``          submit a sweep to a running service
@@ -22,12 +23,21 @@ triggers a graceful drain (stop admitting, finish running jobs up to
 ``REPRO_FAULTS`` environment variable) arms a deterministic
 fault-injection plan — see :mod:`repro.faults` — which is how the chaos
 tests prove all of the above.
+
+Long runs survive interruption with ``--checkpoint-dir``: ``evolve``,
+``sweep`` and ``serve`` snapshot full run state every
+``--checkpoint-every`` generations (:mod:`repro.core.runstate`), rerunning
+the same command resumes **bit-identically** from the newest valid
+snapshot, and ``resume <artifact>`` (or ``evolve --resume-from``) pins an
+explicit snapshot directory.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
+from pathlib import Path
 
 from .analysis import (
     classify,
@@ -98,6 +108,7 @@ def _evolution_config(args: argparse.Namespace, memory: int) -> EvolutionConfig:
         engine_pool_cap=args.engine_pool_cap,
         paymat_block=args.paymat_block,
         array_backend=args.array_backend,
+        checkpoint_every=args.checkpoint_every,
     )
 
 
@@ -108,6 +119,75 @@ def _backend_opts(args: argparse.Namespace) -> dict[str, object]:
     if args.backend == "des":
         return {"n_ranks": args.ranks}
     return {}
+
+
+def _load_resume_artifact(path: Path):
+    """``(meta, arrays)`` of the snapshot at ``path``, with clear errors.
+
+    Accepts either one snapshot directory (``state.npz`` + ``meta.json``)
+    or a unit directory holding ``gen-*`` snapshots (newest loadable one
+    wins).  A *file* can only be a version-1 population checkpoint
+    (``.npz``) — those hold a final population, not mid-run state, and get
+    a :class:`~repro.errors.CheckpointError` pointing at the right flags.
+    """
+    from .errors import CheckpointError
+    from .io.run_checkpoint import load_run_checkpoint
+
+    if path.is_file():
+        raise CheckpointError(
+            f"{path} is a file — that is a version-1 population checkpoint "
+            f"(.npz), which stores a final population, not mid-run state; "
+            f"start from it with `repro evolve --checkpoint {path} "
+            f"--resume`. Mid-run run-state snapshots are directories "
+            f"(state.npz + meta.json) written under --checkpoint-dir"
+        )
+    generations = sorted(path.glob("gen-*")) if path.is_dir() else []
+    if generations and not (path / "meta.json").exists():
+        last_error: CheckpointError | None = None
+        for candidate in reversed(generations):
+            try:
+                return load_run_checkpoint(candidate)
+            except CheckpointError as err:
+                last_error = err
+        assert last_error is not None
+        raise last_error
+    return load_run_checkpoint(path)
+
+
+class _PinnedSnapshotSink:
+    """Checkpoint sink serving one explicit snapshot (``--resume-from``).
+
+    ``load_latest`` ignores the unit key — the caller pinned the artifact,
+    and the driver's own resume validation refuses any science mismatch
+    with the field-by-field did-you-mean error
+    (:func:`repro.core.runstate.validate_resume_config`).  Saves forward
+    to a real :class:`~repro.io.run_checkpoint.RunCheckpointer` when
+    ``--checkpoint-dir`` is also given, and are dropped otherwise.
+    """
+
+    def __init__(self, path: Path, forward=None) -> None:
+        self.path = path
+        self.forward = forward
+
+    def save(self, unit, generation, meta, arrays) -> None:
+        if self.forward is not None:
+            self.forward.save(unit, generation, meta, arrays)
+
+    def load_latest(self, unit):
+        return _load_resume_artifact(self.path)
+
+
+def _arm_cli_checkpointing(args: argparse.Namespace):
+    """Context manager installing the sink the checkpoint flags ask for."""
+    from .core.runstate import checkpoint_scope
+    from .io.run_checkpoint import RunCheckpointer
+
+    sink = None
+    if getattr(args, "checkpoint_dir", None) is not None:
+        sink = RunCheckpointer(args.checkpoint_dir)
+    if getattr(args, "resume_from", None) is not None:
+        sink = _PinnedSnapshotSink(Path(args.resume_from), forward=sink)
+    return checkpoint_scope(sink) if sink is not None else nullcontext()
 
 
 def _describe_dominant(result) -> str:
@@ -132,7 +212,8 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
         resume=args.resume,
         **_backend_opts(args),
     )
-    result = simulation.run()
+    with _arm_cli_checkpointing(args):
+        result = simulation.run()
     print(render_raster(result.population.strategy_matrix(), max_rows=20,
                         title="final population"))
     print()
@@ -152,6 +233,44 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
               f"largest dominant cluster: {cluster:.1%} of SSets")
     assert result.backend_report is not None
     print(result.backend_report.summary())
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .core.runstate import checkpoint_scope
+    from .errors import CheckpointError
+    from .io.run_checkpoint import RunCheckpointer
+
+    artifact = Path(args.artifact)
+    # Load eagerly so a missing/corrupt/v1 artifact fails with its clear
+    # error before any science starts; the configs come from the snapshot
+    # itself, so the drivers' resume validation passes by construction.
+    meta, _ = _load_resume_artifact(artifact)
+    kind = meta.get("kind")
+    forward = (
+        RunCheckpointer(args.checkpoint_dir)
+        if args.checkpoint_dir is not None
+        else None
+    )
+    sink = _PinnedSnapshotSink(artifact, forward=forward)
+    if kind == "run":
+        config = EvolutionConfig.from_dict(meta["config"])
+        with checkpoint_scope(sink):
+            results = [Simulation(config, backend=args.backend).run()]
+    elif kind == "ensemble":
+        configs = [EvolutionConfig.from_dict(d) for d in meta["configs"]]
+        with checkpoint_scope(sink):
+            results = run_sweep(configs, backend="ensemble", workers=1)
+    else:
+        raise CheckpointError(
+            f"{artifact}: unrecognised run-state snapshot kind {kind!r} "
+            f"(expected 'run' or 'ensemble')"
+        )
+    for result in results:
+        print(result.config.summary())
+        print(_describe_dominant(result))
+        if result.backend_report is not None:
+            print(result.backend_report.summary())
     return 0
 
 
@@ -184,13 +303,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         pool_workers = 1 if args.backend == "ensemble" else 2
     base_seed = args.base_seed if args.base_seed is not None else args.seed
-    run_sweep(
-        configs,
-        backend=backend,
-        workers=pool_workers,
-        on_result=report,
-        base_seed=base_seed,
-    )
+    # Snapshots reach in-process execution only (the sink is thread-local);
+    # a pooled sweep runs them without checkpointing.
+    with _arm_cli_checkpointing(args):
+        run_sweep(
+            configs,
+            backend=backend,
+            workers=pool_workers,
+            on_result=report,
+            base_seed=base_seed,
+        )
     print(f"\n{len(configs)} runs complete "
           f"(backend={args.backend}, workers={pool_workers})")
     return 0
@@ -220,6 +342,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store=store,
         pool=pool,
         journal=args.journal,
+        checkpoint_dir=args.checkpoint_dir,
     )
     server = SweepServer(
         host=args.host, port=args.port, queue=queue, verbose=args.verbose
@@ -246,7 +369,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"(workers={queue.workers}, max_queued={queue.max_queued}, "
           f"warm_pool={'on' if pool is not None else 'off'}, "
           f"artifacts={args.artifact_dir or 'off'}, "
-          f"journal={args.journal or 'off'})")
+          f"journal={args.journal or 'off'}, "
+          f"checkpoints={args.checkpoint_dir or 'off'})")
     if queue.recovered_total:
         print(f"journal replayed {queue.recovered_total} pending job(s)"
               + (f" ({queue.recovery_errors} unreadable)"
@@ -411,6 +535,12 @@ def _add_evolution_arguments(parser: argparse.ArgumentParser) -> None:
                              "numpy and the report records what ran. RNG "
                              "decoding stays on host, so trajectories are "
                              "backend-independent")
+    parser.add_argument("--checkpoint-every", type=int, default=0,
+                        dest="checkpoint_every",
+                        help="snapshot full run state every N generations "
+                             "(0 = never, the default); with "
+                             "--checkpoint-dir an interrupted run resumes "
+                             "bit-identically from the newest snapshot")
     parser.add_argument("--seed", type=int, default=2013)
     parser.add_argument("--workers", type=int, default=None,
                         help="process-pool size (multiprocess backend / "
@@ -467,8 +597,41 @@ def build_parser() -> argparse.ArgumentParser:
                         help="save the final population to PATH (.npz)")
     evolve.add_argument("--resume", action="store_true",
                         help="start from --checkpoint when the file exists")
+    evolve.add_argument("--checkpoint-dir", default=None, dest="checkpoint_dir",
+                        metavar="DIR",
+                        help="write mid-run run-state snapshots under DIR "
+                             "every --checkpoint-every generations; "
+                             "rerunning the same command resumes "
+                             "bit-identically from the newest one")
+    evolve.add_argument("--resume-from", default=None, dest="resume_from",
+                        metavar="ARTIFACT",
+                        help="resume from an explicit snapshot directory "
+                             "(a gen-NNN artifact or its unit directory); "
+                             "refused with a field-by-field mismatch "
+                             "report if the flags describe different "
+                             "science than the snapshot")
     _add_evolution_arguments(evolve)
     evolve.set_defaults(func=_cmd_evolve)
+
+    resume = sub.add_parser(
+        "resume",
+        help="finish an interrupted run from a mid-run snapshot (the "
+             "config comes from the snapshot itself)",
+    )
+    resume.add_argument("artifact", metavar="ARTIFACT",
+                        help="snapshot directory (gen-NNN artifact or its "
+                             "unit directory) written by --checkpoint-dir")
+    resume.add_argument("--backend", choices=["serial", "event"],
+                        default="event",
+                        help="driver for single-run snapshots (ensemble "
+                             "snapshots always replay on the ensemble "
+                             "backend); trajectories are bit-identical "
+                             "either way")
+    resume.add_argument("--checkpoint-dir", default=None,
+                        dest="checkpoint_dir", metavar="DIR",
+                        help="keep snapshotting the resumed run under DIR "
+                             "at the snapshot config's cadence")
+    resume.set_defaults(func=_cmd_resume)
 
     sweep = sub.add_parser(
         "sweep",
@@ -486,6 +649,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "but reproducible")
     sweep.add_argument("--backend", choices=available_backends(),
                        default="event")
+    sweep.add_argument("--checkpoint-dir", default=None, dest="checkpoint_dir",
+                       metavar="DIR",
+                       help="write mid-run run-state snapshots under DIR "
+                            "every --checkpoint-every generations "
+                            "(in-process sweeps only); rerunning the same "
+                            "sweep resumes bit-identically")
     _add_evolution_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -518,6 +687,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="durable job journal (fsync'd JSONL WAL): "
                             "admitted jobs survive crashes and restarts — "
                             "pending work replays from PATH on start")
+    serve.add_argument("--checkpoint-dir", default=None,
+                       dest="checkpoint_dir", metavar="DIR",
+                       help="mid-run run-state snapshots for jobs whose "
+                            "configs set checkpoint_every: a replayed or "
+                            "retried job resumes bit-identically from its "
+                            "newest snapshot instead of recomputing from "
+                            "generation zero")
     serve.add_argument("--drain-timeout", type=float, default=30.0,
                        dest="drain_timeout",
                        help="seconds SIGTERM lets running jobs finish "

@@ -109,6 +109,9 @@ class Backend(ABC):
 
     def _report(self, result: EvolutionResult, **extra: Any) -> EvolutionResult:
         """Attach the :class:`BackendReport` envelope to ``result``."""
+        extra.setdefault(
+            "resumed_from_generation", result.resumed_from_generation
+        )
         result.backend_report = BackendReport(
             backend=self.name,
             wallclock_seconds=result.wallclock_seconds,

@@ -50,6 +50,11 @@ class BackendReport:
         (:meth:`repro.xp.ArrayBackend.describe`): ``"numpy"``, ``"cupy"``,
         ``"jax"``, or ``"numpy (<requested> unavailable: ...)"`` after a
         clean fallback.  ``None`` for paths that never touch the seam.
+    resumed_from_generation:
+        Generation the run was restored from when a mid-run checkpoint was
+        found (:mod:`repro.core.runstate`); ``None`` for an uninterrupted
+        run.  Provenance only — the result payload is bit-identical either
+        way.
     n_ranks:
         Simulated MPI ranks (DES backend; includes the Nature Agent).
     ssets_per_worker:
@@ -71,6 +76,7 @@ class BackendReport:
     lanes: int | None = None
     shared_engine: dict[str, int] | None = None
     array_backend: str | None = None
+    resumed_from_generation: int | None = None
     n_ranks: int | None = None
     ssets_per_worker: float | None = None
     makespan_seconds: float | None = None
@@ -93,6 +99,8 @@ class BackendReport:
             )
         if self.array_backend is not None and self.array_backend != "numpy":
             parts.append(f"array-backend={self.array_backend}")
+        if self.resumed_from_generation is not None:
+            parts.append(f"resumed-from={self.resumed_from_generation}")
         if self.n_ranks is not None:
             parts.append(f"ranks={self.n_ranks}")
         if self.makespan_seconds is not None:

@@ -129,6 +129,17 @@ class EvolutionConfig:
         importable falls back to NumPy, recorded in the backend report.
         RNG decoding stays on host either way, so every lane remains
         bit-identical to its same-seed serial ``event`` run.
+    checkpoint_every:
+        Emit a mid-run run-state checkpoint every this many generations
+        (0 = never, the default).  Checkpoints capture the full run state
+        (population, RNG bit-generator positions, evaluator fill history,
+        event log cursor) so an interrupted run resumes **bit-identically**
+        — same events, same trajectory, same final population as the
+        uninterrupted same-seed run.  Only takes effect when a checkpoint
+        sink is installed (:func:`repro.core.runstate.checkpoint_scope`,
+        the CLI ``--checkpoint-every``/``--checkpoint-dir`` flags, or
+        ``repro serve --checkpoint-dir``); the cadence does not perturb
+        the science trajectory.
     """
 
     memory_steps: int = 1
@@ -153,6 +164,7 @@ class EvolutionConfig:
     engine_pool_cap: int = 0
     paymat_block: int = 0
     array_backend: str = "numpy"
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
         if self.memory_steps < 1:
@@ -185,6 +197,11 @@ class EvolutionConfig:
         if self.record_every < 0:
             raise ConfigurationError(
                 f"record_every must be >= 0, got {self.record_every}"
+            )
+        if self.checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0 (0 = never), got "
+                f"{self.checkpoint_every}"
             )
         if self.engine_pool_cap < 0:
             raise ConfigurationError(
@@ -248,6 +265,8 @@ class EvolutionConfig:
             parts.append(f"paymat-block={self.paymat_block}")
         if self.array_backend != "numpy":
             parts.append(f"array-backend={self.array_backend}")
+        if self.checkpoint_every:
+            parts.append(f"checkpoint-every={self.checkpoint_every}")
         return " ".join(parts)
 
     @property
@@ -353,6 +372,7 @@ class EvolutionConfig:
 _INT_FIELDS = frozenset({
     "memory_steps", "n_ssets", "generations", "agents_per_sset", "rounds",
     "seed", "record_every", "engine_pool_cap", "paymat_block",
+    "checkpoint_every",
 })
 _FLOAT_FIELDS = frozenset({"pc_rate", "mutation_rate", "beta", "noise"})
 _BOOL_FIELDS = frozenset({

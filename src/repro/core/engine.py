@@ -77,6 +77,7 @@ __all__ = [
     "is_integer_payoff",
     "shared_engine_pairs",
     "enable_engine_pair_sharing",
+    "pair_sharing_active",
 ]
 
 
@@ -146,6 +147,17 @@ def enable_engine_pair_sharing() -> None:
     store dies with the worker process.
     """
     _PAIR_SHARE.enabled = True
+
+
+def pair_sharing_active() -> bool:
+    """Whether cross-run pair sharing is enabled on this thread's process.
+
+    Mid-run checkpointing (:mod:`repro.core.runstate`) refuses to arm while
+    sharing is active: a resumed engine rebuilds only its *live* pairs, so
+    the shared store would diverge from an uninterrupted process and the
+    evaluation counters (part of the result payload) would drift.
+    """
+    return _PAIR_SHARE.enabled
 
 
 class StrategyPool:
@@ -485,6 +497,24 @@ class FitnessEngine:
             self._shared_pairs = _PAIR_SHARE.store.setdefault(sig, {})
         self.hits = 0
         self.misses = 0
+        #: Ordered log of lazy (expected-regime) fill operations, armed by
+        #: :meth:`enable_fill_log` when mid-run checkpointing is active.
+        #: Each entry is ``("row", sid, missing_list)`` (an
+        #: :meth:`_ensure_row` evaluation batch) or ``("self", sid)`` (a
+        #: scalar :meth:`_self_payoff` evaluation).  Replaying the log on a
+        #: freshly interned pool reproduces the matrix, the evaluated mask,
+        #: and every ulp — same kernel, same batch membership — which is how
+        #: :mod:`repro.core.runstate` rebuilds the engine deterministically
+        #: instead of serialising the float matrix.  ``None`` (the default)
+        #: costs nothing on the hot path.
+        self._fill_log: list[tuple] | None = None
+
+    def enable_fill_log(self) -> None:
+        """Start recording lazy fill operations (idempotent; expected
+        regime only — the eager deterministic matrix rebuilds from the
+        population alone and needs no history)."""
+        if self._fill_log is None:
+            self._fill_log = []
 
     @classmethod
     def from_config(cls, config: EvolutionConfig) -> "FitnessEngine | None":
@@ -658,6 +688,8 @@ class FitnessEngine:
         evaluated[sid, cols] = True
         evaluated[cols, sid] = True
         self.misses += len(missing)
+        if self._fill_log is not None:
+            self._fill_log.append(("row", int(sid), [int(j) for j in missing]))
         if sid in missing:
             return to_focal[missing.index(sid)]
         return None
@@ -690,6 +722,8 @@ class FitnessEngine:
         self._paymat[sid, sid] = pay_b
         self._evaluated[sid, sid] = True
         self.misses += 1
+        if self._fill_log is not None:
+            self._fill_log.append(("self", int(sid)))
         return pay_a
 
     # -- fitness kernels ---------------------------------------------------------

@@ -41,7 +41,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from .. import faults
-from ..errors import ConfigurationError
+from ..errors import CheckpointError, ConfigurationError
 from ..rng import SeedSequenceTree
 from ..structure import InteractionModel, build_structure
 from .config import EvolutionConfig
@@ -50,6 +50,21 @@ from .nature import NatureAgent
 from .payoff_cache import PayoffCache
 from .population import Population
 from .progress import ProgressTick, cancel_token, progress_callback
+from .runstate import (
+    RUN_STATE_VERSION,
+    capture_evaluator,
+    capture_events,
+    capture_population,
+    capture_snapshots,
+    checkpoint_sink,
+    checkpointing_supported,
+    restore_evaluator,
+    restore_events,
+    restore_population,
+    restore_snapshots,
+    unit_key,
+    validate_resume_config,
+)
 from .strategy import Strategy
 
 #: Either fitness evaluator the drivers thread through the structure layer.
@@ -109,6 +124,10 @@ class EvolutionResult:
     #: Execution metadata attached by the :mod:`repro.api` front-end; the
     #: legacy drivers leave it ``None``.
     backend_report: "BackendReport | None" = None
+    #: Generation this run was restored from (mid-run checkpoint resume),
+    #: ``None`` for an uninterrupted run.  Provenance only: it is *not*
+    #: part of the result payload, which stays bit-identical either way.
+    resumed_from_generation: int | None = None
 
     def dominant(self) -> tuple[Strategy, float]:
         """Most common final strategy and its population share."""
@@ -303,6 +322,127 @@ def _finalise(
     return result
 
 
+def _arm_checkpointing(
+    config: EvolutionConfig,
+    population: Population | None,
+    cache: PayoffCache | None,
+    evaluator: Evaluator | None,
+):
+    """This run's checkpoint sink, or ``None`` when checkpointing is off.
+
+    Armed only when the run is fully self-describing — default-constructed
+    population and evaluator (an injected one carries caller state a
+    snapshot cannot re-create) — and the fitness regime can honour the
+    bit-identical resume contract (:func:`checkpointing_supported`).
+    Unarmed runs execute exactly as before, without snapshots.
+    """
+    sink = checkpoint_sink()
+    if sink is None:
+        return None
+    if population is not None or cache is not None or evaluator is not None:
+        return None
+    if not checkpointing_supported(config):
+        return None
+    return sink
+
+
+def _enable_capture_logs(evaluator: Evaluator) -> None:
+    """Arm the evaluator's replay log from generation 0 (capture needs the
+    full fill history; the eager deterministic engine needs none)."""
+    if isinstance(evaluator, FitnessEngine):
+        if evaluator.expected:
+            evaluator.enable_fill_log()
+    else:
+        evaluator.enable_eval_log()
+
+
+def _capture_run_state(
+    config: EvolutionConfig,
+    generation: int,
+    nature: NatureAgent,
+    population: Population,
+    evaluator: Evaluator,
+    result: EvolutionResult,
+    next_snapshot: int | None,
+) -> tuple[dict, dict]:
+    """Snapshot the run at a generation boundary: generation ``generation``
+    is about to be drawn, nothing of it has been consumed yet.
+
+    ``next_snapshot`` is the smallest not-yet-recorded ``record_every``
+    multiple (``None`` when recording is off) — the one piece of driver
+    bookkeeping that must travel so either driver can resume the snapshot
+    schedule exactly where the other left off.
+    """
+    pop_meta, pop_arrays = capture_population(population)
+    eval_meta, eval_arrays = capture_evaluator(evaluator, population)
+    meta = {
+        "version": RUN_STATE_VERSION,
+        "kind": "run",
+        "generation": int(generation),
+        "config": config.to_dict(),
+        "structure": config.canonical_structure(),
+        "nature": nature.stream_states(),
+        "counters": {
+            "n_pc_events": result.n_pc_events,
+            "n_adoptions": result.n_adoptions,
+            "n_mutations": result.n_mutations,
+        },
+        "next_snapshot": None if next_snapshot is None else int(next_snapshot),
+        "population": pop_meta,
+        "evaluator": eval_meta,
+    }
+    arrays = dict(pop_arrays)
+    arrays.update(eval_arrays)
+    arrays.update(capture_events(result.events))
+    arrays.update(capture_snapshots(result.snapshots))
+    return meta, arrays
+
+
+def _resume_run_state(sink, unit: str, config: EvolutionConfig, nature: NatureAgent):
+    """Restore the newest snapshot for ``unit`` from ``sink``, if any.
+
+    Returns ``(result, population, evaluator, generation, next_snapshot)``
+    with every RNG stream rewound, or ``None`` for a fresh start.  A
+    snapshot whose config differs in any science-bearing field is refused
+    (:func:`validate_resume_config`) — the sink keys snapshots by unit
+    hash, so this only fires when a caller pins an explicit snapshot.
+    """
+    found = sink.load_latest(unit)
+    if found is None:
+        return None
+    meta, arrays = found
+    if meta.get("kind") != "run":
+        # A same-science artifact of a different driver shape (an ensemble
+        # group snapshot can land on the same unit key for a one-lane
+        # sweep): not this driver's state, so start fresh rather than fail.
+        return None
+    if int(meta.get("version", 0)) != RUN_STATE_VERSION:
+        raise CheckpointError(
+            f"unsupported run-state checkpoint version "
+            f"{meta.get('version')!r} (this build reads "
+            f"version {RUN_STATE_VERSION})"
+        )
+    validate_resume_config([meta["config"]], [config.to_dict()])
+    nature.restore_stream_states(meta["nature"])
+    population = restore_population(meta["population"], arrays)
+    evaluator = restore_evaluator(
+        config, meta["evaluator"], arrays, population, nature.games_rng
+    )
+    generation = int(meta["generation"])
+    result = EvolutionResult(config=config, population=population)
+    result.events = restore_events(arrays)
+    result.snapshots = restore_snapshots(arrays)
+    counters = meta["counters"]
+    result.n_pc_events = int(counters["n_pc_events"])
+    result.n_adoptions = int(counters["n_adoptions"])
+    result.n_mutations = int(counters["n_mutations"])
+    result.resumed_from_generation = generation
+    next_snapshot = meta.get("next_snapshot")
+    if next_snapshot is not None:
+        next_snapshot = int(next_snapshot)
+    return result, population, evaluator, generation, next_snapshot
+
+
 def run_serial(
     config: EvolutionConfig,
     population: Population | None = None,
@@ -322,16 +462,52 @@ def run_serial(
     tree = SeedSequenceTree(config.seed)
     nature = NatureAgent(config, tree)
     structure = build_structure(config.structure, config.n_ssets)
-    if population is None:
-        population = Population.random(config, tree.generator("init"))
-    evaluator = _resolve_evaluator(config, nature, population, cache, evaluator)
-    result = EvolutionResult(config=config, population=population)
-    _maybe_snapshot(result, population, 0, force=True)
+    sink = _arm_checkpointing(config, population, cache, evaluator)
+    unit = unit_key([config.to_dict()]) if sink is not None else None
+    restored = (
+        _resume_run_state(sink, unit, config, nature)
+        if sink is not None
+        else None
+    )
+    if restored is not None:
+        result, population, evaluator, start_gen, _ = restored
+    else:
+        if population is None:
+            population = Population.random(config, tree.generator("init"))
+        evaluator = _resolve_evaluator(
+            config, nature, population, cache, evaluator
+        )
+        if sink is not None:
+            _enable_capture_logs(evaluator)
+        result = EvolutionResult(config=config, population=population)
+        _maybe_snapshot(result, population, 0, force=True)
+        start_gen = 0
     progress = progress_callback()
     cancel = cancel_token()
     fault = faults.hook("driver.generation")
+    save_every = config.checkpoint_every if sink is not None else 0
+    record = config.record_every
 
-    for generation in range(config.generations):
+    for generation in range(start_gen, config.generations):
+        # Generation boundary: nothing of `generation` drawn yet — the
+        # snapshot resumes exactly here (skipped at the boundary a resume
+        # itself started from, which is already on disk).
+        if (
+            save_every > 0
+            and generation > 0
+            and generation != start_gen
+            and generation % save_every == 0
+        ):
+            pending = (
+                ((generation + record - 1) // record) * record
+                if record > 0
+                else None
+            )
+            meta, arrays = _capture_run_state(
+                config, generation, nature, population, evaluator, result,
+                pending,
+            )
+            sink.save(unit, generation, meta, arrays)
         events = nature.generation_events()
         if events.pc or events.mutation:
             _apply_generation_events(
@@ -371,22 +547,43 @@ def run_event_driven(
     tree = SeedSequenceTree(config.seed)
     nature = NatureAgent(config, tree)
     structure = build_structure(config.structure, config.n_ssets)
-    if population is None:
-        population = Population.random(config, tree.generator("init"))
-    evaluator = _resolve_evaluator(config, nature, population, cache, evaluator)
-    result = EvolutionResult(config=config, population=population)
-    _maybe_snapshot(result, population, 0, force=True)
+    sink = _arm_checkpointing(config, population, cache, evaluator)
+    unit = unit_key([config.to_dict()]) if sink is not None else None
+    restored = (
+        _resume_run_state(sink, unit, config, nature)
+        if sink is not None
+        else None
+    )
+    every = config.record_every
+    if restored is not None:
+        result, population, evaluator, start_gen, next_snapshot = restored
+    else:
+        if population is None:
+            population = Population.random(config, tree.generator("init"))
+        evaluator = _resolve_evaluator(
+            config, nature, population, cache, evaluator
+        )
+        if sink is not None:
+            _enable_capture_logs(evaluator)
+        result = EvolutionResult(config=config, population=population)
+        _maybe_snapshot(result, population, 0, force=True)
+        start_gen = 0
+        next_snapshot = every if every > 0 else None
     progress = progress_callback()
     cancel = cancel_token()
     fault = faults.hook("driver.generation")
+    save_every = config.checkpoint_every if sink is not None else 0
 
-    every = config.record_every
-    next_snapshot = every if every > 0 else None
-
-    generation = 0
-    remaining = config.generations
+    generation = start_gen
+    remaining = config.generations - start_gen
     while remaining > 0:
         batch = min(batch_size, remaining)
+        if save_every > 0:
+            # Stop the batch at the next checkpoint multiple so the
+            # boundary state matches the serial driver's loop top exactly
+            # (the batched flag draw consumes the same stream words either
+            # way: random(2a) then random(2b) == random(2(a+b))).
+            batch = min(batch, save_every - generation % save_every)
         pc_flags, mu_flags = nature.batch_event_flags(batch)
         event_offsets = np.nonzero(pc_flags | mu_flags)[0]
         for offset in event_offsets:
@@ -417,6 +614,25 @@ def run_event_driven(
                 next_snapshot += every
         generation += batch
         remaining -= batch
+        if (
+            save_every > 0
+            and generation % save_every == 0
+            and 0 < generation < config.generations
+        ):
+            # Bring the snapshot schedule to the boundary first (the serial
+            # driver would have recorded these before reaching it), so the
+            # captured state is driver-independent.
+            while next_snapshot is not None and next_snapshot < generation:
+                if next_snapshot < config.generations:
+                    _maybe_snapshot(
+                        result, population, next_snapshot, force=True
+                    )
+                next_snapshot += every
+            meta, arrays = _capture_run_state(
+                config, generation, nature, population, evaluator, result,
+                next_snapshot,
+            )
+            sink.save(unit, generation, meta, arrays)
     # Snapshots scheduled after the last event.
     while next_snapshot is not None and next_snapshot < config.generations:
         _maybe_snapshot(result, population, next_snapshot, force=True)

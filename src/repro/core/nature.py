@@ -76,6 +76,34 @@ class NatureAgent:
         self._mutation_rng = tree.generator("nature", "mutation")
         self.games_rng = tree.generator("nature", "games")
 
+    # -- checkpointing ------------------------------------------------------
+
+    def stream_states(self) -> dict:
+        """All four stream positions as raw bit-generator state.
+
+        Capturing the full state dict (counter position *and* the
+        generator's buffered words) is what makes a mid-run checkpoint
+        resume bit-identical — a freshly seeded agent fast-forwarded by
+        draw *count* would lose the buffer/uinteger carry.
+        """
+        from .runstate import generator_state
+
+        return {
+            "events": generator_state(self._events_rng),
+            "pc": generator_state(self._pc_rng),
+            "mutation": generator_state(self._mutation_rng),
+            "games": generator_state(self.games_rng),
+        }
+
+    def restore_stream_states(self, states: dict) -> None:
+        """Rewind all four streams to positions from :meth:`stream_states`."""
+        from .runstate import restore_generator
+
+        restore_generator(self._events_rng, states["events"])
+        restore_generator(self._pc_rng, states["pc"])
+        restore_generator(self._mutation_rng, states["mutation"])
+        restore_generator(self.games_rng, states["games"])
+
     # -- event scheduling ---------------------------------------------------
 
     def generation_events(self) -> GenerationEvents:

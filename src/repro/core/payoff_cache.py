@@ -64,6 +64,21 @@ class PayoffCache:
         self._cache: dict[tuple[bytes, bytes], tuple[float, float]] = {}
         self.hits = 0
         self.misses = 0
+        #: Ordered log of cache-filling evaluations, armed by
+        #: :meth:`enable_eval_log` when mid-run checkpointing is active.
+        #: Each entry is ``("pair", a, b)`` (a scalar :meth:`pair_payoffs`
+        #: miss) or ``("many", a, targets)`` (one batched
+        #: :meth:`payoffs_to_many` miss set).  Replaying the log on a fresh
+        #: cache reproduces its contents bit-for-bit — same kernels, same
+        #: batch membership — so :mod:`repro.core.runstate` rebuilds the
+        #: cache deterministically instead of serialising float payoffs.
+        #: ``None`` (the default) costs nothing on the hot path.
+        self._eval_log: list[tuple] | None = None
+
+    def enable_eval_log(self) -> None:
+        """Start recording cache-filling evaluations (idempotent)."""
+        if self._eval_log is None:
+            self._eval_log = []
 
     def _deterministic(self, a: Strategy, b: Strategy) -> bool:
         return self.noise == 0.0 and a.is_pure and b.is_pure
@@ -82,6 +97,8 @@ class PayoffCache:
             self.hits += 1
             return found
         self.misses += 1
+        if self._eval_log is not None:
+            self._eval_log.append(("pair", a, b))
         if self._deterministic(a, b):
             pay_a, pay_b, _ = exact_payoffs(a, b, self.rounds, self.payoff)
         else:
@@ -138,6 +155,8 @@ class PayoffCache:
         if missing:
             self.misses += len(missing)
             targets = [others[i] for i in missing]
+            if self._eval_log is not None:
+                self._eval_log.append(("many", a, list(targets)))
             forward, backward = self._evaluate_missing(a, targets)
             for i, pay_a, pay_b in zip(missing, forward, backward):
                 b = others[i]

@@ -58,6 +58,7 @@ from ..core.evolution import (
     EventRecord,
     EvolutionResult,
     Snapshot,
+    _enable_capture_logs,
     _maybe_snapshot,
 )
 from ..core.fermi import fermi_probability
@@ -70,8 +71,25 @@ from ..core.progress import (
     progress_callback,
     progress_scope,
 )
+from ..core.runstate import (
+    RUN_STATE_VERSION,
+    capture_evaluator,
+    capture_events,
+    capture_population,
+    capture_snapshots,
+    checkpoint_sink,
+    checkpointing_supported,
+    decode_bitgen,
+    encode_bitgen,
+    restore_evaluator,
+    restore_events,
+    restore_population,
+    restore_snapshots,
+    unit_key,
+    validate_resume_config,
+)
 from ..core.strategy import Strategy, random_mixed, random_pure
-from ..errors import ConfigurationError
+from ..errors import CheckpointError, ConfigurationError
 from ..rng import SeedSequenceTree
 from ..structure import GraphStructure, InteractionModel, build_structure
 from . import rawstream
@@ -256,6 +274,195 @@ def _draw_flags(
     return pc_flags, mu_flags
 
 
+# -- mid-run checkpointing -----------------------------------------------------
+
+
+def _group_checkpointing(cfg: EvolutionConfig, initial: list):
+    """The active checkpoint sink, iff this group is eligible for mid-run
+    snapshots (same arming rule as the serial drivers, plus one ensemble
+    refusal: an LRU-capped blocked *shared* store can evict filled blocks
+    mid-run, so a captured valid-pair set cannot pin the resumed run's
+    fill counters to the clean run's)."""
+    sink = checkpoint_sink()
+    if sink is None:
+        return None
+    if any(p is not None for p in initial):
+        return None
+    if not checkpointing_supported(cfg):
+        return None
+    if cfg.paymat_block > 0 and cfg.engine_pool_cap > 0:
+        return None
+    return sink
+
+
+def _lane_arrays(arrays: dict, r: int) -> dict:
+    """One lane's arrays, with the ``l{r}_`` namespace prefix stripped."""
+    prefix = f"l{r}_"
+    return {
+        key[len(prefix):]: value
+        for key, value in arrays.items()
+        if key.startswith(prefix)
+    }
+
+
+def _load_group_state(sink, unit: str, configs: list[EvolutionConfig],
+                      mode: str):
+    """Newest valid ensemble checkpoint for this group, or ``None``.
+
+    A snapshot of a different kind/mode (say a one-lane sweep that resolved
+    to a serial driver earlier) is not an error — the group just starts
+    fresh; a science-config mismatch *is* one (the did-you-mean error of
+    :func:`~repro.core.runstate.validate_resume_config`)."""
+    found = sink.load_latest(unit)
+    if found is None:
+        return None
+    meta, arrays = found
+    if meta.get("kind") != "ensemble" or meta.get("mode") != mode:
+        return None
+    version = int(meta.get("version", 0))
+    if version != RUN_STATE_VERSION:
+        raise CheckpointError(
+            f"run-state checkpoint is format v{version}; this build reads "
+            f"v{RUN_STATE_VERSION}"
+        )
+    validate_resume_config(meta["configs"], [c.to_dict() for c in configs])
+    return meta, arrays
+
+
+def _capture_group_shared(
+    configs: list[EvolutionConfig],
+    base: int,
+    engine: EnsembleEngine,
+    pops: list[Population],
+    sids: np.ndarray,
+    results: list[EvolutionResult],
+    next_snap: list,
+    events_rngs: list,
+    pc_decoders: list,
+    mu_decoders: list,
+    adopt_counts: np.ndarray,
+    mut_counts: np.ndarray,
+    n_pc: list[int],
+    n_adopt: list[int],
+    n_mut: list[int],
+) -> tuple[dict, dict]:
+    """Snapshot the whole shared-engine group at a batch boundary.
+
+    Population objects are bystanders mid-run (the sid array is the state,
+    diffed back into the generation-0 populations at the end), so each lane
+    captures its *initial* population plus the strategy tables its sids
+    point at now; the shared matrix is captured as the live x live valid
+    pair set (table-keyed, sid numbering is ephemeral), re-evaluated
+    bit-exactly on resume."""
+    lanes: list[dict] = []
+    arrays: dict[str, np.ndarray] = {}
+    for r, _config in enumerate(configs):
+        pop_meta, lane_arrays = capture_population(pops[r])
+        lane_arrays["sid_tables"] = engine.tables[sids[r]].copy()
+        lane_arrays["adopt_counts"] = adopt_counts[r].copy()
+        lane_arrays["mut_counts"] = mut_counts[r].copy()
+        lane_arrays.update(capture_events(results[r].events))
+        lane_arrays.update(capture_snapshots(results[r].snapshots))
+        lanes.append(
+            {
+                "population": pop_meta,
+                "counters": {
+                    "n_pc_events": int(n_pc[r]),
+                    "n_adoptions": int(n_adopt[r]),
+                    "n_mutations": int(n_mut[r]),
+                },
+                "next_snapshot": next_snap[r],
+                "events_rng": encode_bitgen(
+                    events_rngs[r].bit_generator.state
+                ),
+                "pc_stream": pc_decoders[r].state_dict(),
+                "mu_stream": mu_decoders[r].state_dict(),
+            }
+        )
+        for key, value in lane_arrays.items():
+            arrays[f"l{r}_{key}"] = value
+    # Every live slot is some lane's member at a batch boundary (prefetch
+    # pins are released), so live x live covers the whole forward-reachable
+    # valid set; dead strategies re-enter through fresh slots and refill.
+    live = np.unique(sids)
+    valid = np.asarray(
+        engine.xb.to_host(
+            engine._store.pair_valid(live[:, None], live[None, :])
+        )
+    )
+    pair_i, pair_j = np.nonzero(np.triu(valid))
+    arrays["engine_live_tables"] = engine.tables[live].copy()
+    arrays["engine_pair_a"] = pair_i.astype(np.int64)
+    arrays["engine_pair_b"] = pair_j.astype(np.int64)
+    arrays["engine_lane_fills"] = engine.lane_fills.copy()
+    meta = {
+        "version": RUN_STATE_VERSION,
+        "kind": "ensemble",
+        "mode": "shared",
+        "generation": int(base),
+        "configs": [c.to_dict() for c in configs],
+        "lanes": lanes,
+        "engine": {
+            "fills": int(engine.fills),
+            "fill_calls": int(engine.fill_calls),
+        },
+    }
+    return meta, arrays
+
+
+def _capture_group_generic(
+    configs: list[EvolutionConfig],
+    base: int,
+    pops: list[Population],
+    evaluators: list,
+    results: list[EvolutionResult],
+    next_snap: list,
+    events_rngs: list,
+    pc_rngs: list,
+    mu_rngs: list,
+) -> tuple[dict, dict]:
+    """Snapshot one per-lane-evaluator group at a batch boundary (current
+    populations, each lane's evaluator state, and all three scalar RNG
+    stream positions)."""
+    lanes: list[dict] = []
+    arrays: dict[str, np.ndarray] = {}
+    for r, _config in enumerate(configs):
+        pop_meta, lane_arrays = capture_population(pops[r])
+        eval_meta, eval_arrays = capture_evaluator(evaluators[r], pops[r])
+        lane_arrays.update(eval_arrays)
+        lane_arrays.update(capture_events(results[r].events))
+        lane_arrays.update(capture_snapshots(results[r].snapshots))
+        lanes.append(
+            {
+                "population": pop_meta,
+                "evaluator": eval_meta,
+                "counters": {
+                    "n_pc_events": int(results[r].n_pc_events),
+                    "n_adoptions": int(results[r].n_adoptions),
+                    "n_mutations": int(results[r].n_mutations),
+                },
+                "next_snapshot": next_snap[r],
+                "events_rng": encode_bitgen(
+                    events_rngs[r].bit_generator.state
+                ),
+                "pc_rng": encode_bitgen(pc_rngs[r].bit_generator.state),
+                "mu_rng": encode_bitgen(mu_rngs[r].bit_generator.state),
+            }
+        )
+        for key, value in lane_arrays.items():
+            arrays[f"l{r}_{key}"] = value
+    meta = {
+        "version": RUN_STATE_VERSION,
+        "kind": "ensemble",
+        "mode": "generic",
+        "generation": int(base),
+        "configs": [c.to_dict() for c in configs],
+        "lanes": lanes,
+        "engine": None,
+    }
+    return meta, arrays
+
+
 # -- shared deterministic engine path -----------------------------------------
 
 
@@ -276,6 +483,28 @@ def _run_group_shared(
     well_mixed = structure.is_well_mixed
 
     _, events_rngs, pc_rngs, mu_rngs, pops = _lane_setup(configs, initial)
+
+    sink = _group_checkpointing(cfg, initial)
+    unit = (
+        unit_key([c.to_dict() for c in configs]) if sink is not None else None
+    )
+    restored = (
+        _load_group_state(sink, unit, configs, "shared")
+        if sink is not None
+        else None
+    )
+    save_every = cfg.checkpoint_every if sink is not None else 0
+    start_gen = 0
+    lane_state: list[dict] = []
+    if restored is not None:
+        meta_r, arrays_r = restored
+        start_gen = int(meta_r["generation"])
+        lane_state = [_lane_arrays(arrays_r, r) for r in range(n_lanes)]
+        for r in range(n_lanes):
+            pops[r] = restore_population(
+                meta_r["lanes"][r]["population"], lane_state[r]
+            )
+
     # Size for the worst case (every SSet distinct) plus prefetch-pin
     # headroom up front: growth doubles the dense matrix, so a big ensemble
     # that barely overflows would pay double the memory.  Memory-one's
@@ -313,10 +542,42 @@ def _run_group_shared(
     for r in range(n_lanes):
         # Population objects are bystanders during the shared-mode run (the
         # sid array is the state); drop any stale per-run engine binding so
-        # the final write-back goes through the plain histogram path.
+        # the final write-back goes through the plain histogram path.  On
+        # resume the lanes' *current* strategies come from the snapshot's
+        # table capture, not the (generation-0) population.
         pops[r].bind_engine(None)
-        sids[r] = engine.intern_lane(pops[r].strategies())
-    if full_cover:
+        if restored is not None:
+            sids[r] = engine.intern_lane(
+                [
+                    Strategy._trusted(np.array(row), cfg.memory_steps)
+                    for row in lane_state[r]["sid_tables"]
+                ]
+            )
+        else:
+            sids[r] = engine.intern_lane(pops[r].strategies())
+    if restored is not None:
+        # Refill the snapshot's live x live valid-pair set (bit-exact — the
+        # kernel is order-independent for these integer/compact sums) and
+        # pin the counters to the interrupted run's, so the resumed run's
+        # provenance matches an uninterrupted one.  Every captured live
+        # table was re-interned just above, so the key lookup cannot miss.
+        live_new = np.array(
+            [
+                engine._ids[
+                    Strategy._trusted(np.array(row), cfg.memory_steps).key()
+                ]
+                for row in arrays_r["engine_live_tables"]
+            ],
+            dtype=np.int64,
+        )
+        pair_a = np.asarray(arrays_r["engine_pair_a"])
+        pair_b = np.asarray(arrays_r["engine_pair_b"])
+        if pair_a.shape[0]:
+            engine._fill_pairs(live_new[pair_a], live_new[pair_b])
+        engine.fills = int(meta_r["engine"]["fills"])
+        engine.fill_calls = int(meta_r["engine"]["fill_calls"])
+        engine.lane_fills[:] = np.asarray(arrays_r["engine_lane_fills"])
+    elif full_cover:
         # Initial coverage: every within-lane pair (diagonal included) is
         # evaluated up front, deduplicated across lanes.  Together with the
         # window prefetch below this establishes the standing invariant
@@ -345,8 +606,9 @@ def _run_group_shared(
         EvolutionResult(config=config, population=population)
         for config, population in zip(configs, pops)
     ]
-    for result, population in zip(results, pops):
-        _maybe_snapshot(result, population, 0, force=True)
+    if restored is None:
+        for result, population in zip(results, pops):
+            _maybe_snapshot(result, population, 0, force=True)
 
     every = cfg.record_every
     next_snap: list[int | None] = [every if every > 0 else None] * n_lanes
@@ -388,16 +650,45 @@ def _run_group_shared(
     n_adopt = [0] * n_lanes
     n_mut = [0] * n_lanes
     event_lists = [result.events for result in results]
+    if restored is not None:
+        for r in range(n_lanes):
+            lane_meta = meta_r["lanes"][r]
+            state = lane_state[r]
+            results[r].events.extend(restore_events(state))
+            results[r].snapshots.extend(restore_snapshots(state))
+            results[r].resumed_from_generation = start_gen
+            counters = lane_meta["counters"]
+            n_pc[r] = int(counters["n_pc_events"])
+            n_adopt[r] = int(counters["n_adoptions"])
+            n_mut[r] = int(counters["n_mutations"])
+            adopt_counts[r] = np.asarray(state["adopt_counts"])
+            mut_counts[r] = np.asarray(state["mut_counts"])
+            pending = lane_meta["next_snapshot"]
+            next_snap[r] = None if pending is None else int(pending)
+            events_rngs[r].bit_generator.state = decode_bitgen(
+                lane_meta["events_rng"]
+            )
+            pc_decoders[r].set_state(lane_meta["pc_stream"])
+            mu_decoders[r].set_state(lane_meta["mu_stream"])
     # Reference counts are plain list ops inlined below (engine.recycle
     # handles the rare zero).  _grow() extends this list in place; only
     # compact() replaces it, and the alias is refreshed there.
     refs = engine._refs
     rows_all = np.arange(n_lanes)
 
-    base = 0
-    remaining = generations
+    base = start_gen
+    remaining = generations - start_gen
     while remaining > 0:
         batch = min(batch_size, remaining)
+        # A nonzero cadence aligns batch edges to its multiples whether or
+        # not a sink is armed: the prefetch-window grouping below restarts
+        # per batch and steers fill attribution, so clean and resumed runs
+        # of the same config must split batches identically for the fill
+        # counters to match (the trajectory itself is split-independent).
+        if cfg.checkpoint_every > 0:
+            batch = min(
+                batch, cfg.checkpoint_every - base % cfg.checkpoint_every
+            )
         pc_flags, mu_flags = _draw_flags(
             events_rngs, cfg.pc_rate, cfg.mutation_rate, batch
         )
@@ -674,6 +965,27 @@ def _run_group_shared(
                 engine.release(sid)
         base += batch
         remaining -= batch
+        if (
+            save_every > 0
+            and base % save_every == 0
+            and 0 < base < generations
+        ):
+            # Flush snapshots due strictly before the boundary first (lane
+            # state is unchanged since their generation), so the snapshot
+            # list rides along in the capture.
+            for r in range(n_lanes):
+                pending = next_snap[r]
+                while pending is not None and pending < base:
+                    if pending < generations:
+                        _snapshot_lane(results[r], engine, sids[r], pending)
+                    pending += every
+                next_snap[r] = pending
+            meta_save, arrays_save = _capture_group_shared(
+                configs, base, engine, pops, sids, results, next_snap,
+                events_rngs, pc_decoders, mu_decoders, adopt_counts,
+                mut_counts, n_pc, n_adopt, n_mut,
+            )
+            sink.save(unit, base, meta_save, arrays_save)
 
     # Snapshots scheduled after each lane's last event.
     for r in range(n_lanes):
@@ -754,28 +1066,60 @@ def _run_group_generic(
     structure = build_structure(cfg.structure, n_ssets)
 
     _, events_rngs, pc_rngs, mu_rngs, pops = _lane_setup(configs, initial)
+
+    sink = _group_checkpointing(cfg, initial)
+    unit = (
+        unit_key([c.to_dict() for c in configs]) if sink is not None else None
+    )
+    restored = (
+        _load_group_state(sink, unit, configs, "generic")
+        if sink is not None
+        else None
+    )
+    save_every = cfg.checkpoint_every if sink is not None else 0
+    start_gen = 0
+    lane_state: list[dict] = []
     evaluators: list[FitnessEngine | PayoffCache] = []
-    for r, config in enumerate(configs):
-        lane_engine = FitnessEngine.from_config(config)
-        pops[r].bind_engine(lane_engine)
-        evaluators.append(
-            lane_engine
-            if lane_engine is not None
-            else PayoffCache(
-                rounds=config.rounds,
-                payoff=config.payoff,
-                noise=config.noise,
-                rng=None,
-                expected=config.expected_fitness,
+    if restored is not None:
+        meta_r, arrays_r = restored
+        start_gen = int(meta_r["generation"])
+        lane_state = [_lane_arrays(arrays_r, r) for r in range(n_lanes)]
+        for r, config in enumerate(configs):
+            lane_meta = meta_r["lanes"][r]
+            pops[r] = restore_population(
+                lane_meta["population"], lane_state[r]
             )
-        )
+            evaluators.append(
+                restore_evaluator(
+                    config, lane_meta["evaluator"], lane_state[r],
+                    pops[r], None,
+                )
+            )
+    else:
+        for r, config in enumerate(configs):
+            lane_engine = FitnessEngine.from_config(config)
+            pops[r].bind_engine(lane_engine)
+            evaluators.append(
+                lane_engine
+                if lane_engine is not None
+                else PayoffCache(
+                    rounds=config.rounds,
+                    payoff=config.payoff,
+                    noise=config.noise,
+                    rng=None,
+                    expected=config.expected_fitness,
+                )
+            )
+            if sink is not None:
+                _enable_capture_logs(evaluators[r])
 
     results = [
         EvolutionResult(config=config, population=population)
         for config, population in zip(configs, pops)
     ]
-    for result, population in zip(results, pops):
-        _maybe_snapshot(result, population, 0, force=True)
+    if restored is None:
+        for result, population in zip(results, pops):
+            _maybe_snapshot(result, population, 0, force=True)
 
     every = cfg.record_every
     next_snap: list[int | None] = [every if every > 0 else None] * n_lanes
@@ -789,10 +1133,35 @@ def _run_group_generic(
     cancel = cancel_token()
     fault = faults.hook("driver.generation")
 
-    base = 0
-    remaining = generations
+    if restored is not None:
+        for r in range(n_lanes):
+            lane_meta = meta_r["lanes"][r]
+            state = lane_state[r]
+            results[r].events.extend(restore_events(state))
+            results[r].snapshots.extend(restore_snapshots(state))
+            results[r].resumed_from_generation = start_gen
+            counters = lane_meta["counters"]
+            results[r].n_pc_events = int(counters["n_pc_events"])
+            results[r].n_adoptions = int(counters["n_adoptions"])
+            results[r].n_mutations = int(counters["n_mutations"])
+            pending = lane_meta["next_snapshot"]
+            next_snap[r] = None if pending is None else int(pending)
+            events_rngs[r].bit_generator.state = decode_bitgen(
+                lane_meta["events_rng"]
+            )
+            pc_rngs[r].bit_generator.state = decode_bitgen(
+                lane_meta["pc_rng"]
+            )
+            mu_rngs[r].bit_generator.state = decode_bitgen(
+                lane_meta["mu_rng"]
+            )
+
+    base = start_gen
+    remaining = generations - start_gen
     while remaining > 0:
         batch = min(batch_size, remaining)
+        if save_every > 0:
+            batch = min(batch, save_every - base % save_every)
         pc_flags, mu_flags = _draw_flags(
             events_rngs, cfg.pc_rate, cfg.mutation_rate, batch
         )
@@ -885,6 +1254,25 @@ def _run_group_generic(
                         next_snap[r] = gen + every
         base += batch
         remaining -= batch
+        if (
+            save_every > 0
+            and base % save_every == 0
+            and 0 < base < generations
+        ):
+            for r in range(n_lanes):
+                pending = next_snap[r]
+                while pending is not None and pending < base:
+                    if pending < generations:
+                        _maybe_snapshot(
+                            results[r], pops[r], pending, force=True
+                        )
+                    pending += every
+                next_snap[r] = pending
+            meta_save, arrays_save = _capture_group_generic(
+                configs, base, pops, evaluators, results, next_snap,
+                events_rngs, pc_rngs, mu_rngs,
+            )
+            sink.save(unit, base, meta_save, arrays_save)
 
     for r in range(n_lanes):
         pending = next_snap[r]

@@ -55,12 +55,54 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.runstate import decode_bitgen, encode_bitgen
+
 __all__ = [
     "pc_decoder",
     "graph_pc_decoder",
     "mutation_decoder",
     "raw_decoding_supported",
 ]
+
+
+def _capture_stream(bit_generator, half: int | None) -> dict:
+    """Canonical decoder stream position for a run-state checkpoint.
+
+    One format covers both decoder families: the full bit-generator state
+    with the spare half-word carry *folded out* into ``half``.  Raw
+    decoders keep the carry in Python (``_half``, bit generator untouched);
+    scalar decoders leave it inside the bit generator's
+    ``has_uint32``/``uinteger`` buffer (NumPy's ``next_uint32`` carry, low
+    half consumed first — the same half-word the raw path tracks).
+    Folding makes a snapshot written by either decoder resumable by the
+    other, so a trajectory survives the raw self-check flipping between
+    processes.
+    """
+    state = encode_bitgen(bit_generator.state)
+    if state["has_uint32"]:
+        assert half is None  # carry lives in exactly one place
+        half = state["uinteger"]
+        state["has_uint32"] = 0
+        state["uinteger"] = 0
+    return {"state": state, "half": None if half is None else int(half)}
+
+
+def _restore_raw_stream(bit_generator, data: dict) -> int | None:
+    """Rewind a raw decoder's bit generator; returns the carry half."""
+    bit_generator.state = decode_bitgen(data["state"])
+    half = data["half"]
+    return None if half is None else int(half)
+
+
+def _restore_scalar_stream(rng: np.random.Generator, data: dict) -> None:
+    """Rewind a scalar decoder's Generator, re-folding the carry into the
+    bit generator's uint32 buffer where the Generator API expects it."""
+    state = decode_bitgen(data["state"])
+    half = data["half"]
+    if half is not None:
+        state["has_uint32"] = 1
+        state["uinteger"] = int(half)
+    rng.bit_generator.state = state
 
 _U32 = np.uint64(0xFFFFFFFF)
 _SHIFT32 = np.uint64(32)
@@ -145,6 +187,12 @@ class _RawPCDecoder:
         self._thr = np.uint64(_lemire_threshold(n_ssets))
         self._half: int | None = None
 
+    def state_dict(self) -> dict:
+        return _capture_stream(self._bitgen, self._half)
+
+    def set_state(self, data: dict) -> None:
+        self._half = _restore_raw_stream(self._bitgen, data)
+
     def draw(self, m: int) -> tuple[list[int], list[int], list[float]]:
         if m == 0:
             return [], [], []
@@ -217,6 +265,12 @@ class _ScalarPCDecoder:
         self._rng = rng
         self._n = n_ssets
 
+    def state_dict(self) -> dict:
+        return _capture_stream(self._rng.bit_generator, None)
+
+    def set_state(self, data: dict) -> None:
+        _restore_scalar_stream(self._rng, data)
+
     def draw(self, m: int) -> tuple[list[int], list[int], list[float]]:
         rng = self._rng
         n = self._n
@@ -257,6 +311,12 @@ class _RawGraphPCDecoder:
         self._deg = structure.degrees.astype(np.uint64)
         self._thr_deg = np.uint64(1 << 32) % self._deg
         self._half: int | None = None
+
+    def state_dict(self) -> dict:
+        return _capture_stream(self._bitgen, self._half)
+
+    def set_state(self, data: dict) -> None:
+        self._half = _restore_raw_stream(self._bitgen, data)
 
     def draw(self, m: int) -> tuple[list[int], list[int], list[float]]:
         if m == 0:
@@ -335,6 +395,12 @@ class _ScalarGraphPCDecoder:
         self._rng = rng
         self._structure = structure
 
+    def state_dict(self) -> dict:
+        return _capture_stream(self._rng.bit_generator, None)
+
+    def set_state(self, data: dict) -> None:
+        _restore_scalar_stream(self._rng, data)
+
     def draw(self, m: int) -> tuple[list[int], list[int], list[float]]:
         rng = self._rng
         select = self._structure.select_pair
@@ -366,6 +432,12 @@ class _RawMutationDecoder:
         self._n_states = n_states
         self._per_event = 1 + n_states // 4
         self._half: int | None = None
+
+    def state_dict(self) -> dict:
+        return _capture_stream(self._bitgen, self._half)
+
+    def set_state(self, data: dict) -> None:
+        self._half = _restore_raw_stream(self._bitgen, data)
 
     def _take_halves(self, peek: _RawPeek, need: int) -> tuple[np.ndarray, int]:
         """``need`` half-words as one array (carry first when present),
@@ -447,6 +519,12 @@ class _ScalarMutationDecoder:
         self._rng = rng
         self._n = n_ssets
         self._n_states = n_states
+
+    def state_dict(self) -> dict:
+        return _capture_stream(self._rng.bit_generator, None)
+
+    def set_state(self, data: dict) -> None:
+        _restore_scalar_stream(self._rng, data)
 
     def draw(self, m: int) -> tuple[list[int], np.ndarray]:
         rng = self._rng

@@ -8,11 +8,19 @@ from .results_writer import (
     result_to_dict,
     save_result,
 )
+from .run_checkpoint import (
+    RunCheckpointer,
+    load_run_checkpoint,
+    save_run_checkpoint,
+)
 
 __all__ = [
     "load_checkpoint",
     "load_population",
     "save_population",
+    "RunCheckpointer",
+    "load_run_checkpoint",
+    "save_run_checkpoint",
     "GenerationRecorder",
     "read_records",
     "RESULT_FORMAT_VERSION",

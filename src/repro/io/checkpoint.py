@@ -55,21 +55,34 @@ def load_checkpoint(path: str | Path) -> tuple[Population, str | None]:
     if not path.exists():
         raise CheckpointError(f"no checkpoint at {path}")
     try:
-        data = np.load(path)
+        # np.load on an .npz keeps the zip member handles open until the
+        # NpzFile is closed; the context manager releases the descriptor
+        # even when a validation error fires mid-parse.
+        with np.load(path) as data:
+            required = {"version", "memory_steps", "strategy_matrix", "n_agents"}
+            missing = required - set(data.files)
+            if missing:
+                raise CheckpointError(
+                    f"checkpoint {path} missing fields: {sorted(missing)}"
+                )
+            version = int(data["version"])
+            if version != _FORMAT_VERSION:
+                raise CheckpointError(
+                    f"checkpoint {path} has format version {version}; this "
+                    f"reader understands population-checkpoint version "
+                    f"{_FORMAT_VERSION} (mid-run run-state snapshots are "
+                    f"artifact directories — see repro.io.run_checkpoint)"
+                )
+            memory_steps = int(data["memory_steps"])
+            matrix = data["strategy_matrix"]
+            n_agents = data["n_agents"]
+            structure = (
+                str(data["structure"]) if "structure" in data.files else None
+            )
+    except CheckpointError:
+        raise
     except Exception as err:  # zipfile/format errors
         raise CheckpointError(f"unreadable checkpoint {path}: {err}") from err
-    required = {"version", "memory_steps", "strategy_matrix", "n_agents"}
-    missing = required - set(data.files)
-    if missing:
-        raise CheckpointError(f"checkpoint {path} missing fields: {sorted(missing)}")
-    version = int(data["version"])
-    if version != _FORMAT_VERSION:
-        raise CheckpointError(
-            f"checkpoint {path} has version {version}, expected {_FORMAT_VERSION}"
-        )
-    memory_steps = int(data["memory_steps"])
-    matrix = data["strategy_matrix"]
-    n_agents = data["n_agents"]
     if matrix.shape[0] != n_agents.shape[0]:
         raise CheckpointError(
             f"checkpoint {path} inconsistent: {matrix.shape[0]} strategies vs "
@@ -79,7 +92,6 @@ def load_checkpoint(path: str | Path) -> tuple[Population, str | None]:
     population = Population.from_strategies(strategies)
     for sset, agents in zip(population.ssets, n_agents):
         sset.n_agents = int(agents)
-    structure = str(data["structure"]) if "structure" in data.files else None
     return population, structure
 
 

@@ -7,13 +7,16 @@ spec is explicit about the science it asks for) plus execution options.
 It round-trips through plain dicts/JSON — the service's wire form — and
 hashes to a stable :meth:`fingerprint` that keys the result cache.
 
-The fingerprint covers the **science only**: the ordered config dicts.
-Execution options (backend, workers, priority, engine sharing) are
-deliberately excluded — every backend follows the bit-identical trajectory
-for a given config and seed (pinned by the repo's parity suites), so an
-``ensemble``-executed result is a valid cache hit for an ``event``-backend
-request.  Two submissions collide iff they ask for the same runs in the
-same order.
+The fingerprint covers the **science only**: the ordered config dicts,
+minus the resume-neutral execution fields
+(:data:`repro.core.runstate.RESUME_NEUTRAL_FIELDS` — checkpoint cadence,
+array backend, paymat blocking, pool caps).  Execution options (backend,
+workers, priority, engine sharing) are likewise excluded — every backend
+follows the bit-identical trajectory for a given config and seed (pinned
+by the repo's parity suites), so an ``ensemble``-executed result is a
+valid cache hit for an ``event``-backend request, and a run submitted
+*with* checkpointing hits the cache entry its uncheckpointed twin wrote.
+Two submissions collide iff they ask for the same runs in the same order.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from ..core.config import EvolutionConfig
+from ..core.runstate import RESUME_NEUTRAL_FIELDS
 from ..errors import ConfigurationError
 from .retry import RetryPolicy
 
@@ -35,7 +39,12 @@ PRIORITIES = ("interactive", "batch")
 
 #: Version stamped into the hashed payload — bump to invalidate every
 #: cached fingerprint when the canonical form changes incompatibly.
-SPEC_FORMAT_VERSION = 1
+#: Version 2 dropped the resume-neutral execution fields from the hashed
+#: config dicts; the *wire* field set is unchanged, so :meth:`from_dict`
+#: still accepts version-1 dicts (journals written by older builds replay).
+SPEC_FORMAT_VERSION = 2
+
+_READABLE_VERSIONS = (1, SPEC_FORMAT_VERSION)
 
 
 @dataclass(frozen=True)
@@ -144,7 +153,14 @@ class JobSpec:
         if cached is None:
             payload = {
                 "format": SPEC_FORMAT_VERSION,
-                "configs": [c.to_dict() for c in self.configs],
+                "configs": [
+                    {
+                        k: v
+                        for k, v in c.to_dict().items()
+                        if k not in RESUME_NEUTRAL_FIELDS
+                    }
+                    for c in self.configs
+                ],
             }
             canonical = json.dumps(
                 payload, sort_keys=True, separators=(",", ":")
@@ -187,10 +203,10 @@ class JobSpec:
                 f"known fields: {', '.join(sorted(known))}"
             )
         version = data.get("version", SPEC_FORMAT_VERSION)
-        if version != SPEC_FORMAT_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ConfigurationError(
                 f"job spec version {version!r} is not supported "
-                f"(this server speaks version {SPEC_FORMAT_VERSION})"
+                f"(this server speaks versions {_READABLE_VERSIONS})"
             )
         raw_configs = data.get("configs")
         if not isinstance(raw_configs, Sequence) or isinstance(

@@ -42,6 +42,17 @@ Fault tolerance (PR 8) adds four guarantees on top:
   records (they replay on restart alongside the still-queued backlog),
   and leaves the queue ready for a clean :meth:`close`.
 
+Mid-run checkpointing (PR 9) shrinks the replay cost of all of the above:
+with a ``checkpoint_dir``, jobs whose configs set ``checkpoint_every``
+snapshot their full run state at that cadence
+(:mod:`repro.core.runstate` via :class:`~repro.io.run_checkpoint.RunCheckpointer`),
+each save leaves a non-terminal ``checkpoint`` record in the journal, and
+a replayed or retried job resumes **bit-identically** from its newest
+valid snapshot — same events, same trajectory, same payload — instead of
+recomputing from generation zero.  Successful jobs discard their
+snapshots; corrupt ones quarantine and fall back (older snapshot, then
+full replay).
+
 Jobs execute through :func:`repro.api.run_sweep` in executor threads —
 the actual science path is exactly the library one, warm engine pools
 (:mod:`repro.service.pools`) included.  Fault-injection sites
@@ -58,14 +69,18 @@ import threading
 import time
 import traceback
 from collections import OrderedDict
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Any, Callable
+
+import numpy as np
 
 from .. import faults
 from ..api.backends import get_backend
 from ..api.sweep import run_sweep
 from ..core.evolution import EvolutionResult
 from ..core.progress import CancelToken, ProgressTick, cancel_scope, progress_scope
+from ..core.runstate import checkpoint_scope
 from ..errors import (
     ConfigurationError,
     DrainingError,
@@ -76,6 +91,7 @@ from ..errors import (
     ReproError,
     ServiceError,
 )
+from ..io.run_checkpoint import RunCheckpointer
 from .jobspec import PRIORITIES, JobSpec
 from .journal import JobJournal
 from .pools import WarmEnginePool
@@ -247,6 +263,63 @@ class Job:
             }
 
 
+class _CheckpointBridge:
+    """Per-job checkpoint sink over the queue's :class:`RunCheckpointer`.
+
+    Delegates saves and loads to the shared file sink while tying the
+    activity back to the owning job: every save is journaled as a
+    non-terminal ``checkpoint`` record (journal replay skips unknown
+    types, so older builds still read the log), queue-level counters are
+    bumped for ``GET /stats``, and the unit keys the job touched are
+    remembered so a successfully finished job can discard its snapshots.
+    """
+
+    def __init__(self, queue: "JobQueue", job: Job) -> None:
+        self._queue = queue
+        self._job = job
+        self.units: set[str] = set()
+        self.saves = 0
+        self.resumes = 0
+
+    def save(
+        self,
+        unit: str,
+        generation: int,
+        meta: dict[str, Any],
+        arrays: dict[str, np.ndarray],
+    ) -> None:
+        assert self._queue.checkpointer is not None
+        self._queue.checkpointer.save(unit, generation, meta, arrays)
+        self.units.add(unit)
+        self.saves += 1
+        with self._queue._lock:
+            self._queue.checkpoints_written_total += 1
+        # Best-effort breadcrumb only — the snapshot itself is already
+        # durable, and a failed journal append must not abort the science
+        # mid-run.
+        try:
+            self._queue._journal_record(
+                "checkpoint",
+                self._job.job_id,
+                unit=unit,
+                generation=generation,
+            )
+        except Exception:
+            pass
+
+    def load_latest(
+        self, unit: str
+    ) -> tuple[dict[str, Any], dict[str, np.ndarray]] | None:
+        assert self._queue.checkpointer is not None
+        state = self._queue.checkpointer.load_latest(unit)
+        self.units.add(unit)
+        if state is not None:
+            self.resumes += 1
+            with self._queue._lock:
+                self._queue.resumed_total += 1
+        return state
+
+
 class JobQueue:
     """Bounded async job queue over ``run_sweep`` (see module docstring).
 
@@ -273,6 +346,16 @@ class JobQueue:
         replays any pending jobs a previous process left behind
         (``recovered_total`` counts them).  ``None`` = in-memory only,
         the PR 6 behavior.
+    checkpoint_dir:
+        Root directory for mid-run run-state snapshots
+        (:class:`~repro.io.run_checkpoint.RunCheckpointer`).  When given,
+        jobs whose configs set ``checkpoint_every`` snapshot at that
+        cadence, and a replayed or retried job resumes bit-identically
+        from its newest valid snapshot instead of recomputing from
+        generation zero.  Snapshots reach the in-process sweep path only
+        (``spec.workers`` unset/1 — the service default); process-pool
+        fan-out runs without them.  A job that finishes successfully
+        discards its snapshots.  ``None`` = no mid-run checkpointing.
     """
 
     def __init__(
@@ -284,6 +367,7 @@ class JobQueue:
         coalesce: bool = True,
         history: int = 1024,
         journal: str | Path | None = None,
+        checkpoint_dir: str | Path | None = None,
         _run_sweep: Callable[..., list[EvolutionResult]] = run_sweep,
     ) -> None:
         if workers < 1:
@@ -325,6 +409,13 @@ class JobQueue:
         #: verbatim (``GET /stats`` surfaces both).
         self.engine_peak_paymat_bytes = 0
         self.last_shared_engine: dict[str, int] | None = None
+        self.checkpointer: RunCheckpointer | None = (
+            RunCheckpointer(checkpoint_dir)
+            if checkpoint_dir is not None
+            else None
+        )
+        self.checkpoints_written_total = 0
+        self.resumed_total = 0
 
         # Read the backlog before the journal is touched for appending —
         # replay is a pure read of whatever the previous process left.
@@ -461,6 +552,14 @@ class JobQueue:
         failure: str | None = None
         outcome = JobState.DONE
         attempt = 0
+        # One bridge for the job's whole lifetime, so a retry attempt picks
+        # up the snapshots its predecessor wrote instead of replaying from
+        # generation zero.
+        ckpt = (
+            _CheckpointBridge(self, job)
+            if self.checkpointer is not None
+            else None
+        )
         while True:
             attempt += 1
             job._begin_attempt(attempt)
@@ -477,6 +576,10 @@ class JobQueue:
                 )
                 with progress_scope(job._on_tick), cancel_scope(
                     job.cancel_token
+                ), (
+                    checkpoint_scope(ckpt)
+                    if ckpt is not None
+                    else nullcontext()
                 ):
                     results = self._run_sweep(
                         list(spec.configs),
@@ -553,6 +656,12 @@ class JobQueue:
                 )
                 outcome = JobState.FAILED
                 break
+        if ckpt is not None and outcome == JobState.DONE:
+            # A finished job's results are in the store; its snapshots are
+            # dead weight.  Failed and cancelled jobs keep theirs, so a
+            # journal replay resumes mid-run instead of from scratch.
+            for unit in ckpt.units:
+                self.checkpointer.discard(unit)
         with self._lock:
             followers = self._followers.pop(job.fingerprint, [])
             self._active.pop(job.fingerprint, None)
@@ -783,6 +892,15 @@ class JobQueue:
                         "records_written": self.journal.records_written,
                     }
                     if self.journal is not None
+                    else None
+                ),
+                "checkpoints": (
+                    {
+                        "dir": str(self.checkpointer.root),
+                        "written_total": self.checkpoints_written_total,
+                        "resumed_total": self.resumed_total,
+                    }
+                    if self.checkpointer is not None
                     else None
                 ),
                 "engine": {

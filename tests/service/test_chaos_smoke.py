@@ -10,6 +10,10 @@ The ISSUE PR 8 acceptance scenario, end to end through real processes:
   payloads still come out **bit-identical** to a local ``run_sweep``;
 * ``SIGTERM`` drains gracefully: the process exits 0 and the jobs it
   could not finish stay pending in the journal for the next start.
+* (PR 9) a ``--checkpoint-dir`` server is SIGKILLed mid-*run*; the
+  restart resumes the job from its mid-run snapshot — provably partial
+  work (fewer progress ticks than generations) with a payload
+  bit-identical to an uninterrupted local ``run_sweep``.
 
 This is the test the CI chaos job runs.
 """
@@ -27,6 +31,7 @@ from pathlib import Path
 
 from repro.api import run_sweep
 from repro.core import EvolutionConfig
+from repro.core.progress import progress_scope
 from repro.io import result_to_dict
 from repro.service import JobJournal, JobSpec, RetryPolicy, SweepClient
 
@@ -157,6 +162,91 @@ def test_sigkill_midqueue_then_restart_completes_every_job(tmp_path):
         process.wait(timeout=30)
     assert process.returncode == 0
     assert JobJournal.replay(wal) == []  # nothing left to recover
+
+
+def test_sigkill_midrun_then_restart_resumes_from_snapshot(tmp_path):
+    wal = tmp_path / "jobs.wal"
+    ckpt = tmp_path / "ckpt"
+    # One long checkpointed run.  Engine pair sharing stays off at *both*
+    # levels — the spec's intra-sweep flag and the server's warm pool —
+    # because cross-run pair sharing is the deterministic mode that
+    # (correctly) refuses mid-run snapshots: a resume rebuilds only its
+    # own live pairs, so the shared store would diverge from an
+    # uninterrupted process.
+    config = EvolutionConfig(
+        n_ssets=8, generations=1500, rounds=16, seed=2300,
+        checkpoint_every=300,
+    )
+    spec = JobSpec(configs=(config,), share_engine=False)
+
+    process, client = start_server(
+        ["--workers", "1", "--no-warm-pool", "--journal", str(wal),
+         "--checkpoint-dir", str(ckpt), "--faults", SLOW_PLAN],
+    )
+    try:
+        job_id = client.submit(spec)["job_id"]
+        # Wait until at least one mid-run snapshot is durable, then kill
+        # while the run is still far from done (the slow plan stretches
+        # the full horizon to ~30s; the first snapshot lands around 6s).
+        deadline = time.monotonic() + 60
+        while True:
+            checkpoints = client.stats()["queue"]["checkpoints"]
+            if checkpoints["written_total"] >= 1:
+                break
+            assert time.monotonic() < deadline, "no snapshot before deadline"
+            time.sleep(0.2)
+    finally:
+        process.kill()
+        process.wait(timeout=10)
+    assert [r["job_id"] for r in JobJournal.replay(wal)] == [job_id]
+    assert list(ckpt.glob("unit-*/gen-*/meta.json"))  # durable snapshot
+
+    process, client = start_server(
+        ["--workers", "1", "--no-warm-pool", "--journal", str(wal),
+         "--checkpoint-dir", str(ckpt)],
+    )
+    try:
+        assert "journal replayed 1 pending job(s)" in process.stdout.readline()
+        deadline = time.monotonic() + 120
+        while True:
+            (job,) = client.jobs()
+            if job["state"] in ("done", "failed", "cancelled"):
+                break
+            assert time.monotonic() < deadline, f"job never finished: {job}"
+            time.sleep(0.2)
+
+        assert job["state"] == "done"
+        assert job["recovered_from"] == job_id
+        assert client.stats()["queue"]["checkpoints"]["resumed_total"] >= 1
+
+        # An uninterrupted local run of the same config, its progress
+        # ticks counted: the restarted server must have executed strictly
+        # less than that — the resumed tail, not the whole horizon.
+        # (Same config for the reference: without a sink armed the
+        # cadence field is inert.)
+        full_ticks = 0
+
+        def count_tick(tick):
+            nonlocal full_ticks
+            full_ticks += 1
+
+        with progress_scope(count_tick):
+            direct = run_sweep(
+                [config], backend="ensemble", share_engine=False
+            )[0]
+        assert 0 < job["progress"]["ticks_seen"] < full_ticks
+
+        # ... and partial execution is invisible in the science: the
+        # payload is bit-identical to the uninterrupted run.
+        payload = client.result(job["job_id"], events=True)
+        assert strip_volatile(payload["results"][0]) == strip_volatile(
+            result_to_dict(direct, include_events=True)
+        )
+    finally:
+        process.terminate()
+        process.wait(timeout=30)
+    assert process.returncode == 0
+    assert JobJournal.replay(wal) == []
 
 
 def test_sigterm_drains_cleanly_and_journals_the_backlog(tmp_path):

@@ -251,3 +251,113 @@ class TestStructureFlag:
              "16", "--structure", "ring:k=8"]
         ) == 2
         assert capsys.readouterr().err.startswith("repro: error:")
+
+
+class TestRunStateCheckpointing:
+    """Mid-run snapshots: --checkpoint-dir / --resume-from / `repro resume`."""
+
+    ARGS = [*SMALL, "--seed", "11", "--checkpoint-every", "200"]
+
+    def checkpointed_run(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(["evolve", *self.ARGS, "--checkpoint-dir", ckpt]) == 0
+        (unit_dir,) = (tmp_path / "ckpt").glob("unit-*")
+        return unit_dir, dominant_line(capsys)
+
+    def test_evolve_writes_cadenced_snapshots(self, tmp_path, capsys):
+        unit_dir, line = self.checkpointed_run(tmp_path, capsys)
+        # Cadence 200 over 500 generations -> boundaries 200 and 400.
+        assert sorted(p.name for p in unit_dir.iterdir()) == [
+            f"gen-{200:012d}", f"gen-{400:012d}",
+        ]
+        assert line.startswith("dominant:")
+
+    def test_resume_subcommand_finishes_bit_identically(
+        self, tmp_path, capsys
+    ):
+        unit_dir, clean_line = self.checkpointed_run(tmp_path, capsys)
+        assert main(["resume", str(unit_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed-from=400" in out
+        (line,) = [l for l in out.splitlines() if l.startswith("dominant:")]
+        assert line == clean_line
+
+    def test_resume_accepts_a_single_snapshot_directory(
+        self, tmp_path, capsys
+    ):
+        unit_dir, clean_line = self.checkpointed_run(tmp_path, capsys)
+        assert main(["resume", str(unit_dir / f"gen-{200:012d}")]) == 0
+        out = capsys.readouterr().out
+        assert "resumed-from=200" in out
+        (line,) = [l for l in out.splitlines() if l.startswith("dominant:")]
+        assert line == clean_line
+
+    def test_evolve_resume_from_matches_clean_run(self, tmp_path, capsys):
+        unit_dir, clean_line = self.checkpointed_run(tmp_path, capsys)
+        assert main(
+            ["evolve", *self.ARGS, "--resume-from", str(unit_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resumed-from=400" in out
+        (line,) = [l for l in out.splitlines() if l.startswith("dominant:")]
+        assert line == clean_line
+
+    def test_resume_from_mismatched_config_is_a_did_you_mean_error(
+        self, tmp_path, capsys
+    ):
+        from repro.__main__ import cli
+
+        unit_dir, _ = self.checkpointed_run(tmp_path, capsys)
+        assert cli(
+            ["evolve", *SMALL, "--seed", "99", "--checkpoint-every", "200",
+             "--resume-from", str(unit_dir)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "did you mean to change these fields?" in err
+        assert "seed" in err
+
+    def test_resume_from_a_v1_population_file_errors_helpfully(
+        self, tmp_path, capsys
+    ):
+        from repro.__main__ import cli
+
+        path = str(tmp_path / "pop.npz")
+        assert main(["evolve", *SMALL, "--checkpoint", path]) == 0
+        capsys.readouterr()
+        assert cli(["resume", path]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "--resume" in err  # points at the population-checkpoint flow
+
+    def test_resume_from_nonexistent_artifact_is_clean(self, tmp_path,
+                                                       capsys):
+        from repro.__main__ import cli
+
+        assert cli(["resume", str(tmp_path / "missing")]) == 2
+        assert capsys.readouterr().err.startswith("repro: error:")
+
+    def test_sweep_checkpoint_dir_smoke(self, tmp_path, capsys):
+        # Memory 2: memory-1 sweeps auto-enable cross-run pair sharing,
+        # the one deterministic mode that (correctly) refuses snapshots.
+        ckpt = str(tmp_path / "ckpt")
+        assert main(
+            ["sweep", "--ssets", "8", "--generations", "400", "--rounds",
+             "16", "--memory", "2", "--runs", "2", "--workers", "1",
+             "--base-seed", "5", "--checkpoint-every", "150",
+             "--checkpoint-dir", ckpt]
+        ) == 0
+        assert capsys.readouterr().out.count("dominant:") == 2
+        assert list((tmp_path / "ckpt").glob("unit-*/gen-*/meta.json"))
+
+    def test_sweep_pair_sharing_refuses_snapshots_quietly(self, tmp_path,
+                                                          capsys):
+        # The memory-1 twin runs fine — it just writes no snapshots.
+        ckpt = str(tmp_path / "ckpt")
+        assert main(
+            ["sweep", "--ssets", "8", "--generations", "400", "--rounds",
+             "16", "--runs", "2", "--workers", "1", "--base-seed", "5",
+             "--checkpoint-every", "150", "--checkpoint-dir", ckpt]
+        ) == 0
+        assert capsys.readouterr().out.count("dominant:") == 2
+        assert not list((tmp_path / "ckpt").glob("unit-*/gen-*/meta.json"))
