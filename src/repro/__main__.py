@@ -100,6 +100,7 @@ def _evolution_config(args: argparse.Namespace, memory: int) -> EvolutionConfig:
         mutation_rate=args.mutation_rate,
         noise=args.noise,
         expected_fitness=args.expected_fitness,
+        sampled_batched=args.sampled_batched,
         structure=args.structure,
         record_every=args.record_every,
         seed=args.seed,
@@ -492,6 +493,15 @@ def _add_evolution_arguments(parser: argparse.ArgumentParser) -> None:
                         dest="expected_fitness",
                         help="exact expected payoffs (Markov engine) instead "
                              "of sampled games; recommended with --noise")
+    parser.add_argument("--sampled-batched", action="store_true",
+                        dest="sampled_batched",
+                        help="batch sampled-stochastic games (--noise or "
+                             "mixed strategies without --expected-fitness) "
+                             "into one vectorised kernel per event over a "
+                             "dedicated seed stream; unlocks the ensemble "
+                             "backend for noisy sweeps. Statistically "
+                             "equivalent to the scalar sampled path, not "
+                             "bit-identical; bit-reproducible per seed")
     parser.add_argument("--structure", default="well-mixed",
                         help="population structure: well-mixed (default), "
                              "complete, ring:k=4, grid, grid:rows=8,cols=8, "

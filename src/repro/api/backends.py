@@ -177,13 +177,21 @@ def _require_positive_batch(batch_size: int) -> None:
 
 
 def _require_sampled_deterministic(config: EvolutionConfig, name: str) -> None:
-    """Reject configs whose fitness the backend cannot evaluate faithfully."""
+    """Reject configs whose fitness the backend cannot evaluate faithfully.
+
+    These backends hold a bit-parity-only contract with the reference
+    drivers, so they cannot adopt the batched sampled mode (whose contract
+    is statistical); the message routes noisy science to the backends that
+    can run it.
+    """
     if config.noise > 0.0 or config.mixed_strategies or config.expected_fitness:
         raise ConfigurationError(
             f"the {name} backend supports deterministic pure-strategy "
             "configurations only (no noise, no mixed strategies, sampled "
-            "fitness); use the event or serial backend for stochastic or "
-            "expected-fitness science"
+            "fitness); for stochastic science use the event or serial "
+            "backend — or sampled_batched=True (CLI --sampled-batched) "
+            "with the event, serial, or ensemble backend for the "
+            "vectorised sampled-fitness fast path"
         )
 
 
@@ -269,7 +277,12 @@ class EnsembleBackend(Backend):
     shared strategy pool and payoff matrix.  Graph-structured lanes ride
     the same fast path as well-mixed ones: their learner-then-neighbor PC
     draws decode in bulk off the raw Philox stream and each generation's
-    event fitness is one flat CSR gather across all event lanes.  Every
+    event fitness is one flat CSR gather across all event lanes.
+    Sampled-stochastic lanes are accepted when the config opts in with
+    ``sampled_batched=True``: each generation's event lanes fuse their
+    sampled games into one vectorised kernel call over per-lane dedicated
+    streams (bit-identical to the same-seed serial ``sampled_batched``
+    run; statistically equivalent to the scalar legacy path).  Every
     lane's trajectory is bit-identical to the same-seed serial ``event``
     run (pinned by the lane-parity tests); execution metadata
     (``cache_hits``/``cache_misses`` and the backend report's
@@ -297,13 +310,16 @@ class EnsembleBackend(Backend):
             # Resolve eagerly: a typo'd name fails here, an absent
             # accelerator stack falls back cleanly at engine construction.
             get_array_backend(self.array_backend)
-        if config.is_stochastic:
+        if config.is_stochastic and not config.sampled_batched:
             raise ConfigurationError(
                 "the ensemble backend supports deterministic and expected-"
                 "fitness configurations only (sampled-stochastic fitness "
                 "draws one fresh game per probe and cannot be lane-batched "
-                "without changing the trajectory); use the event or serial "
-                "backend"
+                "without changing the trajectory); opt in to the batched "
+                "sampled engine with sampled_batched=True (CLI "
+                "--sampled-batched; statistically equivalent to the scalar "
+                "path, bit-reproducible per seed), or use the event or "
+                "serial backend"
             )
 
     def run(

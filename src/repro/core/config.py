@@ -129,6 +129,20 @@ class EvolutionConfig:
         importable falls back to NumPy, recorded in the backend report.
         RNG decoding stays on host either way, so every lane remains
         bit-identical to its same-seed serial ``event`` run.
+    sampled_batched:
+        Opt in to the batched sampled-stochastic fitness engine
+        (:class:`~repro.core.engine.SampledFitnessEngine`): every sampled
+        game a pairwise-comparison event needs is evaluated as one
+        vectorised program over :func:`repro.core.vectorgame.play_pairs`,
+        drawing game noise from a dedicated ``("nature", "sampled")``
+        seed stream.  Trajectories are reproducible per seed and every
+        ensemble lane is bit-identical to its same-seed serial run, but
+        the mode is deliberately *not* bit-identical to the scalar legacy
+        sampled path (the draws come from a different stream in a
+        different order) — equivalence to legacy is statistical, pinned
+        by distribution tests.  Requires a sampled-stochastic
+        configuration (``is_stochastic``); it also unlocks the
+        ``ensemble`` backend for noisy workloads.
     checkpoint_every:
         Emit a mid-run run-state checkpoint every this many generations
         (0 = never, the default).  Checkpoints capture the full run state
@@ -164,6 +178,7 @@ class EvolutionConfig:
     engine_pool_cap: int = 0
     paymat_block: int = 0
     array_backend: str = "numpy"
+    sampled_batched: bool = False
     checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
@@ -224,6 +239,13 @@ class EvolutionConfig:
                 f"unknown array_backend {self.array_backend!r}; known: "
                 f"{', '.join(KNOWN_BACKENDS)}"
             )
+        if self.sampled_batched and not self.is_stochastic:
+            raise ConfigurationError(
+                "sampled_batched batches sampled-stochastic games and needs "
+                "a sampled regime (noise > 0 or mixed_strategies, without "
+                "expected_fitness); this configuration evaluates fitness "
+                "deterministically, so there is nothing to sample"
+            )
         # Parse + bind eagerly so a bad spec (or one incompatible with
         # n_ssets) fails at construction, not mid-run.
         validate_structure(self.structure, self.n_ssets)
@@ -257,6 +279,8 @@ class EvolutionConfig:
             parts.append("mixed")
         if self.expected_fitness:
             parts.append("expected-fitness")
+        if self.sampled_batched:
+            parts.append("sampled-batched")
         if not self.engine:
             parts.append("legacy-cache")
         if self.engine_pool_cap:
@@ -377,7 +401,7 @@ _INT_FIELDS = frozenset({
 _FLOAT_FIELDS = frozenset({"pc_rate", "mutation_rate", "beta", "noise"})
 _BOOL_FIELDS = frozenset({
     "mixed_strategies", "include_self_play", "allow_downhill_learning",
-    "expected_fitness", "engine", "record_events",
+    "expected_fitness", "engine", "record_events", "sampled_batched",
 })
 _STR_FIELDS = frozenset({"array_backend"})
 # A future EvolutionConfig field that is not classified above (and is not

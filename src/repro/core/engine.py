@@ -50,7 +50,14 @@ regime split:
   is an independent draw from the shared RNG stream and is never cached,
   so there is nothing to vectorise without changing the random-number
   consumption (and hence the trajectory).  :meth:`FitnessEngine.from_config`
-  returns ``None`` and the drivers keep the legacy scalar path.
+  returns ``None`` and the drivers keep the legacy scalar path — unless the
+  configuration *opts in* with ``sampled_batched=True``, which swaps in the
+  :class:`SampledFitnessEngine` below: all of an event's sampled games run
+  as one :func:`repro.core.vectorgame.play_pairs_uniforms` program over a
+  dedicated seed stream.  That mode trades the bit-parity contract for a
+  *statistical-equivalence* contract against the legacy scalar path
+  (pinned by distribution tests), while staying bit-reproducible per seed
+  and bit-identical between the serial and ensemble drivers.
 """
 
 from __future__ import annotations
@@ -67,13 +74,21 @@ from .cycle import exact_payoffs
 from .markov import expected_payoffs, expected_payoffs_many
 from .paymat import BlockedPairStore, validate_paymat_block
 from .payoff import PAPER_PAYOFF, PayoffMatrix
+from .payoff_cache import PayoffCache
 from .states import num_states
 from .strategy import Strategy
-from .vectorgame import cycle_payoffs_pairs, stack_tables
+from .vectorgame import (
+    cycle_payoffs_pairs,
+    play_pairs_uniforms,
+    sampled_draws_per_round,
+    stack_tables,
+)
 
 __all__ = [
     "StrategyPool",
     "FitnessEngine",
+    "SampledFitnessEngine",
+    "SampledPlan",
     "is_integer_payoff",
     "shared_engine_pairs",
     "enable_engine_pair_sharing",
@@ -869,3 +884,367 @@ class FitnessEngine:
                 "strategy pool desynced from the population multiset "
                 f"({len(counts)} distinct expected, {len(live)} live)"
             )
+
+
+class SampledPlan:
+    """The sampled games one PC event needs, collected but not yet played.
+
+    Built by :meth:`SampledFitnessEngine.pc_plan` and executed by
+    :meth:`SampledFitnessEngine.eval_plans`, which may fuse many plans —
+    one per ensemble lane — into a single kernel call.  ``rows`` interns
+    the distinct strategy tables the plan's games reference; ``a_idx``
+    (always the focal side) and ``b_idx`` index into it.  ``sides`` says
+    which of the event's two SSets each game belongs to, ``weights`` the
+    histogram multiplicities (including the legacy ``-1`` self-play
+    correction game), and ``base`` carries the two sides' deterministic
+    (cached, pure-noiseless) payoff contributions.
+    """
+
+    __slots__ = ("rows", "_ids", "a_idx", "b_idx", "weights", "sides", "base")
+
+    def __init__(self) -> None:
+        self.rows: list[np.ndarray] = []
+        self._ids: dict[bytes, int] = {}
+        self.a_idx: list[int] = []
+        self.b_idx: list[int] = []
+        self.weights: list[float] = []
+        self.sides: list[int] = []
+        self.base = [0.0, 0.0]
+
+    @property
+    def n_games(self) -> int:
+        return len(self.a_idx)
+
+    def intern(self, strategy: Strategy, table: np.ndarray) -> int:
+        key = strategy.key()
+        row = self._ids.get(key)
+        if row is None:
+            row = len(self.rows)
+            self.rows.append(table)
+            self._ids[key] = row
+        return row
+
+    def add_game(self, a_row: int, b_row: int, weight: float, side: int) -> None:
+        self.a_idx.append(a_row)
+        self.b_idx.append(b_row)
+        self.weights.append(weight)
+        self.sides.append(side)
+
+
+class SampledFitnessEngine(PayoffCache):
+    """Batched sampled-stochastic fitness (``EvolutionConfig.sampled_batched``).
+
+    A :class:`~repro.core.payoff_cache.PayoffCache` subclass, so every
+    legacy entry point (``pair_payoffs`` / ``payoffs_to_many`` / histogram
+    fitness / checkpoint eval-log capture) keeps working — but stochastic
+    games are evaluated through one vectorised
+    :func:`~repro.core.vectorgame.play_pairs_uniforms` call per batch
+    instead of the scalar :func:`~repro.core.game.play_game` loop, with
+    uniforms pre-drawn from a **dedicated** Philox stream (``("nature",
+    "sampled")``).  Pure-noiseless pairs that arise in mixed-strategy
+    configurations still go through the inherited deterministic cache
+    (those payoffs carry no randomness).
+
+    Contract: per-seed reproducible, and bit-identical between the serial
+    drivers and the ensemble driver's per-lane trajectories (pre-drawn
+    uniform blocks concatenate along the games axis without changing any
+    lane's bits — see :func:`~repro.core.vectorgame.play_pairs_uniforms`).
+    Deliberately **not** bit-identical to the scalar legacy sampled path:
+    the draws come from a different stream in a different shape, so
+    batched-vs-legacy agreement is statistical (KS / CI tests in the
+    suite), which is exactly the trade the opt-in flag announces.
+    """
+
+    def __init__(
+        self,
+        rounds: int,
+        payoff: PayoffMatrix = PAPER_PAYOFF,
+        noise: float = 0.0,
+        rng: "np.random.Generator | None" = None,
+        mixed: bool = False,
+        array_backend: str | None = None,
+    ):
+        if noise <= 0.0 and not mixed:
+            raise ConfigurationError(
+                "SampledFitnessEngine serves sampled-stochastic fitness "
+                "(noise > 0 or mixed strategies); deterministic "
+                "configurations have nothing to sample"
+            )
+        if rng is None:
+            raise ConfigurationError(
+                "SampledFitnessEngine needs a dedicated rng (the "
+                "('nature', 'sampled') stream)"
+            )
+        super().__init__(rounds, payoff, noise=noise, rng=rng, expected=False)
+        #: The *configuration's* mixed flag, not a property of the live
+        #: strategies: mixed runs stack float tables (which consume move
+        #: draws) even for pure tables, so the per-round draw count stays
+        #: constant across the run and across ensemble lanes.
+        self.mixed = mixed
+        self.xb = get_array_backend(array_backend)
+        self.games_played = 0
+        self.batches = 0
+
+    @classmethod
+    def from_config(
+        cls, config: EvolutionConfig, rng: "np.random.Generator"
+    ) -> "SampledFitnessEngine | None":
+        """Build the batched sampled engine, or ``None`` when the config
+        did not opt in (or is not sampled-stochastic)."""
+        if not (config.sampled_batched and config.is_stochastic):
+            return None
+        return cls(
+            rounds=config.rounds,
+            payoff=config.payoff,
+            noise=config.noise,
+            rng=rng,
+            mixed=config.mixed_strategies,
+            array_backend=config.array_backend,
+        )
+
+    # -- batched kernel plumbing ------------------------------------------------
+
+    @property
+    def draws_per_round(self) -> int:
+        """Uniform draws per game round (fixed per configuration)."""
+        return sampled_draws_per_round(self.mixed, self.noise)
+
+    def _table_of(self, strategy: Strategy) -> np.ndarray:
+        return (
+            strategy.defect_probabilities() if self.mixed else strategy.table
+        )
+
+    def draw_uniforms(self, n_games: int) -> np.ndarray:
+        """Pre-draw one batch's uniforms from the dedicated stream.
+
+        Shape ``(rounds, draws_per_round, n_games)`` — the layout
+        :func:`~repro.core.vectorgame.play_pairs_uniforms` consumes.  The
+        ensemble driver calls this per lane and concatenates the blocks
+        along the games axis, which keeps every lane's stream consumption
+        identical to its serial run.
+        """
+        return self.rng.random((self.rounds, self.draws_per_round, n_games))
+
+    def _play_games(
+        self, games: list[tuple[Strategy, Strategy]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Play independent sampled games in one kernel call."""
+        plan = SampledPlan()
+        for a, b in games:
+            plan.add_game(
+                plan.intern(a, self._table_of(a)),
+                plan.intern(b, self._table_of(b)),
+                1.0,
+                0,
+            )
+        tables = np.stack(plan.rows)
+        uniforms = self.draw_uniforms(plan.n_games)
+        self.games_played += plan.n_games
+        self.batches += 1
+        return play_pairs_uniforms(
+            tables,
+            np.asarray(plan.a_idx, dtype=np.intp),
+            np.asarray(plan.b_idx, dtype=np.intp),
+            self.rounds,
+            self.payoff,
+            self.noise,
+            uniforms,
+            xb=self.xb,
+        )
+
+    # -- legacy PayoffCache surface ---------------------------------------------
+
+    def pair_payoffs(self, a: Strategy, b: Strategy) -> tuple[float, float]:
+        """One game's ``(to_a, to_b)`` — batched kernel for sampled pairs,
+        inherited deterministic cache for pure-noiseless ones."""
+        if self._deterministic(a, b):
+            return super().pair_payoffs(a, b)
+        pay_a, pay_b = self._play_games([(a, b)])
+        return float(pay_a[0]), float(pay_b[0])
+
+    def payoffs_to_many(self, a: Strategy, others: list[Strategy]) -> np.ndarray:
+        """Payoffs ``a`` earns against each of ``others``.
+
+        Deterministic pairs resolve through the inherited cache (probe
+        order preserved, so the eval log replays bit-exactly on restore);
+        all sampled pairs run as one kernel batch.
+        """
+        out = np.empty(len(others), dtype=np.float64)
+        games: list[tuple[Strategy, Strategy]] = []
+        slots: list[int] = []
+        for i, b in enumerate(others):
+            if self._deterministic(a, b):
+                out[i] = super().pair_payoffs(a, b)[0]
+            else:
+                games.append((a, b))
+                slots.append(i)
+        if games:
+            pay_a, _ = self._play_games(games)
+            out[np.asarray(slots, dtype=np.intp)] = pay_a
+        return out
+
+    # -- PC-event plans ----------------------------------------------------------
+
+    def _side_into_plan(
+        self,
+        plan: SampledPlan,
+        side: int,
+        population,
+        structure,
+        sset_id: int,
+        include_self_play: bool,
+    ) -> None:
+        """Collect one SSet's fitness games into ``plan``.
+
+        Mirrors the legacy histogram semantics exactly: one game per
+        *distinct* opponent strategy weighted by its multiplicity —
+        the global population histogram (insertion order) when well-mixed,
+        a local neighborhood histogram (first-occurrence order) on graphs —
+        plus the self-play correction game (an independent ``-1``-weighted
+        sample when self-play is excluded well-mixed; a ``+1`` game when a
+        graph includes it, since graph neighborhoods carry no self-loop).
+        """
+        me = population[sset_id].strategy
+        me_row: int | None = None
+        if structure.is_well_mixed:
+            hist = population.histogram
+            items = [
+                (hist.exemplars[key], count)
+                for key, count in hist.counts.items()
+            ]
+            self_weight = 0.0 if include_self_play else -1.0
+        else:
+            local: dict[bytes, list] = {}
+            for j in structure.neighbors(sset_id):
+                opp = population[int(j)].strategy
+                slot = local.get(opp.key())
+                if slot is None:
+                    local[opp.key()] = [opp, 1]
+                else:
+                    slot[1] += 1
+            items = [(opp, count) for opp, count in local.values()]
+            self_weight = 1.0 if include_self_play else 0.0
+        for opp, count in items:
+            if self._deterministic(me, opp):
+                plan.base[side] += count * super().pair_payoffs(me, opp)[0]
+            else:
+                if me_row is None:
+                    me_row = plan.intern(me, self._table_of(me))
+                plan.add_game(
+                    me_row,
+                    plan.intern(opp, self._table_of(opp)),
+                    float(count),
+                    side,
+                )
+        if self_weight:
+            if self._deterministic(me, me):
+                plan.base[side] += (
+                    self_weight * super().pair_payoffs(me, me)[0]
+                )
+            else:
+                if me_row is None:
+                    me_row = plan.intern(me, self._table_of(me))
+                plan.add_game(me_row, me_row, self_weight, side)
+
+    def pc_plan(
+        self,
+        population,
+        structure,
+        sset_a: int,
+        sset_b: int,
+        include_self_play: bool = False,
+    ) -> SampledPlan:
+        """Collect both sides' games of one PC event (no draws yet)."""
+        plan = SampledPlan()
+        self._side_into_plan(
+            plan, 0, population, structure, sset_a, include_self_play
+        )
+        self._side_into_plan(
+            plan, 1, population, structure, sset_b, include_self_play
+        )
+        return plan
+
+    @staticmethod
+    def eval_plans(
+        pairs: "list[tuple[SampledFitnessEngine, SampledPlan]]",
+    ) -> list[tuple[float, float]]:
+        """Execute many ``(engine, plan)`` pairs as **one** kernel call.
+
+        Each engine draws its own plan's uniform block (so a lane's stream
+        consumption is independent of who else is in the batch), the blocks
+        and game lists concatenate along the games axis, and the fused
+        kernel preserves every lane's bits — which is what makes each
+        ensemble lane bit-identical to its same-seed serial run.  Returns
+        one ``(fitness_a, fitness_b)`` per pair, in order.
+        """
+        offsets: list[int] = []
+        rows: list[np.ndarray] = []
+        a_idx: list[int] = []
+        b_idx: list[int] = []
+        blocks: list[np.ndarray] = []
+        for engine, plan in pairs:
+            offset = len(rows)
+            offsets.append(offset)
+            rows.extend(plan.rows)
+            a_idx.extend(i + offset for i in plan.a_idx)
+            b_idx.extend(i + offset for i in plan.b_idx)
+            if plan.n_games:
+                blocks.append(engine.draw_uniforms(plan.n_games))
+                engine.games_played += plan.n_games
+                engine.batches += 1
+        pay_a: np.ndarray | None = None
+        if a_idx:
+            head = pairs[0][0]
+            uniforms = (
+                blocks[0]
+                if len(blocks) == 1
+                else np.concatenate(blocks, axis=2)
+            )
+            pay_a, _ = play_pairs_uniforms(
+                np.stack(rows),
+                np.asarray(a_idx, dtype=np.intp),
+                np.asarray(b_idx, dtype=np.intp),
+                head.rounds,
+                head.payoff,
+                head.noise,
+                uniforms,
+                xb=head.xb,
+            )
+        results: list[tuple[float, float]] = []
+        cursor = 0
+        for engine, plan in pairs:
+            fits = [plan.base[0], plan.base[1]]
+            for k in range(plan.n_games):
+                fits[plan.sides[k]] += plan.weights[k] * pay_a[cursor + k]
+            cursor += plan.n_games
+            results.append((float(fits[0]), float(fits[1])))
+        return results
+
+    def pc_pair_fitness(
+        self,
+        population,
+        structure,
+        sset_a: int,
+        sset_b: int,
+        include_self_play: bool = False,
+    ) -> tuple[float, float]:
+        """Both PC fitness values in one batched kernel call.
+
+        The duck-typed hook :meth:`repro.structure.InteractionModel.
+        pair_fitness` dispatches to — the serial drivers reach the batched
+        path through it without knowing this engine exists.
+        """
+        plan = self.pc_plan(
+            population, structure, sset_a, sset_b, include_self_play
+        )
+        return SampledFitnessEngine.eval_plans([(self, plan)])[0]
+
+    def stats(self) -> dict[str, int]:
+        """Counters for reports/benchmarks."""
+        return {
+            "games_played": self.games_played,
+            "batches": self.batches,
+            "det_cache": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

@@ -45,7 +45,7 @@ from ..errors import CheckpointError, ConfigurationError
 from ..rng import SeedSequenceTree
 from ..structure import InteractionModel, build_structure
 from .config import EvolutionConfig
-from .engine import FitnessEngine
+from .engine import FitnessEngine, SampledFitnessEngine
 from .nature import NatureAgent
 from .payoff_cache import PayoffCache
 from .population import Population
@@ -163,8 +163,14 @@ def _make_evaluator(
     :class:`FitnessEngine` whenever the configuration's fitness regime
     supports it bit-identically; otherwise — sampled-stochastic fitness,
     non-integer payoffs, or ``engine=False`` — the legacy
-    :class:`PayoffCache` reference path.
+    :class:`PayoffCache` reference path.  A ``sampled_batched`` opt-in
+    swaps in the batched :class:`SampledFitnessEngine` instead, fed by
+    the Nature Agent's dedicated ``("nature", "sampled")`` stream.
     """
+    sampled = SampledFitnessEngine.from_config(config, nature.sampled_rng)
+    if sampled is not None:
+        population.bind_engine(None)
+        return sampled
     engine = FitnessEngine.from_config(config)
     population.bind_engine(engine)
     if engine is not None:

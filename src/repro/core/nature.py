@@ -14,7 +14,15 @@ Stream layout (from :class:`repro.rng.SeedSequenceTree`):
 * ``events``   — two uniforms per generation (PC? mutation?), batchable;
 * ``pc``       — teacher/learner selection + the Fermi adoption uniform;
 * ``mutation`` — target selection + mutant strategy bits;
-* ``games``    — game sampling for stochastic configurations.
+* ``games``    — game sampling for stochastic configurations;
+* ``sampled``  — game sampling for the opt-in *batched* sampled engine
+  (:class:`~repro.core.engine.SampledFitnessEngine`).  A dedicated stream,
+  so the batched mode is reproducible per seed without perturbing the four
+  legacy streams (its games are deliberately not bit-identical to the
+  scalar ``games`` draws — equivalence to legacy is statistical).  Not part
+  of :meth:`NatureAgent.stream_states`: checkpoints carry its position in
+  the evaluator snapshot instead, keeping legacy checkpoint payloads
+  byte-stable.
 
 Because streams are separate, a driver that *batches* the events stream
 (event-driven mode) consumes exactly the same pc/mutation draws as one that
@@ -75,6 +83,7 @@ class NatureAgent:
         self._pc_rng = tree.generator("nature", "pc")
         self._mutation_rng = tree.generator("nature", "mutation")
         self.games_rng = tree.generator("nature", "games")
+        self.sampled_rng = tree.generator("nature", "sampled")
 
     # -- checkpointing ------------------------------------------------------
 

@@ -51,8 +51,14 @@ from typing import Any, Iterator, Mapping, Protocol
 import numpy as np
 
 from ..errors import CheckpointError
+from ..rng import make_rng
 from .config import EvolutionConfig
-from .engine import FitnessEngine, is_integer_payoff, pair_sharing_active
+from .engine import (
+    FitnessEngine,
+    SampledFitnessEngine,
+    is_integer_payoff,
+    pair_sharing_active,
+)
 from .payoff_cache import PayoffCache, StrategyHistogram
 from .population import Population
 from .strategy import Strategy
@@ -510,6 +516,12 @@ def capture_evaluator(
     * Legacy :class:`PayoffCache` — the ordered evaluation log with a
       strategy reference table; the sampled-stochastic regime never caches,
       so its log is empty and only the counters travel.
+    * Batched :class:`SampledFitnessEngine` — the same ordered log (it only
+      ever records the *deterministic* probes its inherited cache served;
+      sampled games are never cached, so replaying the log consumes no
+      randomness) plus the dedicated sampled stream's raw bit-generator
+      state, which lives here rather than in the Nature Agent's stream
+      snapshot so legacy checkpoint payloads stay byte-stable.
     """
     if isinstance(evaluator, FitnessEngine):
         meta: dict[str, Any] = {
@@ -579,6 +591,15 @@ def capture_evaluator(
         "hits": evaluator.hits,
         "misses": evaluator.misses,
     }
+    if isinstance(evaluator, SampledFitnessEngine):
+        # Only deterministic probes ever reach the log (the batched games
+        # are redrawn, not cached), so the logged strategies are all pure
+        # and the replay consumes no randomness — the stream position
+        # snapshot alone carries the sampled state.
+        meta["type"] = "sampled"
+        meta["rng"] = generator_state(evaluator.rng)
+        meta["games_played"] = evaluator.games_played
+        meta["batches"] = evaluator.batches
     arrays = {
         "eval_tables": tables,
         "eval_op_kind": np.array(kinds_list, dtype=np.uint8),
@@ -676,15 +697,24 @@ def restore_evaluator(
         population._sids = np.asarray(arrays["eval_sids"], dtype=np.int64).copy()
         return engine
 
-    # Legacy PayoffCache.
+    # Legacy PayoffCache — or its batched sampled subclass.
     population.bind_engine(None)
-    cache = PayoffCache(
-        rounds=config.rounds,
-        payoff=config.payoff,
-        noise=config.noise,
-        rng=games_rng if config.is_stochastic else None,
-        expected=config.expected_fitness,
-    )
+    if meta["type"] == "sampled":
+        cache = SampledFitnessEngine.from_config(config, make_rng(0))
+        if cache is None:
+            raise CheckpointError(
+                "run checkpoint was written by a sampled_batched run but "
+                "the current configuration resolves to a different "
+                "evaluator"
+            )
+    else:
+        cache = PayoffCache(
+            rounds=config.rounds,
+            payoff=config.payoff,
+            noise=config.noise,
+            rng=games_rng if config.is_stochastic else None,
+            expected=config.expected_fitness,
+        )
     cache.enable_eval_log()
     tables = np.asarray(arrays["eval_tables"])
     strategies = [
@@ -703,4 +733,11 @@ def restore_evaluator(
             cache.payoffs_to_many(focal, [strategies[int(j)] for j in span])
     cache.hits = int(meta["hits"])
     cache.misses = int(meta["misses"])
+    if meta["type"] == "sampled":
+        # Replay above consumed no randomness (deterministic probes only);
+        # pinning the captured stream position makes the resumed run's
+        # batched draws bit-identical to the uninterrupted one.
+        restore_generator(cache.rng, meta["rng"])
+        cache.games_played = int(meta["games_played"])
+        cache.batches = int(meta["batches"])
     return cache

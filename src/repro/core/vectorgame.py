@@ -31,6 +31,8 @@ from .strategy import Strategy
 __all__ = [
     "stack_tables",
     "play_pairs",
+    "play_pairs_uniforms",
+    "sampled_draws_per_round",
     "payoff_matrix",
     "cycle_payoffs_pairs",
 ]
@@ -139,6 +141,120 @@ def play_pairs(
         views_a = ((views_a << 2) | code_a) & mask
         views_b = ((views_b << 2) | code_b) & mask
     return pay_a, pay_b
+
+
+def sampled_draws_per_round(mixed: bool, noise: float) -> int:
+    """Uniform draws one round of :func:`play_pairs` consumes per game.
+
+    The per-round draw slots, in stream order, are ``[a_mix?, a_noise?,
+    b_mix?, b_noise?]`` — a mixed-table move draw and a noise-flip draw per
+    side, each present only when the regime uses it.  ``mixed`` must be the
+    *configuration's* mixed flag (a mixed run stacks float tables even when
+    every live strategy happens to be pure, and float tables always consume
+    the move draw), not a property of the current strategies.
+    """
+    return (2 if mixed else 0) + (2 if noise > 0.0 else 0)
+
+
+def play_pairs_uniforms(
+    tables,
+    a_idx: np.ndarray,
+    b_idx: np.ndarray,
+    rounds: int,
+    payoff: PayoffMatrix,
+    noise: float,
+    uniforms: np.ndarray,
+    xb=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`play_pairs` over pre-drawn uniforms, on the ``repro.xp`` seam.
+
+    ``uniforms`` has shape ``(rounds, D, n_games)`` with ``D =``
+    :func:`sampled_draws_per_round`; slot ``uniforms[r, s]`` replaces the
+    ``s``-th ``rng.random(...)`` call round ``r`` of :func:`play_pairs`
+    would make.  Because the Philox generator fills a ``(rounds, D, G)``
+    request in C order — exactly ``rounds * D`` sequential length-``G``
+    draws — ``play_pairs_uniforms(..., uniforms=rng.random((rounds, D,
+    G)))`` is **bit-identical** to ``play_pairs(..., rng=rng)`` on the same
+    pairings.  Every per-round operation is elementwise per game, so
+    concatenating several callers' games (and their uniform blocks) along
+    the games axis preserves each caller's bits — the property the batched
+    sampled engine uses to fuse one generation's (or one ensemble
+    generation's many lanes') games into a single kernel call.
+
+    ``tables`` is a pre-stacked ``(K, 4**n)`` array in the
+    :func:`stack_tables` layout: uint8 rows play deterministically per
+    view, float rows are defection probabilities resolved against the mix
+    draw.  ``xb`` is an :class:`repro.xp.ArrayBackend`; the round loop runs
+    on its namespace (functional updates only, so CuPy/JAX namespaces work
+    unchanged) and results return as host float64 arrays.
+    """
+    from ..xp import get_array_backend
+
+    if xb is None:
+        xb = get_array_backend()
+    xp = xb.xp
+    a_idx = np.asarray(a_idx, dtype=np.intp)
+    b_idx = np.asarray(b_idx, dtype=np.intp)
+    if a_idx.shape != b_idx.shape or a_idx.ndim != 1:
+        raise ConfigurationError("a_idx and b_idx must be equal-length 1-D arrays")
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    n_games = a_idx.shape[0]
+    mixed = tables.dtype != np.uint8
+    draws = sampled_draws_per_round(mixed, noise)
+    if draws == 0:
+        raise ConfigurationError(
+            "play_pairs_uniforms serves sampled games only (noise > 0 or "
+            "mixed tables); pure noiseless pairings are deterministic — "
+            "use cycle_payoffs_pairs"
+        )
+    expected_shape = (rounds, draws, n_games)
+    if tuple(uniforms.shape) != expected_shape:
+        raise ConfigurationError(
+            f"uniforms must have shape (rounds, draws_per_round, n_games) "
+            f"= {expected_shape}, got {tuple(uniforms.shape)}"
+        )
+    mask = tables.shape[1] - 1
+
+    dev_tables = xb.to_device(tables)
+    dev_u = xb.to_device(uniforms)
+    dev_a = xb.to_device(a_idx)
+    dev_b = xb.to_device(b_idx)
+    views_a = xp.zeros(n_games, dtype=xp.int64)
+    views_b = xp.zeros(n_games, dtype=xp.int64)
+    pay_a = xp.zeros(n_games, dtype=xp.float64)
+    pay_b = xp.zeros(n_games, dtype=xp.float64)
+    vec = xb.to_device(payoff.vector)
+
+    for r in range(rounds):
+        slot = 0
+        entry_a = dev_tables[dev_a, views_a]
+        if mixed:
+            moves_a = (dev_u[r, slot] < entry_a).astype(xp.uint8)
+            slot += 1
+        else:
+            moves_a = entry_a
+        if noise > 0.0:
+            flips = (dev_u[r, slot] < noise).astype(xp.uint8)
+            moves_a = moves_a ^ flips
+            slot += 1
+        entry_b = dev_tables[dev_b, views_b]
+        if mixed:
+            moves_b = (dev_u[r, slot] < entry_b).astype(xp.uint8)
+            slot += 1
+        else:
+            moves_b = entry_b
+        if noise > 0.0:
+            flips = (dev_u[r, slot] < noise).astype(xp.uint8)
+            moves_b = moves_b ^ flips
+            slot += 1
+        code_a = 2 * moves_a.astype(xp.int64) + moves_b
+        code_b = 2 * moves_b.astype(xp.int64) + moves_a
+        pay_a = pay_a + vec[code_a]
+        pay_b = pay_b + vec[code_b]
+        views_a = ((views_a << 2) | code_a) & mask
+        views_b = ((views_b << 2) | code_b) & mask
+    return xb.to_host(pay_a), xb.to_host(pay_b)
 
 
 def cycle_payoffs_pairs(

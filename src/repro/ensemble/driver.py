@@ -38,9 +38,19 @@ Regimes:
   event scan.  The expected regime cannot share one matrix bit-identically
   across lanes — its Markov kernel is not perspective-symmetric in the last
   ulp, so entry values depend on which lane evaluated a pair first.
-* **sampled-stochastic** fitness is rejected: every game is an independent
-  draw from the per-lane games stream, so there is nothing to share
-  without changing the trajectory (use the ``event`` backend per run).
+* **sampled-stochastic** fitness is rejected by default: every game is an
+  independent draw from the per-lane games stream, so there is nothing to
+  share without changing the trajectory (use the ``event`` backend per
+  run).  With the explicit ``sampled_batched=True`` opt-in
+  (``--sampled-batched``) lanes instead carry per-lane
+  :class:`~repro.core.engine.SampledFitnessEngine` evaluators over
+  dedicated ``("nature", "sampled")`` streams, and a generation's event
+  lanes are evaluated as **one** fused
+  :func:`~repro.core.vectorgame.play_pairs_uniforms` kernel call
+  (:meth:`~repro.core.engine.SampledFitnessEngine.eval_plans`) through the
+  ``repro.xp`` seam.  Each lane pre-draws its own uniform block, so its
+  trajectory is bit-identical to the same-seed serial ``sampled_batched``
+  run — and statistically equivalent to the scalar legacy path.
 """
 
 from __future__ import annotations
@@ -53,7 +63,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..core.config import EvolutionConfig
-from ..core.engine import FitnessEngine
+from ..core.engine import FitnessEngine, SampledFitnessEngine
 from ..core.evolution import (
     EventRecord,
     EvolutionResult,
@@ -137,13 +147,16 @@ def lane_signature(config: EvolutionConfig) -> tuple:
 
 
 def _validate_config(config: EvolutionConfig) -> None:
-    if config.is_stochastic:
+    if config.is_stochastic and not config.sampled_batched:
         raise ConfigurationError(
             "the ensemble driver supports deterministic and expected-"
             "fitness configurations only; sampled-stochastic fitness draws "
             "one fresh game per probe from the per-lane games stream and "
-            "cannot be lane-batched without changing the trajectory — use "
-            "the event or serial backend per run"
+            "cannot be lane-batched without changing the trajectory — opt "
+            "in to the batched sampled engine with sampled_batched=True "
+            "(CLI --sampled-batched; statistically equivalent, not "
+            "bit-identical to the scalar path), or use the event or "
+            "serial backend per run"
         )
 
 
@@ -1057,15 +1070,23 @@ def _run_group_generic(
 ) -> tuple[list[EvolutionResult], dict]:
     """Advance one signature-group of lanes with per-lane evaluators (the
     expected-fitness regime, non-integer payoffs, and ``engine=False``),
-    sharing only the merged event scan."""
+    sharing only the merged event scan.
+
+    Opt-in ``sampled_batched`` lanes additionally share the sampled-game
+    kernel: a generation's event lanes collect their plans and evaluate
+    them as one fused :meth:`SampledFitnessEngine.eval_plans` call — each
+    lane's uniform block comes off its own dedicated stream, so every
+    lane stays bit-identical to its same-seed serial run.
+    """
     started = time.perf_counter()
     cfg = configs[0]
     n_lanes = len(configs)
     n_ssets = cfg.n_ssets
     generations = cfg.generations
     structure = build_structure(cfg.structure, n_ssets)
+    sampled_mode = cfg.sampled_batched and cfg.is_stochastic
 
-    _, events_rngs, pc_rngs, mu_rngs, pops = _lane_setup(configs, initial)
+    trees, events_rngs, pc_rngs, mu_rngs, pops = _lane_setup(configs, initial)
 
     sink = _group_checkpointing(cfg, initial)
     unit = (
@@ -1097,19 +1118,27 @@ def _run_group_generic(
             )
     else:
         for r, config in enumerate(configs):
-            lane_engine = FitnessEngine.from_config(config)
-            pops[r].bind_engine(lane_engine)
-            evaluators.append(
-                lane_engine
-                if lane_engine is not None
-                else PayoffCache(
-                    rounds=config.rounds,
-                    payoff=config.payoff,
-                    noise=config.noise,
-                    rng=None,
-                    expected=config.expected_fitness,
+            if sampled_mode:
+                pops[r].bind_engine(None)
+                evaluators.append(
+                    SampledFitnessEngine.from_config(
+                        config, trees[r].generator("nature", "sampled")
+                    )
                 )
-            )
+            else:
+                lane_engine = FitnessEngine.from_config(config)
+                pops[r].bind_engine(lane_engine)
+                evaluators.append(
+                    lane_engine
+                    if lane_engine is not None
+                    else PayoffCache(
+                        rounds=config.rounds,
+                        payoff=config.payoff,
+                        noise=config.noise,
+                        rng=None,
+                        expected=config.expected_fitness,
+                    )
+                )
             if sink is not None:
                 _enable_capture_logs(evaluators[r])
 
@@ -1185,13 +1214,39 @@ def _run_group_generic(
                         pending += every
                     next_snap[r] = pending
 
+            # Draw every event lane's PC selection first (each lane has its
+            # own pc stream, so the draw/evaluate interleaving across lanes
+            # is trajectory-neutral), then evaluate fitness: per lane for
+            # the legacy evaluators, or — in sampled_batched mode — all
+            # lanes' sampled games fused into one kernel call, each lane's
+            # uniform block drawn from its own dedicated stream.
+            drawn: list[tuple[int, int, int, float]] = []
             for r in pc_lanes:
                 rng = pc_rngs[r]
                 teacher, learner = structure.select_pair(rng)
-                uniform = float(rng.random())
-                ft, fl = structure.pair_fitness(
-                    pops[r], teacher, learner, evaluators[r], include_self
+                drawn.append((r, teacher, learner, float(rng.random())))
+            if sampled_mode and drawn:
+                fits = SampledFitnessEngine.eval_plans(
+                    [
+                        (
+                            evaluators[r],
+                            evaluators[r].pc_plan(
+                                pops[r], structure, teacher, learner,
+                                include_self,
+                            ),
+                        )
+                        for r, teacher, learner, _ in drawn
+                    ]
                 )
+            else:
+                fits = [
+                    structure.pair_fitness(
+                        pops[r], teacher, learner, evaluators[r],
+                        include_self,
+                    )
+                    for r, teacher, learner, _ in drawn
+                ]
+            for (r, teacher, learner, uniform), (ft, fl) in zip(drawn, fits):
                 if not downhill and not ft > fl:
                     adopted = False
                 else:
@@ -1289,4 +1344,12 @@ def _run_group_generic(
         result.cache_misses = evaluators[r].misses
         result.wallclock_seconds = elapsed
     meta = {"lanes": n_lanes, "shared_engine": None, "array_backend": None}
+    if sampled_mode:
+        meta["array_backend"] = evaluators[0].xb.describe()
+        meta["sampled"] = {
+            "games_played": int(
+                sum(e.games_played for e in evaluators)
+            ),
+            "batches": int(sum(e.batches for e in evaluators)),
+        }
     return results, meta

@@ -9,7 +9,9 @@ Registered experiments: table1..table5 (model-definition tables), fig2
 (validation), fig3 (optimisation levels), fig4 + table6 (strong scaling /
 R sweep), fig5 (memory steps), fig6a/fig6b (large-scale weak/strong
 scaling), claim-mem6 (memory-capacity limit), structures (extension:
-cooperation across population structures).  The benchmarks in
+cooperation across population structures), noise_memory (extension:
+noise x memory phase diagram on the batched sampled-fitness path).  The
+benchmarks in
 ``benchmarks/`` execute these runners and assert the paper's shapes.
 """
 
@@ -28,6 +30,7 @@ from .registry import (
 from . import large_scale  # noqa: E402,F401
 from . import memory_limit  # noqa: E402,F401
 from . import memory_steps  # noqa: E402,F401
+from . import noise_memory  # noqa: E402,F401
 from . import optimization  # noqa: E402,F401
 from . import strong_scaling  # noqa: E402,F401
 from . import structured  # noqa: E402,F401

@@ -127,7 +127,19 @@ class InteractionModel(ABC):
         :class:`~repro.core.engine.FitnessEngine` is bound — same values
         (integer payoffs sum exactly in float64 in any order), fewer
         Python-level loops.
+
+        An evaluator exposing ``pc_pair_fitness`` (the batched
+        :class:`~repro.core.engine.SampledFitnessEngine`) takes over the
+        whole event instead: it collects both sides' sampled games into
+        one plan and plays them as a single vectorised kernel call.  The
+        hook is duck-typed so this module never imports the engine (the
+        config module sits between them on the import graph).
         """
+        batched = getattr(evaluator, "pc_pair_fitness", None)
+        if batched is not None:
+            return batched(
+                population, self, sset_a, sset_b, include_self_play
+            )
         return (
             self.fitness_of(population, sset_a, evaluator, include_self_play),
             self.fitness_of(population, sset_b, evaluator, include_self_play),

@@ -29,6 +29,7 @@ class TestRegistry:
             "fig6b",
             "claim-mem6",
             "structures",
+            "noise_memory",
         }
 
     def test_every_experiment_has_paper_ref(self):
